@@ -1,0 +1,119 @@
+package xstream
+
+import "repro/internal/algorithms"
+
+// Algorithm state types, re-exported so callers can inspect results.
+type (
+	// WCCState is weakly-connected-components vertex state.
+	WCCState = algorithms.WCCState
+	// BFSState is breadth-first-search vertex state.
+	BFSState = algorithms.BFSState
+	// SSSPState is shortest-paths vertex state.
+	SSSPState = algorithms.SSSPState
+	// SpMVState holds an input and output vector element.
+	SpMVState = algorithms.SpMVState
+	// PRState is PageRank vertex state.
+	PRState = algorithms.PRState
+	// CondState is conductance vertex state.
+	CondState = algorithms.CondState
+	// MISState is maximal-independent-set vertex state.
+	MISState = algorithms.MISState
+	// MCSTState is spanning-tree vertex state.
+	MCSTState = algorithms.MCSTState
+	// MSTEdge is an edge selected into the spanning forest.
+	MSTEdge = algorithms.MSTEdge
+	// SCCState is strongly-connected-components vertex state.
+	SCCState = algorithms.SCCState
+	// ALSState is alternating-least-squares vertex state.
+	ALSState = algorithms.ALSState
+	// BPState is belief-propagation vertex state.
+	BPState = algorithms.BPState
+	// ANFState is HyperANF vertex state.
+	ANFState = algorithms.ANFState
+)
+
+// NewWCC returns weakly connected components by min-label propagation.
+// Run it on an undirected edge list; read results with WCCLabels.
+func NewWCC() *algorithms.WCC { return algorithms.NewWCC() }
+
+// WCCLabels extracts each vertex's component label (the smallest vertex
+// ID in its component).
+func WCCLabels(verts []WCCState) []VertexID { return algorithms.Labels(verts) }
+
+// NewBFS returns breadth-first search from root; read levels with
+// BFSLevels.
+func NewBFS(root VertexID) *algorithms.BFS { return algorithms.NewBFS(root) }
+
+// BFSLevels extracts per-vertex hop distances (-1 = unreachable).
+func BFSLevels(verts []BFSState) []int32 { return algorithms.Levels(verts) }
+
+// NewSSSP returns Bellman–Ford single-source shortest paths from root;
+// read distances with SSSPDistances.
+func NewSSSP(root VertexID) *algorithms.SSSP { return algorithms.NewSSSP(root) }
+
+// SSSPDistances extracts per-vertex distances (+Inf = unreachable).
+func SSSPDistances(verts []SSSPState) []float32 { return algorithms.Distances(verts) }
+
+// NewSpMV returns a one-pass sparse matrix–vector multiply.
+func NewSpMV() *algorithms.SpMV { return algorithms.NewSpMV() }
+
+// NewPageRank returns damped PageRank (d = 0.85) running the given number
+// of rank iterations; read ranks with PageRankValues.
+func NewPageRank(iters int) *algorithms.PageRank { return algorithms.NewPageRank(iters) }
+
+// PageRankValues extracts per-vertex ranks.
+func PageRankValues(verts []PRState) []float32 { return algorithms.Ranks(verts) }
+
+// NewConductance measures the conductance of the vertex subset defined by
+// inS (nil = odd IDs). Results are on the returned program after the run.
+func NewConductance(inS func(VertexID) bool) *algorithms.Conductance {
+	return algorithms.NewConductance(inS)
+}
+
+// NewMIS returns Luby's maximal independent set; read membership with
+// MISInSet. Run it on an undirected edge list.
+func NewMIS() *algorithms.MIS { return algorithms.NewMIS() }
+
+// MISInSet extracts set membership.
+func MISInSet(verts []MISState) []bool { return algorithms.InSet(verts) }
+
+// NewMCST returns a GHS-style minimum cost spanning forest; the chosen
+// edges and total weight are on the returned program after the run. Run it
+// on an undirected edge list.
+func NewMCST() *algorithms.MCST { return algorithms.NewMCST() }
+
+// NewSCC returns strongly connected components for a directed graph; read
+// assignments with SCCComponents.
+func NewSCC() *algorithms.SCC { return algorithms.NewSCC() }
+
+// SCCComponents extracts per-vertex component IDs.
+func SCCComponents(verts []SCCState) []uint32 { return algorithms.ComponentIDs(verts) }
+
+// NewALS returns alternating least squares over a bipartite ratings graph
+// whose users occupy vertex IDs [0, users); iters is the number of full
+// user/item alternations.
+func NewALS(users int64, iters int) *algorithms.ALS { return algorithms.NewALS(users, iters) }
+
+// ALSRMSE evaluates a trained ALS model against a rating edge list.
+func ALSRMSE(verts []ALSState, edges []Edge, users VertexID) float64 {
+	return algorithms.RMSE(verts, edges, users)
+}
+
+// NewBP returns two-state loopy belief propagation for iters iterations.
+func NewBP(iters int) *algorithms.BP { return algorithms.NewBP(iters) }
+
+// NewHyperANF returns the HyperANF neighbourhood-function estimator; after
+// the run, Steps() is the number of iterations needed to cover the graph
+// (≈ diameter). Run it on an undirected (Symmetrize) edge list.
+func NewHyperANF() *algorithms.HyperANF { return algorithms.NewHyperANF() }
+
+// NoSCC marks vertices the SCC program has not assigned (never present
+// after a completed run).
+const NoSCC = algorithms.NoSCC
+
+// MIS vertex status values (MISState.Status).
+const (
+	MISUndecided = algorithms.MISUndecided
+	MISIn        = algorithms.MISIn
+	MISOut       = algorithms.MISOut
+)

@@ -1,0 +1,36 @@
+// Command iobench runs the storage and memory microbenchmarks behind the
+// paper's §5.1 (Figures 8, 9 and 11): memory bandwidth vs thread count,
+// simulated-device bandwidth vs request size, and the sequential-vs-random
+// access table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shorter measurement intervals")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Threads: *threads}
+	for _, id := range []string{"fig08", "fig09", "fig11"} {
+		r, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iobench: missing runner %s\n", id)
+			os.Exit(1)
+		}
+		tab, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+	}
+}

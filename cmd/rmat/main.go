@@ -1,0 +1,92 @@
+// Command rmat generates RMAT, grid, uniform and bipartite graphs as
+// X-Stream binary edge files or text edge lists.
+//
+// Usage:
+//
+//	rmat -scale 20 -out graph.xsedge          # RMAT scale 20 binary file
+//	rmat -scale 16 -undirected -text          # text edge list to stdout
+//	rmat -grid 512                            # 512x512 grid
+//	rmat -bipartite 60000x4000 -ratings 1e6   # ratings graph
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	xstream "repro"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 0, "RMAT scale (2^scale vertices)")
+		edgeFactor = flag.Int("ef", 16, "RMAT edge factor (edges per vertex)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		undirected = flag.Bool("undirected", false, "store each edge in both directions")
+		grid       = flag.Int("grid", 0, "generate a side x side grid instead")
+		bipartite  = flag.String("bipartite", "", "generate a bipartite UxI ratings graph, e.g. 60000x4000")
+		ratings    = flag.Float64("ratings", 1e6, "rating count for -bipartite")
+		out        = flag.String("out", "", "binary edge file to write (directory of the file becomes the device)")
+		text       = flag.Bool("text", false, "write text edge list to stdout instead")
+	)
+	flag.Parse()
+
+	var src xstream.EdgeSource
+	switch {
+	case *grid > 0:
+		src = xstream.GridGraph(*grid, *grid, *seed)
+	case *bipartite != "":
+		parts := strings.SplitN(*bipartite, "x", 2)
+		if len(parts) != 2 {
+			fatal("bad -bipartite %q, want UxI", *bipartite)
+		}
+		u, err1 := strconv.Atoi(parts[0])
+		i, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			fatal("bad -bipartite %q: %v %v", *bipartite, err1, err2)
+		}
+		src = xstream.BipartiteGraph(u, i, int64(*ratings), *seed)
+	case *scale > 0:
+		src = xstream.RMAT(xstream.RMATConfig{
+			Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed, Undirected: *undirected,
+		})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "rmat: %d vertices, %d edge records\n", src.NumVertices(), src.NumEdges())
+
+	switch {
+	case *text:
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		err := src.Edges(func(batch []xstream.Edge) error {
+			return xstream.WriteTextEdges(w, batch)
+		})
+		if err != nil {
+			fatal("write: %v", err)
+		}
+	case *out != "":
+		dir := filepath.Dir(*out)
+		dev, err := xstream.NewOSDevice("out", dir)
+		if err != nil {
+			fatal("device: %v", err)
+		}
+		if err := xstream.WriteEdgeFile(dev, filepath.Base(*out), src); err != nil {
+			fatal("write: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rmat: wrote %s\n", *out)
+	default:
+		fatal("need -out FILE or -text")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rmat: "+format+"\n", args...)
+	os.Exit(1)
+}

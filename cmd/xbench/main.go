@@ -1,0 +1,79 @@
+// Command xbench regenerates the tables and figures of the X-Stream paper's
+// evaluation section (§5).
+//
+// Usage:
+//
+//	xbench -list                 # show available experiments
+//	xbench -run fig12a           # run one experiment
+//	xbench -run fig14,fig15      # run several
+//	xbench -all                  # run everything
+//	xbench -all -quick           # smoke-test scale
+//
+// Results print as aligned text tables with the paper's reference values in
+// the notes; EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available experiments")
+		runIDs    = flag.String("run", "", "comma-separated experiment ids to run")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "shrink workloads to smoke-test size")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		timeScale = flag.Float64("timescale", 0, "simulated-device pacing (0 = per-figure default, 1.0 = real time)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("  %-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, r := range bench.Runners() {
+			ids = append(ids, r.ID)
+		}
+	case *runIDs != "":
+		ids = strings.Split(*runIDs, ",")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{Quick: *quick, Threads: *threads, TimeScale: *timeScale}
+	failed := 0
+	for _, id := range ids {
+		r, ok := bench.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xbench: unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		tab, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,273 @@
+// Command xstream runs a graph algorithm over an edge list with either
+// engine — the CLI face of the library.
+//
+// Usage:
+//
+//	xstream -algo wcc -rmat 20 -undirected            # in-memory on a generated graph
+//	xstream -algo pagerank -input g.xsedge            # in-memory on a binary edge file
+//	xstream -algo bfs -root 5 -input g.xsedge \
+//	        -engine disk -dir /mnt/fast/xs -budget 8g # out of core on real files
+//	xstream -algo sssp -engine disk -device sim-ssd   # out of core on the simulated SSD
+//
+// It prints the execution Stats (iterations, partitions, wasted edges,
+// phase times) and an algorithm-specific summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	xstream "repro"
+)
+
+func main() {
+	var (
+		algo       = flag.String("algo", "wcc", "algorithm: wcc|scc|bfs|sssp|pagerank|spmv|mis|mcst|conductance|bp|als|hyperanf")
+		input      = flag.String("input", "", "binary edge file to process")
+		rmat       = flag.Int("rmat", 0, "generate an RMAT graph of this scale instead of -input")
+		edgeFactor = flag.Int("ef", 16, "RMAT edge factor")
+		seed       = flag.Int64("seed", 1, "RMAT seed")
+		undirected = flag.Bool("undirected", false, "generate undirected RMAT")
+		root       = flag.Uint("root", 0, "root vertex for bfs/sssp")
+		iters      = flag.Int("iters", 5, "iterations for pagerank/bp/als")
+		users      = flag.Int64("users", 0, "user count for als (bipartite split)")
+		engine     = flag.String("engine", "mem", "engine: mem|disk")
+		device     = flag.String("device", "os", "disk engine device: os|sim-ssd|sim-hdd")
+		dir        = flag.String("dir", os.TempDir(), "directory for -device os")
+		budget     = flag.String("budget", "256m", "disk engine memory budget (e.g. 8g)")
+		ioUnit     = flag.String("iounit", "1m", "disk engine I/O unit (e.g. 16m)")
+		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	src := loadInput(*input, *rmat, *edgeFactor, *seed, *undirected)
+	fmt.Fprintf(os.Stderr, "xstream: %d vertices, %d edge records\n", src.NumVertices(), src.NumEdges())
+
+	var diskCfg xstream.DiskConfig
+	if *engine == "disk" {
+		var dev xstream.Device
+		var err error
+		switch *device {
+		case "os":
+			dev, err = xstream.NewOSDevice("scratch", *dir)
+		case "sim-ssd":
+			dev = xstream.NewSimDevice(xstream.SimSSD("ssd", 2, 1.0))
+		case "sim-hdd":
+			dev = xstream.NewSimDevice(xstream.SimHDD("hdd", 2, 1.0))
+		default:
+			fatal("unknown -device %q", *device)
+		}
+		if err != nil {
+			fatal("device: %v", err)
+		}
+		diskCfg = xstream.DiskConfig{
+			Device:       dev,
+			MemoryBudget: parseBytes(*budget),
+			IOUnit:       int(parseBytes(*ioUnit)),
+			Threads:      *threads,
+		}
+	}
+	memCfg := xstream.MemConfig{Threads: *threads}
+
+	switch *algo {
+	case "wcc":
+		runAlgo(src, xstream.NewWCC(), *engine, memCfg, diskCfg, func(v []xstream.WCCState, s xstream.Stats) {
+			counts := map[xstream.VertexID]int{}
+			for _, st := range v {
+				counts[st.Label]++
+			}
+			largest := 0
+			for _, c := range counts {
+				if c > largest {
+					largest = c
+				}
+			}
+			fmt.Printf("components: %d (largest %d vertices)\n", len(counts), largest)
+		})
+	case "scc":
+		runAlgo(src, xstream.NewSCC(), *engine, memCfg, diskCfg, func(v []xstream.SCCState, s xstream.Stats) {
+			comps := map[uint32]bool{}
+			for _, st := range v {
+				comps[st.SCCID] = true
+			}
+			fmt.Printf("strongly connected components: %d\n", len(comps))
+		})
+	case "bfs":
+		runAlgo(src, xstream.NewBFS(xstream.VertexID(*root)), *engine, memCfg, diskCfg, func(v []xstream.BFSState, s xstream.Stats) {
+			reached, maxd := 0, int32(0)
+			for _, st := range v {
+				if st.Dist >= 0 {
+					reached++
+					if st.Dist > maxd {
+						maxd = st.Dist
+					}
+				}
+			}
+			fmt.Printf("reached %d vertices, max depth %d\n", reached, maxd)
+		})
+	case "sssp":
+		runAlgo(src, xstream.NewSSSP(xstream.VertexID(*root)), *engine, memCfg, diskCfg, func(v []xstream.SSSPState, s xstream.Stats) {
+			reached := 0
+			for _, st := range v {
+				if st.Dist < 1e38 {
+					reached++
+				}
+			}
+			fmt.Printf("reached %d vertices\n", reached)
+		})
+	case "pagerank":
+		runAlgo(src, xstream.NewPageRank(*iters), *engine, memCfg, diskCfg, func(v []xstream.PRState, s xstream.Stats) {
+			type vr struct {
+				id xstream.VertexID
+				r  float32
+			}
+			top := make([]vr, 0, len(v))
+			for i, st := range v {
+				top = append(top, vr{xstream.VertexID(i), st.Rank})
+			}
+			sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+			n := 5
+			if len(top) < n {
+				n = len(top)
+			}
+			fmt.Printf("top ranks: ")
+			for _, t := range top[:n] {
+				fmt.Printf("v%d=%.2f ", t.id, t.r)
+			}
+			fmt.Println()
+		})
+	case "spmv":
+		runAlgo(src, xstream.NewSpMV(), *engine, memCfg, diskCfg, func(v []xstream.SpMVState, s xstream.Stats) {
+			var sum float64
+			for _, st := range v {
+				sum += float64(st.Y)
+			}
+			fmt.Printf("sum(y) = %.3f\n", sum)
+		})
+	case "mis":
+		runAlgo(src, xstream.NewMIS(), *engine, memCfg, diskCfg, func(v []xstream.MISState, s xstream.Stats) {
+			in := 0
+			for _, st := range v {
+				if st.Status == xstream.MISIn {
+					in++
+				}
+			}
+			fmt.Printf("independent set size: %d\n", in)
+		})
+	case "mcst":
+		prog := xstream.NewMCST()
+		runAlgo(src, prog, *engine, memCfg, diskCfg, func(v []xstream.MCSTState, s xstream.Stats) {
+			fmt.Printf("spanning forest: %d edges, total weight %.3f\n", len(prog.Edges), prog.TotalWeight)
+		})
+	case "conductance":
+		prog := xstream.NewConductance(nil)
+		runAlgo(src, prog, *engine, memCfg, diskCfg, func(v []xstream.CondState, s xstream.Stats) {
+			fmt.Printf("conductance of odd-ID subset: %.4f (cut %d, vol %d/%d)\n",
+				prog.Phi, prog.CutEdges, prog.VolS, prog.VolT)
+		})
+	case "bp":
+		runAlgo(src, xstream.NewBP(*iters), *engine, memCfg, diskCfg, func(v []xstream.BPState, s xstream.Stats) {
+			var mean float64
+			for _, st := range v {
+				mean += float64(st.B1)
+			}
+			fmt.Printf("mean belief(state 1): %.4f\n", mean/float64(len(v)))
+		})
+	case "als":
+		if *users == 0 {
+			fatal("als needs -users (bipartite split)")
+		}
+		runAlgo(src, xstream.NewALS(*users, *iters), *engine, memCfg, diskCfg, func(v []xstream.ALSState, s xstream.Stats) {
+			edges, err := xstream.Materialize(src)
+			if err == nil {
+				fmt.Printf("training RMSE: %.4f\n", xstream.ALSRMSE(v, edges, xstream.VertexID(*users)))
+			}
+		})
+	case "hyperanf":
+		prog := xstream.NewHyperANF()
+		runAlgo(xstream.Symmetrize(src), prog, *engine, memCfg, diskCfg, func(v []xstream.ANFState, s xstream.Stats) {
+			fmt.Printf("steps to cover: %d, effective diameter (0.9): %d\n",
+				prog.Steps(), prog.EffectiveDiameter(0.9))
+		})
+	default:
+		fatal("unknown -algo %q", *algo)
+	}
+}
+
+// runAlgo dispatches to the selected engine and prints Stats.
+func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
+	engine string, memCfg xstream.MemConfig, diskCfg xstream.DiskConfig,
+	summarize func([]V, xstream.Stats)) {
+	var verts []V
+	var stats xstream.Stats
+	switch engine {
+	case "mem":
+		res, err := xstream.RunMemory(src, prog, memCfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		verts, stats = res.Vertices, res.Stats
+	case "disk":
+		res, err := xstream.RunDisk(src, prog, diskCfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		verts, stats = res.Vertices, res.Stats
+	default:
+		fatal("unknown -engine %q", engine)
+	}
+	fmt.Println(stats.String())
+	summarize(verts, stats)
+}
+
+func loadInput(input string, rmat, ef int, seed int64, undirected bool) xstream.EdgeSource {
+	switch {
+	case rmat > 0:
+		return xstream.RMAT(xstream.RMATConfig{Scale: rmat, EdgeFactor: ef, Seed: seed, Undirected: undirected})
+	case input != "":
+		dir := "."
+		name := input
+		if i := strings.LastIndexByte(input, '/'); i >= 0 {
+			dir, name = input[:i], input[i+1:]
+		}
+		dev, err := xstream.NewOSDevice("input", dir)
+		if err != nil {
+			fatal("device: %v", err)
+		}
+		src, err := xstream.OpenEdgeFile(dev, name)
+		if err != nil {
+			fatal("open: %v", err)
+		}
+		return src
+	default:
+		fatal("need -input FILE or -rmat SCALE")
+		return nil
+	}
+}
+
+func parseBytes(s string) int64 {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fatal("bad byte size %q", s)
+	}
+	return v * mult
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "xstream: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Package xstream is a Go implementation of X-Stream, the edge-centric
+// scatter-gather graph processing system of Roy, Mihailovic and Zwaenepoel
+// (SOSP 2013).
+//
+// X-Stream processes graphs — in memory or out of core — by streaming a
+// completely unordered edge list instead of sorting it and random-accessing
+// it through an index. Computation state lives in the vertices; every
+// iteration streams all edges (scatter, producing updates addressed to
+// destination vertices), shuffles the updates to the streaming partition
+// owning their destination, and streams them back in (gather). Because
+// sequential bandwidth beats random-access bandwidth on every storage
+// medium — roughly 500x on magnetic disk, 30x on SSD and 2-5x on RAM — this
+// trade wins whenever the graph's diameter is modest, and it removes
+// pre-processing entirely: X-Stream computes directly on raw edge lists.
+//
+// # Quick start
+//
+//	edges := xstream.RMAT(xstream.RMATConfig{Scale: 20, EdgeFactor: 16, Seed: 1, Undirected: true})
+//	wcc := xstream.NewWCC()
+//	res, err := xstream.RunMemory(edges, wcc, xstream.MemConfig{})
+//	if err != nil { ... }
+//	labels := xstream.WCCLabels(res.Vertices)
+//
+// For graphs larger than memory, run the same program out of core:
+//
+//	dev, _ := xstream.NewOSDevice("scratch", "/mnt/fast/xstream")
+//	res, err := xstream.RunDisk(edges, wcc, xstream.DiskConfig{
+//		Device:       dev,
+//		MemoryBudget: 8 << 30,
+//		IOUnit:       16 << 20,
+//	})
+//
+// # Writing algorithms
+//
+// An algorithm is a Program[V, M]: V is the per-vertex state and M the
+// update value, both fixed-size pointer-free types (they are streamed to
+// storage as raw records). Implement Init (initial vertex state), Scatter
+// (edge in, optional update out — reading only the source vertex), and
+// Gather (apply an update to its destination vertex). Optional interfaces
+// add per-iteration hooks (IterationStarter), custom termination and
+// cross-vertex aggregation (PhasedProgram), and iterations over the
+// transposed edge list (DirectedProgram). The eleven algorithms from the
+// paper's evaluation ship ready-made; see NewWCC, NewBFS, NewSSSP,
+// NewPageRank, NewSpMV, NewConductance, NewMIS, NewMCST, NewSCC, NewALS,
+// NewBP and NewHyperANF.
+//
+// # Reproducing the paper
+//
+// The cmd/xbench binary regenerates every table and figure of the paper's
+// evaluation section on simulated storage devices calibrated to the
+// paper's own measurements; see DESIGN.md and EXPERIMENTS.md.
+package xstream

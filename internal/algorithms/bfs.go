@@ -1,0 +1,65 @@
+package algorithms
+
+import "repro/internal/core"
+
+// BFSState is per-vertex breadth-first-search state.
+type BFSState struct {
+	// Dist is the hop distance from the root, or -1 if undiscovered.
+	Dist int32
+	// Updated is the iteration at which the vertex was discovered.
+	Updated int32
+}
+
+// BFS computes hop distances from a root vertex. Each scatter-gather
+// iteration advances the frontier by one level, so the iteration count
+// equals the eccentricity of the root — the property that makes
+// high-diameter graphs X-Stream's worst case (§5.3).
+type BFS struct {
+	root core.VertexID
+	iter int32
+}
+
+// NewBFS returns a breadth-first search from root.
+func NewBFS(root core.VertexID) *BFS { return &BFS{root: root} }
+
+// Name implements core.Program.
+func (b *BFS) Name() string { return "BFS" }
+
+// Init implements core.Program.
+func (b *BFS) Init(id core.VertexID, v *BFSState) {
+	if id == b.root {
+		v.Dist = 0
+		v.Updated = 0
+	} else {
+		v.Dist = -1
+		v.Updated = -1
+	}
+}
+
+// StartIteration implements core.IterationStarter.
+func (b *BFS) StartIteration(iter int) { b.iter = int32(iter) }
+
+// Scatter implements core.Program.
+func (b *BFS) Scatter(e core.Edge, src *BFSState) (int32, bool) {
+	if src.Updated == b.iter {
+		return src.Dist + 1, true
+	}
+	return 0, false
+}
+
+// Gather implements core.Program.
+func (b *BFS) Gather(dst core.VertexID, v *BFSState, m int32) {
+	if v.Dist < 0 {
+		v.Dist = m
+		v.Updated = b.iter + 1
+	}
+}
+
+// Levels extracts per-vertex hop distances (-1 = unreachable).
+func Levels(verts []BFSState) []int32 {
+	out := make([]int32, len(verts))
+	for i := range verts {
+		out[i] = verts[i].Dist
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// bpEpsilon is the edge-potential off-diagonal: neighbouring vertices
+// agree with probability 1-ε (a homophily prior, as in the belief
+// propagation over billion-scale graphs the paper cites [35]).
+const bpEpsilon = 0.1
+
+// BPState is per-vertex belief-propagation state for a two-state MRF.
+type BPState struct {
+	B0, B1     float32 // current (normalized) belief
+	Acc0, Acc1 float32 // log-domain message accumulators for this round
+	Prior1     float32 // prior probability of state 1
+}
+
+// BPMsg is the two-state message along an edge.
+type BPMsg struct {
+	M0, M1 float32
+}
+
+// BP runs loopy belief propagation for a fixed number of iterations on a
+// pairwise two-state Markov random field over the graph. Each iteration
+// every vertex broadcasts ψ·b over its edges and re-estimates its belief
+// from its prior and the product of incoming messages (computed stably in
+// the log domain).
+type BP struct {
+	iters int
+}
+
+// NewBP returns a belief propagation program running iters iterations
+// (the paper uses 5).
+func NewBP(iters int) *BP {
+	if iters < 1 {
+		iters = 1
+	}
+	return &BP{iters: iters}
+}
+
+// Name implements core.Program.
+func (b *BP) Name() string { return "BP" }
+
+// Init implements core.Program: priors are a deterministic pseudo-random
+// function of the vertex ID, mimicking observed evidence.
+func (b *BP) Init(id core.VertexID, v *BPState) {
+	p1 := 0.3 + 0.4*hashUnit(uint64(id), 17)
+	v.Prior1 = p1
+	v.B0 = 1 - p1
+	v.B1 = p1
+	v.Acc0 = 0
+	v.Acc1 = 0
+}
+
+// Scatter implements core.Program.
+func (b *BP) Scatter(e core.Edge, src *BPState) (BPMsg, bool) {
+	return BPMsg{
+		M0: (1-bpEpsilon)*src.B0 + bpEpsilon*src.B1,
+		M1: bpEpsilon*src.B0 + (1-bpEpsilon)*src.B1,
+	}, true
+}
+
+// Gather implements core.Program: accumulate log messages.
+func (b *BP) Gather(dst core.VertexID, v *BPState, m BPMsg) {
+	v.Acc0 += float32(math.Log(float64(m.M0)))
+	v.Acc1 += float32(math.Log(float64(m.M1)))
+}
+
+// EndIteration implements core.PhasedProgram: fold messages into beliefs.
+func (b *BP) EndIteration(iter int, sent int64, view core.VertexView[BPState]) bool {
+	view.ForEach(func(id core.VertexID, v *BPState) {
+		l0 := float64(v.Acc0) + math.Log(float64(1-v.Prior1))
+		l1 := float64(v.Acc1) + math.Log(float64(v.Prior1))
+		// Normalize stably via max subtraction.
+		mx := l0
+		if l1 > mx {
+			mx = l1
+		}
+		e0 := math.Exp(l0 - mx)
+		e1 := math.Exp(l1 - mx)
+		z := e0 + e1
+		v.B0 = float32(e0 / z)
+		v.B1 = float32(e1 / z)
+		v.Acc0 = 0
+		v.Acc1 = 0
+	})
+	return iter+1 >= b.iters
+}
+
+// Beliefs extracts per-vertex probability of state 1.
+func Beliefs(verts []BPState) []float32 {
+	out := make([]float32, len(verts))
+	for i := range verts {
+		out[i] = verts[i].B1
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package algorithms
+
+import (
+	"repro/internal/core"
+	"repro/internal/hll"
+)
+
+// ANFState is per-vertex HyperANF state: a HyperLogLog sketch of the
+// vertices within the current radius.
+type ANFState struct {
+	C       hll.Counter
+	Updated int32
+}
+
+// HyperANF approximates the neighbourhood function N(t) — the number of
+// vertex pairs within distance t — by maintaining a HyperLogLog counter
+// per vertex and unioning neighbours' counters each iteration [Boldi,
+// Rosa, Vigna]. The number of iterations to convergence is the graph's
+// diameter, which is how the paper diagnoses the DIMACS/yahoo-web
+// pathology (Figure 13). Run it on an undirected (symmetrized) edge list.
+type HyperANF struct {
+	iter int32
+	// NF records N(t) after each completed iteration; NF[len-1] is the
+	// converged neighbourhood function value.
+	NF []float64
+}
+
+// NewHyperANF returns a HyperANF program.
+func NewHyperANF() *HyperANF { return &HyperANF{} }
+
+// Name implements core.Program.
+func (h *HyperANF) Name() string { return "HyperANF" }
+
+// Init implements core.Program.
+func (h *HyperANF) Init(id core.VertexID, v *ANFState) {
+	v.C = hll.Counter{}
+	v.C.Add(uint64(id))
+	v.Updated = 0
+}
+
+// StartIteration implements core.IterationStarter.
+func (h *HyperANF) StartIteration(iter int) { h.iter = int32(iter) }
+
+// Scatter implements core.Program: changed counters flow over edges.
+func (h *HyperANF) Scatter(e core.Edge, src *ANFState) (hll.Counter, bool) {
+	if src.Updated == h.iter {
+		return src.C, true
+	}
+	return hll.Counter{}, false
+}
+
+// Gather implements core.Program: union the neighbour's sketch.
+func (h *HyperANF) Gather(dst core.VertexID, v *ANFState, m hll.Counter) {
+	if v.C.Union(&m) {
+		v.Updated = h.iter + 1
+	}
+}
+
+// EndIteration implements core.PhasedProgram: record N(t); converged when
+// no counter changed (sent == 0 next round would also stop, but checking
+// the view keeps NF aligned with completed radii).
+func (h *HyperANF) EndIteration(iter int, sent int64, view core.VertexView[ANFState]) bool {
+	var nf float64
+	changed := false
+	view.ForEach(func(id core.VertexID, v *ANFState) {
+		nf += v.C.Estimate()
+		if v.Updated == h.iter+1 {
+			changed = true
+		}
+	})
+	h.NF = append(h.NF, nf)
+	return !changed
+}
+
+// Steps returns the number of steps HyperANF took to cover the graph — the
+// paper's Figure 13 metric, an estimate of the diameter.
+func (h *HyperANF) Steps() int { return len(h.NF) }
+
+// EffectiveDiameter returns the smallest t at which N(t) reaches the given
+// fraction (e.g. 0.9) of its final value.
+func (h *HyperANF) EffectiveDiameter(fraction float64) int {
+	if len(h.NF) == 0 {
+		return 0
+	}
+	target := fraction * h.NF[len(h.NF)-1]
+	for t, v := range h.NF {
+		if v >= target {
+			return t
+		}
+	}
+	return len(h.NF) - 1
+}

@@ -1,0 +1,165 @@
+package algorithms
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MCSTState is per-vertex minimum-spanning-tree state.
+type MCSTState struct {
+	// Comp is the vertex's current component label.
+	Comp uint32
+	// Best* record the lightest crossing edge any neighbour offered this
+	// round: its weight, the offering component, and the edge endpoints.
+	BestW    float32
+	BestComp uint32
+	BestA    uint32
+	BestB    uint32
+}
+
+// MSTEdge is an edge selected into the spanning forest.
+type MSTEdge struct {
+	A, B   core.VertexID
+	Weight float32
+}
+
+// MCST computes a minimum cost spanning forest with GHS-style Boruvka
+// rounds, the algorithm the paper attributes to Gallager–Humblet–Spira
+// (§5.2). Each round is one scatter-gather iteration: every edge carries
+// its source's component label to its destination; destinations keep the
+// lightest edge arriving from a foreign component; the round hook then
+// picks each component's minimum outgoing edge, merges components along
+// the chosen edges (hook + compress), and relabels. The number of rounds
+// is O(log V). Expects an undirected edge list.
+//
+// Ties are broken on (weight, A, B) so equal-weight graphs cannot create
+// merge cycles.
+type MCST struct {
+	// Edges is the spanning forest after the run.
+	Edges []MSTEdge
+	// TotalWeight is the forest's total weight.
+	TotalWeight float64
+}
+
+// NewMCST returns a minimum cost spanning tree program.
+func NewMCST() *MCST { return &MCST{} }
+
+// Name implements core.Program.
+func (m *MCST) Name() string { return "MCST" }
+
+// Init implements core.Program.
+func (m *MCST) Init(id core.VertexID, v *MCSTState) {
+	v.Comp = uint32(id)
+	v.BestW = Inf32
+}
+
+// MCSTMsg offers a crossing edge to the destination's component.
+type MCSTMsg struct {
+	W    float32
+	Comp uint32 // source's component
+	A, B uint32 // edge endpoints as stored
+}
+
+// Scatter implements core.Program.
+func (m *MCST) Scatter(e core.Edge, src *MCSTState) (MCSTMsg, bool) {
+	if e.Src == e.Dst {
+		return MCSTMsg{}, false
+	}
+	return MCSTMsg{W: e.Weight, Comp: src.Comp, A: uint32(e.Src), B: uint32(e.Dst)}, true
+}
+
+// Gather implements core.Program.
+func (m *MCST) Gather(dst core.VertexID, v *MCSTState, msg MCSTMsg) {
+	if msg.Comp == v.Comp {
+		return // internal edge
+	}
+	if msg.W < v.BestW ||
+		(msg.W == v.BestW && (msg.A < v.BestA || (msg.A == v.BestA && msg.B < v.BestB))) {
+		v.BestW = msg.W
+		v.BestComp = msg.Comp
+		v.BestA = msg.A
+		v.BestB = msg.B
+	}
+}
+
+// EndIteration implements core.PhasedProgram: per-component minimum edge
+// selection, hook, compress, relabel.
+func (m *MCST) EndIteration(iter int, sent int64, view core.VertexView[MCSTState]) bool {
+	type cand struct {
+		w    float32
+		a, b uint32
+		to   uint32 // component on the other side
+	}
+	best := make(map[uint32]cand)
+	view.ForEach(func(id core.VertexID, v *MCSTState) {
+		if v.BestW == Inf32 {
+			return
+		}
+		c, ok := best[v.Comp]
+		if !ok || v.BestW < c.w ||
+			(v.BestW == c.w && (v.BestA < c.a || (v.BestA == c.a && v.BestB < c.b))) {
+			best[v.Comp] = cand{w: v.BestW, a: v.BestA, b: v.BestB, to: v.BestComp}
+		}
+	})
+	if len(best) == 0 {
+		m.finalize()
+		return true
+	}
+
+	// Hook: union components along chosen edges; dedupe edges picked from
+	// both sides.
+	parent := make(map[uint32]uint32, 2*len(best))
+	var find func(uint32) uint32
+	find = func(x uint32) uint32 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	type ekey struct{ a, b uint32 }
+	chosen := make(map[ekey]MSTEdge, len(best))
+	// Deterministic iteration order for reproducible forests.
+	comps := make([]uint32, 0, len(best))
+	for c := range best {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	for _, c := range comps {
+		e := best[c]
+		ra, rb := find(c), find(e.to)
+		k := ekey{a: e.a, b: e.b}
+		if e.b < e.a {
+			k = ekey{a: e.b, b: e.a}
+		}
+		if _, dup := chosen[k]; !dup {
+			if ra != rb {
+				chosen[k] = MSTEdge{A: core.VertexID(e.a), B: core.VertexID(e.b), Weight: e.w}
+				parent[ra] = rb
+			}
+		}
+	}
+	for _, e := range chosen {
+		m.Edges = append(m.Edges, e)
+	}
+
+	// Compress + relabel vertices; reset round state.
+	view.ForEach(func(id core.VertexID, v *MCSTState) {
+		v.Comp = find(v.Comp)
+		v.BestW = Inf32
+		v.BestComp = 0
+		v.BestA = 0
+		v.BestB = 0
+	})
+	return false
+}
+
+func (m *MCST) finalize() {
+	m.TotalWeight = 0
+	for _, e := range m.Edges {
+		m.TotalWeight += float64(e.Weight)
+	}
+}

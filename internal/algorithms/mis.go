@@ -1,0 +1,138 @@
+package algorithms
+
+import "repro/internal/core"
+
+// MIS vertex status values.
+const (
+	MISUndecided int8 = iota
+	MISIn
+	MISOut
+)
+
+// MISState is per-vertex maximal-independent-set state.
+type MISState struct {
+	// Priority is this round's random priority.
+	Priority float32
+	// MinP / MinID track the smallest (priority, id) among undecided
+	// neighbours heard from this round.
+	MinP  float32
+	MinID uint32
+	// Status is MISUndecided, MISIn or MISOut.
+	Status int8
+	// NewIn marks vertices that joined the set this round and must
+	// still eliminate their neighbours.
+	NewIn int8
+}
+
+// MIS computes a maximal independent set with Luby's algorithm. Each round
+// costs two scatter-gather iterations: a propose phase in which undecided
+// vertices broadcast their random priority and local minima join the set,
+// and an eliminate phase in which new members knock out their neighbours.
+// Expects an undirected edge list; self-loops are ignored.
+type MIS struct {
+	phase int // 0 = propose, 1 = eliminate
+	round uint64
+	// Remaining is the number of undecided vertices after the last
+	// completed round.
+	Remaining int64
+}
+
+// NewMIS returns a maximal independent set program.
+func NewMIS() *MIS { return &MIS{} }
+
+// Name implements core.Program.
+func (m *MIS) Name() string { return "MIS" }
+
+// Init implements core.Program.
+func (m *MIS) Init(id core.VertexID, v *MISState) {
+	v.Priority = hashUnit(uint64(id), 1)
+	v.MinP = Inf32
+	v.MinID = ^uint32(0)
+	v.Status = MISUndecided
+	v.NewIn = 0
+}
+
+// StartIteration implements core.IterationStarter.
+func (m *MIS) StartIteration(iter int) {
+	m.phase = iter % 2
+	m.round = uint64(iter / 2)
+}
+
+// MISMsg carries a neighbour's priority with its ID as tie-break.
+type MISMsg struct {
+	P  float32
+	ID uint32
+}
+
+// Scatter implements core.Program.
+func (m *MIS) Scatter(e core.Edge, src *MISState) (MISMsg, bool) {
+	if e.Src == e.Dst {
+		return MISMsg{}, false // self-loops are irrelevant to independence
+	}
+	if m.phase == 0 {
+		if src.Status == MISUndecided {
+			return MISMsg{P: src.Priority, ID: uint32(e.Src)}, true
+		}
+		return MISMsg{}, false
+	}
+	if src.NewIn == 1 {
+		return MISMsg{}, true // elimination signal; payload unused
+	}
+	return MISMsg{}, false
+}
+
+// Gather implements core.Program.
+func (m *MIS) Gather(dst core.VertexID, v *MISState, msg MISMsg) {
+	if v.Status != MISUndecided {
+		return
+	}
+	if m.phase == 0 {
+		if msg.P < v.MinP || (msg.P == v.MinP && msg.ID < v.MinID) {
+			v.MinP = msg.P
+			v.MinID = msg.ID
+		}
+		return
+	}
+	v.Status = MISOut
+}
+
+// EndIteration implements core.PhasedProgram.
+func (m *MIS) EndIteration(iter int, sent int64, view core.VertexView[MISState]) bool {
+	if m.phase == 0 {
+		// Local minima join the set (vertices that heard from no
+		// undecided neighbour win by default).
+		view.ForEach(func(id core.VertexID, v *MISState) {
+			if v.Status != MISUndecided {
+				return
+			}
+			if v.Priority < v.MinP || (v.Priority == v.MinP && uint32(id) <= v.MinID) {
+				v.Status = MISIn
+				v.NewIn = 1
+			}
+		})
+		return false
+	}
+	// After elimination: reset round state, draw fresh priorities.
+	var undecided int64
+	round := m.round
+	view.ForEach(func(id core.VertexID, v *MISState) {
+		v.NewIn = 0
+		v.MinP = Inf32
+		v.MinID = ^uint32(0)
+		if v.Status == MISUndecided {
+			undecided++
+			v.Priority = hashUnit(uint64(id), round+2)
+		}
+	})
+	m.Remaining = undecided
+	return undecided == 0
+}
+
+// InSet extracts the membership vector.
+func InSet(verts []MISState) []bool {
+	out := make([]bool, len(verts))
+	for i := range verts {
+		out[i] = verts[i].Status == MISIn
+	}
+	return out
+}

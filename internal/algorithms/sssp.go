@@ -1,0 +1,72 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Inf32 is the distance of unreached vertices.
+var Inf32 = float32(math.Inf(1))
+
+// SSSPState is per-vertex shortest-path state.
+type SSSPState struct {
+	// Dist is the best known distance from the root (+Inf unreached).
+	Dist float32
+	// Updated is the iteration at which Dist last improved.
+	Updated int32
+}
+
+// SSSP computes single-source shortest paths by Bellman–Ford relaxation:
+// every iteration streams all edges and relaxes those whose source improved
+// in the previous round. Weights must be non-negative for the result to
+// equal Dijkstra's.
+type SSSP struct {
+	root core.VertexID
+	iter int32
+}
+
+// NewSSSP returns a single-source shortest paths program from root.
+func NewSSSP(root core.VertexID) *SSSP { return &SSSP{root: root} }
+
+// Name implements core.Program.
+func (s *SSSP) Name() string { return "SSSP" }
+
+// Init implements core.Program.
+func (s *SSSP) Init(id core.VertexID, v *SSSPState) {
+	if id == s.root {
+		v.Dist = 0
+		v.Updated = 0
+	} else {
+		v.Dist = Inf32
+		v.Updated = -1
+	}
+}
+
+// StartIteration implements core.IterationStarter.
+func (s *SSSP) StartIteration(iter int) { s.iter = int32(iter) }
+
+// Scatter implements core.Program.
+func (s *SSSP) Scatter(e core.Edge, src *SSSPState) (float32, bool) {
+	if src.Updated == s.iter {
+		return src.Dist + e.Weight, true
+	}
+	return 0, false
+}
+
+// Gather implements core.Program.
+func (s *SSSP) Gather(dst core.VertexID, v *SSSPState, m float32) {
+	if m < v.Dist {
+		v.Dist = m
+		v.Updated = s.iter + 1
+	}
+}
+
+// Distances extracts per-vertex distances.
+func Distances(verts []SSSPState) []float32 {
+	out := make([]float32, len(verts))
+	for i := range verts {
+		out[i] = verts[i].Dist
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package algorithms
+
+import "repro/internal/core"
+
+// WCCState is per-vertex weakly-connected-components state.
+type WCCState struct {
+	// Label is the smallest vertex ID seen in this vertex's component.
+	Label core.VertexID
+	// Updated is the iteration at which Label last improved; scatter
+	// only fires while the label is fresh.
+	Updated int32
+}
+
+// WCC computes weakly connected components by min-label propagation over
+// an undirected edge list (each undirected edge stored as two directed
+// records). After convergence every vertex's Label is the minimum vertex
+// ID of its component.
+type WCC struct {
+	iter int32
+}
+
+// NewWCC returns a weakly-connected-components program.
+func NewWCC() *WCC { return &WCC{} }
+
+// Name implements core.Program.
+func (w *WCC) Name() string { return "WCC" }
+
+// Init implements core.Program.
+func (w *WCC) Init(id core.VertexID, v *WCCState) {
+	v.Label = id
+	v.Updated = 0
+}
+
+// StartIteration implements core.IterationStarter.
+func (w *WCC) StartIteration(iter int) { w.iter = int32(iter) }
+
+// Scatter implements core.Program.
+func (w *WCC) Scatter(e core.Edge, src *WCCState) (core.VertexID, bool) {
+	if src.Updated == w.iter {
+		return src.Label, true
+	}
+	return 0, false
+}
+
+// Gather implements core.Program.
+func (w *WCC) Gather(dst core.VertexID, v *WCCState, m core.VertexID) {
+	if m < v.Label {
+		v.Label = m
+		v.Updated = w.iter + 1
+	}
+}
+
+// Labels extracts the component label of every vertex.
+func Labels(verts []WCCState) []core.VertexID {
+	out := make([]core.VertexID, len(verts))
+	for i := range verts {
+		out[i] = verts[i].Label
+	}
+	return out
+}

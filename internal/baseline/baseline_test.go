@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/refalgo"
+	"repro/internal/storage"
+)
+
+func undirected(scale int, seed int64) (core.EdgeSource, []core.Edge) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: scale, EdgeFactor: 8, Seed: seed, Undirected: true})
+	edges, _ := core.Materialize(src)
+	return src, edges
+}
+
+func TestCSRBuildersAgree(t *testing.T) {
+	src, edges := undirected(9, 1)
+	n := src.NumVertices()
+	a := BuildCountingSort(n, edges)
+	b := BuildQuicksort(n, edges)
+	if len(a.Dst) != len(b.Dst) {
+		t.Fatal("size mismatch")
+	}
+	for v := int64(0); v < n; v++ {
+		if a.Offsets[v] != b.Offsets[v] {
+			t.Fatalf("offset %d differs", v)
+		}
+		// Neighbour multisets must agree (order within a vertex may vary
+		// between stable counting sort and quicksort, but both sort keys
+		// are equal so compare as multisets).
+		na := append([]core.VertexID(nil), a.Neighbors(core.VertexID(v))...)
+		nb := append([]core.VertexID(nil), b.Neighbors(core.VertexID(v))...)
+		if len(na) != len(nb) {
+			t.Fatalf("degree %d differs", v)
+		}
+		seen := make(map[core.VertexID]int)
+		for _, u := range na {
+			seen[u]++
+		}
+		for _, u := range nb {
+			seen[u]--
+		}
+		for u, c := range seen {
+			if c != 0 {
+				t.Fatalf("vertex %d: neighbour %d imbalance %d", v, u, c)
+			}
+		}
+	}
+}
+
+func TestCSRAlgorithms(t *testing.T) {
+	src, edges := undirected(9, 2)
+	n := src.NumVertices()
+	g := BuildCountingSort(n, edges)
+
+	wantWCC := refalgo.Components(n, edges)
+	if got := g.WCCLabels(); !equalIDs(got, wantWCC) {
+		t.Fatal("CSR WCC mismatch")
+	}
+
+	wantBFS := refalgo.BFSLevels(n, edges, 0)
+	if got := g.BFSLevels(0); !equalLevels(got, wantBFS) {
+		t.Fatal("CSR BFS mismatch")
+	}
+
+	wantPR := refalgo.PageRank(n, edges, 5)
+	gotPR := g.PageRank(5)
+	for v := range gotPR {
+		if math.Abs(gotPR[v]-wantPR[v]) > 1e-9*(1+wantPR[v]) {
+			t.Fatalf("CSR pagerank[%d] = %f want %f", v, gotPR[v], wantPR[v])
+		}
+	}
+
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i%7) / 7
+	}
+	gotY := g.SpMV(x)
+	wantY := make([]float64, n)
+	for _, e := range edges {
+		wantY[e.Dst] += float64(x[e.Src]) * float64(e.Weight)
+	}
+	for v := range gotY {
+		if math.Abs(float64(gotY[v])-wantY[v]) > 1e-2*(1+math.Abs(wantY[v])) {
+			t.Fatalf("CSR spmv[%d] = %f want %f", v, gotY[v], wantY[v])
+		}
+	}
+}
+
+func equalIDs(a, b []core.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalLevels(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOptimizedBFSVariants(t *testing.T) {
+	src, edges := undirected(10, 3)
+	n := src.NumVertices()
+	g := BuildCountingSort(n, edges)
+	gt := Transpose(n, edges)
+	want := refalgo.BFSLevels(n, edges, 0)
+
+	for _, threads := range []int{1, 2, 4} {
+		if got := LocalQueueBFS(g, 0, threads); !equalLevels(got, want) {
+			t.Fatalf("LocalQueueBFS(threads=%d) mismatch", threads)
+		}
+		if got := HybridBFS(g, gt, 0, threads); !equalLevels(got, want) {
+			t.Fatalf("HybridBFS(threads=%d) mismatch", threads)
+		}
+	}
+}
+
+func TestLigra(t *testing.T) {
+	src, edges := undirected(9, 4)
+	n := src.NumVertices()
+	l := NewLigra(n, edges, 2)
+	if l.PreprocessTime <= 0 {
+		t.Fatal("no preprocessing time recorded")
+	}
+	want := refalgo.BFSLevels(n, edges, 0)
+	if got := l.BFS(0); !equalLevels(got, want) {
+		t.Fatal("Ligra BFS mismatch")
+	}
+	wantPR := refalgo.PageRank(n, edges, 5)
+	gotPR := l.PageRank(5)
+	for v := range gotPR {
+		if math.Abs(gotPR[v]-wantPR[v]) > 1e-9*(1+wantPR[v]) {
+			t.Fatalf("Ligra pagerank[%d] = %f want %f", v, gotPR[v], wantPR[v])
+		}
+	}
+}
+
+func TestGraphChiWCC(t *testing.T) {
+	src, edges := undirected(8, 5)
+	dev := storage.NewSim(storage.SSDParams("gc", 1, 0))
+	gc, err := NewGraphChi(dev, src, 64<<10, "wcc-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	if gc.P < 2 {
+		t.Fatalf("expected multiple shards, got %d", gc.P)
+	}
+	state, err := gc.Run(WCCKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.Components(src.NumVertices(), edges)
+	for v := range state {
+		if core.VertexID(state[v]) != want[v] {
+			t.Fatalf("vertex %d: label %f want %d", v, state[v], want[v])
+		}
+	}
+	if gc.PreSortTime <= 0 || gc.ReSortTime <= 0 {
+		t.Fatalf("sort costs not recorded: pre=%v re=%v", gc.PreSortTime, gc.ReSortTime)
+	}
+}
+
+func TestGraphChiPageRankFixpoint(t *testing.T) {
+	src, edges := undirected(8, 6)
+	dev := storage.NewSim(storage.SSDParams("gc", 1, 0))
+	gc, err := NewGraphChi(dev, src, 128<<10, "pr-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	k := PageRankKernel(200)
+	k.Converged = func(delta float64) bool { return delta < 1e-7 }
+	state, err := gc.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The asynchronous sliding-window schedule converges to the same
+	// fixpoint as synchronous power iteration.
+	want := refalgo.PageRank(src.NumVertices(), edges, 100)
+	for v := range state {
+		if math.Abs(float64(state[v])-want[v]) > 1e-2*(1+want[v]) {
+			t.Fatalf("pagerank[%d] = %f want %f", v, state[v], want[v])
+		}
+	}
+}
+
+func TestGraphChiFragmentedIO(t *testing.T) {
+	// The defining PSW behaviour: shard count scales with edges, and the
+	// engine issues many more, smaller I/O requests than a streaming scan
+	// would.
+	src, _ := undirected(9, 7)
+	dev := storage.NewSim(storage.SSDParams("gc", 1, 0))
+	gc, err := NewGraphChi(dev, src, 64<<10, "io-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	dev.ResetStats()
+	if _, err := gc.Run(PageRankKernel(2)); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Stats()
+	// P reads of the memory shard + P*P window reads + P*P window writes
+	// per iteration, minimum.
+	minReqs := int64(gc.P) * int64(gc.P)
+	if s.Reads < minReqs {
+		t.Fatalf("reads = %d, want >= %d (P=%d)", s.Reads, minReqs, gc.P)
+	}
+	if s.RandomReads() == 0 {
+		t.Fatal("PSW should issue non-sequential reads")
+	}
+}
+
+func TestGraphChiSingleShard(t *testing.T) {
+	src, edges := undirected(7, 8)
+	dev := storage.NewSim(storage.SSDParams("gc", 1, 0))
+	gc, err := NewGraphChi(dev, src, 1<<30, "one-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	if gc.P != 1 {
+		t.Fatalf("P = %d, want 1", gc.P)
+	}
+	state, err := gc.Run(WCCKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.Components(src.NumVertices(), edges)
+	for v := range state {
+		if core.VertexID(state[v]) != want[v] {
+			t.Fatalf("vertex %d mismatch", v)
+		}
+	}
+}

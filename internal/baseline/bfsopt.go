@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// LocalQueueBFS is the multicore BFS of Agarwal et al. [12]: a
+// level-synchronous traversal where each thread grows a private next-level
+// queue (no shared-queue contention) and discovery is arbitrated with
+// atomic compare-and-swap on the level array.
+func LocalQueueBFS(g *CSR, root core.VertexID, threads int) []int32 {
+	if threads < 1 {
+		threads = 1
+	}
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []core.VertexID{root}
+	cur := int32(0)
+
+	for len(frontier) > 0 {
+		locals := make([][]core.VertexID, threads)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + threads - 1) / threads
+		for t := 0; t < threads; t++ {
+			lo, hi := t*chunk, (t+1)*chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(t, lo, hi int) {
+				defer wg.Done()
+				var local []core.VertexID
+				for _, v := range frontier[lo:hi] {
+					for _, u := range g.Neighbors(v) {
+						if atomic.LoadInt32(&level[u]) < 0 &&
+							atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
+							local = append(local, u)
+						}
+					}
+				}
+				locals[t] = local
+			}(t, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, l := range locals {
+			frontier = append(frontier, l...)
+		}
+		cur++
+	}
+	return level
+}
+
+// HybridBFS is direction-optimizing BFS (Beamer et al. [18], the
+// enhancement in Hong et al. [33] and Ligra [48]): top-down while the
+// frontier is small, switching to bottom-up — scanning undiscovered
+// vertices' in-edges for a discovered parent — once the frontier covers
+// enough of the graph. gT is the transpose index (in-edges).
+func HybridBFS(g, gT *CSR, root core.VertexID, threads int) []int32 {
+	if threads < 1 {
+		threads = 1
+	}
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []core.VertexID{root}
+	frontierEdges := g.OutDegree(root)
+	cur := int32(0)
+	// Beamer's alpha heuristic: go bottom-up when the frontier's edge
+	// count exceeds remaining-edges/alpha.
+	const alpha = 14
+	remaining := int64(len(g.Dst))
+
+	for len(frontier) > 0 {
+		if frontierEdges*alpha > remaining {
+			// Bottom-up step over all undiscovered vertices.
+			nextCount := int64(0)
+			var wg sync.WaitGroup
+			chunk := (g.N + int64(threads) - 1) / int64(threads)
+			var nextEdges atomic.Int64
+			var found atomic.Int64
+			for t := 0; t < threads; t++ {
+				lo, hi := int64(t)*chunk, int64(t+1)*chunk
+				if hi > g.N {
+					hi = g.N
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int64) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						if atomic.LoadInt32(&level[v]) >= 0 {
+							continue
+						}
+						for _, u := range gT.Neighbors(core.VertexID(v)) {
+							if atomic.LoadInt32(&level[u]) == cur {
+								atomic.StoreInt32(&level[v], cur+1)
+								found.Add(1)
+								nextEdges.Add(g.OutDegree(core.VertexID(v)))
+								break
+							}
+						}
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+			nextCount = found.Load()
+			if nextCount == 0 {
+				break
+			}
+			// Rebuild a sparse frontier only if it shrank again.
+			frontier = frontier[:0]
+			for v := int64(0); v < g.N; v++ {
+				if level[v] == cur+1 {
+					frontier = append(frontier, core.VertexID(v))
+				}
+			}
+			frontierEdges = nextEdges.Load()
+			cur++
+			continue
+		}
+		// Top-down step (local queues).
+		locals := make([][]core.VertexID, threads)
+		var wg sync.WaitGroup
+		var nextEdges atomic.Int64
+		chunk := (len(frontier) + threads - 1) / threads
+		for t := 0; t < threads; t++ {
+			lo, hi := t*chunk, (t+1)*chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(t, lo, hi int) {
+				defer wg.Done()
+				var local []core.VertexID
+				for _, v := range frontier[lo:hi] {
+					for _, u := range g.Neighbors(v) {
+						if atomic.LoadInt32(&level[u]) < 0 &&
+							atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
+							local = append(local, u)
+							nextEdges.Add(g.OutDegree(u))
+						}
+					}
+				}
+				locals[t] = local
+			}(t, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, l := range locals {
+			frontier = append(frontier, l...)
+		}
+		frontierEdges = nextEdges.Load()
+		cur++
+	}
+	return level
+}

@@ -1,0 +1,196 @@
+// Package baseline implements the systems the paper compares X-Stream
+// against in §5.5:
+//
+//   - the classic "sort the edges, build an index, random-access through
+//     it" approach (CSR built by quicksort or counting sort — Figure 18,
+//     Figure 26);
+//   - the optimized in-memory BFS baselines: per-core local queues
+//     (Agarwal et al.) and direction-optimizing/hybrid traversal (Beamer;
+//     Hong et al.) — Figure 19;
+//   - a Ligra-like push–pull frontier engine with its pre-processing cost
+//     charged honestly — Figure 20;
+//   - a GraphChi-like out-of-core engine using source-sorted shards with
+//     in-memory re-sort, parallel-sliding-window I/O and edge-value
+//     write-back — Figures 22 and 23.
+//
+// These are reimplementations in the same runtime and toolchain as
+// X-Stream, which removes the cross-toolchain caveats the paper had to
+// disclose for Ligra.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CSR is a compressed-sparse-row adjacency index over a sorted edge list —
+// the random-access data structure the paper's index-based baselines use.
+type CSR struct {
+	N       int64
+	Offsets []int64 // len N+1; out-edges of v are [Offsets[v], Offsets[v+1])
+	Dst     []core.VertexID
+	W       []float32
+}
+
+// BuildCountingSort builds a CSR with a two-pass counting sort over the
+// source vertex: O(V+E), the fastest possible index build (Figure 18's
+// "counting sort" line).
+func BuildCountingSort(n int64, edges []core.Edge) *CSR {
+	g := &CSR{N: n, Offsets: make([]int64, n+1)}
+	for _, e := range edges {
+		g.Offsets[e.Src+1]++
+	}
+	for v := int64(0); v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	g.Dst = make([]core.VertexID, len(edges))
+	g.W = make([]float32, len(edges))
+	cursor := make([]int64, n)
+	for _, e := range edges {
+		i := g.Offsets[e.Src] + cursor[e.Src]
+		cursor[e.Src]++
+		g.Dst[i] = e.Dst
+		g.W[i] = e.Weight
+	}
+	return g
+}
+
+// BuildQuicksort builds a CSR by comparison-sorting a copy of the edge
+// list by source vertex (Figure 18's "quicksort" line).
+func BuildQuicksort(n int64, edges []core.Edge) *CSR {
+	sorted := make([]core.Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Src < sorted[j].Src })
+	g := &CSR{
+		N:       n,
+		Offsets: make([]int64, n+1),
+		Dst:     make([]core.VertexID, len(sorted)),
+		W:       make([]float32, len(sorted)),
+	}
+	for i, e := range sorted {
+		g.Offsets[e.Src+1]++
+		g.Dst[i] = e.Dst
+		g.W[i] = e.Weight
+	}
+	for v := int64(0); v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	return g
+}
+
+// Transpose builds the CSC (in-edge index) from the edge list.
+func Transpose(n int64, edges []core.Edge) *CSR {
+	rev := make([]core.Edge, len(edges))
+	for i, e := range edges {
+		rev[i] = core.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight}
+	}
+	return BuildCountingSort(n, rev)
+}
+
+// OutDegree returns the out-degree of v.
+func (g *CSR) OutDegree(v core.VertexID) int64 {
+	return g.Offsets[v+1] - g.Offsets[v]
+}
+
+// Neighbors returns the out-neighbour IDs of v (aliasing the index).
+func (g *CSR) Neighbors(v core.VertexID) []core.VertexID {
+	return g.Dst[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// WCCLabels runs vertex-centric min-label propagation over the index with
+// an active-vertex worklist — the "random access through an index"
+// equivalent of the X-Stream WCC program. The graph must be symmetric.
+func (g *CSR) WCCLabels() []core.VertexID {
+	labels := make([]core.VertexID, g.N)
+	active := make([]core.VertexID, 0, g.N)
+	for v := int64(0); v < g.N; v++ {
+		labels[v] = core.VertexID(v)
+		active = append(active, core.VertexID(v))
+	}
+	inNext := make([]bool, g.N)
+	for len(active) > 0 {
+		var next []core.VertexID
+		for _, v := range active {
+			l := labels[v]
+			for _, u := range g.Neighbors(v) {
+				if l < labels[u] {
+					labels[u] = l
+					if !inNext[u] {
+						inNext[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		for _, u := range next {
+			inNext[u] = false
+		}
+		active = next
+	}
+	return labels
+}
+
+// PageRank runs damped power iteration over the index (same conventions
+// as the X-Stream program: rank starts at 1, d = 0.85).
+func (g *CSR) PageRank(iters int) []float64 {
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := int64(0); v < g.N; v++ {
+			deg := g.Offsets[v+1] - g.Offsets[v]
+			if deg == 0 {
+				continue
+			}
+			share := rank[v] / float64(deg)
+			for _, u := range g.Dst[g.Offsets[v]:g.Offsets[v+1]] {
+				next[u] += share
+			}
+		}
+		for i := range rank {
+			rank[i] = 0.15 + 0.85*next[i]
+		}
+	}
+	return rank
+}
+
+// SpMV multiplies the weighted adjacency matrix with x through the index.
+func (g *CSR) SpMV(x []float32) []float32 {
+	y := make([]float32, g.N)
+	for v := int64(0); v < g.N; v++ {
+		xv := x[v]
+		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+			y[g.Dst[i]] += xv * g.W[i]
+		}
+	}
+	return y
+}
+
+// BFSLevels runs a serial frontier BFS through the index.
+func (g *CSR) BFSLevels(root core.VertexID) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []core.VertexID{root}
+	for len(frontier) > 0 {
+		var next []core.VertexID
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if level[u] < 0 {
+					level[u] = level[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/membench"
+	"repro/internal/storage"
+	"time"
+)
+
+func init() {
+	register("fig12a", "Algorithm runtimes across datasets and media (paper Figure 12a)", runFig12a)
+	register("fig12b", "WCC iterations, streaming ratio, wasted edges (paper Figure 12b)", runFig12b)
+	register("fig13", "HyperANF steps to cover the graph (paper Figure 13)", runFig13)
+}
+
+// algoColumn is one column of Figure 12a: a name and a runner for each
+// engine. Algorithms needing symmetric inputs get them via Symmetrize.
+type algoColumn struct {
+	name string
+	mem  func(d graphgen.Dataset, cfg Config) (core.Stats, error)
+	disk func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error)
+}
+
+// sym returns an undirected view of directed datasets.
+func sym(d graphgen.Dataset) core.EdgeSource {
+	if d.Kind == "directed" {
+		return core.Symmetrize(d.Source)
+	}
+	return d.Source
+}
+
+func algoColumns() []algoColumn {
+	mk := func(memRun func(d graphgen.Dataset, cfg Config) (core.Stats, error),
+		diskRun func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error),
+		name string) algoColumn {
+		return algoColumn{name: name, mem: memRun, disk: diskRun}
+	}
+	return []algoColumn{
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(sym(d), algorithms.NewWCC(), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(sym(d), algorithms.NewWCC(), dev, cfg)
+		}, "WCC"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(d.Source, algorithms.NewSCC(), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(d.Source, algorithms.NewSCC(), dev, cfg)
+		}, "SCC"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(sym(d), algorithms.NewSSSP(0), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(sym(d), algorithms.NewSSSP(0), dev, cfg)
+		}, "SSSP"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(sym(d), algorithms.NewMCST(), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(sym(d), algorithms.NewMCST(), dev, cfg)
+		}, "MCST"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(sym(d), algorithms.NewMIS(), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(sym(d), algorithms.NewMIS(), dev, cfg)
+		}, "MIS"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(d.Source, algorithms.NewConductance(nil), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(d.Source, algorithms.NewConductance(nil), dev, cfg)
+		}, "Cond."),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(d.Source, algorithms.NewSpMV(), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(d.Source, algorithms.NewSpMV(), dev, cfg)
+		}, "SpMV"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(d.Source, algorithms.NewPageRank(5), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(d.Source, algorithms.NewPageRank(5), dev, cfg)
+		}, "Pagerank"),
+		mk(func(d graphgen.Dataset, cfg Config) (core.Stats, error) {
+			return runMem(d.Source, algorithms.NewBP(5), cfg)
+		}, func(d graphgen.Dataset, dev storage.Device, cfg Config) (core.Stats, error) {
+			return runDisk(d.Source, algorithms.NewBP(5), dev, cfg)
+		}, "BP"),
+	}
+}
+
+func runFig12a(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cols := algoColumns()
+	t := &Table{
+		ID:      "fig12a",
+		Title:   "runtimes per algorithm, dataset and medium",
+		Columns: append([]string{"medium/dataset"}, colNames(cols)...),
+	}
+
+	for _, d := range memDatasets(cfg) {
+		row := []string{"mem/" + d.Name}
+		for _, c := range cols {
+			s, err := c.mem(d, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", c.name, d.Name, err)
+			}
+			row = append(row, fmtDur(s.TotalTime))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	ts := cfg.timeScale(0.2)
+	for _, mediumDev := range []struct {
+		medium string
+		mk     func(string) storage.Device
+	}{
+		{"ssd", func(n string) storage.Device { return ssdDev(n, ts) }},
+		{"disk", func(n string) storage.Device { return hddDev(n, ts) }},
+	} {
+		for _, d := range oocDatasets(cfg) {
+			row := []string{mediumDev.medium + "/" + d.Name}
+			for _, c := range cols {
+				dev := mediumDev.mk(mediumDev.medium + d.Name + c.name)
+				s, err := c.disk(d, dev, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s/%s: %w", c.name, mediumDev.medium, d.Name, err)
+				}
+				row = append(row, fmtDur(s.TotalTime))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape to match the paper: traversals on the high-diameter dimacs-like grid are 1-3 orders slower than on same-size scale-free graphs; ssd rows ≈ half of disk rows; Cond/SpMV cheapest, SCC/MIS/SSSP dearest",
+		fmt.Sprintf("device pacing: TimeScale=%.2f of real time", ts),
+	)
+	return t, nil
+}
+
+func colNames(cols []algoColumn) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+func runFig12b(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig12b",
+		Title:   "WCC: iterations, runtime/streaming-time ratio, wasted edges",
+		Columns: []string{"dataset", "medium", "# iters", "ratio", "wasted %"},
+	}
+	memBW := membench.SequentialRead(cfg.Threads, 32<<20, 150*time.Millisecond).BPS
+	for _, d := range memDatasets(cfg) {
+		s, err := runMem(sym(d), algorithms.NewWCC(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Name, "mem",
+			fmt.Sprintf("%d", s.Iterations),
+			fmt.Sprintf("%.2f", s.Ratio(memBW)),
+			fmt.Sprintf("%.0f", 100*s.WastedFraction()),
+		})
+	}
+	ts := cfg.timeScale(1.0)
+	for _, d := range oocDatasets(cfg) {
+		dev := ssdDev("f12b"+d.Name, ts)
+		s, err := runDisk(sym(d), algorithms.NewWCC(), dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Out of core the relevant streaming floor is the device: bytes
+		// moved at the device's sequential bandwidth (scaled like the
+		// device itself is).
+		devBW := 667e6 * ts
+		ratio := float64(s.TotalTime) / (float64(s.BytesRead+s.BytesWritten) / devBW * float64(time.Second))
+		t.Rows = append(t.Rows, []string{
+			d.Name, "ssd",
+			fmt.Sprintf("%d", s.Iterations),
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.0f", 100*s.WastedFraction()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: dimacs needs thousands of iterations (6263); in-memory ratios 1.9-2.6; out-of-core ratios ~1.0; wasted edges 50-98%",
+	)
+	return t, nil
+}
+
+func runFig13(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig13",
+		Title:   "HyperANF steps to cover the graph (≈ diameter)",
+		Columns: []string{"graph", "# steps", "paper analogue"},
+	}
+	grid := cfg.pick(96, 32)
+	sets := []struct {
+		name     string
+		src      core.EdgeSource
+		analogue string
+	}{
+		{"amazon-like", core.Symmetrize(graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(14, 10), EdgeFactor: 8, Seed: 42})), "amazon0601: 19"},
+		{"patents-like", core.Symmetrize(graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(15, 10), EdgeFactor: 4, Seed: 43})), "cit-Patents: 20"},
+		{"livejournal-like", core.Symmetrize(graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(15, 10), EdgeFactor: 16, Seed: 44})), "soc-livejournal: 15"},
+		{fmt.Sprintf("dimacs-like (%dx%d grid)", grid, grid), graphgen.Grid(grid, grid, 45), "dimacs-usa: 8122"},
+	}
+	for _, s := range sets {
+		prog := algorithms.NewHyperANF()
+		if _, err := runMem(s.src, prog, cfg); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{s.name, fmt.Sprintf("%d", prog.Steps()), s.analogue})
+	}
+	t.Notes = append(t.Notes,
+		"shape: scale-free stand-ins finish in a handful of steps; the grid needs hundreds — the structural diagnosis behind the Figure 12 traversal pathology",
+	)
+	return t, nil
+}

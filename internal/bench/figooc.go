@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/diskengine"
+	"repro/internal/graphgen"
+	"repro/internal/storage"
+)
+
+func init() {
+	register("fig22", "GraphChi-like engine vs X-Stream on simulated SSD (paper Figure 22)", runFig22)
+	register("fig23", "Device bandwidth over time: streaming vs sliding windows (paper Figure 23)", runFig23)
+}
+
+func runFig22(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ts := cfg.timeScale(0.3)
+	t := &Table{
+		ID:    "fig22",
+		Title: "out-of-core comparison on simulated SSD",
+		Columns: []string{"workload", "XS parts", "XS pre", "XS runtime",
+			"GC shards", "GC pre-sort", "GC runtime", "GC re-sort"},
+	}
+
+	type row struct {
+		name   string
+		src    core.EdgeSource
+		xsRun  func(dev storage.Device) (core.Stats, error)
+		kernel baseline.FloatKernel
+	}
+	twitter := graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(16, 11), EdgeFactor: 16, Seed: 46})
+	rmatU := graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(16, 11), EdgeFactor: 16, Seed: 9, Undirected: true})
+	netflix := netflixLike(cfg)
+
+	rows := []row{
+		{
+			name: "twitter-like pagerank",
+			src:  twitter,
+			xsRun: func(dev storage.Device) (core.Stats, error) {
+				return runDisk(twitter, algorithms.NewPageRank(5), dev, cfg)
+			},
+			kernel: baseline.PageRankKernel(5),
+		},
+		{
+			name: "netflix-like ALS",
+			src:  netflix.Source,
+			xsRun: func(dev storage.Device) (core.Stats, error) {
+				users := netflix.Source.NumVertices() - int64(cfg.pick(4000, 200))
+				return runDisk(netflix.Source, algorithms.NewALS(users, 5), dev, cfg)
+			},
+			kernel: baseline.ALSLikeKernel(10),
+		},
+		{
+			name: "rmat WCC",
+			src:  rmatU,
+			xsRun: func(dev storage.Device) (core.Stats, error) {
+				return runDisk(rmatU, algorithms.NewWCC(), dev, cfg)
+			},
+			kernel: baseline.WCCKernel(),
+		},
+		{
+			name: "twitter-like BP",
+			src:  twitter,
+			xsRun: func(dev storage.Device) (core.Stats, error) {
+				return runDisk(twitter, algorithms.NewBP(5), dev, cfg)
+			},
+			kernel: baseline.BPKernel(5),
+		},
+	}
+
+	// Same memory budget for both systems; GraphChi's shard count follows
+	// from the edge volume, X-Stream's partition count from vertex state.
+	for _, r := range rows {
+		budget := 4 * r.src.NumEdges() * 16 / 3 / 4 // ~edge bytes / 3, shardBudget = budget/4
+		xsDev := ssdDev("xs-"+r.name, ts)
+		xs, err := r.xsRun(xsDev)
+		if err != nil {
+			return nil, fmt.Errorf("xstream %s: %w", r.name, err)
+		}
+
+		gcDev := ssdDev("gc-"+r.name, ts)
+		gc, err := baseline.NewGraphChi(gcDev, r.src, budget, "f22-")
+		if err != nil {
+			return nil, fmt.Errorf("graphchi shard %s: %w", r.name, err)
+		}
+		t0 := time.Now()
+		if _, err := gc.Run(r.kernel); err != nil {
+			gc.Close()
+			return nil, fmt.Errorf("graphchi run %s: %w", r.name, err)
+		}
+		gcRun := time.Since(t0)
+		t.Rows = append(t.Rows, []string{
+			r.name,
+			fmt.Sprintf("%d", xs.Partitions),
+			fmtDur(xs.PreprocessTime),
+			fmtDur(xs.TotalTime - xs.PreprocessTime),
+			fmt.Sprintf("%d", gc.P),
+			fmtDur(gc.PreSortTime),
+			fmtDur(gcRun),
+			fmtDur(gc.ReSortTime),
+		})
+		gc.Close()
+	}
+	t.Notes = append(t.Notes,
+		"paper Figure 22: X-Stream needs no pre-sort and fewer partitions than Graphchi needs shards; for 3 of 4 workloads X-Stream finishes before Graphchi finishes sorting; re-sort (in-memory sort by destination) is a large slice of Graphchi's runtime",
+		"GraphChi ALS row uses a rank-1 factorization kernel (same I/O pattern, scalar factors); X-Stream runs the full k=8 ALS",
+	)
+	return t, nil
+}
+
+func runFig23(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ts := cfg.timeScale(1.0)
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: cfg.pick(15, 11), EdgeFactor: 16, Seed: 46})
+
+	t := &Table{
+		ID:      "fig23",
+		Title:   "read/write bandwidth over time, Pagerank (MB/s per bucket)",
+		Columns: []string{"system", "t-bucket", "read MB/s", "write MB/s"},
+	}
+
+	sample := func(name string, dev storage.Device, scaleFactor float64) {
+		tl := dev.Timeline()
+		if len(tl) == 0 {
+			return
+		}
+		// Aggregate into at most 12 coarse buckets.
+		span := tl[len(tl)-1].At + 50*time.Millisecond
+		bucket := span / 12
+		if bucket <= 0 {
+			bucket = 50 * time.Millisecond
+		}
+		agg := make(map[int64][2]int64)
+		var maxB int64
+		for _, p := range tl {
+			b := int64(p.At / bucket)
+			v := agg[b]
+			v[0] += p.BytesRead
+			v[1] += p.BytesWritten
+			agg[b] = v
+			if b > maxB {
+				maxB = b
+			}
+		}
+		for b := int64(0); b <= maxB; b++ {
+			v := agg[b]
+			secs := bucket.Seconds() / scaleFactor // un-scale to virtual device seconds
+			t.Rows = append(t.Rows, []string{
+				name,
+				fmt.Sprintf("%d", b),
+				fmtMBps(float64(v[0]) / secs),
+				fmtMBps(float64(v[1]) / secs),
+			})
+		}
+	}
+
+	xsDev := ssdDev("f23-xs", ts)
+	xsDev.ResetStats()
+	if _, err := runDisk(src, algorithms.NewPageRank(3), xsDev, cfg, func(c *diskengine.Config) {
+		c.NoUpdateBypass = true // keep update traffic on the device, as with a real big graph
+	}); err != nil {
+		return nil, err
+	}
+	sample("X-Stream", xsDev, ts)
+
+	gcDev := ssdDev("f23-gc", ts)
+	gc, err := baseline.NewGraphChi(gcDev, src, 4*src.NumEdges()*16/3/4, "f23-")
+	if err != nil {
+		return nil, err
+	}
+	defer gc.Close()
+	gcDev.ResetStats()
+	if _, err := gc.Run(baseline.PageRankKernel(3)); err != nil {
+		return nil, err
+	}
+	sample("GraphChi", gcDev, ts)
+
+	xsStats := xsDev.Stats()
+	gcStats := gcDev.Stats()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("aggregate requests: X-Stream %d reads (%d random) / %d writes; GraphChi %d reads (%d random) / %d writes",
+			xsStats.Reads, xsStats.RandomReads(), xsStats.Writes,
+			gcStats.Reads, gcStats.RandomReads(), gcStats.Writes),
+		"paper Figure 23: X-Stream alternates long saturated read bursts and write bursts (aggregate 416 MB/s reads); Graphchi's sliding-window accesses are bursty and fragmented (aggregate 141 MB/s)",
+	)
+	return t, nil
+}

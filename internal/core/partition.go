@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Partitioner maps vertices to streaming partitions. Vertex sets of
+// partitions are equal-sized contiguous ID ranges (§2.4: "we restrict the
+// vertex sets of streaming partitions to be of equal size").
+type Partitioner struct {
+	K   int    // number of partitions
+	per uint32 // vertices per partition
+}
+
+// NewPartitioner divides n vertices into k partitions.
+func NewPartitioner(n int64, k int) Partitioner {
+	if k < 1 {
+		k = 1
+	}
+	per := (n + int64(k) - 1) / int64(k)
+	if per < 1 {
+		per = 1
+	}
+	return Partitioner{K: k, per: uint32(per)}
+}
+
+// Of returns the partition owning vertex v.
+func (p Partitioner) Of(v VertexID) uint32 { return uint32(v) / p.per }
+
+// Range returns the vertex ID range [lo, hi) of partition i, clamped to n.
+func (p Partitioner) Range(i int, n int64) (lo, hi int64) {
+	lo = int64(i) * int64(p.per)
+	hi = lo + int64(p.per)
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// PerPartition returns the number of vertex IDs per partition.
+func (p Partitioner) PerPartition() int64 { return int64(p.per) }
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// MemPartitions computes the number of streaming partitions for the
+// in-memory engine (§4): the vertex *footprint* — vertex state plus the
+// edge and update that reference it without displacing it — of one
+// partition must fit in the CPU cache share of a core. The result is
+// rounded up to a power of two, as the multi-stage shuffler requires.
+func MemPartitions(numVertices int64, footprintBytes int, cacheBytes int) int {
+	if cacheBytes <= 0 || numVertices <= 0 {
+		return 1
+	}
+	total := numVertices * int64(footprintBytes)
+	k := int((total + int64(cacheBytes) - 1) / int64(cacheBytes))
+	return NextPow2(k)
+}
+
+// MemFanout bounds the shuffler fanout by the number of cache lines in the
+// cache (§4.2): each output chunk needs a resident cache line for writes to
+// stay sequential. The result is a power of two >= 2.
+func MemFanout(cacheBytes, cacheLineBytes int) int {
+	if cacheLineBytes <= 0 {
+		cacheLineBytes = 64
+	}
+	lines := cacheBytes / cacheLineBytes
+	if lines < 2 {
+		return 2
+	}
+	// Round down to a power of two.
+	return 1 << (bits.Len(uint(lines)) - 1)
+}
+
+// DiskPartitions computes the number of streaming partitions for the
+// out-of-core engine from the §3.4 inequality
+//
+//	N/K + 5·S·K ≤ M
+//
+// where N is total vertex state bytes, S the I/O unit and M the memory
+// budget (five stream buffers: two input, two output, one shuffle). It
+// returns the smallest viable K, preferring small K to maximize sequential
+// runs. If even the optimum K = sqrt(N/(5S)) violates the budget, an error
+// reports the minimum memory required, 2·sqrt(5·N·S).
+func DiskPartitions(vertexBytes int64, ioUnit int, memBudget int64) (int, error) {
+	if vertexBytes <= 0 {
+		return 1, nil
+	}
+	s := int64(ioUnit)
+	need := func(k int64) int64 {
+		return (vertexBytes+k-1)/k + 5*s*k
+	}
+	// Minimum of the left-hand side is at K* = sqrt(N/5S).
+	kstar := int64(math.Sqrt(float64(vertexBytes) / float64(5*s)))
+	if kstar < 1 {
+		kstar = 1
+	}
+	minMem := need(kstar)
+	if m := need(kstar + 1); m < minMem {
+		minMem, kstar = m, kstar+1
+	}
+	if minMem > memBudget {
+		return 0, fmt.Errorf("core: out-of-core run needs at least %d bytes of memory (budget %d): %d bytes of vertex state with %d-byte I/O units",
+			minMem, memBudget, vertexBytes, ioUnit)
+	}
+	// Smallest K satisfying the inequality.
+	for k := int64(1); k <= kstar; k++ {
+		if need(k) <= memBudget {
+			return int(k), nil
+		}
+	}
+	return int(kstar), nil
+}
+
+// Footprint returns the §4 vertex footprint used to size in-memory
+// partitions: vertex state plus one edge plus one update.
+func Footprint(vertexStateBytes, updateBytes int) int {
+	const edgeBytes = 12 // unsafe.Sizeof(Edge{})
+	return vertexStateBytes + edgeBytes + updateBytes
+}

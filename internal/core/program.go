@@ -1,0 +1,85 @@
+package core
+
+// Program is an edge-centric scatter-gather computation (paper Figure 2).
+//
+// V is the per-vertex state type and M the update value type; both must be
+// pointer-free fixed-size types so the out-of-core engine can stream them
+// to storage unchanged (internal/pod enforces this at setup).
+//
+// Scatter and Gather are called concurrently from multiple goroutines for
+// different partitions; they must only touch the vertex/update they are
+// given plus immutable or atomically-updated program state.
+type Program[V, M any] interface {
+	// Name identifies the algorithm in stats and benchmark tables.
+	Name() string
+	// Init sets the initial state of a vertex (the vertex-iteration API
+	// of §2.5, used for initialization).
+	Init(id VertexID, v *V)
+	// Scatter inspects the state of the edge's source vertex and decides
+	// whether to send an update over the edge, and with what value.
+	// Returning false streams the edge with no update — a "wasted" edge
+	// in the paper's terminology.
+	Scatter(e Edge, src *V) (M, bool)
+	// Gather applies one update to the state of its destination vertex.
+	Gather(dst VertexID, v *V, m M)
+}
+
+// Direction selects which edge list an iteration streams.
+type Direction int
+
+const (
+	// Forward streams the input edge list as-is.
+	Forward Direction = iota
+	// Backward streams the transposed edge list, so information flows
+	// against edge direction. The engine materializes the transpose with
+	// one streaming pass the first time it is needed.
+	Backward
+)
+
+// DirectedProgram is implemented by programs whose iterations may stream
+// the transposed edge list (e.g. the backward closure of SCC).
+type DirectedProgram interface {
+	// Direction returns the edge direction for the given iteration.
+	Direction(iter int) Direction
+}
+
+// IterationStarter is implemented by programs that need per-iteration setup
+// before the scatter phase (phase switches, random priorities, ...). It
+// runs single-threaded.
+type IterationStarter interface {
+	StartIteration(iter int)
+}
+
+// VertexView gives phase hooks streaming access to all vertex state.
+// Mutations through ForEach are persisted by the engine (for the disk
+// engine this means the vertex files are rewritten).
+type VertexView[V any] interface {
+	// NumVertices returns the vertex count.
+	NumVertices() int64
+	// ForEach calls fn for every vertex in id order. fn may mutate *v.
+	ForEach(fn func(id VertexID, v *V))
+}
+
+// PhasedProgram is implemented by programs with their own termination or
+// cross-vertex aggregation logic. EndIteration runs single-threaded after
+// the gather phase; returning true terminates the computation.
+//
+// Programs that do not implement PhasedProgram terminate when a scatter
+// phase produces no updates.
+type PhasedProgram[V, M any] interface {
+	Program[V, M]
+	EndIteration(iter int, updatesSent int64, view VertexView[V]) (done bool)
+}
+
+// SliceView adapts an in-memory vertex array to VertexView.
+type SliceView[V any] []V
+
+// NumVertices returns the vertex count.
+func (s SliceView[V]) NumVertices() int64 { return int64(len(s)) }
+
+// ForEach calls fn for every vertex in id order.
+func (s SliceView[V]) ForEach(fn func(VertexID, *V)) {
+	for i := range s {
+		fn(VertexID(i), &s[i])
+	}
+}

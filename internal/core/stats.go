@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats records the execution profile of one run. It backs the paper's
+// Figure 12b (iterations, runtime-to-streaming ratio, wasted edges),
+// Figure 20/22 (pre-processing split) and Figure 21 (memory-reference
+// proxy).
+type Stats struct {
+	Algorithm  string
+	Engine     string // "memory", "ssd", "disk", ...
+	Iterations int
+	Partitions int
+	Threads    int
+
+	// Streaming volume.
+	EdgesStreamed int64 // edge records read across all scatter phases
+	UpdatesSent   int64 // updates produced across all scatter phases
+	WastedEdges   int64 // edges streamed that produced no update
+
+	// Time split.
+	TotalTime      time.Duration
+	PreprocessTime time.Duration // initial partitioning of the input edge list
+	ScatterTime    time.Duration
+	ShuffleTime    time.Duration
+	GatherTime     time.Duration
+
+	// Data volume in bytes, for computing the streaming-time lower bound.
+	BytesStreamed int64 // records moved through stream buffers
+	BytesRead     int64 // device reads (out-of-core only)
+	BytesWritten  int64 // device writes (out-of-core only)
+
+	// RandomRefs counts random accesses to vertex state (one per
+	// scattered edge + one per gathered update); SequentialRefs counts
+	// records touched sequentially. Together they are the Figure 21
+	// memory-reference proxy.
+	RandomRefs     int64
+	SequentialRefs int64
+}
+
+// WastedFraction returns the fraction of streamed edges that produced no
+// update (Figure 12b's "wasted %").
+func (s Stats) WastedFraction() float64 {
+	if s.EdgesStreamed == 0 {
+		return 0
+	}
+	return float64(s.WastedEdges) / float64(s.EdgesStreamed)
+}
+
+// StreamingTime estimates the time a pure streaming pass over the moved
+// bytes would take at the given sequential bandwidth (bytes/sec). The
+// paper's "ratio" column is TotalTime / StreamingTime.
+func (s Stats) StreamingTime(seqBandwidth float64) time.Duration {
+	if seqBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.BytesStreamed) / seqBandwidth * float64(time.Second))
+}
+
+// Ratio returns TotalTime divided by the streaming-time lower bound at the
+// given sequential bandwidth.
+func (s Stats) Ratio(seqBandwidth float64) float64 {
+	st := s.StreamingTime(seqBandwidth)
+	if st == 0 {
+		return 0
+	}
+	return float64(s.TotalTime) / float64(st)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s[%s]: %d iters, %d parts, %v total (scatter %v, shuffle %v, gather %v), %d edges streamed, %d updates, %.0f%% wasted",
+		s.Algorithm, s.Engine, s.Iterations, s.Partitions, s.TotalTime.Round(time.Millisecond),
+		s.ScatterTime.Round(time.Millisecond), s.ShuffleTime.Round(time.Millisecond), s.GatherTime.Round(time.Millisecond),
+		s.EdgesStreamed, s.UpdatesSent, 100*s.WastedFraction())
+}

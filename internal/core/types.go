@@ -1,0 +1,144 @@
+// Package core defines X-Stream's computation model: the edge-centric
+// scatter-gather API (paper §2, Figure 2), streaming partitions and their
+// sizing rules (§2.2, §2.4, §3.4), and the execution statistics the
+// evaluation reports.
+//
+// The mutable state of a computation lives in the vertices. The input is an
+// unordered set of directed edges; undirected graphs are represented as a
+// pair of directed edges. Each iteration streams every edge (scatter,
+// producing updates), shuffles the updates to the partition owning their
+// destination vertex, and streams them back in (gather). The engines in
+// internal/memengine and internal/diskengine execute this model over fast
+// and slow storage respectively.
+package core
+
+import "fmt"
+
+// VertexID identifies a vertex. 32 bits covers every graph in the paper's
+// evaluation (the largest, yahoo-web, has 1.4 billion vertices) while
+// keeping edges at 12 bytes.
+type VertexID uint32
+
+// Edge is a directed edge with a weight. Inputs without weights are
+// assigned pseudo-random weights in [0,1) at generation/load time, exactly
+// as the paper does (§5.2).
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float32
+}
+
+// Update is a value produced by scatter, addressed to a destination vertex.
+// M must be a pointer-free fixed-size type (see internal/pod).
+type Update[M any] struct {
+	Dst VertexID
+	Val M
+}
+
+// EdgeSource is a re-streamable unordered edge list. Edges may be called
+// any number of times; each call streams the full edge set in batches.
+// Batches alias internal buffers and are only valid within fn.
+type EdgeSource interface {
+	// NumVertices returns the number of vertices (max id + 1).
+	NumVertices() int64
+	// NumEdges returns the number of directed edge records.
+	NumEdges() int64
+	// Edges streams the edge list in batches.
+	Edges(fn func(batch []Edge) error) error
+}
+
+// sliceSource is an in-memory EdgeSource.
+type sliceSource struct {
+	edges    []Edge
+	vertices int64
+}
+
+// NewSliceSource wraps an in-memory edge list. If numVertices is zero it is
+// computed as max(id)+1.
+func NewSliceSource(edges []Edge, numVertices int64) EdgeSource {
+	if numVertices == 0 {
+		var max VertexID
+		for _, e := range edges {
+			if e.Src > max {
+				max = e.Src
+			}
+			if e.Dst > max {
+				max = e.Dst
+			}
+		}
+		if len(edges) > 0 {
+			numVertices = int64(max) + 1
+		}
+	}
+	return &sliceSource{edges: edges, vertices: numVertices}
+}
+
+func (s *sliceSource) NumVertices() int64 { return s.vertices }
+func (s *sliceSource) NumEdges() int64    { return int64(len(s.edges)) }
+
+func (s *sliceSource) Edges(fn func([]Edge) error) error {
+	const batch = 64 << 10
+	for off := 0; off < len(s.edges); off += batch {
+		end := off + batch
+		if end > len(s.edges) {
+			end = len(s.edges)
+		}
+		if err := fn(s.edges[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Materialize reads an entire EdgeSource into memory.
+func Materialize(src EdgeSource) ([]Edge, error) {
+	out := make([]Edge, 0, src.NumEdges())
+	err := src.Edges(func(b []Edge) error {
+		out = append(out, b...)
+		return nil
+	})
+	return out, err
+}
+
+// Reverse returns an EdgeSource streaming the transpose of src (every edge
+// with Src and Dst swapped). Algorithms that propagate against edge
+// direction (e.g. the backward phases of SCC) run iterations over the
+// transposed list; producing it is a single streaming pass, never a sort.
+func Reverse(src EdgeSource) EdgeSource { return &reverseSource{src} }
+
+type reverseSource struct{ inner EdgeSource }
+
+func (r *reverseSource) NumVertices() int64 { return r.inner.NumVertices() }
+func (r *reverseSource) NumEdges() int64    { return r.inner.NumEdges() }
+
+func (r *reverseSource) Edges(fn func([]Edge) error) error {
+	buf := make([]Edge, 0, 64<<10)
+	return r.inner.Edges(func(b []Edge) error {
+		buf = buf[:len(b)]
+		for i, e := range b {
+			buf[i] = Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight}
+		}
+		return fn(buf)
+	})
+}
+
+func (s *sliceSource) String() string {
+	return fmt.Sprintf("slice(%d vertices, %d edges)", s.vertices, len(s.edges))
+}
+
+// Symmetrize returns an EdgeSource streaming src followed by its
+// transpose — the "undirected version" of a directed graph that HyperANF
+// and conductance-style measurements operate on (§5.3). Like Reverse, it
+// is a pure streaming transformation.
+func Symmetrize(src EdgeSource) EdgeSource { return &symSource{inner: src} }
+
+type symSource struct{ inner EdgeSource }
+
+func (s *symSource) NumVertices() int64 { return s.inner.NumVertices() }
+func (s *symSource) NumEdges() int64    { return 2 * s.inner.NumEdges() }
+
+func (s *symSource) Edges(fn func([]Edge) error) error {
+	if err := s.inner.Edges(fn); err != nil {
+		return err
+	}
+	return Reverse(s.inner).Edges(fn)
+}

@@ -1,0 +1,747 @@
+// Package diskengine is X-Stream's out-of-core streaming engine (paper §3).
+//
+// Fast Storage is main memory, Slow Storage is the device holding the
+// graph. Each streaming partition owns three files — vertices, edges,
+// updates. Pre-processing is a single streaming shuffle of the unordered
+// input edge list into the partition edge files; there is no sort and no
+// index. Each iteration then runs the merged scatter/shuffle phase of
+// Figure 6 (stream edges, append updates to a stream buffer, shuffle the
+// buffer when full and append the per-partition chunks to the update
+// files) followed by the gather phase (stream each partition's update file
+// onto its in-memory vertex set).
+//
+// I/O is asynchronous with a prefetch distance of one on both input and
+// output (§3.3): a dedicated goroutine reads ahead into a second input
+// buffer, and a dedicated goroutine writes shuffled output buffers while
+// the scatter fills the next. Both §3.2 optimizations are implemented: the
+// vertex files are bypassed entirely when all vertex state fits in the
+// memory budget, and the update files are bypassed when one scatter
+// phase's updates fit in a single stream buffer.
+package diskengine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pod"
+	"repro/internal/storage"
+	"repro/internal/streambuf"
+)
+
+// Config tunes the out-of-core engine.
+type Config struct {
+	// Device holds the partition files (vertices + edges) and, unless
+	// UpdateDevice is set, the update files too. Required.
+	Device storage.Device
+	// UpdateDevice, if non-nil, holds the update files so edge reads and
+	// update writes proceed on different devices in parallel (§3.3,
+	// evaluated in Figure 15 as "independent disks").
+	UpdateDevice storage.Device
+	// MemoryBudget is the main-memory budget M of §3.4. 0 means 256 MiB.
+	MemoryBudget int64
+	// IOUnit is S of §3.4, the request size that saturates the device.
+	// 0 means 1 MiB (the paper uses 16 MiB on real hardware; scaled-down
+	// graphs use scaled-down units).
+	IOUnit int
+	// Threads is the worker count for in-memory work. 0 = GOMAXPROCS.
+	Threads int
+	// Partitions forces the partition count (power of two); 0 = auto
+	// from the §3.4 inequality.
+	Partitions int
+	// MaxIterations bounds the loop. 0 means 1<<20.
+	MaxIterations int
+	// Prefix namespaces this run's files on the device.
+	Prefix string
+	// KeepFiles leaves partition files on the device after the run.
+	KeepFiles bool
+	// NoPrefetch disables the second input/output buffers (prefetch
+	// distance 0); used by the prefetch ablation benchmark.
+	NoPrefetch bool
+	// NoUpdateBypass forces updates through the disk files even when
+	// they fit in one stream buffer; used by the bypass ablation.
+	NoUpdateBypass bool
+	// ForceVertexSpill keeps only one partition's vertices in memory
+	// even when the whole vertex set would fit; exercised by tests and
+	// the scaling benchmarks.
+	ForceVertexSpill bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 256 << 20
+	}
+	if c.IOUnit <= 0 {
+		c.IOUnit = 1 << 20
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 1 << 20
+	}
+	if c.UpdateDevice == nil {
+		c.UpdateDevice = c.Device
+	}
+	return c
+}
+
+// Result carries final vertex states and execution statistics.
+type Result[V any] struct {
+	Vertices []V
+	Stats    core.Stats
+}
+
+// Run executes prog on g with the out-of-core engine.
+func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Result[V], error) {
+	cfg = cfg.withDefaults()
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("diskengine: Config.Device is required")
+	}
+	if err := pod.Check[V](); err != nil {
+		return nil, fmt.Errorf("diskengine: vertex state: %w", err)
+	}
+	if err := pod.Check[M](); err != nil {
+		return nil, fmt.Errorf("diskengine: update value: %w", err)
+	}
+
+	start := time.Now()
+	e := &engine[V, M]{cfg: cfg, prog: prog, nv: g.NumVertices(), ne: g.NumEdges()}
+	if err := e.plan(); err != nil {
+		return nil, err
+	}
+	devBefore := cfg.Device.Stats()
+	updBefore := cfg.UpdateDevice.Stats()
+
+	t0 := time.Now()
+	if err := e.setup(g); err != nil {
+		e.cleanup()
+		return nil, err
+	}
+	e.stats.PreprocessTime = time.Since(t0)
+
+	if err := e.loop(); err != nil {
+		e.cleanup()
+		return nil, err
+	}
+
+	verts, err := e.materializeVertices()
+	if err != nil {
+		e.cleanup()
+		return nil, err
+	}
+	e.cleanup()
+
+	devAfter := cfg.Device.Stats()
+	updAfter := cfg.UpdateDevice.Stats()
+	e.stats.BytesRead = devAfter.BytesRead - devBefore.BytesRead
+	e.stats.BytesWritten = devAfter.BytesWritten - devBefore.BytesWritten
+	if cfg.UpdateDevice != cfg.Device {
+		e.stats.BytesRead += updAfter.BytesRead - updBefore.BytesRead
+		e.stats.BytesWritten += updAfter.BytesWritten - updBefore.BytesWritten
+	}
+	e.stats.TotalTime = time.Since(start)
+	return &Result[V]{Vertices: verts, Stats: e.stats}, nil
+}
+
+type engine[V, M any] struct {
+	cfg  Config
+	prog core.Program[V, M]
+	nv   int64
+	ne   int64
+
+	k        int
+	part     core.Partitioner
+	shufPlan streambuf.Plan
+	// bufRecs is the record capacity of one stream buffer (S·K bytes).
+	bufEdgeRecs int
+	bufUpdRecs  int
+
+	// Vertex state: either fully in memory (allVerts != nil) or spilled
+	// to per-partition vertex files with a reusable window buffer.
+	allVerts  []V
+	vertsBuf  []V
+	vertFiles []*partFile
+
+	edgeFiles []*partFile // forward edge lists per partition
+	bwdFiles  []*partFile // transposed edge lists, built lazily
+	updFiles  []*partFile
+
+	// gather sub-shuffle scratch (layered in-memory engine, §4.3)
+	subA, subB *streambuf.Buffer[core.Update[M]]
+
+	stats core.Stats
+}
+
+// plan picks the partition count from the §3.4 inequality, sizes the stream
+// buffers and decides whether vertices spill.
+func (e *engine[V, M]) plan() error {
+	vsize := pod.Size[V]()
+	usize := pod.Size[core.Update[M]]()
+	s := int64(e.cfg.IOUnit)
+	m := e.cfg.MemoryBudget
+	vertexBytes := e.nv * int64(vsize)
+
+	k := e.cfg.Partitions
+	if k == 0 {
+		found := false
+		for cand := 1; cand <= 1<<20; cand <<= 1 {
+			if vertexBytes/int64(cand)+5*s*int64(cand) <= m {
+				k, found = cand, true
+				break
+			}
+			if 5*s*int64(cand) > m {
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("diskengine: no partition count satisfies N/K + 5·S·K ≤ M with N=%d S=%d M=%d (need ≥ %d bytes)",
+				vertexBytes, s, m, minMemory(vertexBytes, s))
+		}
+	}
+	if k&(k-1) != 0 {
+		return fmt.Errorf("diskengine: partition count %d is not a power of two", k)
+	}
+	e.k = k
+	e.part = core.NewPartitioner(e.nv, k)
+
+	fanout := k // disk engine: single-stage shuffle (K is small, §3.4)
+	if fanout < 2 {
+		fanout = 2
+	}
+	plan, err := streambuf.NewPlan(k, fanout)
+	if err != nil {
+		return err
+	}
+	e.shufPlan = plan
+
+	bufBytes := s * int64(k)
+	e.bufEdgeRecs = int(bufBytes / 12)
+	e.bufUpdRecs = int(bufBytes / int64(usize))
+	if e.bufEdgeRecs < 1 || e.bufUpdRecs < 1 {
+		return fmt.Errorf("diskengine: I/O unit %d too small for record sizes", e.cfg.IOUnit)
+	}
+
+	spill := e.cfg.ForceVertexSpill || vertexBytes+5*bufBytes > m
+	if !spill {
+		e.allVerts = make([]V, e.nv)
+	} else {
+		e.vertsBuf = make([]V, e.part.PerPartition())
+	}
+
+	e.stats.Algorithm = e.prog.Name()
+	e.stats.Engine = "disk:" + e.cfg.Device.Name()
+	e.stats.Partitions = k
+	e.stats.Threads = e.cfg.Threads
+	return nil
+}
+
+func minMemory(n, s int64) int64 {
+	// 2*sqrt(5NS), §3.4.
+	v := float64(n) * float64(5*s)
+	r := int64(2 * sqrt(v))
+	return r
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// setup creates partition files, initializes vertex state and shuffles the
+// input edge list into partition edge files (the engine's entire
+// pre-processing: one streaming pass, no sort).
+func (e *engine[V, M]) setup(g core.EdgeSource) error {
+	e.edgeFiles = make([]*partFile, e.k)
+	e.updFiles = make([]*partFile, e.k)
+	for p := 0; p < e.k; p++ {
+		var err error
+		if e.edgeFiles[p], err = createPartFile(e.cfg.Device, fmt.Sprintf("%sp%04d.edges", e.cfg.Prefix, p)); err != nil {
+			return err
+		}
+		if e.updFiles[p], err = createPartFile(e.cfg.UpdateDevice, fmt.Sprintf("%sp%04d.updates", e.cfg.Prefix, p)); err != nil {
+			return err
+		}
+	}
+
+	// Vertex state.
+	if e.allVerts != nil {
+		var wg sync.WaitGroup
+		workers := e.cfg.Threads
+		n := len(e.allVerts)
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					e.prog.Init(core.VertexID(i), &e.allVerts[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		e.vertFiles = make([]*partFile, e.k)
+		for p := 0; p < e.k; p++ {
+			var err error
+			if e.vertFiles[p], err = createPartFile(e.cfg.Device, fmt.Sprintf("%sp%04d.verts", e.cfg.Prefix, p)); err != nil {
+				return err
+			}
+			lo, hi := e.part.Range(p, e.nv)
+			buf := e.vertsBuf[:hi-lo]
+			for i := range buf {
+				e.prog.Init(core.VertexID(lo+int64(i)), &buf[i])
+			}
+			if err := e.vertFiles[p].appendBytes(pod.AsBytes(buf)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Partition the edge list (in-memory shuffle reused, §3.2).
+	return e.partitionEdges(g, e.edgeFiles, false)
+}
+
+// partitionEdges streams src through the shuffle pipeline into files,
+// optionally transposing each edge first.
+func (e *engine[V, M]) partitionEdges(src core.EdgeSource, files []*partFile, transpose bool) error {
+	w := newBucketWriter(e.bufEdgeRecs, files, e.shufPlan, func(ed core.Edge) uint32 {
+		return e.part.Of(ed.Src)
+	}, e.cfg.Threads)
+	err := src.Edges(func(batch []core.Edge) error {
+		if transpose {
+			for i := range batch {
+				batch[i].Src, batch[i].Dst = batch[i].Dst, batch[i].Src
+			}
+		}
+		for len(batch) > 0 {
+			room := w.Room()
+			if room == 0 {
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			take := len(batch)
+			if take > room {
+				take = room
+			}
+			if !w.Buf().Append(batch[:take]) {
+				return fmt.Errorf("diskengine: edge buffer overflow")
+			}
+			batch = batch[take:]
+		}
+		return nil
+	})
+	if err != nil {
+		w.Finish()
+		return err
+	}
+	return w.Finish()
+}
+
+// loop runs the synchronous scatter-shuffle-gather iterations (Figure 6).
+func (e *engine[V, M]) loop() error {
+	directed, isDirected := any(e.prog).(core.DirectedProgram)
+	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
+	usize := pod.Size[core.Update[M]]()
+
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		if s, ok := any(e.prog).(core.IterationStarter); ok {
+			s.StartIteration(iter)
+		}
+
+		edgeFiles := e.edgeFiles
+		if isDirected && directed.Direction(iter) == core.Backward {
+			if e.bwdFiles == nil {
+				if err := e.buildBackwardFiles(); err != nil {
+					return err
+				}
+			}
+			edgeFiles = e.bwdFiles
+		}
+
+		t0 := time.Now()
+		sent, streamed, inMem, err := e.scatterPhase(edgeFiles)
+		if err != nil {
+			return err
+		}
+		e.stats.ScatterTime += time.Since(t0)
+		e.stats.EdgesStreamed += streamed
+		e.stats.UpdatesSent += sent
+		e.stats.WastedEdges += streamed - sent
+		e.stats.RandomRefs += streamed
+		e.stats.SequentialRefs += streamed
+		e.stats.BytesStreamed += streamed*12 + sent*int64(usize)*2
+
+		t1 := time.Now()
+		if err := e.gatherPhase(inMem); err != nil {
+			return err
+		}
+		e.stats.GatherTime += time.Since(t1)
+		e.stats.RandomRefs += sent
+		e.stats.SequentialRefs += sent
+
+		e.stats.Iterations = iter + 1
+		if isPhased {
+			if phased.EndIteration(iter, sent, e.vertexView()) {
+				return nil
+			}
+		} else if sent == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// buildBackwardFiles materializes the transposed partitioned edge list with
+// one streaming pass over the forward partition files.
+func (e *engine[V, M]) buildBackwardFiles() error {
+	e.bwdFiles = make([]*partFile, e.k)
+	for p := 0; p < e.k; p++ {
+		var err error
+		if e.bwdFiles[p], err = createPartFile(e.cfg.Device, fmt.Sprintf("%sp%04d.redges", e.cfg.Prefix, p)); err != nil {
+			return err
+		}
+	}
+	src := &partFilesSource{files: e.edgeFiles, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch}
+	return e.partitionEdges(src, e.bwdFiles, true)
+}
+
+// partFilesSource re-streams already-partitioned edge files as one source.
+type partFilesSource struct {
+	files     []*partFile
+	nv        int64
+	chunkRecs int
+	prefetch  bool
+}
+
+func (s *partFilesSource) NumVertices() int64 { return s.nv }
+
+func (s *partFilesSource) NumEdges() int64 {
+	var n int64
+	for _, f := range s.files {
+		n += f.size / 12
+	}
+	return n
+}
+
+func (s *partFilesSource) Edges(fn func([]core.Edge) error) error {
+	for _, f := range s.files {
+		rd := newChunkReader[core.Edge](f.f, f.size, s.chunkRecs, s.prefetch)
+		for {
+			chunk, err := rd.Next()
+			if err != nil {
+				rd.Close()
+				return err
+			}
+			if chunk == nil {
+				break
+			}
+			if err := fn(chunk); err != nil {
+				rd.Close()
+				return err
+			}
+		}
+		rd.Close()
+	}
+	return nil
+}
+
+// scatterPhase runs the merged scatter/shuffle over every partition. It
+// returns the update count, edge count, and — when the §3.2 bypass applies
+// — the in-memory shuffled update buffer.
+func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64, inMem *streambuf.Buffer[core.Update[M]], err error) {
+	w := newBucketWriter(e.bufUpdRecs, e.updFiles, e.shufPlan, func(u core.Update[M]) uint32 {
+		return e.part.Of(u.Dst)
+	}, e.cfg.Threads)
+
+	for s := 0; s < e.k; s++ {
+		verts, lo, err := e.loadVerts(s, false)
+		if err != nil {
+			w.Finish()
+			return 0, 0, nil, err
+		}
+		rd := newChunkReader[core.Edge](edgeFiles[s].f, edgeFiles[s].size, e.bufEdgeRecs, !e.cfg.NoPrefetch)
+		for {
+			chunk, err := rd.Next()
+			if err != nil {
+				rd.Close()
+				w.Finish()
+				return 0, 0, nil, err
+			}
+			if chunk == nil {
+				break
+			}
+			streamed += int64(len(chunk))
+			// Scatter the chunk in segments that fit the output buffer.
+			for off := 0; off < len(chunk); {
+				room := w.Room()
+				if room == 0 {
+					if err := w.Flush(); err != nil {
+						rd.Close()
+						w.Finish()
+						return 0, 0, nil, err
+					}
+					continue
+				}
+				take := len(chunk) - off
+				if take > room {
+					take = room
+				}
+				sent += e.scatterSegment(chunk[off:off+take], verts, lo, w.Buf())
+				off += take
+			}
+		}
+		rd.Close()
+	}
+
+	if e.cfg.NoUpdateBypass {
+		if err := w.Finish(); err != nil {
+			return 0, 0, nil, err
+		}
+		return sent, streamed, nil, nil
+	}
+	inMem, err = w.FinishBypass()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return sent, streamed, inMem, nil
+}
+
+// scatterSegment applies Scatter to a slice of edges in parallel, appending
+// updates through thread-private buffers (§4.1). verts holds the current
+// partition's vertex window starting at vertex id lo.
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, out *streambuf.Buffer[core.Update[M]]) int64 {
+	workers := e.cfg.Threads
+	if len(edges) < 4096 || workers <= 1 {
+		return e.scatterRange(edges, verts, lo, out)
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	chunk := (len(edges) + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		a, b := wkr*chunk, (wkr+1)*chunk
+		if b > len(edges) {
+			b = len(edges)
+		}
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			total.Add(e.scatterRange(edges[a:b], verts, lo, out))
+		}(a, b)
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, out *streambuf.Buffer[core.Update[M]]) int64 {
+	const privCap = 1024
+	priv := make([]core.Update[M], 0, privCap)
+	var sent int64
+	for _, ed := range edges {
+		if m, ok := e.prog.Scatter(ed, &verts[int64(ed.Src)-lo]); ok {
+			priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
+			sent++
+			if len(priv) == cap(priv) {
+				out.Append(priv)
+				priv = priv[:0]
+			}
+		}
+	}
+	out.Append(priv)
+	return sent
+}
+
+// gatherPhase streams each partition's updates onto its vertex window.
+func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) error {
+	for p := 0; p < e.k; p++ {
+		verts, lo, err := e.loadVerts(p, true)
+		if err != nil {
+			return err
+		}
+		if inMem != nil {
+			inMem.Bucket(p, func(run []core.Update[M]) {
+				e.gatherChunk(run, verts, lo)
+			})
+		} else {
+			rd := newChunkReader[core.Update[M]](e.updFiles[p].f, e.updFiles[p].size, e.bufUpdRecs, !e.cfg.NoPrefetch)
+			for {
+				chunk, err := rd.Next()
+				if err != nil {
+					rd.Close()
+					return err
+				}
+				if chunk == nil {
+					break
+				}
+				e.gatherChunk(chunk, verts, lo)
+			}
+			rd.Close()
+			if err := e.updFiles[p].truncate(); err != nil {
+				return err
+			}
+		}
+		if err := e.storeVerts(p, verts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherChunk applies a chunk of updates to the partition's vertex window.
+// With multiple workers the chunk is first shuffled by destination
+// sub-range so workers touch disjoint vertices — the in-memory engine
+// layered inside the disk engine (§4.3).
+func (e *engine[V, M]) gatherChunk(chunk []core.Update[M], verts []V, lo int64) {
+	workers := e.cfg.Threads
+	if workers <= 1 || len(chunk) < 8192 {
+		for _, u := range chunk {
+			e.prog.Gather(u.Dst, &verts[int64(u.Dst)-lo], u.Val)
+		}
+		return
+	}
+	subK := core.NextPow2(workers * 4)
+	subPart := core.NewPartitioner(int64(len(verts)), subK)
+	if e.subA == nil || e.subA.Cap() < e.bufUpdRecs {
+		e.subA = streambuf.New[core.Update[M]](e.bufUpdRecs)
+		e.subB = streambuf.New[core.Update[M]](e.bufUpdRecs)
+	}
+	plan, err := streambuf.NewPlan(subK, subK)
+	if err != nil { // cannot happen: subK is a power of two
+		panic(err)
+	}
+	e.subA.Reset()
+	e.subA.Fill(chunk)
+	res := streambuf.Shuffle(e.subA, e.subB, plan, workers, func(u core.Update[M]) uint32 {
+		return subPart.Of(core.VertexID(int64(u.Dst) - lo))
+	})
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sp := int(cursor.Add(1)) - 1
+				if sp >= subK {
+					return
+				}
+				res.Bucket(sp, func(run []core.Update[M]) {
+					for _, u := range run {
+						e.prog.Gather(u.Dst, &verts[int64(u.Dst)-lo], u.Val)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// loadVerts returns the vertex window of partition p starting at vertex lo.
+// In spill mode the window is read from the partition's vertex file;
+// forWrite distinguishes gather loads (which will be stored back) purely
+// for symmetry — reads happen either way.
+func (e *engine[V, M]) loadVerts(p int, forWrite bool) ([]V, int64, error) {
+	lo, hi := e.part.Range(p, e.nv)
+	if e.allVerts != nil {
+		return e.allVerts[lo:hi], lo, nil
+	}
+	buf := e.vertsBuf[:hi-lo]
+	recs, err := readFull(e.vertFiles[p].f, buf, 0, pod.Size[V]())
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(recs) != len(buf) {
+		return nil, 0, fmt.Errorf("diskengine: vertex file %s short: %d records, want %d", e.vertFiles[p].name, len(recs), len(buf))
+	}
+	return buf, lo, nil
+}
+
+// storeVerts persists a partition's vertex window after gather. A no-op
+// when all vertices are held in memory (§3.2 optimization 1).
+func (e *engine[V, M]) storeVerts(p int, verts []V) error {
+	if e.allVerts != nil {
+		return nil
+	}
+	_, err := e.vertFiles[p].f.WriteAt(pod.AsBytes(verts), 0)
+	return err
+}
+
+// vertexView returns the VertexView for phase hooks.
+func (e *engine[V, M]) vertexView() core.VertexView[V] {
+	if e.allVerts != nil {
+		return core.SliceView[V](e.allVerts)
+	}
+	return &spillView[V, M]{e: e}
+}
+
+// spillView streams spilled partitions through phase hooks, persisting
+// mutations.
+type spillView[V, M any] struct{ e *engine[V, M] }
+
+func (s *spillView[V, M]) NumVertices() int64 { return s.e.nv }
+
+func (s *spillView[V, M]) ForEach(fn func(core.VertexID, *V)) {
+	for p := 0; p < s.e.k; p++ {
+		verts, lo, err := s.e.loadVerts(p, true)
+		if err != nil {
+			return
+		}
+		for i := range verts {
+			fn(core.VertexID(lo+int64(i)), &verts[i])
+		}
+		if err := s.e.storeVerts(p, verts); err != nil {
+			return
+		}
+	}
+}
+
+// materializeVertices returns the full final vertex state.
+func (e *engine[V, M]) materializeVertices() ([]V, error) {
+	if e.allVerts != nil {
+		return e.allVerts, nil
+	}
+	out := make([]V, e.nv)
+	for p := 0; p < e.k; p++ {
+		verts, lo, err := e.loadVerts(p, false)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[lo:], verts)
+	}
+	return out, nil
+}
+
+// cleanup removes partition files unless the caller asked to keep them.
+func (e *engine[V, M]) cleanup() {
+	if e.cfg.KeepFiles {
+		return
+	}
+	for _, fs := range [][]*partFile{e.edgeFiles, e.bwdFiles, e.updFiles, e.vertFiles} {
+		for _, f := range fs {
+			if f != nil {
+				f.remove()
+			}
+		}
+	}
+}

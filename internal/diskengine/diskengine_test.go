@@ -1,0 +1,286 @@
+package diskengine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/memengine"
+	"repro/internal/storage"
+)
+
+// The test programs mirror the memengine test suite so the two engines can
+// be checked for parity.
+
+type wccState struct {
+	Label   core.VertexID
+	Updated int32
+}
+
+type wccProg struct{ iter int32 }
+
+func (w *wccProg) Name() string { return "wcc-test" }
+
+func (w *wccProg) Init(id core.VertexID, v *wccState) {
+	v.Label = id
+	v.Updated = 0
+}
+
+func (w *wccProg) StartIteration(iter int) { w.iter = int32(iter) }
+
+func (w *wccProg) Scatter(e core.Edge, src *wccState) (core.VertexID, bool) {
+	if src.Updated == w.iter {
+		return src.Label, true
+	}
+	return 0, false
+}
+
+func (w *wccProg) Gather(dst core.VertexID, v *wccState, m core.VertexID) {
+	if m < v.Label {
+		v.Label = m
+		v.Updated = w.iter + 1
+	}
+}
+
+func ssd(scale float64) storage.Device {
+	return storage.NewSim(storage.SSDParams("ssd", 2, scale))
+}
+
+func smallGraph(seed int64) (core.EdgeSource, []core.Edge) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: seed, Undirected: true})
+	edges, _ := core.Materialize(src)
+	return src, edges
+}
+
+// runBoth executes the same program on both engines and requires identical
+// vertex state.
+func runBothWCC(t *testing.T, cfg Config) {
+	t.Helper()
+	src, _ := smallGraph(21)
+	memRes, err := memengine.Run(src, &wccProg{}, memengine.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskRes, err := Run(src, &wccProg{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diskRes.Vertices) != len(memRes.Vertices) {
+		t.Fatalf("vertex count %d vs %d", len(diskRes.Vertices), len(memRes.Vertices))
+	}
+	for i := range memRes.Vertices {
+		if diskRes.Vertices[i].Label != memRes.Vertices[i].Label {
+			t.Fatalf("vertex %d: disk label %d, mem label %d (cfg %+v)",
+				i, diskRes.Vertices[i].Label, memRes.Vertices[i].Label, cfg)
+		}
+	}
+	if diskRes.Stats.Iterations != memRes.Stats.Iterations {
+		t.Fatalf("iterations: disk %d, mem %d", diskRes.Stats.Iterations, memRes.Stats.Iterations)
+	}
+}
+
+func TestEngineParityDefault(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 2, IOUnit: 64 << 10})
+}
+
+func TestEngineParityManyPartitions(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 2, IOUnit: 8 << 10, Partitions: 8})
+}
+
+func TestEngineParityVertexSpill(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 2, IOUnit: 8 << 10, Partitions: 4, ForceVertexSpill: true})
+}
+
+func TestEngineParityNoBypass(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 2, IOUnit: 8 << 10, Partitions: 4, NoUpdateBypass: true})
+}
+
+func TestEngineParityNoPrefetch(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 2, IOUnit: 8 << 10, Partitions: 4, NoPrefetch: true})
+}
+
+func TestEngineParitySeparateUpdateDevice(t *testing.T) {
+	upd := storage.NewSim(storage.SSDParams("upd", 1, 0))
+	runBothWCC(t, Config{Device: ssd(0), UpdateDevice: upd, Threads: 2, IOUnit: 8 << 10, Partitions: 4, NoUpdateBypass: true})
+}
+
+func TestEngineParitySingleThread(t *testing.T) {
+	runBothWCC(t, Config{Device: ssd(0), Threads: 1, IOUnit: 16 << 10, Partitions: 2})
+}
+
+func TestEngineParityOSDevice(t *testing.T) {
+	dev, err := storage.NewOS("os", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBothWCC(t, Config{Device: dev, Threads: 2, IOUnit: 32 << 10, Partitions: 4, ForceVertexSpill: true, NoUpdateBypass: true})
+}
+
+// Degree program exercising phased termination and backward direction.
+type degProg struct{ backward bool }
+
+func (d *degProg) Name() string                                  { return "degree-test" }
+func (d *degProg) Init(id core.VertexID, v *int32)               { *v = 0 }
+func (d *degProg) Scatter(e core.Edge, src *int32) (int32, bool) { return 1, true }
+func (d *degProg) Gather(dst core.VertexID, v *int32, m int32)   { *v += m }
+
+func (d *degProg) EndIteration(iter int, sent int64, view core.VertexView[int32]) bool {
+	return true
+}
+
+func (d *degProg) Direction(iter int) core.Direction {
+	if d.backward {
+		return core.Backward
+	}
+	return core.Forward
+}
+
+func TestBackwardDirection(t *testing.T) {
+	edges := []core.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+	}
+	src := core.NewSliceSource(edges, 3)
+	res, err := Run(src, &degProg{backward: true}, Config{Device: ssd(0), Threads: 2, IOUnit: 8 << 10, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Vertices; got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("out-degrees = %v", got)
+	}
+}
+
+// sumProg mutates vertex state through the phase hook's view to verify
+// spill-mode write-back.
+type sumProg struct{ rounds int }
+
+func (s *sumProg) Name() string                                  { return "sum-test" }
+func (s *sumProg) Init(id core.VertexID, v *int32)               { *v = 0 }
+func (s *sumProg) Scatter(e core.Edge, src *int32) (int32, bool) { return 1, true }
+func (s *sumProg) Gather(dst core.VertexID, v *int32, m int32)   { *v += m }
+
+func (s *sumProg) EndIteration(iter int, sent int64, view core.VertexView[int32]) bool {
+	view.ForEach(func(id core.VertexID, v *int32) { *v += 100 })
+	s.rounds++
+	return s.rounds >= 2
+}
+
+func TestSpillViewWriteBack(t *testing.T) {
+	edges := []core.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 0, Weight: 1}}
+	src := core.NewSliceSource(edges, 2)
+	res, err := Run(src, &sumProg{}, Config{
+		Device: ssd(0), Threads: 1, IOUnit: 8 << 10, Partitions: 2, ForceVertexSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two iterations: each gathers +1 per vertex, each EndIteration adds
+	// +100 -> final state 202.
+	for i, v := range res.Vertices {
+		if v != 202 {
+			t.Fatalf("vertex %d = %d, want 202", i, v)
+		}
+	}
+}
+
+func TestFilesCleanedUp(t *testing.T) {
+	dev := ssd(0)
+	src, _ := smallGraph(3)
+	if _, err := Run(src, &wccProg{}, Config{Device: dev, Threads: 2, IOUnit: 16 << 10, Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Open("p0000.edges"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("edge file survived cleanup: %v", err)
+	}
+}
+
+func TestKeepFiles(t *testing.T) {
+	dev := ssd(0)
+	src, _ := smallGraph(3)
+	if _, err := Run(src, &wccProg{}, Config{Device: dev, Threads: 2, IOUnit: 16 << 10, Partitions: 4, KeepFiles: true, Prefix: "run1-"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Open("run1-p0000.edges"); err != nil {
+		t.Fatalf("edge file missing with KeepFiles: %v", err)
+	}
+}
+
+func TestUpdateFilesTrimmed(t *testing.T) {
+	dev := ssd(0)
+	src, _ := smallGraph(4)
+	_, err := Run(src, &wccProg{}, Config{Device: dev, Threads: 2, IOUnit: 8 << 10, Partitions: 4, NoUpdateBypass: true, KeepFiles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := dev.Stats(); s.Trims == 0 {
+		t.Fatal("update files were never truncated (TRIM, §3.3)")
+	}
+}
+
+func TestInjectedFaultSurfaces(t *testing.T) {
+	inner := ssd(0)
+	dev := storage.NewFaulty(inner, storage.FaultyOptions{FailAfterOps: 30})
+	src, _ := smallGraph(5)
+	_, err := Run(src, &wccProg{}, Config{Device: dev, Threads: 2, IOUnit: 8 << 10, Partitions: 4, NoUpdateBypass: true})
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+}
+
+func TestPartitionPlanning(t *testing.T) {
+	// A graph whose vertices cannot fit with tiny memory must error.
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 14, EdgeFactor: 4, Seed: 1})
+	_, err := Run(src, &wccProg{}, Config{Device: ssd(0), MemoryBudget: 4 << 10, IOUnit: 4 << 10})
+	if err == nil || !strings.Contains(err.Error(), "N/K") {
+		t.Fatalf("want §3.4 infeasibility error, got %v", err)
+	}
+	// Forced non-power-of-two partitions error.
+	if _, err := Run(src, &wccProg{}, Config{Device: ssd(0), Partitions: 3}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	// Missing device errors.
+	if _, err := Run(src, &wccProg{}, Config{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestAutoPartitionsRespectBudget(t *testing.T) {
+	// With a small budget the engine must pick K > 1 and still be right.
+	src, _ := smallGraph(6)
+	res, err := Run(src, &wccProg{}, Config{
+		Device:       ssd(0),
+		MemoryBudget: 512 << 10,
+		IOUnit:       8 << 10,
+		Threads:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Partitions < 1 {
+		t.Fatalf("partitions = %d", res.Stats.Partitions)
+	}
+	if res.Stats.BytesRead == 0 || res.Stats.BytesWritten == 0 {
+		t.Fatalf("device bytes not accounted: %+v", res.Stats)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	src, _ := smallGraph(7)
+	res, err := Run(src, &wccProg{}, Config{Device: ssd(0), Threads: 2, IOUnit: 16 << 10, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.EdgesStreamed != src.NumEdges()*int64(s.Iterations) {
+		t.Fatalf("edges streamed %d, want %d × %d", s.EdgesStreamed, src.NumEdges(), s.Iterations)
+	}
+	if s.EdgesStreamed != s.UpdatesSent+s.WastedEdges {
+		t.Fatalf("accounting: %d != %d + %d", s.EdgesStreamed, s.UpdatesSent, s.WastedEdges)
+	}
+	if s.PreprocessTime <= 0 {
+		t.Fatal("missing preprocess time")
+	}
+}

@@ -1,0 +1,327 @@
+package diskengine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/pod"
+	"repro/internal/storage"
+	"repro/internal/streambuf"
+)
+
+// partFile is one append-only partition file (edges, updates or vertices).
+type partFile struct {
+	dev  storage.Device
+	name string
+	f    storage.File
+	size int64 // append offset
+}
+
+func createPartFile(dev storage.Device, name string) (*partFile, error) {
+	f, err := dev.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &partFile{dev: dev, name: name, f: f}, nil
+}
+
+func (p *partFile) appendBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	n, err := p.f.WriteAt(b, p.size)
+	p.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("diskengine: append %s: %w", p.name, err)
+	}
+	return nil
+}
+
+// truncate empties the file. On SSDs the paper relies on truncation
+// translating to TRIM to relieve the flash garbage collector (§3.3); the
+// storage layer counts it as such.
+func (p *partFile) truncate() error {
+	p.size = 0
+	return p.f.Truncate(0)
+}
+
+func (p *partFile) close() error { return p.f.Close() }
+
+func (p *partFile) remove() error {
+	p.f.Close()
+	return p.dev.Remove(p.name)
+}
+
+// chunkReader streams a partFile sequentially in fixed-size chunks of
+// records, prefetching the next chunk into a second buffer while the caller
+// processes the current one (prefetch distance 1, §3.3).
+type chunkReader[T any] struct {
+	recSize int
+	cur     []T
+
+	// async mode
+	ready chan readRes[T]
+	free  chan []T
+	done  chan struct{}
+
+	// sync mode (prefetch disabled, used by the ablation)
+	f         storage.File
+	off, end  int64
+	chunkRecs int
+	buf       []T
+}
+
+type readRes[T any] struct {
+	recs []T
+	err  error
+}
+
+// newChunkReader streams f from byte offset 0 to end. chunkRecs is the
+// number of records per I/O request.
+func newChunkReader[T any](f storage.File, end int64, chunkRecs int, prefetch bool) *chunkReader[T] {
+	r := &chunkReader[T]{recSize: pod.Size[T](), chunkRecs: chunkRecs, f: f, end: end}
+	if !prefetch {
+		r.buf = make([]T, chunkRecs)
+		return r
+	}
+	r.ready = make(chan readRes[T], 1)
+	r.free = make(chan []T, 2)
+	r.done = make(chan struct{})
+	r.free <- make([]T, chunkRecs)
+	r.free <- make([]T, chunkRecs)
+	go r.reader()
+	return r
+}
+
+// reader is the dedicated I/O goroutine (§3.3: one I/O thread per stream).
+func (r *chunkReader[T]) reader() {
+	defer close(r.ready)
+	off := int64(0)
+	for off < r.end {
+		var buf []T
+		select {
+		case buf = <-r.free:
+		case <-r.done:
+			return
+		}
+		n := int64(r.chunkRecs)
+		if rem := (r.end - off) / int64(r.recSize); n > rem {
+			n = rem
+		}
+		recs, err := readFull(r.f, buf[:n], off, r.recSize)
+		select {
+		case r.ready <- readRes[T]{recs: recs, err: err}:
+		case <-r.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+		off += int64(len(recs)) * int64(r.recSize)
+	}
+}
+
+// readFull reads len(buf) records at byte offset off, retrying short reads.
+func readFull[T any](f storage.File, buf []T, off int64, recSize int) ([]T, error) {
+	raw := pod.AsBytes(buf)
+	got := 0
+	for got < len(raw) {
+		n, err := f.ReadAt(raw[got:], off+int64(got))
+		got += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if got%recSize != 0 {
+		return nil, fmt.Errorf("diskengine: torn record: %d bytes at offset %d", got, off)
+	}
+	return buf[:got/recSize], nil
+}
+
+// Next returns the next chunk, or nil at end of stream. The returned slice
+// is only valid until the following Next call.
+func (r *chunkReader[T]) Next() ([]T, error) {
+	if r.ready == nil { // synchronous mode
+		if r.off >= r.end {
+			return nil, nil
+		}
+		n := int64(r.chunkRecs)
+		if rem := (r.end - r.off) / int64(r.recSize); n > rem {
+			n = rem
+		}
+		recs, err := readFull(r.f, r.buf[:n], r.off, r.recSize)
+		if err != nil {
+			return nil, err
+		}
+		r.off += int64(len(recs)) * int64(r.recSize)
+		return recs, nil
+	}
+	if r.cur != nil {
+		r.free <- r.cur[:cap(r.cur)]
+		r.cur = nil
+	}
+	res, ok := <-r.ready
+	if !ok {
+		return nil, nil
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	r.cur = res.recs
+	return res.recs, nil
+}
+
+// Close releases the reader goroutine.
+func (r *chunkReader[T]) Close() {
+	if r.done != nil {
+		close(r.done)
+	}
+}
+
+// bucketWriter is the merged shuffle+write pipeline of the scatter phase
+// (paper Figure 6): records are appended into the current stream buffer;
+// when it fills it is shuffled into per-partition chunks which a dedicated
+// writer goroutine appends to the partition files, overlapped with the
+// caller filling the next buffer. Three stream buffers rotate through the
+// roles current / in-flight / shuffle-scratch, which together with the two
+// input buffers gives the five buffers of §3.4.
+type bucketWriter[T any] struct {
+	files   []*partFile
+	plan    streambuf.Plan
+	key     func(T) uint32
+	threads int
+
+	cur     *streambuf.Buffer[T]
+	free    chan *streambuf.Buffer[T]
+	queue   chan *streambuf.Buffer[T]
+	wg      sync.WaitGroup
+	flushes int
+
+	mu  sync.Mutex
+	err error
+}
+
+func newBucketWriter[T any](capacity int, files []*partFile, plan streambuf.Plan, key func(T) uint32, threads int) *bucketWriter[T] {
+	w := &bucketWriter[T]{
+		files:   files,
+		plan:    plan,
+		key:     key,
+		threads: threads,
+		free:    make(chan *streambuf.Buffer[T], 3),
+		queue:   make(chan *streambuf.Buffer[T], 1),
+	}
+	w.cur = streambuf.New[T](capacity)
+	w.free <- streambuf.New[T](capacity)
+	w.free <- streambuf.New[T](capacity)
+	w.wg.Add(1)
+	go w.writer()
+	return w
+}
+
+func (w *bucketWriter[T]) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Err returns the first error encountered by the pipeline.
+func (w *bucketWriter[T]) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// writer drains shuffled buffers, appending each bucket to its file.
+func (w *bucketWriter[T]) writer() {
+	defer w.wg.Done()
+	for buf := range w.queue {
+		for p := range w.files {
+			var err error
+			buf.Bucket(p, func(run []T) {
+				if err == nil {
+					err = w.files[p].appendBytes(pod.AsBytes(run))
+				}
+			})
+			if err != nil {
+				w.setErr(err)
+				break
+			}
+		}
+		buf.Reset()
+		w.free <- buf
+	}
+}
+
+// Buf returns the current append target. Concurrent appenders may use it
+// until the next Flush/Finish call from the coordinating goroutine.
+func (w *bucketWriter[T]) Buf() *streambuf.Buffer[T] { return w.cur }
+
+// Room returns the remaining capacity of the current buffer.
+func (w *bucketWriter[T]) Room() int { return w.cur.Cap() - w.cur.Len() }
+
+// Flush shuffles the current buffer and hands it to the writer goroutine,
+// installing a fresh append target. Must be called from the coordinating
+// goroutine only.
+func (w *bucketWriter[T]) Flush() error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	if w.cur.Len() == 0 {
+		return nil
+	}
+	w.flushes++
+	scratch := <-w.free
+	res := streambuf.Shuffle(w.cur, scratch, w.plan, w.threads, w.key)
+	other := scratch
+	if res == scratch {
+		other = w.cur
+	}
+	other.Reset()
+	w.free <- other
+	w.queue <- res
+	w.cur = <-w.free
+	return w.Err()
+}
+
+// FinishBypass completes the pipeline. If nothing was ever flushed to disk
+// — all updates of the scatter phase fit in a single stream buffer — it
+// shuffles the buffer in memory and returns it, letting the gather phase
+// consume it directly (the §3.2 optimization). Otherwise it flushes the
+// tail and returns nil.
+func (w *bucketWriter[T]) FinishBypass() (*streambuf.Buffer[T], error) {
+	if w.flushes == 0 {
+		scratch := <-w.free
+		res := streambuf.Shuffle(w.cur, scratch, w.plan, w.threads, w.key)
+		close(w.queue)
+		w.wg.Wait()
+		return res, w.Err()
+	}
+	if err := w.Flush(); err != nil {
+		close(w.queue)
+		w.wg.Wait()
+		return nil, err
+	}
+	close(w.queue)
+	w.wg.Wait()
+	return nil, w.Err()
+}
+
+// Finish flushes the tail and waits for all writes to complete.
+func (w *bucketWriter[T]) Finish() error {
+	err := w.Flush()
+	close(w.queue)
+	w.wg.Wait()
+	if err != nil {
+		return err
+	}
+	return w.Err()
+}

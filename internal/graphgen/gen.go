@@ -1,0 +1,195 @@
+package graphgen
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Grid returns a rows×cols 2-D grid graph as an undirected edge list (each
+// lattice edge stored in both directions). Grid graphs have diameter
+// rows+cols-2, standing in for the high-diameter DIMACS USA-road graph
+// whose traversal pathology the paper analyzes in §5.3.
+func Grid(rows, cols int, seed int64) core.EdgeSource {
+	return &gridSource{rows: rows, cols: cols, seed: seed}
+}
+
+type gridSource struct {
+	rows, cols int
+	seed       int64
+}
+
+func (g *gridSource) NumVertices() int64 { return int64(g.rows) * int64(g.cols) }
+
+func (g *gridSource) NumEdges() int64 {
+	horiz := int64(g.rows) * int64(g.cols-1)
+	vert := int64(g.rows-1) * int64(g.cols)
+	return 2 * (horiz + vert)
+}
+
+func (g *gridSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(g.seed))
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	emit := func(e Edge) error {
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	}
+	id := func(r, c int) core.VertexID { return core.VertexID(r*g.cols + c) }
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			if c+1 < g.cols {
+				w := rng.Float32()
+				if err := emit(Edge{Src: id(r, c), Dst: id(r, c+1), Weight: w}); err != nil {
+					return err
+				}
+				if err := emit(Edge{Src: id(r, c+1), Dst: id(r, c), Weight: w}); err != nil {
+					return err
+				}
+			}
+			if r+1 < g.rows {
+				w := rng.Float32()
+				if err := emit(Edge{Src: id(r, c), Dst: id(r+1, c), Weight: w}); err != nil {
+					return err
+				}
+				if err := emit(Edge{Src: id(r+1, c), Dst: id(r, c), Weight: w}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
+// Bipartite returns a random bipartite ratings graph: users are vertices
+// [0, users), items are [users, users+items), and each of the ratings
+// edges connects a random user to a random item with a weight drawn from
+// {1..5} scaled to [0.2, 1.0]. Edges are stored in both directions so that
+// alternating least squares can gather on either side. Stand-in for the
+// Netflix dataset.
+func Bipartite(users, items int, ratings int64, seed int64) core.EdgeSource {
+	return &bipartiteSource{users: users, items: items, ratings: ratings, seed: seed}
+}
+
+type bipartiteSource struct {
+	users, items int
+	ratings      int64
+	seed         int64
+}
+
+func (b *bipartiteSource) NumVertices() int64 { return int64(b.users) + int64(b.items) }
+func (b *bipartiteSource) NumEdges() int64    { return 2 * b.ratings }
+
+func (b *bipartiteSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(b.seed))
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	for i := int64(0); i < b.ratings; i++ {
+		u := core.VertexID(rng.Intn(b.users))
+		v := core.VertexID(b.users + rng.Intn(b.items))
+		w := float32(rng.Intn(5)+1) / 5
+		buf = append(buf, Edge{Src: u, Dst: v, Weight: w}, Edge{Src: v, Dst: u, Weight: w})
+		if len(buf) >= batchSize {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
+// Uniform returns a uniform random graph with n vertices and m directed
+// edge records (m must be even if undirected).
+func Uniform(n int64, m int64, seed int64, undirected bool) core.EdgeSource {
+	return &uniformSource{n: n, m: m, seed: seed, undirected: undirected}
+}
+
+type uniformSource struct {
+	n, m       int64
+	seed       int64
+	undirected bool
+}
+
+func (u *uniformSource) NumVertices() int64 { return u.n }
+
+func (u *uniformSource) NumEdges() int64 {
+	if u.undirected {
+		return u.m &^ 1
+	}
+	return u.m
+}
+
+func (u *uniformSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(u.seed))
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	total := u.NumEdges()
+	for i := int64(0); i < total; {
+		s := core.VertexID(rng.Int63n(u.n))
+		d := core.VertexID(rng.Int63n(u.n))
+		w := rng.Float32()
+		buf = append(buf, Edge{Src: s, Dst: d, Weight: w})
+		i++
+		if u.undirected {
+			buf = append(buf, Edge{Src: d, Dst: s, Weight: w})
+			i++
+		}
+		if len(buf) >= batchSize {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
+// Chain returns a path graph 0-1-2-...-n-1 stored in both directions: the
+// worst case for iteration count (diameter n-1).
+func Chain(n int64, seed int64) core.EdgeSource {
+	return &chainSource{n: n, seed: seed}
+}
+
+type chainSource struct {
+	n    int64
+	seed int64
+}
+
+func (c *chainSource) NumVertices() int64 { return c.n }
+func (c *chainSource) NumEdges() int64    { return 2 * (c.n - 1) }
+
+func (c *chainSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(c.seed))
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	for v := int64(0); v+1 < c.n; v++ {
+		w := rng.Float32()
+		buf = append(buf, Edge{Src: core.VertexID(v), Dst: core.VertexID(v + 1), Weight: w},
+			Edge{Src: core.VertexID(v + 1), Dst: core.VertexID(v), Weight: w})
+		if len(buf) >= batchSize {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}

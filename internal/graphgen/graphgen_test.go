@@ -1,0 +1,175 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func materialize(t *testing.T, src core.EdgeSource) []core.Edge {
+	t.Helper()
+	edges, err := core.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 7}
+	a := materialize(t, RMAT(cfg))
+	b := materialize(t, RMAT(cfg))
+	if len(a) != len(b) || len(a) != int(cfg.NumEdges()) {
+		t.Fatalf("lens %d %d want %d", len(a), len(b), cfg.NumEdges())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pass divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRMATInRange(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		scale := int(scaleRaw%8) + 4
+		cfg := RMATConfig{Scale: scale, EdgeFactor: 4, Seed: seed}
+		src := RMAT(cfg)
+		n := core.VertexID(cfg.NumVertices())
+		ok := true
+		count := int64(0)
+		src.Edges(func(b []core.Edge) error {
+			for _, e := range b {
+				count++
+				if e.Src >= n || e.Dst >= n || e.Weight < 0 || e.Weight >= 1 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok && count == cfg.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATUndirectedPairs(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 3, Undirected: true}
+	edges := materialize(t, RMAT(cfg))
+	if len(edges)%2 != 0 {
+		t.Fatal("odd number of records")
+	}
+	for i := 0; i < len(edges); i += 2 {
+		fwd, bwd := edges[i], edges[i+1]
+		if fwd.Src != bwd.Dst || fwd.Dst != bwd.Src || fwd.Weight != bwd.Weight {
+			t.Fatalf("pair %d not mirrored: %+v %+v", i, fwd, bwd)
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// Scale-free property: the max out-degree must far exceed the mean.
+	cfg := RMATScale(12, 5, false)
+	deg := make([]int, cfg.NumVertices())
+	RMAT(cfg).Edges(func(b []core.Edge) error {
+		for _, e := range b {
+			deg[e.Src]++
+		}
+		return nil
+	})
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 16*8 { // mean degree is 16; demand >=8x skew
+		t.Fatalf("max degree %d too small for a scale-free graph", max)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5, 1)
+	if g.NumVertices() != 20 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// 4*4 horizontal + 3*5 vertical = 31 undirected edges = 62 records.
+	if g.NumEdges() != 62 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	edges := materialize(t, g)
+	if int64(len(edges)) != g.NumEdges() {
+		t.Fatalf("materialized %d", len(edges))
+	}
+	// Every edge connects lattice neighbours.
+	for _, e := range edges {
+		r1, c1 := int(e.Src)/5, int(e.Src)%5
+		r2, c2 := int(e.Dst)/5, int(e.Dst)%5
+		dr, dc := r1-r2, c1-c2
+		if dr*dr+dc*dc != 1 {
+			t.Fatalf("non-neighbour edge %+v", e)
+		}
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	const users, items, ratings = 50, 10, 200
+	b := Bipartite(users, items, ratings, 9)
+	if b.NumVertices() != users+items {
+		t.Fatalf("vertices = %d", b.NumVertices())
+	}
+	edges := materialize(t, b)
+	if len(edges) != 2*ratings {
+		t.Fatalf("records = %d", len(edges))
+	}
+	for i := 0; i < len(edges); i += 2 {
+		u, v := edges[i].Src, edges[i].Dst
+		if int(u) >= users || int(v) < users || int(v) >= users+items {
+			t.Fatalf("edge %d crosses sides wrong: %d->%d", i, u, v)
+		}
+		if edges[i+1].Src != v || edges[i+1].Dst != u {
+			t.Fatalf("missing mirror at %d", i)
+		}
+		if edges[i].Weight < 0.19 || edges[i].Weight > 1.0 {
+			t.Fatalf("rating weight %f out of range", edges[i].Weight)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform(100, 1001, 2, false)
+	edges := materialize(t, u)
+	if len(edges) != 1001 {
+		t.Fatalf("len = %d", len(edges))
+	}
+	ud := Uniform(100, 1001, 2, true)
+	if ud.NumEdges() != 1000 {
+		t.Fatalf("undirected rounds to even, got %d", ud.NumEdges())
+	}
+}
+
+func TestChain(t *testing.T) {
+	c := Chain(5, 1)
+	edges := materialize(t, c)
+	if len(edges) != 8 {
+		t.Fatalf("len = %d", len(edges))
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, d := range append(InMemoryDatasets(), NetflixLike()) {
+		if d.Name == "" || d.Source == nil {
+			t.Fatalf("bad dataset %+v", d)
+		}
+		if d.Source.NumEdges() <= 0 || d.Source.NumVertices() <= 0 {
+			t.Fatalf("%s: empty", d.Name)
+		}
+	}
+	// Out-of-core stand-ins are declared but not materialized here (big).
+	for _, d := range OutOfCoreDatasets() {
+		if d.Source.NumEdges() < 1<<22 {
+			t.Fatalf("%s too small for an out-of-core stand-in: %d", d.Name, d.Source.NumEdges())
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package graphgen generates the synthetic graphs the paper evaluates on:
+// RMAT scale-free graphs with Graph500 parameters (§5.2), plus the
+// high-diameter, bipartite and uniform graphs used as stand-ins for the
+// real-world datasets of Figure 10 that cannot be redistributed here.
+//
+// All generators are deterministic functions of their seed, and the
+// streaming variants regenerate identical edge lists on every pass, so they
+// can be used directly as re-streamable EdgeSources without materializing
+// the graph.
+package graphgen
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Graph500 RMAT partition probabilities (Chakrabarti et al., as
+// recommended by the Graph500 benchmark the paper follows).
+const (
+	rmatA = 0.57
+	rmatB = 0.19
+	rmatC = 0.19
+	// rmatD = 0.05 (remainder)
+)
+
+// RMATConfig describes an RMAT generation.
+type RMATConfig struct {
+	Scale      int   // 2^Scale vertices
+	EdgeFactor int   // directed edge records = EdgeFactor * 2^Scale (16 gives the paper's scale-n graphs)
+	Seed       int64 //
+	Undirected bool  // emit each generated edge in both directions (EdgeFactor counts records)
+}
+
+// NumVertices returns the vertex count of the configuration.
+func (c RMATConfig) NumVertices() int64 { return 1 << c.Scale }
+
+// NumEdges returns the number of directed edge records generated.
+func (c RMATConfig) NumEdges() int64 {
+	n := int64(c.EdgeFactor) << c.Scale
+	if c.Undirected {
+		n &^= 1 // even, since edges come in pairs
+	}
+	return n
+}
+
+// RMATScale returns the paper's "scale n" configuration: 2^n vertices and
+// 2^(n+4) edge records (average degree 16).
+func RMATScale(n int, seed int64, undirected bool) RMATConfig {
+	return RMATConfig{Scale: n, EdgeFactor: 16, Seed: seed, Undirected: undirected}
+}
+
+// rmatSource streams RMAT edges, regenerating deterministically per pass.
+type rmatSource struct {
+	cfg RMATConfig
+}
+
+// RMAT returns a re-streamable EdgeSource generating the configured graph.
+func RMAT(cfg RMATConfig) core.EdgeSource {
+	if cfg.EdgeFactor <= 0 {
+		cfg.EdgeFactor = 16
+	}
+	return &rmatSource{cfg: cfg}
+}
+
+func (s *rmatSource) NumVertices() int64 { return s.cfg.NumVertices() }
+func (s *rmatSource) NumEdges() int64    { return s.cfg.NumEdges() }
+
+func (s *rmatSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	total := s.cfg.NumEdges()
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	emit := func(e Edge) error {
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	}
+	if s.cfg.Undirected {
+		for i := int64(0); i < total; i += 2 {
+			src, dst := rmatPick(rng, s.cfg.Scale)
+			w := rng.Float32()
+			if err := emit(Edge{Src: src, Dst: dst, Weight: w}); err != nil {
+				return err
+			}
+			if err := emit(Edge{Src: dst, Dst: src, Weight: w}); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := int64(0); i < total; i++ {
+			src, dst := rmatPick(rng, s.cfg.Scale)
+			if err := emit(Edge{Src: src, Dst: dst, Weight: rng.Float32()}); err != nil {
+				return err
+			}
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
+// Edge is re-exported for brevity inside this package.
+type Edge = core.Edge
+
+// rmatPick recursively descends the adjacency-matrix quadrants.
+func rmatPick(rng *rand.Rand, scale int) (src, dst core.VertexID) {
+	for i := 0; i < scale; i++ {
+		r := rng.Float64()
+		var sb, db core.VertexID
+		switch {
+		case r < rmatA:
+			// top-left: 0,0
+		case r < rmatA+rmatB:
+			db = 1
+		case r < rmatA+rmatB+rmatC:
+			sb = 1
+		default:
+			sb, db = 1, 1
+		}
+		src = src<<1 | sb
+		dst = dst<<1 | db
+	}
+	return src, dst
+}

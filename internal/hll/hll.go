@@ -1,0 +1,76 @@
+// Package hll implements the fixed-size HyperLogLog counters that
+// HyperANF [Boldi, Rosa, Vigna] maintains per vertex to approximate the
+// neighbourhood function of a graph (paper §5.3, Figure 13).
+//
+// Counters are plain 64-byte arrays so they can live directly in vertex
+// state and be streamed as updates by either engine.
+package hll
+
+import "math"
+
+// Registers is the register count m (2^6). The relative standard error of
+// the estimate is ~1.04/sqrt(m) ≈ 13%.
+const Registers = 64
+
+const registerBits = 6 // log2(Registers)
+
+// Counter is a HyperLogLog sketch of a set of vertex IDs.
+type Counter [Registers]uint8
+
+// alpha is the bias-correction constant for m = 64.
+var alpha = 0.709
+
+// hash64 is SplitMix64, a well-distributed 64-bit mixer.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Add inserts an element.
+func (c *Counter) Add(x uint64) {
+	h := hash64(x)
+	reg := h & (Registers - 1)
+	rest := h >> registerBits
+	// rank = position of first 1 bit (1-based), over the remaining 58 bits.
+	rank := uint8(1)
+	for rest&1 == 0 && rank < 64-registerBits {
+		rank++
+		rest >>= 1
+	}
+	if rank > c[reg] {
+		c[reg] = rank
+	}
+}
+
+// Union merges other into c, reporting whether c changed. Union is the
+// gather operation of HyperANF: a vertex's sketch absorbs its neighbours'.
+func (c *Counter) Union(other *Counter) bool {
+	changed := false
+	for i := range c {
+		if other[i] > c[i] {
+			c[i] = other[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Estimate returns the approximate cardinality.
+func (c *Counter) Estimate() float64 {
+	sum := 0.0
+	zeros := 0
+	for _, r := range c {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * Registers * Registers / sum
+	// Small-range correction: linear counting.
+	if e <= 2.5*Registers && zeros > 0 {
+		e = Registers * math.Log(float64(Registers)/float64(zeros))
+	}
+	return e
+}

@@ -1,0 +1,81 @@
+package hll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 100000} {
+		var c Counter
+		for i := 0; i < n; i++ {
+			c.Add(uint64(i) * 2654435761)
+		}
+		got := c.Estimate()
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// 1.04/sqrt(64) ≈ 13% standard error; allow 4 sigma.
+		if relErr > 0.52 {
+			t.Fatalf("n=%d: estimate %.0f, rel err %.2f", n, got, relErr)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	var a, b Counter
+	for i := 0; i < 50; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i))
+		b.Add(uint64(i)) // duplicates must not change the sketch
+	}
+	if a != b {
+		t.Fatal("duplicate Add changed the counter")
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		var a, b, both Counter
+		for _, x := range xs {
+			a.Add(x)
+			both.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			both.Add(y)
+		}
+		u := a
+		u.Union(&b)
+		// Union equals the sketch of the union of the sets.
+		if u != both {
+			return false
+		}
+		// Union is monotone: unioning again changes nothing.
+		if u.Union(&b) || u.Union(&a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionChangeDetection(t *testing.T) {
+	var a, b Counter
+	a.Add(1)
+	b.Add(99999)
+	if !a.Union(&b) {
+		t.Fatal("union with new element reported no change")
+	}
+	if a.Union(&b) {
+		t.Fatal("second union reported change")
+	}
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	var c Counter
+	if got := c.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %f", got)
+	}
+}

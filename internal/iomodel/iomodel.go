@@ -1,0 +1,90 @@
+// Package iomodel evaluates the external-memory (I/O model, Aggarwal &
+// Vitter) cost bounds of the paper's Figure 26 for X-Stream, GraphChi and
+// the sort-then-random-access approach, and instantiates them numerically.
+// Fewer I/Os means a faster algorithm; the table shows X-Stream winning on
+// low-diameter graphs and degrading with diameter.
+package iomodel
+
+import "math"
+
+// Params instantiates the I/O model.
+type Params struct {
+	V int64 // vertex state size in words
+	E int64 // edge list size in words
+	U int64 // update list size in words (per iteration)
+	M int64 // fast memory size in words
+	B int64 // transfer block size in words
+	D int64 // graph diameter (number of scatter phases)
+}
+
+// XStreamPartitions is K = |V|/M (§3.4 simplified).
+func XStreamPartitions(p Params) int64 {
+	k := (p.V + p.M - 1) / p.M
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// GraphChiShards is |E|/M: shards must hold their edges in memory.
+func GraphChiShards(p Params) int64 {
+	k := (p.E + p.M - 1) / p.M
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// logMB is log base M/B of x, clamped to >= 1 (at least one pass).
+func logMB(p Params, x float64) float64 {
+	base := float64(p.M) / float64(p.B)
+	if base <= 1 || x <= 1 {
+		return 1
+	}
+	l := math.Log(x) / math.Log(base)
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// XStreamOneIter is the paper's per-iteration bound:
+// (|V|+|E|)/B + (|U|/B)·log_{M/B}(K).
+func XStreamOneIter(p Params) float64 {
+	k := float64(XStreamPartitions(p))
+	return float64(p.V+p.E)/float64(p.B) + float64(p.U)/float64(p.B)*logMB(p, k)
+}
+
+// XStreamTotal is D iterations of the scatter-gather loop:
+// D·((|V|+|E|)/B + (|E|/B)·log_{M/B}(K)), using |E| as the update bound.
+func XStreamTotal(p Params) float64 {
+	k := float64(XStreamPartitions(p))
+	return float64(p.D) * (float64(p.V+p.E)/float64(p.B) + float64(p.E)/float64(p.B)*logMB(p, k))
+}
+
+// GraphChiOneIter is |E|/B + K² (as reported in the GraphChi paper).
+func GraphChiOneIter(p Params) float64 {
+	k := float64(GraphChiShards(p))
+	return float64(p.E)/float64(p.B) + k*k
+}
+
+// GraphChiTotal is D iterations.
+func GraphChiTotal(p Params) float64 {
+	return float64(p.D) * GraphChiOneIter(p)
+}
+
+// SortPreprocess is the external-sort bound for building the sorted,
+// indexed edge list: (|E|/B)·log_{M/B}(min(|V|, |E|/M)).
+func SortPreprocess(p Params) float64 {
+	arg := float64(p.V)
+	if em := float64(p.E) / float64(p.M); em < arg {
+		arg = em
+	}
+	return float64(p.E) / float64(p.B) * logMB(p, arg)
+}
+
+// SortTotal adds the random-access traversal: |V| + |E| I/Os (one block
+// fetch per vertex and per edge in the worst case), independent of D.
+func SortTotal(p Params) float64 {
+	return SortPreprocess(p) + float64(p.V+p.E)
+}

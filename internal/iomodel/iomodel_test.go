@@ -1,0 +1,75 @@
+package iomodel
+
+import "testing"
+
+// paperish mirrors a billion-edge graph: 1G edge words, 64M vertex words,
+// 1M-word memory, 1K-word blocks.
+func paperish(d int64) Params {
+	return Params{V: 64 << 20, E: 1 << 30, U: 1 << 30, M: 1 << 27, B: 1 << 10, D: d}
+}
+
+func TestXStreamBeatsSortOnLowDiameter(t *testing.T) {
+	p := paperish(16)
+	if XStreamTotal(p) >= SortTotal(p) {
+		t.Fatalf("low diameter: xstream %.3g should beat sort+random %.3g",
+			XStreamTotal(p), SortTotal(p))
+	}
+}
+
+func TestSortWinsOnHugeDiameter(t *testing.T) {
+	p := paperish(1 << 20) // pathological diameter
+	if XStreamTotal(p) <= SortTotal(p) {
+		t.Fatalf("huge diameter: sort+random %.3g should beat xstream %.3g",
+			SortTotal(p), XStreamTotal(p))
+	}
+}
+
+func TestXStreamFewerPartitionsThanGraphChi(t *testing.T) {
+	p := paperish(16)
+	if XStreamPartitions(p) >= GraphChiShards(p) {
+		t.Fatalf("partitions %d must undercut shards %d (edges >> vertices)",
+			XStreamPartitions(p), GraphChiShards(p))
+	}
+}
+
+func TestXStreamBeatsGraphChiWhenMemoryTight(t *testing.T) {
+	// GraphChi's K² window-I/O term explodes as memory shrinks relative
+	// to the edge set (K = |E|/M shards); X-Stream's K = |V|/M stays tiny
+	// because partitions only hold vertex state. This is the Figure 26
+	// claim that X-Stream "scales better than Graphchi on I/Os".
+	p := Params{V: 64 << 20, E: 16 << 30, U: 16 << 30, M: 1 << 20, B: 1 << 10, D: 16}
+	if XStreamOneIter(p) >= GraphChiOneIter(p) {
+		t.Fatalf("xstream per-iter %.3g should beat graphchi %.3g",
+			XStreamOneIter(p), GraphChiOneIter(p))
+	}
+	// And the gap grows as memory shrinks further.
+	p2 := p
+	p2.M = 1 << 18
+	gap1 := GraphChiOneIter(p) / XStreamOneIter(p)
+	gap2 := GraphChiOneIter(p2) / XStreamOneIter(p2)
+	if gap2 <= gap1 {
+		t.Fatalf("gap should widen with smaller memory: %.1fx -> %.1fx", gap1, gap2)
+	}
+}
+
+func TestScalesWithDiameter(t *testing.T) {
+	a, b := paperish(4), paperish(8)
+	ra := XStreamTotal(b) / XStreamTotal(a)
+	if ra < 1.9 || ra > 2.1 {
+		t.Fatalf("doubling D should double X-Stream I/Os, got %.2fx", ra)
+	}
+	// Sort+random is diameter-independent.
+	if SortTotal(a) != SortTotal(b) {
+		t.Fatal("sort total should not depend on D")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	p := Params{V: 10, E: 10, U: 10, M: 1 << 20, B: 8, D: 1}
+	if XStreamPartitions(p) != 1 {
+		t.Fatalf("tiny graph needs 1 partition, got %d", XStreamPartitions(p))
+	}
+	if XStreamTotal(p) <= 0 || SortTotal(p) <= 0 || GraphChiTotal(p) <= 0 {
+		t.Fatal("costs must be positive")
+	}
+}

@@ -1,0 +1,117 @@
+// Package membench measures main-memory bandwidth the way the paper's
+// §5.1 microbenchmarks do: each thread reads from or writes to a private
+// buffer far larger than the last-level cache, either sequentially or one
+// random cache line at a time. It produces the RAM rows of Figure 11 and
+// the curve of Figure 8.
+package membench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sink defeats dead-code elimination of the measurement loops.
+var sink atomic.Uint64
+
+const cacheLineWords = 8 // 64-byte lines of uint64
+
+// Result is a bandwidth measurement in bytes/second.
+type Result struct {
+	Threads int
+	BPS     float64
+}
+
+// run spawns one goroutine per thread, each looping body over its private
+// buffer until the deadline, and returns aggregate bytes/second.
+func run(threads, bufWords int, minDur time.Duration, body func(buf []uint64) int64) Result {
+	var wg sync.WaitGroup
+	bytesDone := make([]int64, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			buf := make([]uint64, bufWords)
+			for i := range buf {
+				buf[i] = uint64(i)
+			}
+			var n int64
+			for n == 0 || time.Since(start) < minDur {
+				n += body(buf)
+			}
+			bytesDone[t] = n
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total int64
+	for _, n := range bytesDone {
+		total += n
+	}
+	return Result{Threads: threads, BPS: float64(total) / elapsed}
+}
+
+// SequentialRead measures streaming read bandwidth.
+func SequentialRead(threads, bufBytes int, dur time.Duration) Result {
+	return run(threads, bufBytes/8, dur, func(buf []uint64) int64 {
+		var s uint64
+		for _, v := range buf {
+			s += v
+		}
+		sink.Add(s)
+		return int64(len(buf) * 8)
+	})
+}
+
+// SequentialWrite measures streaming write bandwidth.
+func SequentialWrite(threads, bufBytes int, dur time.Duration) Result {
+	return run(threads, bufBytes/8, dur, func(buf []uint64) int64 {
+		for i := range buf {
+			buf[i] = uint64(i) ^ 0xDEAD
+		}
+		return int64(len(buf) * 8)
+	})
+}
+
+// RandomRead measures bandwidth reading one full randomly-chosen cache
+// line per access.
+func RandomRead(threads, bufBytes int, dur time.Duration) Result {
+	return run(threads, bufBytes/8, dur, func(buf []uint64) int64 {
+		lines := len(buf) / cacheLineWords
+		var s uint64
+		x := uint64(88172645463325252)
+		const accesses = 1 << 16
+		for i := 0; i < accesses; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			off := int(x%uint64(lines)) * cacheLineWords
+			for w := 0; w < cacheLineWords; w++ {
+				s += buf[off+w]
+			}
+		}
+		sink.Add(s)
+		return int64(accesses * cacheLineWords * 8)
+	})
+}
+
+// RandomWrite measures bandwidth writing one full randomly-chosen cache
+// line per access.
+func RandomWrite(threads, bufBytes int, dur time.Duration) Result {
+	return run(threads, bufBytes/8, dur, func(buf []uint64) int64 {
+		lines := len(buf) / cacheLineWords
+		x := uint64(1181783497276652981)
+		const accesses = 1 << 16
+		for i := 0; i < accesses; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			off := int(x%uint64(lines)) * cacheLineWords
+			for w := 0; w < cacheLineWords; w++ {
+				buf[off+w] = x
+			}
+		}
+		return int64(accesses * cacheLineWords * 8)
+	})
+}

@@ -1,0 +1,420 @@
+// Package memengine is X-Stream's in-memory streaming engine (paper §4).
+//
+// The engine processes graphs whose vertices, edges and updates fit in
+// memory. Fast Storage is the CPU cache, Slow Storage is RAM: the number of
+// streaming partitions is chosen so the vertex *footprint* of one partition
+// fits in a core's cache share, edges and updates are streamed sequentially
+// through stream buffers, and updates are routed to partitions with the
+// parallel multi-stage shuffler of internal/streambuf.
+//
+// Parallelism follows the paper: partitions are the unit of work for
+// scatter and gather, claimed by threads from a shared cursor (work
+// stealing, §4.1); threads append updates through small private buffers
+// flushed into the shared output buffer by atomic reservation; the shuffle
+// runs lock-free on per-thread slices (§4.2).
+package memengine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pod"
+	"repro/internal/streambuf"
+)
+
+// Config tunes the in-memory engine. The zero value auto-sizes everything
+// the way the paper describes: partitions from the cache size and vertex
+// footprint (§4), shuffler fanout from the cache line count (§4.2).
+type Config struct {
+	// Threads is the number of worker threads. 0 means GOMAXPROCS.
+	Threads int
+	// CacheBytes is the per-core cache share used to size partitions.
+	// 0 means 2 MiB (the testbed's L2 share, §5.1).
+	CacheBytes int
+	// CacheLineBytes sizes the shuffler fanout bound. 0 means 64.
+	CacheLineBytes int
+	// Partitions forces the partition count (must be a power of two).
+	// 0 means automatic.
+	Partitions int
+	// Fanout forces the shuffler fanout (power of two >= 2). 0 means
+	// automatic.
+	Fanout int
+	// MaxIterations bounds the scatter-gather loop as a safety net.
+	// 0 means 1<<20.
+	MaxIterations int
+	// NoWorkStealing statically assigns partitions to threads instead of
+	// letting idle threads claim the next unprocessed partition. Only
+	// used by the work-stealing ablation benchmark.
+	NoWorkStealing bool
+	// PrivateBufBytes is the size of each thread's private append buffer
+	// (§4.1). 0 means 8 KiB, the paper's value.
+	PrivateBufBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 2 << 20
+	}
+	if c.CacheLineBytes <= 0 {
+		c.CacheLineBytes = 64
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 1 << 20
+	}
+	if c.PrivateBufBytes <= 0 {
+		c.PrivateBufBytes = 8 << 10
+	}
+	return c
+}
+
+// Result carries the final vertex states and execution statistics.
+type Result[V any] struct {
+	Vertices []V
+	Stats    core.Stats
+}
+
+// Run executes prog on g with the in-memory engine and returns the final
+// vertex states.
+func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Result[V], error) {
+	cfg = cfg.withDefaults()
+	if err := pod.Check[V](); err != nil {
+		return nil, fmt.Errorf("memengine: vertex state: %w", err)
+	}
+	if err := pod.Check[M](); err != nil {
+		return nil, fmt.Errorf("memengine: update value: %w", err)
+	}
+
+	start := time.Now()
+	nv := g.NumVertices()
+	ne := g.NumEdges()
+
+	// Partition count from the §4 footprint rule; fanout from §4.2.
+	k := cfg.Partitions
+	if k == 0 {
+		foot := core.Footprint(pod.Size[V](), pod.Size[core.Update[M]]())
+		k = core.MemPartitions(nv, foot, cfg.CacheBytes)
+	}
+	if k&(k-1) != 0 {
+		return nil, fmt.Errorf("memengine: partition count %d is not a power of two", k)
+	}
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = core.MemFanout(cfg.CacheBytes, cfg.CacheLineBytes)
+	}
+	if fanout > k && k > 1 {
+		fanout = k
+	}
+	plan, err := streambuf.NewPlan(k, fanout)
+	if err != nil {
+		return nil, fmt.Errorf("memengine: %w", err)
+	}
+	part := core.NewPartitioner(nv, k)
+
+	e := &engine[V, M]{
+		cfg:  cfg,
+		prog: prog,
+		part: part,
+		plan: plan,
+		nv:   nv,
+		ne:   ne,
+	}
+	e.stats.Algorithm = prog.Name()
+	e.stats.Engine = "memory"
+	e.stats.Partitions = k
+	e.stats.Threads = cfg.Threads
+
+	if err := e.setup(g); err != nil {
+		return nil, err
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	e.stats.TotalTime = time.Since(start)
+	return &Result[V]{Vertices: e.verts, Stats: e.stats}, nil
+}
+
+type engine[V, M any] struct {
+	cfg  Config
+	prog core.Program[V, M]
+	part core.Partitioner
+	plan streambuf.Plan
+	nv   int64
+	ne   int64
+
+	verts []V
+	// Edge stream buffers, bucketed by partition of the source vertex.
+	// edgesBwd is built lazily the first time a DirectedProgram asks for
+	// a Backward iteration (§2: transposes are a streaming pass).
+	edgesFwd *streambuf.Buffer[core.Edge]
+	edgesBwd *streambuf.Buffer[core.Edge]
+	// Update buffers: one receives scatter output, the other is shuffle
+	// scratch (the engine needs exactly three stream buffers, §4).
+	updA, updB *streambuf.Buffer[core.Update[M]]
+
+	stats core.Stats
+}
+
+// setup initializes vertex state and shuffles the unordered edge list into
+// per-partition chunks (this is the engine's only pre-processing; no sort).
+func (e *engine[V, M]) setup(g core.EdgeSource) error {
+	e.verts = make([]V, e.nv)
+	e.parallelVertices(func(id core.VertexID, v *V) {
+		e.prog.Init(id, v)
+	})
+
+	buf, err := e.loadEdges(g)
+	if err != nil {
+		return err
+	}
+	e.edgesFwd = buf
+
+	updCap := int(e.ne)
+	e.updA = streambuf.New[core.Update[M]](updCap)
+	e.updB = streambuf.New[core.Update[M]](updCap)
+	return nil
+}
+
+// loadEdges streams src into a buffer and shuffles it by source partition.
+func (e *engine[V, M]) loadEdges(src core.EdgeSource) (*streambuf.Buffer[core.Edge], error) {
+	a := streambuf.New[core.Edge](int(src.NumEdges()))
+	err := src.Edges(func(batch []core.Edge) error {
+		if !a.Append(batch) {
+			return fmt.Errorf("memengine: edge source produced more than its declared %d edges", src.NumEdges())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := streambuf.New[core.Edge](a.Cap())
+	res := streambuf.Shuffle(a, b, e.plan, e.cfg.Threads, func(ed core.Edge) uint32 {
+		return e.part.Of(ed.Src)
+	})
+	return res, nil
+}
+
+// loop runs the synchronous scatter-shuffle-gather iterations.
+func (e *engine[V, M]) loop() error {
+	directed, isDirected := any(e.prog).(core.DirectedProgram)
+	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
+	usize := pod.Size[core.Update[M]]()
+
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		if s, ok := any(e.prog).(core.IterationStarter); ok {
+			s.StartIteration(iter)
+		}
+
+		edges := e.edgesFwd
+		if isDirected && directed.Direction(iter) == core.Backward {
+			if e.edgesBwd == nil {
+				rev, err := e.reverseEdges()
+				if err != nil {
+					return err
+				}
+				e.edgesBwd = rev
+			}
+			edges = e.edgesBwd
+		}
+
+		// Scatter phase.
+		t0 := time.Now()
+		e.updA.Reset()
+		sent, streamed, err := e.scatter(edges)
+		if err != nil {
+			return err
+		}
+		e.stats.ScatterTime += time.Since(t0)
+		e.stats.EdgesStreamed += streamed
+		e.stats.UpdatesSent += sent
+		e.stats.WastedEdges += streamed - sent
+		e.stats.RandomRefs += streamed // one vertex load per edge
+		e.stats.SequentialRefs += streamed
+		e.stats.BytesStreamed += streamed * 12
+
+		// Shuffle phase.
+		t1 := time.Now()
+		res := streambuf.Shuffle(e.updA, e.updB, e.plan, e.cfg.Threads, func(u core.Update[M]) uint32 {
+			return e.part.Of(u.Dst)
+		})
+		e.stats.ShuffleTime += time.Since(t1)
+		e.stats.BytesStreamed += sent * int64(usize) * int64(e.plan.NumStages()+2)
+		e.stats.SequentialRefs += sent * int64(e.plan.NumStages()+2)
+
+		// Gather phase.
+		t2 := time.Now()
+		e.gather(res)
+		e.stats.GatherTime += time.Since(t2)
+		e.stats.RandomRefs += sent
+		res.Reset()
+
+		e.stats.Iterations = iter + 1
+		if isPhased {
+			if phased.EndIteration(iter, sent, core.SliceView[V](e.verts)) {
+				return nil
+			}
+		} else if sent == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// reverseEdges builds the transposed, re-partitioned edge buffer.
+func (e *engine[V, M]) reverseEdges() (*streambuf.Buffer[core.Edge], error) {
+	a := streambuf.New[core.Edge](int(e.ne))
+	batch := make([]core.Edge, 0, 64<<10)
+	for p := 0; p < e.part.K; p++ {
+		e.edgesFwd.Bucket(p, func(run []core.Edge) {
+			for _, ed := range run {
+				batch = append(batch, core.Edge{Src: ed.Dst, Dst: ed.Src, Weight: ed.Weight})
+				if len(batch) == cap(batch) {
+					a.Append(batch)
+					batch = batch[:0]
+				}
+			}
+		})
+	}
+	a.Append(batch)
+	b := streambuf.New[core.Edge](a.Cap())
+	return streambuf.Shuffle(a, b, e.plan, e.cfg.Threads, func(ed core.Edge) uint32 {
+		return e.part.Of(ed.Src)
+	}), nil
+}
+
+// scatter streams every partition's edge chunk, appending updates through
+// thread-private buffers (§4.1). It returns (updates sent, edges streamed).
+func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, streamed int64, err error) {
+	var sentTotal, streamedTotal atomic.Int64
+	var overflow atomic.Bool
+	privCap := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
+	if privCap < 1 {
+		privCap = 1
+	}
+
+	e.forEachPartition(func(p int) {
+		priv := make([]core.Update[M], 0, privCap)
+		var nSent, nStreamed int64
+		edges.Bucket(p, func(run []core.Edge) {
+			for _, ed := range run {
+				nStreamed++
+				if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
+					priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
+					nSent++
+					if len(priv) == cap(priv) {
+						if !e.updA.Append(priv) {
+							overflow.Store(true)
+							return
+						}
+						priv = priv[:0]
+					}
+				}
+			}
+		})
+		if len(priv) > 0 && !e.updA.Append(priv) {
+			overflow.Store(true)
+		}
+		sentTotal.Add(nSent)
+		streamedTotal.Add(nStreamed)
+	})
+
+	if overflow.Load() {
+		return 0, 0, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
+	}
+	return sentTotal.Load(), streamedTotal.Load(), nil
+}
+
+// gather streams every partition's update chunk into its vertices.
+func (e *engine[V, M]) gather(updates *streambuf.Buffer[core.Update[M]]) {
+	e.forEachPartition(func(p int) {
+		updates.Bucket(p, func(run []core.Update[M]) {
+			for _, u := range run {
+				e.prog.Gather(u.Dst, &e.verts[u.Dst], u.Val)
+			}
+		})
+	})
+}
+
+// forEachPartition runs fn over all partitions on the configured worker
+// count. By default threads claim partitions from a shared cursor so an
+// unlucky thread stuck with a dense partition does not idle the rest
+// (work stealing, §4.1); NoWorkStealing switches to a static round-robin
+// assignment for the ablation.
+func (e *engine[V, M]) forEachPartition(fn func(p int)) {
+	workers := e.cfg.Threads
+	if workers > e.part.K {
+		workers = e.part.K
+	}
+	if workers <= 1 {
+		for p := 0; p < e.part.K; p++ {
+			fn(p)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	if e.cfg.NoWorkStealing {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < e.part.K; p += workers {
+					fn(p)
+				}
+			}(w)
+		}
+	} else {
+		var cursor atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(cursor.Add(1)) - 1
+					if p >= e.part.K {
+						return
+					}
+					fn(p)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// parallelVertices applies fn to every vertex using all workers.
+func (e *engine[V, M]) parallelVertices(fn func(core.VertexID, *V)) {
+	workers := e.cfg.Threads
+	n := len(e.verts)
+	if workers <= 1 || n < 4096 {
+		for i := range e.verts {
+			fn(core.VertexID(i), &e.verts[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(core.VertexID(i), &e.verts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

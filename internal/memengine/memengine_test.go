@@ -1,0 +1,281 @@
+package memengine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+)
+
+// wccState is min-label-propagation state: the component label and the
+// iteration in which it last improved (so scatter only fires for changed
+// vertices, the standard X-Stream WCC formulation).
+type wccState struct {
+	Label   core.VertexID
+	Updated int32
+}
+
+type wccProg struct{ iter int32 }
+
+func (w *wccProg) Name() string { return "wcc-test" }
+
+func (w *wccProg) Init(id core.VertexID, v *wccState) {
+	v.Label = id
+	v.Updated = 0
+}
+
+func (w *wccProg) StartIteration(iter int) { w.iter = int32(iter) }
+
+func (w *wccProg) Scatter(e core.Edge, src *wccState) (core.VertexID, bool) {
+	if src.Updated == w.iter {
+		return src.Label, true
+	}
+	return 0, false
+}
+
+func (w *wccProg) Gather(dst core.VertexID, v *wccState, m core.VertexID) {
+	if m < v.Label {
+		v.Label = m
+		v.Updated = w.iter + 1
+	}
+}
+
+// unionFind is the reference WCC.
+type unionFind []int
+
+func newUF(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	return uf
+}
+
+func (u unionFind) find(x int) int {
+	for u[x] != x {
+		u[x] = u[u[x]]
+		x = u[x]
+	}
+	return x
+}
+
+func (u unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u[ra] = rb
+	}
+}
+
+func checkWCC(t *testing.T, edges []core.Edge, n int64, verts []wccState) {
+	t.Helper()
+	uf := newUF(int(n))
+	for _, e := range edges {
+		uf.union(int(e.Src), int(e.Dst))
+	}
+	// min id per component
+	minOf := make(map[int]core.VertexID)
+	for v := 0; v < int(n); v++ {
+		r := uf.find(v)
+		if m, ok := minOf[r]; !ok || core.VertexID(v) < m {
+			minOf[r] = core.VertexID(v)
+		}
+	}
+	for v := 0; v < int(n); v++ {
+		want := minOf[uf.find(v)]
+		if verts[v].Label != want {
+			t.Fatalf("vertex %d: label %d, want %d", v, verts[v].Label, want)
+		}
+	}
+}
+
+func TestWCCAgainstUnionFind(t *testing.T) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 77, Undirected: true})
+	edges, _ := core.Materialize(src)
+	for _, cfg := range []Config{
+		{Threads: 1},
+		{Threads: 4},
+		{Threads: 4, Partitions: 16},
+		{Threads: 3, Partitions: 64, Fanout: 4},
+		{Threads: 4, NoWorkStealing: true},
+		{Threads: 2, Partitions: 1},
+	} {
+		res, err := Run(src, &wccProg{}, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		checkWCC(t, edges, src.NumVertices(), res.Vertices)
+		if res.Stats.Iterations < 2 {
+			t.Fatalf("suspiciously few iterations: %d", res.Stats.Iterations)
+		}
+		if res.Stats.EdgesStreamed != src.NumEdges()*int64(res.Stats.Iterations) {
+			t.Fatalf("edges streamed %d, want %d*%d", res.Stats.EdgesStreamed, src.NumEdges(), res.Stats.Iterations)
+		}
+	}
+}
+
+func TestWCCRandomGraphsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := int64(rng.Intn(200) + 2)
+		m := rng.Intn(400)
+		edges := make([]core.Edge, 0, 2*m)
+		for i := 0; i < m; i++ {
+			a := core.VertexID(rng.Int63n(n))
+			b := core.VertexID(rng.Int63n(n))
+			edges = append(edges, core.Edge{Src: a, Dst: b, Weight: 1}, core.Edge{Src: b, Dst: a, Weight: 1})
+		}
+		src := core.NewSliceSource(edges, n)
+		res, err := Run(src, &wccProg{}, Config{Threads: 2, Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWCC(t, edges, n, res.Vertices)
+	}
+}
+
+// degProg counts in-degree (Forward) or out-degree (Backward) in one
+// iteration; exercises the phased-termination and direction paths.
+type degProg struct {
+	backward bool
+}
+
+func (d *degProg) Name() string                                  { return "degree-test" }
+func (d *degProg) Init(id core.VertexID, v *int32)               { *v = 0 }
+func (d *degProg) Scatter(e core.Edge, src *int32) (int32, bool) { return 1, true }
+func (d *degProg) Gather(dst core.VertexID, v *int32, m int32)   { *v += m }
+
+func (d *degProg) EndIteration(iter int, sent int64, view core.VertexView[int32]) bool {
+	return true // single iteration
+}
+
+func (d *degProg) Direction(iter int) core.Direction {
+	if d.backward {
+		return core.Backward
+	}
+	return core.Forward
+}
+
+func TestDegreeForwardBackward(t *testing.T) {
+	edges := []core.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 2, Weight: 1}, // self loop
+	}
+	src := core.NewSliceSource(edges, 3)
+
+	res, err := Run(src, &degProg{}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Vertices; got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("in-degrees = %v", got)
+	}
+
+	res, err = Run(src, &degProg{backward: true}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Vertices; got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("out-degrees = %v", got)
+	}
+	if res.Stats.UpdatesSent != 4 {
+		t.Fatalf("updates = %d", res.Stats.UpdatesSent)
+	}
+}
+
+func TestWastedEdgeAccounting(t *testing.T) {
+	// After convergence iterations, WCC wastes edges; the counters must
+	// reconcile: streamed = sent + wasted.
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 1, Undirected: true})
+	res, err := Run(src, &wccProg{}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.EdgesStreamed != s.UpdatesSent+s.WastedEdges {
+		t.Fatalf("streamed %d != sent %d + wasted %d", s.EdgesStreamed, s.UpdatesSent, s.WastedEdges)
+	}
+	if s.WastedFraction() <= 0 {
+		t.Fatal("expected some wasted edges")
+	}
+}
+
+// neverDone scatters forever; the engine must stop at MaxIterations.
+type neverDone struct{}
+
+func (neverDone) Name() string                                  { return "never" }
+func (neverDone) Init(id core.VertexID, v *int32)               { *v = 0 }
+func (neverDone) Scatter(e core.Edge, src *int32) (int32, bool) { return 1, true }
+func (neverDone) Gather(dst core.VertexID, v *int32, m int32)   {}
+
+func TestMaxIterations(t *testing.T) {
+	src := core.NewSliceSource([]core.Edge{{Src: 0, Dst: 1, Weight: 1}}, 2)
+	res, err := Run(src, neverDone{}, Config{Threads: 1, MaxIterations: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 7 {
+		t.Fatalf("iterations = %d, want 7", res.Stats.Iterations)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	src := core.NewSliceSource(nil, 0)
+	res, err := Run(src, &wccProg{}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) != 0 || res.Stats.Iterations != 1 {
+		t.Fatalf("empty graph: %+v", res.Stats)
+	}
+}
+
+func TestLyingEdgeSource(t *testing.T) {
+	src := &liar{core.NewSliceSource(make([]core.Edge, 10), 4)}
+	if _, err := Run(src, &wccProg{}, Config{Threads: 1}); err == nil {
+		t.Fatal("expected error for undersized edge declaration")
+	}
+}
+
+type liar struct{ core.EdgeSource }
+
+func (l *liar) NumEdges() int64 { return 5 } // claims 5, streams 10
+
+func TestInvalidConfig(t *testing.T) {
+	src := core.NewSliceSource([]core.Edge{{Src: 0, Dst: 1, Weight: 1}}, 2)
+	if _, err := Run(src, &wccProg{}, Config{Partitions: 3}); err == nil {
+		t.Fatal("non-power-of-two partitions accepted")
+	}
+}
+
+// ptrState is rejected by the pod check.
+type ptrProg struct{}
+
+func (ptrProg) Name() string                                   { return "ptr" }
+func (ptrProg) Init(id core.VertexID, v **int32)               {}
+func (ptrProg) Scatter(e core.Edge, src **int32) (int32, bool) { return 0, false }
+func (ptrProg) Gather(dst core.VertexID, v **int32, m int32)   {}
+
+func TestPointerStateRejected(t *testing.T) {
+	src := core.NewSliceSource([]core.Edge{{Src: 0, Dst: 1, Weight: 1}}, 2)
+	if _, err := Run(src, ptrProg{}, Config{}); err == nil {
+		t.Fatal("pointer vertex state accepted")
+	}
+}
+
+func TestStatsTiming(t *testing.T) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 3, Undirected: true})
+	res, err := Run(src, &wccProg{}, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.TotalTime <= 0 || s.ScatterTime <= 0 || s.GatherTime <= 0 {
+		t.Fatalf("missing timings: %+v", s)
+	}
+	if s.BytesStreamed <= 0 || s.RandomRefs <= 0 {
+		t.Fatalf("missing volume stats: %+v", s)
+	}
+}

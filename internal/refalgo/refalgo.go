@@ -1,0 +1,310 @@
+// Package refalgo holds textbook single-threaded reference implementations
+// (union-find components, Dijkstra, Kruskal, Tarjan SCC, power-iteration
+// PageRank) used to validate the edge-centric X-Stream algorithms and the
+// baseline engines in tests. None of this code is on any measured path.
+package refalgo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Components returns, for every vertex, the smallest vertex ID in its
+// weakly connected component.
+func Components(n int64, edges []core.Edge) []core.VertexID {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(int32(e.Src)), find(int32(e.Dst))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	minOf := make(map[int32]core.VertexID)
+	for v := int64(0); v < n; v++ {
+		r := find(int32(v))
+		if m, ok := minOf[r]; !ok || core.VertexID(v) < m {
+			minOf[r] = core.VertexID(v)
+		}
+	}
+	out := make([]core.VertexID, n)
+	for v := int64(0); v < n; v++ {
+		out[v] = minOf[find(int32(v))]
+	}
+	return out
+}
+
+// adjacency builds a CSR-ish adjacency list.
+func adjacency(n int64, edges []core.Edge) [][]core.Edge {
+	adj := make([][]core.Edge, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e)
+	}
+	return adj
+}
+
+// Dijkstra returns shortest-path distances from root (math.Inf(1) for
+// unreachable vertices). Weights must be non-negative.
+func Dijkstra(n int64, edges []core.Edge, root core.VertexID) []float64 {
+	adj := adjacency(n, edges)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	pq := &distHeap{{v: root, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			nd := it.d + float64(e.Weight)
+			if nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				heap.Push(pq, distItem{v: e.Dst, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v core.VertexID
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BFSLevels returns hop distances from root (-1 for unreachable).
+func BFSLevels(n int64, edges []core.Edge, root core.VertexID) []int32 {
+	adj := adjacency(n, edges)
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []core.VertexID{root}
+	for len(frontier) > 0 {
+		var next []core.VertexID
+		for _, v := range frontier {
+			for _, e := range adj[v] {
+				if level[e.Dst] < 0 {
+					level[e.Dst] = level[v] + 1
+					next = append(next, e.Dst)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+// KruskalWeight returns the total weight of a minimum spanning forest,
+// treating each directed record (u,v,w) as an undirected edge.
+func KruskalWeight(n int64, edges []core.Edge) float64 {
+	type ue struct {
+		a, b core.VertexID
+		w    float32
+	}
+	seen := make(map[[2]core.VertexID]float32)
+	for _, e := range edges {
+		a, b := e.Src, e.Dst
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]core.VertexID{a, b}
+		if w, ok := seen[k]; !ok || e.Weight < w {
+			seen[k] = e.Weight
+		}
+	}
+	list := make([]ue, 0, len(seen))
+	for k, w := range seen {
+		list = append(list, ue{a: k[0], b: k[1], w: w})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].w < list[j].w })
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	total := 0.0
+	for _, e := range list {
+		ra, rb := find(int32(e.a)), find(int32(e.b))
+		if ra != rb {
+			parent[ra] = rb
+			total += float64(e.w)
+		}
+	}
+	return total
+}
+
+// PageRank runs damped power iteration (d=0.85) for iters rounds with the
+// same "rank starts at 1, no dangling redistribution" convention as the
+// X-Stream program, so results are comparable bit-for-bit in structure.
+func PageRank(n int64, edges []core.Edge, iters int) []float64 {
+	deg := make([]int64, n)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for _, e := range edges {
+			if deg[e.Src] > 0 {
+				next[e.Dst] += rank[e.Src] / float64(deg[e.Src])
+			}
+		}
+		for i := range rank {
+			rank[i] = 0.15 + 0.85*next[i]
+		}
+	}
+	return rank
+}
+
+// SCC returns a strongly-connected-component id per vertex (ids are
+// arbitrary but consistent), via iterative Tarjan.
+func SCC(n int64, edges []core.Edge) []int32 {
+	adj := make([][]core.VertexID, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	const none = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = none
+		comp[i] = none
+	}
+	var stack []core.VertexID
+	var counter, nComp int32
+
+	type frame struct {
+		v  core.VertexID
+		ei int
+	}
+	for start := int64(0); start < n; start++ {
+		if index[start] != none {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v: core.VertexID(start)})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == none {
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// post-order
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// Conductance computes the conductance of subset S: cross-edges divided by
+// the smaller of the two degree volumes. inS classifies vertices.
+func Conductance(edges []core.Edge, inS func(core.VertexID) bool) float64 {
+	var cross, volS, volNotS int64
+	for _, e := range edges {
+		s := inS(e.Src)
+		if s != inS(e.Dst) {
+			cross++
+		}
+		if s {
+			volS++
+		} else {
+			volNotS++
+		}
+	}
+	den := volS
+	if volNotS < den {
+		den = volNotS
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(cross) / float64(den)
+}

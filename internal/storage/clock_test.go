@@ -1,0 +1,8 @@
+package storage
+
+import "time"
+
+// nowMono returns a monotonic nanosecond timestamp for pacing tests.
+func nowMono() int64 { return int64(time.Since(startEpoch)) }
+
+var startEpoch = time.Now()

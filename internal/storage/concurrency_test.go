@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentFileAccess hammers one simulated device from many
+// goroutines; counters must balance and data must be intact.
+func TestConcurrentFileAccess(t *testing.T) {
+	dev := NewSim(SSDParams("c", 2, 0))
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f, err := dev.Create(string(rune('a' + w)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			payload := make([]byte, 1024)
+			for i := range payload {
+				payload[i] = byte(w)
+			}
+			for i := 0; i < per; i++ {
+				if _, err := f.WriteAt(payload, int64(i)*1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			buf := make([]byte, 1024)
+			for i := 0; i < per; i++ {
+				if _, err := f.ReadAt(buf, int64(i)*1024); err != nil && err != io.EOF {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(w) || buf[1023] != byte(w) {
+					t.Errorf("worker %d: corrupted read at %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := dev.Stats()
+	if s.BytesWritten != workers*per*1024 || s.BytesRead != workers*per*1024 {
+		t.Fatalf("counters off: %+v", s)
+	}
+}
+
+// TestSharedFileConcurrentAppendRegions: disjoint regions written
+// concurrently must all persist (the disk engine's writer and readers
+// share files).
+func TestSharedFileConcurrentAppendRegions(t *testing.T) {
+	dev := NewSim(HDDParams("c", 2, 0))
+	f, _ := dev.Create("shared")
+	const workers = 4
+	const chunk = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, chunk)
+			for i := range payload {
+				payload[i] = byte(w + 1)
+			}
+			if _, err := f.WriteAt(payload, int64(w)*chunk); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Size() != workers*chunk {
+		t.Fatalf("size %d", f.Size())
+	}
+	buf := make([]byte, chunk)
+	for w := 0; w < workers; w++ {
+		if _, err := f.ReadAt(buf, int64(w)*chunk); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(w+1) || buf[chunk-1] != byte(w+1) {
+			t.Fatalf("region %d corrupted", w)
+		}
+	}
+}
+
+func TestResetStatsClearsTimeline(t *testing.T) {
+	dev := NewSim(SSDParams("c", 1, 0))
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, 4096), 0)
+	if len(dev.Timeline()) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	dev.ResetStats()
+	if len(dev.Timeline()) != 0 {
+		t.Fatal("timeline survived reset")
+	}
+	f.WriteAt(make([]byte, 4096), 4096)
+	if len(dev.Timeline()) == 0 {
+		t.Fatal("timeline not re-recorded after reset")
+	}
+}
+
+// TestSimSleepPacing: with TimeScale > 0, requests take real time
+// proportional to modelled cost.
+func TestSimSleepPacing(t *testing.T) {
+	slow := NewSim(SimParams{
+		Name: "slow", NumDisks: 1, StripeUnit: 1 << 20,
+		SeekRead: 0, SeekWrite: 0, PerRequest: 0,
+		ReadBW: 1e6, WriteBW: 1e6, // 1 MB/s
+		TimeScale: 1.0,
+	})
+	f, _ := slow.Create("a")
+	start := nowMono()
+	f.WriteAt(make([]byte, 100_000), 0) // 0.1s at 1 MB/s
+	elapsed := nowMono() - start
+	if elapsed < 80_000_000 { // 80ms in ns, generous slack
+		t.Fatalf("pacing too fast: %dns for a 100ms write", elapsed)
+	}
+}

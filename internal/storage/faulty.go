@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error produced by a faulty device when its fault
+// trigger fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyOptions configures fault injection.
+type FaultyOptions struct {
+	// FailAfterOps injects ErrInjected on every read/write once this many
+	// operations have succeeded. Zero disables error injection.
+	FailAfterOps int64
+	// ShortReads truncates every read to at most this many bytes (still a
+	// legal ReaderAt short read with io.EOF semantics preserved by the
+	// retry layer above). Zero disables.
+	ShortReads int
+}
+
+// NewFaulty wraps a Device with fault injection for failure testing.
+func NewFaulty(inner Device, opts FaultyOptions) Device {
+	return &faultyDevice{inner: inner, opts: opts}
+}
+
+type faultyDevice struct {
+	inner Device
+	opts  FaultyOptions
+	ops   atomic.Int64
+}
+
+func (d *faultyDevice) Name() string { return d.inner.Name() + "+faulty" }
+
+func (d *faultyDevice) Create(name string) (File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{dev: d, inner: f}, nil
+}
+
+func (d *faultyDevice) Open(name string) (File, error) {
+	f, err := d.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{dev: d, inner: f}, nil
+}
+
+func (d *faultyDevice) Remove(name string) error  { return d.inner.Remove(name) }
+func (d *faultyDevice) Stats() Stats              { return d.inner.Stats() }
+func (d *faultyDevice) ResetStats()               { d.inner.ResetStats() }
+func (d *faultyDevice) Timeline() []TimelinePoint { return d.inner.Timeline() }
+
+func (d *faultyDevice) shouldFail() bool {
+	n := d.ops.Add(1)
+	return d.opts.FailAfterOps > 0 && n > d.opts.FailAfterOps
+}
+
+type faultyFile struct {
+	dev   *faultyDevice
+	inner File
+}
+
+func (f *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.dev.shouldFail() {
+		return 0, ErrInjected
+	}
+	if s := f.dev.opts.ShortReads; s > 0 && len(p) > s {
+		p = p[:s]
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.dev.shouldFail() {
+		return 0, ErrInjected
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultyFile) Size() int64               { return f.inner.Size() }
+func (f *faultyFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *faultyFile) Close() error              { return f.inner.Close() }

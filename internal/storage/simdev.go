@@ -1,0 +1,378 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SimParams describes the cost model of a simulated device. A device is a
+// RAID-0 array of NumDisks identical members with StripeUnit-byte striping
+// (NumDisks=1 models a single disk).
+//
+// The cost charged to a member disk for the portion of a request it serves
+// is
+//
+//	cost = PerRequest + seek (if not sequential on that member) + bytes/BW
+//
+// where seek is SeekRead or SeekWrite, and sequentiality is tracked per
+// member in terms of the member's own LBA space (stripes of one file are
+// compacted per member exactly as RAID-0 lays them out). Members serve
+// their portions in parallel; each member serves one request at a time, so
+// concurrent callers queue — the same first-order behaviour as a real disk.
+//
+// With TimeScale > 0 every request really sleeps cost*TimeScale while
+// holding its member locks, so prefetching, read/write overlap across
+// separate devices, and RAID parallelism all behave as they would on real
+// hardware, just TimeScale× faster. With TimeScale == 0 no sleeping occurs
+// and only the busy-time accounting is kept.
+type SimParams struct {
+	Name       string
+	NumDisks   int           // RAID-0 members, >= 1
+	StripeUnit int           // bytes per stripe, power of two
+	SeekRead   time.Duration // latency of a non-sequential read, per member
+	SeekWrite  time.Duration // latency of a non-sequential write, per member
+	PerRequest time.Duration // fixed per-request overhead, per member
+	ReadBW     float64       // bytes/second streaming read, per member
+	WriteBW    float64       // bytes/second streaming write, per member
+	TimeScale  float64       // 0 disables sleeping; 0.01 = 100x faster than real
+}
+
+// Calibration constants: per-member numbers derived from the paper's
+// Figure 9 / Figure 11 RAID-0 pair measurements (§5.1).
+const simStripeUnit = 512 << 10
+
+// HDDParams models one half of the paper's RAID-0 pair of 3 TB 7200 RPM
+// SATA disks. The pair streams ~328 MB/s reads / 316 MB/s writes and manages
+// only 0.6 MB/s random 4 KiB reads (≈7 ms per seek); random writes are
+// absorbed by the write cache (2 MB/s ≈ 2 ms effective).
+func HDDParams(name string, disks int, timeScale float64) SimParams {
+	return SimParams{
+		Name:       name,
+		NumDisks:   disks,
+		StripeUnit: simStripeUnit,
+		SeekRead:   6800 * time.Microsecond,
+		SeekWrite:  2 * time.Millisecond,
+		PerRequest: 50 * time.Microsecond,
+		ReadBW:     164e6,
+		WriteBW:    158e6,
+		TimeScale:  timeScale,
+	}
+}
+
+// SSDParams models one half of the paper's RAID-0 pair of 200 GB PCIe SSDs:
+// pair bandwidth 667 MB/s read / 576 MB/s write; 4 KiB random reads at
+// 22.5 MB/s (≈170 µs per request) and random writes at 48.6 MB/s.
+func SSDParams(name string, disks int, timeScale float64) SimParams {
+	return SimParams{
+		Name:       name,
+		NumDisks:   disks,
+		StripeUnit: simStripeUnit,
+		SeekRead:   170 * time.Microsecond,
+		SeekWrite:  65 * time.Microsecond,
+		PerRequest: 20 * time.Microsecond,
+		ReadBW:     333e6,
+		WriteBW:    288e6,
+		TimeScale:  timeScale,
+	}
+}
+
+// simDevice is the simulated Device.
+type simDevice struct {
+	counters
+	p     SimParams
+	disks []simDisk
+
+	mu    sync.Mutex
+	files map[string]*simFile
+}
+
+// simDisk is one RAID member: its own lock (serialized service), head
+// position for sequentiality, and accumulated busy time.
+type simDisk struct {
+	mu       sync.Mutex
+	lastFile *simFile
+	lastLBA  int64
+	busy     time.Duration
+}
+
+// NewSim returns a simulated Device with the given cost model.
+func NewSim(p SimParams) Device {
+	if p.NumDisks < 1 {
+		p.NumDisks = 1
+	}
+	if p.StripeUnit <= 0 {
+		p.StripeUnit = simStripeUnit
+	}
+	d := &simDevice{p: p, files: make(map[string]*simFile)}
+	d.disks = make([]simDisk, p.NumDisks)
+	d.counters.init()
+	return d
+}
+
+func (d *simDevice) Name() string { return d.p.Name }
+
+func (d *simDevice) Create(name string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		f = &simFile{dev: d, name: name}
+		d.files[name] = f
+	}
+	f.mu.Lock()
+	f.data = f.data[:0]
+	f.mu.Unlock()
+	return f, nil
+}
+
+func (d *simDevice) Open(name string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	return f, nil
+}
+
+func (d *simDevice) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return ErrNotExist
+	}
+	f.mu.Lock()
+	d.trimmedBytes.Add(int64(len(f.data)))
+	d.trims.Add(1)
+	f.data = nil
+	f.mu.Unlock()
+	delete(d.files, name)
+	return nil
+}
+
+func (d *simDevice) Stats() Stats {
+	s := d.counters.snapshot()
+	for i := range d.disks {
+		d.disks[i].mu.Lock()
+		if d.disks[i].busy > s.Busy {
+			s.Busy = d.disks[i].busy
+		}
+		d.disks[i].mu.Unlock()
+	}
+	return s
+}
+
+func (d *simDevice) ResetStats() {
+	d.counters.reset()
+	for i := range d.disks {
+		d.disks[i].mu.Lock()
+		d.disks[i].busy = 0
+		d.disks[i].mu.Unlock()
+	}
+}
+
+func (d *simDevice) Timeline() []TimelinePoint { return d.counters.timelineCopy() }
+
+// segment is the portion of one request served by one member disk.
+type segment struct {
+	disk  int
+	lba   int64 // member-local logical block address
+	bytes int
+}
+
+// split maps a (file offset, length) request onto member-disk segments.
+// The stripes a contiguous request places on one member are contiguous in
+// that member's LBA space, so each member receives exactly one coalesced
+// segment — a RAID controller issues one transfer per member, not one per
+// stripe.
+func (d *simDevice) split(off int64, n int) []segment {
+	su := int64(d.p.StripeUnit)
+	nd := int64(d.p.NumDisks)
+	var segs []segment
+	byDisk := make([]int, d.p.NumDisks) // index+1 into segs, 0 = absent
+	for n > 0 {
+		stripe := off / su
+		disk := int(stripe % nd)
+		within := off % su
+		take := int(su - within)
+		if take > n {
+			take = n
+		}
+		if i := byDisk[disk]; i > 0 {
+			segs[i-1].bytes += take
+		} else {
+			lba := (stripe/nd)*su + within
+			segs = append(segs, segment{disk: disk, lba: lba, bytes: take})
+			byDisk[disk] = len(segs)
+		}
+		off += int64(take)
+		n -= take
+	}
+	return segs
+}
+
+// serve charges the cost of a request against its member disks, sleeping if
+// TimeScale > 0. It reports whether the request as a whole continued a
+// sequential run (true iff every member segment did).
+func (d *simDevice) serve(f *simFile, off int64, n int, write bool) bool {
+	segs := d.split(off, n)
+	if len(segs) == 1 {
+		return d.serveSegment(f, segs[0], write)
+	}
+	var notSeq atomic.Bool
+	var wg sync.WaitGroup
+	for _, s := range segs {
+		wg.Add(1)
+		go func(s segment) {
+			defer wg.Done()
+			if !d.serveSegment(f, s, write) {
+				notSeq.Store(true)
+			}
+		}(s)
+	}
+	wg.Wait()
+	return !notSeq.Load()
+}
+
+// serveSegment charges one member disk for its portion of a request,
+// holding the member lock for the (scaled) service duration so concurrent
+// requests queue like they would on a real spindle.
+func (d *simDevice) serveSegment(f *simFile, s segment, write bool) bool {
+	disk := &d.disks[s.disk]
+	disk.mu.Lock()
+	seq := disk.lastFile == f && disk.lastLBA == s.lba
+	disk.lastFile = f
+	disk.lastLBA = s.lba + int64(s.bytes)
+	cost := d.p.PerRequest
+	if write {
+		if !seq {
+			cost += d.p.SeekWrite
+		}
+		cost += time.Duration(float64(s.bytes) / d.p.WriteBW * float64(time.Second))
+	} else {
+		if !seq {
+			cost += d.p.SeekRead
+		}
+		cost += time.Duration(float64(s.bytes) / d.p.ReadBW * float64(time.Second))
+	}
+	disk.busy += cost
+	if d.p.TimeScale > 0 {
+		time.Sleep(time.Duration(float64(cost) * d.p.TimeScale))
+	}
+	disk.mu.Unlock()
+	return seq
+}
+
+// Cost returns the modelled service time of a single request without
+// performing it: the maximum over member disks of the per-member cost.
+// Used to regenerate the paper's Figure 9 bandwidth-vs-request-size curves
+// and the Figure 11 random/sequential table analytically.
+func (d *simDevice) Cost(off int64, n int, write, sequential bool) time.Duration {
+	segs := d.split(off, n)
+	perDisk := make(map[int]time.Duration)
+	for _, s := range segs {
+		cost := d.p.PerRequest
+		if !sequential {
+			if write {
+				cost += d.p.SeekWrite
+			} else {
+				cost += d.p.SeekRead
+			}
+		}
+		bw := d.p.ReadBW
+		if write {
+			bw = d.p.WriteBW
+		}
+		cost += time.Duration(float64(s.bytes) / bw * float64(time.Second))
+		perDisk[s.disk] += cost
+	}
+	var max time.Duration
+	for _, c := range perDisk {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// CostModel exposes the analytic Cost function of simulated devices.
+type CostModel interface {
+	Cost(off int64, n int, write, sequential bool) time.Duration
+}
+
+var _ CostModel = (*simDevice)(nil)
+
+type simFile struct {
+	dev  *simDevice
+	name string
+
+	mu   sync.RWMutex
+	data []byte
+}
+
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	seq := f.dev.serve(f, off, len(p), false)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.data)) {
+		f.dev.record(0, false, seq)
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	f.dev.record(n, false, seq)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	seq := f.dev.serve(f, off, len(p), true)
+	f.mu.Lock()
+	end := off + int64(len(p))
+	if end > int64(len(f.data)) {
+		if end > int64(cap(f.data)) {
+			grown := make([]byte, end, end+end/2)
+			copy(grown, f.data)
+			f.data = grown
+		} else {
+			f.data = f.data[:end]
+		}
+	}
+	n := copy(f.data[off:end], p)
+	f.mu.Unlock()
+	f.dev.record(n, true, seq)
+	return n, nil
+}
+
+func (f *simFile) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data))
+}
+
+func (f *simFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := int64(len(f.data))
+	switch {
+	case size < old:
+		f.data = f.data[:size]
+		f.dev.trims.Add(1)
+		f.dev.trimmedBytes.Add(old - size)
+	case size > old:
+		for int64(len(f.data)) < size {
+			f.data = append(f.data, 0)
+		}
+	}
+	return nil
+}
+
+func (f *simFile) Close() error { return nil }

@@ -1,0 +1,315 @@
+package streambuf
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type rec struct {
+	Key uint32
+	Val uint32
+}
+
+func keyOf(r rec) uint32 { return r.Key }
+
+func makeRecs(n int, k uint32, seed int64) []rec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]rec, n)
+	for i := range out {
+		out[i] = rec{Key: uint32(rng.Intn(int(k))), Val: uint32(i)}
+	}
+	return out
+}
+
+// collect gathers all records from the bucketed buffer in bucket order.
+func collect(b *Buffer[rec], k int) []rec {
+	var out []rec
+	for p := 0; p < k; p++ {
+		b.Bucket(p, func(run []rec) { out = append(out, run...) })
+	}
+	return out
+}
+
+func checkShuffled(t *testing.T, in []rec, b *Buffer[rec], k int) {
+	t.Helper()
+	got := collect(b, k)
+	if len(got) != len(in) {
+		t.Fatalf("record count %d, want %d", len(got), len(in))
+	}
+	// Every record in bucket p must have key p.
+	for p := 0; p < k; p++ {
+		b.Bucket(p, func(run []rec) {
+			for _, r := range run {
+				if int(r.Key) != p {
+					t.Fatalf("bucket %d contains key %d", p, r.Key)
+				}
+			}
+		})
+	}
+	// Multiset equality via sorted Val (Vals are unique).
+	a := make([]int, len(in))
+	c := make([]int, len(got))
+	for i := range in {
+		a[i] = int(in[i].Val)
+		c[i] = int(got[i].Val)
+	}
+	sort.Ints(a)
+	sort.Ints(c)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("multiset mismatch at %d", i)
+		}
+	}
+}
+
+func TestShuffleSingleStage(t *testing.T) {
+	const n, k = 1000, 8
+	in := makeRecs(n, k, 1)
+	a, b := New[rec](n), New[rec](n)
+	a.Fill(in)
+	plan, err := NewPlan(k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 1 {
+		t.Fatalf("stages = %d, want 1", plan.NumStages())
+	}
+	res := Shuffle(a, b, plan, 4, keyOf)
+	checkShuffled(t, in, res, k)
+}
+
+func TestShuffleMultiStage(t *testing.T) {
+	const n = 5000
+	for _, k := range []int{2, 16, 64, 256} {
+		for _, fanout := range []int{2, 4, 16} {
+			in := makeRecs(n, uint32(k), int64(k*fanout))
+			a, b := New[rec](n), New[rec](n)
+			a.Fill(in)
+			plan, err := NewPlan(k, fanout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Shuffle(a, b, plan, 3, keyOf)
+			checkShuffled(t, in, res, k)
+		}
+	}
+}
+
+func TestShuffleStagesEquivalent(t *testing.T) {
+	// A multi-stage shuffle must produce the same per-bucket multisets as
+	// a single-stage shuffle.
+	const n, k = 3000, 64
+	in := makeRecs(n, k, 7)
+
+	runWith := func(fanout int) [][]rec {
+		a, b := New[rec](n), New[rec](n)
+		a.Fill(in)
+		plan, _ := NewPlan(k, fanout)
+		res := Shuffle(a, b, plan, 4, keyOf)
+		out := make([][]rec, k)
+		for p := 0; p < k; p++ {
+			res.Bucket(p, func(run []rec) { out[p] = append(out[p], run...) })
+			sort.Slice(out[p], func(i, j int) bool { return out[p][i].Val < out[p][j].Val })
+		}
+		return out
+	}
+
+	single := runWith(64) // 1 stage
+	multi := runWith(4)   // 3 stages
+	for p := 0; p < k; p++ {
+		if len(single[p]) != len(multi[p]) {
+			t.Fatalf("bucket %d sizes differ: %d vs %d", p, len(single[p]), len(multi[p]))
+		}
+		for i := range single[p] {
+			if single[p][i] != multi[p][i] {
+				t.Fatalf("bucket %d rec %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestShuffleK1(t *testing.T) {
+	in := makeRecs(100, 1, 3)
+	a, b := New[rec](100), New[rec](100)
+	a.Fill(in)
+	plan, err := NewPlan(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 0 {
+		t.Fatalf("K=1 stages = %d", plan.NumStages())
+	}
+	res := Shuffle(a, b, plan, 2, keyOf)
+	checkShuffled(t, in, res, 1)
+}
+
+func TestShuffleEmpty(t *testing.T) {
+	a, b := New[rec](10), New[rec](10)
+	plan, _ := NewPlan(4, 2)
+	res := Shuffle(a, b, plan, 3, keyOf)
+	if res.Len() != 0 {
+		t.Fatalf("Len = %d", res.Len())
+	}
+	for p := 0; p < 4; p++ {
+		if res.BucketLen(p) != 0 {
+			t.Fatalf("bucket %d non-empty", p)
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	f := func(seed int64, kexp uint8, n uint16) bool {
+		k := 1 << (kexp%8 + 1) // 2..256
+		nn := int(n)%2000 + 1
+		in := makeRecs(nn, uint32(k), seed)
+		a, b := New[rec](nn), New[rec](nn)
+		a.Fill(in)
+		plan, err := NewPlan(k, 4)
+		if err != nil {
+			return false
+		}
+		res := Shuffle(a, b, plan, 4, keyOf)
+		total := 0
+		for p := 0; p < k; p++ {
+			ok := true
+			res.Bucket(p, func(run []rec) {
+				for _, r := range run {
+					if int(r.Key) != p {
+						ok = false
+					}
+				}
+			})
+			if !ok {
+				return false
+			}
+			total += res.BucketLen(p)
+		}
+		return total == nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	const workers, per = 8, 1000
+	b := New[rec](workers * per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]rec, 0, 100)
+			for i := 0; i < per; i++ {
+				batch = append(batch, rec{Key: uint32(w), Val: uint32(w*per + i)})
+				if len(batch) == cap(batch) {
+					if !b.Append(batch) {
+						t.Error("append overflow")
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if !b.Append(batch) {
+				t.Error("append overflow")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", b.Len(), workers*per)
+	}
+	// All values present exactly once.
+	seen := make([]bool, workers*per)
+	for _, r := range b.Raw() {
+		if seen[r.Val] {
+			t.Fatalf("value %d duplicated", r.Val)
+		}
+		seen[r.Val] = true
+	}
+}
+
+func TestAppendOverflow(t *testing.T) {
+	b := New[rec](5)
+	if !b.Append(make([]rec, 5)) {
+		t.Fatal("append within capacity failed")
+	}
+	if b.Append(make([]rec, 1)) {
+		t.Fatal("append beyond capacity succeeded")
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len after failed append = %d", b.Len())
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(3, 2); err == nil {
+		t.Fatal("K=3 accepted")
+	}
+	if _, err := NewPlan(8, 3); err == nil {
+		t.Fatal("fanout=3 accepted")
+	}
+	if _, err := NewPlan(0, 2); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	plan, err := NewPlan(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.NumStages(); got != 5 { // log4(1024) = 5
+		t.Fatalf("stages = %d, want 5", got)
+	}
+	if want := []int{4, 16, 64, 256, 1024}; len(plan.Stages) != len(want) {
+		t.Fatalf("stages = %v", plan.Stages)
+	}
+}
+
+func TestBucketRunsSliceCount(t *testing.T) {
+	// With P slices, a bucket has at most P runs (paper §4.2: at most P
+	// random accesses to recover a chunk).
+	const n, k, p = 10000, 16, 7
+	in := makeRecs(n, k, 11)
+	a, b := New[rec](n), New[rec](n)
+	a.Fill(in)
+	plan, _ := NewPlan(k, 4)
+	res := Shuffle(a, b, plan, p, keyOf)
+	for pt := 0; pt < k; pt++ {
+		if runs := res.BucketRuns(pt); len(runs) > p {
+			t.Fatalf("bucket %d has %d runs > P=%d", pt, len(runs), p)
+		}
+	}
+}
+
+func TestFillReset(t *testing.T) {
+	b := New[rec](10)
+	b.Fill([]rec{{1, 1}, {2, 2}})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Buckets() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestShuffleReshuffleBucketed(t *testing.T) {
+	// Shuffling an already-bucketed buffer to a finer K must work (this is
+	// what the layered in-memory engine does inside disk partitions).
+	const n = 2000
+	in := makeRecs(n, 64, 13)
+	a, b := New[rec](n), New[rec](n)
+	a.Fill(in)
+	coarse, _ := NewPlan(8, 8)
+	res := Shuffle(a, b, coarse, 4, func(r rec) uint32 { return r.Key >> 3 })
+	// Refine to 64 buckets using the full key.
+	fine, _ := NewPlan(64, 8)
+	other := a
+	if res == a {
+		other = b
+	}
+	res2 := Shuffle(res, other, fine, 4, keyOf)
+	checkShuffled(t, in, res2, 64)
+}

@@ -1,0 +1,83 @@
+package xstream
+
+import (
+	"repro/internal/core"
+	"repro/internal/diskengine"
+	"repro/internal/memengine"
+)
+
+// Core model types, re-exported from the engine packages.
+type (
+	// VertexID identifies a vertex (32-bit, enough for 4.2B vertices).
+	VertexID = core.VertexID
+	// Edge is a directed weighted edge.
+	Edge = core.Edge
+	// Update is a value produced by scatter, addressed to a vertex.
+	Update[M any] = core.Update[M]
+	// EdgeSource is a re-streamable unordered edge list.
+	EdgeSource = core.EdgeSource
+	// Program is an edge-centric scatter-gather computation.
+	Program[V, M any] = core.Program[V, M]
+	// PhasedProgram adds per-iteration aggregation and termination.
+	PhasedProgram[V, M any] = core.PhasedProgram[V, M]
+	// DirectedProgram selects forward or transposed streaming per
+	// iteration.
+	DirectedProgram = core.DirectedProgram
+	// IterationStarter is notified before each scatter phase.
+	IterationStarter = core.IterationStarter
+	// VertexView streams all vertex state through phase hooks.
+	VertexView[V any] = core.VertexView[V]
+	// Direction selects the streamed edge list orientation.
+	Direction = core.Direction
+	// Stats is the execution profile of one run.
+	Stats = core.Stats
+)
+
+// Edge list orientations.
+const (
+	Forward  = core.Forward
+	Backward = core.Backward
+)
+
+// Engine configuration and results.
+type (
+	// MemConfig tunes the in-memory engine (§4 of the paper). The zero
+	// value auto-sizes partitions and shuffler fanout.
+	MemConfig = memengine.Config
+	// DiskConfig tunes the out-of-core engine (§3 of the paper).
+	DiskConfig = diskengine.Config
+	// MemResult carries final vertex state and stats.
+	MemResult[V any] = memengine.Result[V]
+	// DiskResult carries final vertex state and stats.
+	DiskResult[V any] = diskengine.Result[V]
+)
+
+// RunMemory executes prog over g with the in-memory streaming engine:
+// partitions sized to the CPU cache, parallel scatter-gather with work
+// stealing, multi-stage in-memory shuffle.
+func RunMemory[V, M any](g EdgeSource, prog Program[V, M], cfg MemConfig) (*MemResult[V], error) {
+	return memengine.Run(g, prog, cfg)
+}
+
+// RunDisk executes prog over g with the out-of-core streaming engine:
+// streaming partitions on a storage device, merged scatter/shuffle with
+// asynchronous prefetching I/O.
+func RunDisk[V, M any](g EdgeSource, prog Program[V, M], cfg DiskConfig) (*DiskResult[V], error) {
+	return diskengine.Run(g, prog, cfg)
+}
+
+// NewSliceSource wraps an in-memory edge list as an EdgeSource. If
+// numVertices is 0 it is inferred as max(id)+1.
+func NewSliceSource(edges []Edge, numVertices int64) EdgeSource {
+	return core.NewSliceSource(edges, numVertices)
+}
+
+// Materialize reads an entire EdgeSource into memory.
+func Materialize(src EdgeSource) ([]Edge, error) { return core.Materialize(src) }
+
+// Reverse returns the transposed edge list as a streaming transformation.
+func Reverse(src EdgeSource) EdgeSource { return core.Reverse(src) }
+
+// Symmetrize returns src plus its transpose — the undirected version of a
+// directed graph.
+func Symmetrize(src EdgeSource) EdgeSource { return core.Symmetrize(src) }

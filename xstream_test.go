@@ -1,0 +1,82 @@
+package xstream_test
+
+import (
+	"testing"
+
+	xstream "repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// README shows it: generate, run in memory, run out of core, compare.
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 4, Undirected: true})
+
+	mem, err := xstream.RunMemory(g, xstream.NewWCC(), xstream.MemConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := xstream.WCCLabels(mem.Vertices)
+	if len(labels) != int(g.NumVertices()) {
+		t.Fatalf("labels = %d", len(labels))
+	}
+
+	dev := xstream.NewSimDevice(xstream.SimSSD("t", 2, 0))
+	disk, err := xstream.RunDisk(g, xstream.NewWCC(), xstream.DiskConfig{
+		Device: dev, Threads: 2, IOUnit: 32 << 10, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if disk.Vertices[i].Label != labels[i] {
+			t.Fatalf("engines disagree at %d", i)
+		}
+	}
+	if mem.Stats.Iterations == 0 || disk.Stats.BytesRead == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestPublicAPIFileRoundTrip(t *testing.T) {
+	dev := xstream.NewSimDevice(xstream.SimSSD("t", 1, 0))
+	g := xstream.GridGraph(8, 8, 1)
+	if err := xstream.WriteEdgeFile(dev, "grid", g); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := xstream.OpenEdgeFile(dev, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xstream.RunMemory(fs, xstream.NewBFS(0), xstream.MemConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := xstream.BFSLevels(res.Vertices)
+	if levels[63] != 14 { // opposite grid corner: 7+7 hops
+		t.Fatalf("corner level = %d, want 14", levels[63])
+	}
+}
+
+// userProgram checks that a downstream user can implement Program against
+// the public aliases only: count in-degrees.
+type userProgram struct{}
+
+func (userProgram) Name() string                                     { return "user-degree" }
+func (userProgram) Init(id xstream.VertexID, v *int32)               { *v = 0 }
+func (userProgram) Scatter(e xstream.Edge, src *int32) (int32, bool) { return 1, true }
+func (userProgram) Gather(dst xstream.VertexID, v *int32, m int32)   { *v += m }
+func (userProgram) EndIteration(iter int, sent int64, view xstream.VertexView[int32]) bool {
+	return true
+}
+
+func TestUserDefinedProgram(t *testing.T) {
+	edges := []xstream.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 1, Weight: 1}}
+	src := xstream.NewSliceSource(edges, 3)
+	res, err := xstream.RunMemory(src, userProgram{}, xstream.MemConfig{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vertices[1] != 2 {
+		t.Fatalf("in-degree = %d", res.Vertices[1])
+	}
+}
