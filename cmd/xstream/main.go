@@ -41,8 +41,19 @@ func main() {
 		budget     = flag.String("budget", "256m", "disk engine memory budget (e.g. 8g)")
 		ioUnit     = flag.String("iounit", "1m", "disk engine I/O unit (e.g. 16m)")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		partition  = flag.String("partitioner", "range", "partitioning policy: range|2ps")
 	)
 	flag.Parse()
+
+	var partitioner xstream.Partitioner
+	switch *partition {
+	case "range":
+		partitioner = xstream.NewRangePartitioner()
+	case "2ps":
+		partitioner = xstream.New2PSPartitioner()
+	default:
+		fatal("unknown -partitioner %q", *partition)
+	}
 
 	src := loadInput(*input, *rmat, *edgeFactor, *seed, *undirected)
 	fmt.Fprintf(os.Stderr, "xstream: %d vertices, %d edge records\n", src.NumVertices(), src.NumEdges())
@@ -69,9 +80,10 @@ func main() {
 			MemoryBudget: parseBytes(*budget),
 			IOUnit:       int(parseBytes(*ioUnit)),
 			Threads:      *threads,
+			Partitioner:  partitioner,
 		}
 	}
-	memCfg := xstream.MemConfig{Threads: *threads}
+	memCfg := xstream.MemConfig{Threads: *threads, Partitioner: partitioner}
 
 	switch *algo {
 	case "wcc":
@@ -221,6 +233,10 @@ func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
 		fatal("unknown -engine %q", engine)
 	}
 	fmt.Println(stats.String())
+	if stats.UpdatesSent > 0 {
+		fmt.Printf("partitioner %s: %.1f%% of updates crossed partitions\n",
+			stats.Partitioner, 100*stats.CrossFraction())
+	}
 	summarize(verts, stats)
 }
 

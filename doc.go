@@ -44,6 +44,35 @@
 // NewPageRank, NewSpMV, NewConductance, NewMIS, NewMCST, NewSCC, NewALS,
 // NewBP and NewHyperANF.
 //
+// # Partitioners and the relabeling contract
+//
+// The paper fixes streaming partitions as equal contiguous vertex-ID
+// ranges, which makes cross-partition update traffic a hostage of the
+// input's vertex ordering. Both engines therefore accept a Partitioner in
+// their Config (nil = NewRangePartitioner, the paper's fixed split).
+// New2PSPartitioner is a locality-aware alternative in the style of 2PS
+// ("2PS: High-Quality Edge Partitioning with Two-Phase Streaming",
+// Mayer et al.): one
+// streaming pass grows degree-weighted vertex clusters under a volume
+// cap, a second phase packs the clusters into the K partitions and emits
+// a vertex relabeling permutation. Partitions stay contiguous ranges, so
+// the engines' sequential vertex access is untouched; the edge stream is
+// rewritten through the permutation during pre-processing and results are
+// mapped back before they are returned, so callers always see input IDs.
+//
+// 2PS beats range when the graph has community structure the input
+// ordering ignores (web/social crawls delivered in arbitrary or shuffled
+// order); it cannot help on inputs whose ordering is already
+// locality-aware (a freshly generated R-MAT is close) and costs two extra
+// streaming passes of pre-processing. The figlocality experiment in
+// internal/bench quantifies the trade.
+//
+// Programs parameterized by vertex IDs (a BFS root) implement
+// VertexMapper to translate their parameters into execution ID space;
+// programs whose state stores vertex IDs (WCC labels) implement
+// StateRemapper so reported state references input IDs. See
+// internal/core's documentation of both interfaces.
+//
 // # Reproducing the paper
 //
 // The cmd/xbench binary regenerates every table and figure of the paper's

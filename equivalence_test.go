@@ -1,0 +1,260 @@
+package xstream_test
+
+import (
+	"math"
+	"testing"
+
+	xstream "repro"
+	"repro/internal/refalgo"
+)
+
+// Cross-engine equivalence: for every partitioner, the in-memory engine,
+// the out-of-core engine and the textbook reference implementations must
+// agree — after the engines have mapped relabeled results back to input
+// IDs — on PageRank, BFS and WCC.
+
+// equivCase is one (engine, partitioner) combination under test.
+type equivCase struct {
+	name string
+	mem  bool
+	part xstream.Partitioner
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{"mem/range", true, xstream.NewRangePartitioner()},
+		{"mem/2ps", true, xstream.New2PSPartitioner()},
+		{"disk/range", false, xstream.NewRangePartitioner()},
+		{"disk/2ps", false, xstream.New2PSPartitioner()},
+	}
+}
+
+// runEquiv executes prog on the case's engine with its partitioner.
+func runEquiv[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, prog xstream.Program[V, M]) []V {
+	t.Helper()
+	if c.mem {
+		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{Threads: 3, Partitioner: c.part})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		return res.Vertices
+	}
+	dev := xstream.NewSimDevice(xstream.SimSSD("equiv", 2, 0))
+	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
+		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	return res.Vertices
+}
+
+func TestEquivalenceBFS(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 21})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 3
+	want := refalgo.BFSLevels(src.NumVertices(), edges, root)
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := xstream.BFSLevels(runEquiv(t, c, src, xstream.NewBFS(root)))
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: level %d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestEquivalencePageRank(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 22})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 5
+	want := refalgo.PageRank(src.NumVertices(), edges, iters)
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := xstream.PageRankValues(runEquiv(t, c, src, xstream.NewPageRank(iters)))
+			for v := range want {
+				diff := math.Abs(float64(got[v]) - want[v])
+				if diff > 1e-3*(1+math.Abs(want[v])) {
+					t.Fatalf("vertex %d: rank %g, want %g", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestEquivalenceWCC(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 23, Undirected: true})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.Components(src.NumVertices(), edges)
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := xstream.WCCLabels(runEquiv(t, c, src, xstream.NewWCC()))
+			// Labels are representatives: under a relabeling partitioner
+			// the representative may be any member of the component, so
+			// compare the component *partitions* canonically: same label
+			// within an engine ⇔ same reference component, and the label
+			// must itself belong to the component it names.
+			repOf := map[xstream.VertexID]xstream.VertexID{} // got label -> ref component
+			for v := range got {
+				ref := want[v]
+				if seen, ok := repOf[got[v]]; ok {
+					if seen != ref {
+						t.Fatalf("label %d spans reference components %d and %d", got[v], seen, ref)
+					}
+				} else {
+					repOf[got[v]] = ref
+				}
+				if want[got[v]] != ref {
+					t.Fatalf("vertex %d: label %d is not a member of its component", v, got[v])
+				}
+			}
+			// Conversely, one reference component never splits across got
+			// labels.
+			labelOf := map[xstream.VertexID]xstream.VertexID{}
+			for v := range got {
+				if seen, ok := labelOf[want[v]]; ok {
+					if seen != got[v] {
+						t.Fatalf("reference component %d split into labels %d and %d", want[v], seen, got[v])
+					}
+				} else {
+					labelOf[want[v]] = got[v]
+				}
+			}
+		})
+	}
+}
+
+// TestEquivalenceSSSP rides along: root translation through VertexMapper
+// is the same machinery BFS uses, but with float distances.
+func TestEquivalenceSSSP(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 24})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 7
+	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := xstream.SSSPDistances(runEquiv(t, c, src, xstream.NewSSSP(root)))
+			for v := range want {
+				if math.IsInf(want[v], 1) {
+					if got[v] != float32(math.Inf(1)) {
+						t.Fatalf("vertex %d: reached at %g, want unreachable", v, got[v])
+					}
+					continue
+				}
+				if math.Abs(float64(got[v])-want[v]) > 1e-4*(1+want[v]) {
+					t.Fatalf("vertex %d: dist %g, want %g", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionerIndependentSeeding: programs that seed per-vertex state
+// from the vertex ID (SpMV's x vector, Conductance's subset, MCST's
+// forest) must seed from *input* IDs, so range and 2ps runs agree.
+func TestPartitionerIndependentSeeding(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 26, Undirected: true})
+	t.Run("spmv", func(t *testing.T) {
+		var want []xstream.SpMVState
+		for _, c := range equivCases()[:2] { // mem/range, mem/2ps
+			got := runEquiv(t, c, src, xstream.NewSpMV())
+			if want == nil {
+				want = got
+				continue
+			}
+			for v := range want {
+				if math.Abs(float64(got[v].Y-want[v].Y)) > 1e-3*(1+math.Abs(float64(want[v].Y))) {
+					t.Fatalf("%s: vertex %d: y %g, want %g", c.name, v, got[v].Y, want[v].Y)
+				}
+			}
+		}
+	})
+	t.Run("conductance", func(t *testing.T) {
+		var phi float64
+		for i, c := range equivCases()[:2] {
+			prog := xstream.NewConductance(nil)
+			runEquiv(t, c, src, prog)
+			if i == 0 {
+				phi = prog.Phi
+				continue
+			}
+			if math.Abs(prog.Phi-phi) > 1e-9 {
+				t.Fatalf("%s: phi %g, want %g", c.name, prog.Phi, phi)
+			}
+		}
+	})
+	t.Run("mcst", func(t *testing.T) {
+		var weight float64
+		var n int64
+		for i, c := range equivCases()[:2] {
+			prog := xstream.NewMCST()
+			runEquiv(t, c, src, prog)
+			if i == 0 {
+				weight, n = prog.TotalWeight, src.NumVertices()
+				continue
+			}
+			if math.Abs(prog.TotalWeight-weight) > 1e-6*(1+weight) {
+				t.Fatalf("%s: forest weight %g, want %g", c.name, prog.TotalWeight, weight)
+			}
+			for _, e := range prog.Edges {
+				if int64(e.A) >= n || int64(e.B) >= n {
+					t.Fatalf("%s: forest edge (%d,%d) outside input ID space", c.name, e.A, e.B)
+				}
+			}
+		}
+	})
+}
+
+// TestRelabeledRootOutOfRange: a nonsensical root must degrade the same
+// way under both partitioners (all-unreached) instead of panicking in the
+// relabel translation.
+func TestRelabeledRootOutOfRange(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 27})
+	badRoot := xstream.VertexID(src.NumVertices() + 999)
+	for _, c := range equivCases()[:2] {
+		levels := xstream.BFSLevels(runEquiv(t, c, src, xstream.NewBFS(badRoot)))
+		for v, l := range levels {
+			if l != -1 {
+				t.Fatalf("%s: vertex %d reached at level %d from out-of-range root", c.name, v, l)
+			}
+		}
+	}
+}
+
+// TestDeterminism2PS: identical runs with the 2PS partitioner must be
+// bit-identical — the assignment and the engine are both deterministic.
+func TestDeterminism2PS(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 25, Undirected: true})
+	var want []xstream.WCCState
+	for run := 0; run < 3; run++ {
+		res, err := xstream.RunMemory(src, xstream.NewWCC(), xstream.MemConfig{
+			Threads: 4, Partitioner: xstream.New2PSPartitioner(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res.Vertices
+			continue
+		}
+		for v := range want {
+			if res.Vertices[v] != want[v] {
+				t.Fatalf("run %d: vertex %d: %+v vs %+v", run, v, res.Vertices[v], want[v])
+			}
+		}
+	}
+}

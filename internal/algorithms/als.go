@@ -31,6 +31,9 @@ type ALS struct {
 	users core.VertexID
 	iters int
 	iter  int32
+
+	new2old  func(core.VertexID) core.VertexID
+	itemExec []bool // execution-space item membership, built per run
 }
 
 // NewALS returns an ALS program for a bipartite graph with the given user
@@ -45,10 +48,42 @@ func NewALS(users int64, iters int) *ALS {
 // Name implements core.Program.
 func (a *ALS) Name() string { return "ALS" }
 
-// Init implements core.Program.
+// MapVertices implements core.VertexMapper: the user/item boundary is an
+// input-ID property. Membership is precomputed into an execution-space
+// table here so the per-edge test in Scatter stays a plain slice index
+// rather than a random walk through the inverse permutation.
+func (a *ALS) MapVertices(n int64, old2new, new2old func(core.VertexID) core.VertexID) {
+	a.new2old = new2old
+	a.itemExec = make([]bool, n)
+	for o := int64(0); o < n; o++ {
+		if core.VertexID(o) >= a.users {
+			a.itemExec[old2new(core.VertexID(o))] = true
+		}
+	}
+}
+
+// isItem tests item membership for an execution-space ID.
+func (a *ALS) isItem(id core.VertexID) bool {
+	if a.itemExec != nil {
+		return a.itemExec[id]
+	}
+	return id >= a.users
+}
+
+// origID translates an execution ID back to the input ID space.
+func (a *ALS) origID(id core.VertexID) core.VertexID {
+	if a.new2old != nil {
+		return a.new2old(id)
+	}
+	return id
+}
+
+// Init implements core.Program. Factors are seeded from the input ID so
+// the starting point is partitioner-independent.
 func (a *ALS) Init(id core.VertexID, v *ALSState) {
+	orig := a.origID(id)
 	for i := range v.F {
-		v.F[i] = hashUnit(uint64(id), uint64(i)+3)
+		v.F[i] = hashUnit(uint64(orig), uint64(i)+3)
 	}
 	clearAccum(v)
 }
@@ -77,7 +112,7 @@ type ALSMsg struct {
 
 // Scatter implements core.Program: the non-solving side streams factors.
 func (a *ALS) Scatter(e core.Edge, src *ALSState) (ALSMsg, bool) {
-	srcIsItem := e.Src >= a.users
+	srcIsItem := a.isItem(e.Src)
 	if srcIsItem == a.solvingUsers(a.iter) {
 		return ALSMsg{F: src.F, R: e.Weight}, true
 	}

@@ -15,19 +15,26 @@ type BFSState struct {
 // equals the eccentricity of the root — the property that makes
 // high-diameter graphs X-Stream's worst case (§5.3).
 type BFS struct {
-	root core.VertexID
+	root core.VertexID // as constructed, in input ID space
+	cur  core.VertexID // root in this run's execution ID space
 	iter int32
 }
 
 // NewBFS returns a breadth-first search from root.
-func NewBFS(root core.VertexID) *BFS { return &BFS{root: root} }
+func NewBFS(root core.VertexID) *BFS { return &BFS{root: root, cur: root} }
 
 // Name implements core.Program.
 func (b *BFS) Name() string { return "BFS" }
 
+// MapVertices implements core.VertexMapper: the root moves with the
+// partitioner's relabeling.
+func (b *BFS) MapVertices(_ int64, old2new, _ func(core.VertexID) core.VertexID) {
+	b.cur = old2new(b.root)
+}
+
 // Init implements core.Program.
 func (b *BFS) Init(id core.VertexID, v *BFSState) {
-	if id == b.root {
+	if id == b.cur {
 		v.Dist = 0
 		v.Updated = 0
 	} else {

@@ -29,7 +29,8 @@ type BPMsg struct {
 // from its prior and the product of incoming messages (computed stably in
 // the log domain).
 type BP struct {
-	iters int
+	iters   int
+	new2old func(core.VertexID) core.VertexID
 }
 
 // NewBP returns a belief propagation program running iters iterations
@@ -44,9 +45,18 @@ func NewBP(iters int) *BP {
 // Name implements core.Program.
 func (b *BP) Name() string { return "BP" }
 
+// MapVertices implements core.VertexMapper: priors are seeded from input
+// IDs so beliefs are partitioner-independent.
+func (b *BP) MapVertices(_ int64, _, new2old func(core.VertexID) core.VertexID) {
+	b.new2old = new2old
+}
+
 // Init implements core.Program: priors are a deterministic pseudo-random
-// function of the vertex ID, mimicking observed evidence.
+// function of the input vertex ID, mimicking observed evidence.
 func (b *BP) Init(id core.VertexID, v *BPState) {
+	if b.new2old != nil {
+		id = b.new2old(id)
+	}
 	p1 := 0.3 + 0.4*hashUnit(uint64(id), 17)
 	v.Prior1 = p1
 	v.B0 = 1 - p1

@@ -13,7 +13,8 @@ type CondState struct {
 // Membership is a pure function of the vertex ID, so both endpoints of an
 // edge can be classified during scatter without any random access.
 type Conductance struct {
-	inS func(core.VertexID) bool
+	inS    func(core.VertexID) bool // membership over input IDs
+	inExec []bool                   // execution-space membership, built per run
 	// Result fields, valid after the run.
 	Phi                  float64
 	CutEdges, VolS, VolT int64
@@ -31,6 +32,27 @@ func NewConductance(inS func(core.VertexID) bool) *Conductance {
 // Name implements core.Program.
 func (c *Conductance) Name() string { return "Conductance" }
 
+// MapVertices implements core.VertexMapper: subset membership is defined
+// over input IDs. It is precomputed into an execution-space table so the
+// per-edge tests in Scatter stay plain slice indexes rather than random
+// walks through the inverse permutation.
+func (c *Conductance) MapVertices(n int64, old2new, _ func(core.VertexID) core.VertexID) {
+	c.inExec = make([]bool, n)
+	for o := int64(0); o < n; o++ {
+		if c.inS(core.VertexID(o)) {
+			c.inExec[old2new(core.VertexID(o))] = true
+		}
+	}
+}
+
+// member tests subset membership for an execution-space vertex ID.
+func (c *Conductance) member(id core.VertexID) bool {
+	if c.inExec != nil {
+		return c.inExec[id]
+	}
+	return c.inS(id)
+}
+
 // Init implements core.Program.
 func (c *Conductance) Init(id core.VertexID, v *CondState) {
 	v.Vol = 0
@@ -40,7 +62,7 @@ func (c *Conductance) Init(id core.VertexID, v *CondState) {
 // Scatter implements core.Program: every edge sends whether it crosses the
 // cut, computable from the two endpoint IDs alone.
 func (c *Conductance) Scatter(e core.Edge, src *CondState) (int32, bool) {
-	if c.inS(e.Src) != c.inS(e.Dst) {
+	if c.member(e.Src) != c.member(e.Dst) {
 		return 1, true
 	}
 	return 0, true
@@ -57,7 +79,7 @@ func (c *Conductance) Gather(dst core.VertexID, v *CondState, m int32) {
 func (c *Conductance) EndIteration(iter int, sent int64, view core.VertexView[CondState]) bool {
 	var cut, volS, volT int64
 	view.ForEach(func(id core.VertexID, v *CondState) {
-		if c.inS(id) {
+		if c.member(id) {
 			volS += int64(v.Vol)
 		} else {
 			volT += int64(v.Vol)

@@ -23,6 +23,8 @@ type HyperANF struct {
 	// NF records N(t) after each completed iteration; NF[len-1] is the
 	// converged neighbourhood function value.
 	NF []float64
+
+	new2old func(core.VertexID) core.VertexID
 }
 
 // NewHyperANF returns a HyperANF program.
@@ -31,8 +33,17 @@ func NewHyperANF() *HyperANF { return &HyperANF{} }
 // Name implements core.Program.
 func (h *HyperANF) Name() string { return "HyperANF" }
 
+// MapVertices implements core.VertexMapper: sketches hash the input ID,
+// so neighbourhood estimates are partitioner-independent.
+func (h *HyperANF) MapVertices(_ int64, _, new2old func(core.VertexID) core.VertexID) {
+	h.new2old = new2old
+}
+
 // Init implements core.Program.
 func (h *HyperANF) Init(id core.VertexID, v *ANFState) {
+	if h.new2old != nil {
+		id = h.new2old(id)
+	}
 	v.C = hll.Counter{}
 	v.C.Add(uint64(id))
 	v.Updated = 0

@@ -36,10 +36,12 @@ type MSTEdge struct {
 // Ties are broken on (weight, A, B) so equal-weight graphs cannot create
 // merge cycles.
 type MCST struct {
-	// Edges is the spanning forest after the run.
+	// Edges is the spanning forest after the run, endpoints in input IDs.
 	Edges []MSTEdge
 	// TotalWeight is the forest's total weight.
 	TotalWeight float64
+
+	new2old func(core.VertexID) core.VertexID
 }
 
 // NewMCST returns a minimum cost spanning tree program.
@@ -47,6 +49,27 @@ func NewMCST() *MCST { return &MCST{} }
 
 // Name implements core.Program.
 func (m *MCST) Name() string { return "MCST" }
+
+// MapVertices implements core.VertexMapper: forest edges are reported in
+// input IDs whatever relabeling the partitioner applied.
+func (m *MCST) MapVertices(_ int64, _, new2old func(core.VertexID) core.VertexID) {
+	m.new2old = new2old
+}
+
+// RemapState implements core.StateRemapper: component labels are vertex
+// IDs, translated back to input IDs so each vertex's Comp names a real
+// input vertex of its tree.
+func (m *MCST) RemapState(v *MCSTState, new2old func(core.VertexID) core.VertexID) {
+	v.Comp = uint32(new2old(core.VertexID(v.Comp)))
+}
+
+// origID translates an execution ID back to the input ID space.
+func (m *MCST) origID(v core.VertexID) core.VertexID {
+	if m.new2old != nil {
+		return m.new2old(v)
+	}
+	return v
+}
 
 // Init implements core.Program.
 func (m *MCST) Init(id core.VertexID, v *MCSTState) {
@@ -137,7 +160,7 @@ func (m *MCST) EndIteration(iter int, sent int64, view core.VertexView[MCSTState
 		}
 		if _, dup := chosen[k]; !dup {
 			if ra != rb {
-				chosen[k] = MSTEdge{A: core.VertexID(e.a), B: core.VertexID(e.b), Weight: e.w}
+				chosen[k] = MSTEdge{A: m.origID(core.VertexID(e.a)), B: m.origID(core.VertexID(e.b)), Weight: e.w}
 				parent[ra] = rb
 			}
 		}

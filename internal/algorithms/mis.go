@@ -35,6 +35,8 @@ type MIS struct {
 	// Remaining is the number of undecided vertices after the last
 	// completed round.
 	Remaining int64
+
+	new2old func(core.VertexID) core.VertexID
 }
 
 // NewMIS returns a maximal independent set program.
@@ -43,8 +45,21 @@ func NewMIS() *MIS { return &MIS{} }
 // Name implements core.Program.
 func (m *MIS) Name() string { return "MIS" }
 
+// MapVertices implements core.VertexMapper: priorities are seeded from
+// input IDs so the random choices are partitioner-independent. (Priority
+// *ties* are still broken on execution IDs in the hot path; under a
+// relabeling partitioner a tie between hash-colliding neighbours may
+// resolve differently — either resolution is a valid maximal independent
+// set.)
+func (m *MIS) MapVertices(_ int64, _, new2old func(core.VertexID) core.VertexID) {
+	m.new2old = new2old
+}
+
 // Init implements core.Program.
 func (m *MIS) Init(id core.VertexID, v *MISState) {
+	if m.new2old != nil {
+		id = m.new2old(id)
+	}
 	v.Priority = hashUnit(uint64(id), 1)
 	v.MinP = Inf32
 	v.MinID = ^uint32(0)

@@ -122,6 +122,17 @@ func (s *SCC) EndIteration(iter int, sent int64, view core.VertexView[SCCState])
 	return unassigned == 0
 }
 
+// RemapState implements core.StateRemapper: component IDs and colors are
+// vertex IDs, translated back to input IDs after a relabeled run. The
+// component ID is then a valid representative input vertex of the SCC,
+// though which member represents it may differ between partitioners.
+func (s *SCC) RemapState(v *SCCState, new2old func(core.VertexID) core.VertexID) {
+	if v.SCCID != NoSCC {
+		v.SCCID = uint32(new2old(core.VertexID(v.SCCID)))
+	}
+	v.Color = uint32(new2old(core.VertexID(v.Color)))
+}
+
 // ComponentIDs extracts the per-vertex SCC assignment.
 func ComponentIDs(verts []SCCState) []uint32 {
 	out := make([]uint32, len(verts))

@@ -10,7 +10,9 @@ type SpMVState struct {
 
 // SpMV multiplies the weighted adjacency matrix with a vector in a single
 // scatter-gather iteration: y[dst] = Σ over edges (src,dst,w) of w·x[src].
-type SpMV struct{}
+type SpMV struct {
+	new2old func(core.VertexID) core.VertexID
+}
 
 // NewSpMV returns a sparse matrix–vector multiply program. The input
 // vector is a deterministic pseudo-random function of the vertex ID, as
@@ -20,8 +22,17 @@ func NewSpMV() *SpMV { return &SpMV{} }
 // Name implements core.Program.
 func (s *SpMV) Name() string { return "SpMV" }
 
+// MapVertices implements core.VertexMapper: the x vector is seeded from
+// input IDs so the product is partitioner-independent.
+func (s *SpMV) MapVertices(_ int64, _, new2old func(core.VertexID) core.VertexID) {
+	s.new2old = new2old
+}
+
 // Init implements core.Program.
 func (s *SpMV) Init(id core.VertexID, v *SpMVState) {
+	if s.new2old != nil {
+		id = s.new2old(id)
+	}
 	v.X = hashUnit(uint64(id), 0xABCD)
 	v.Y = 0
 }

@@ -22,19 +22,26 @@ type SSSPState struct {
 // in the previous round. Weights must be non-negative for the result to
 // equal Dijkstra's.
 type SSSP struct {
-	root core.VertexID
+	root core.VertexID // as constructed, in input ID space
+	cur  core.VertexID // root in this run's execution ID space
 	iter int32
 }
 
 // NewSSSP returns a single-source shortest paths program from root.
-func NewSSSP(root core.VertexID) *SSSP { return &SSSP{root: root} }
+func NewSSSP(root core.VertexID) *SSSP { return &SSSP{root: root, cur: root} }
 
 // Name implements core.Program.
 func (s *SSSP) Name() string { return "SSSP" }
 
+// MapVertices implements core.VertexMapper: the root moves with the
+// partitioner's relabeling.
+func (s *SSSP) MapVertices(_ int64, old2new, _ func(core.VertexID) core.VertexID) {
+	s.cur = old2new(s.root)
+}
+
 // Init implements core.Program.
 func (s *SSSP) Init(id core.VertexID, v *SSSPState) {
-	if id == s.root {
+	if id == s.cur {
 		v.Dist = 0
 		v.Updated = 0
 	} else {

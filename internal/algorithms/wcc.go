@@ -50,6 +50,14 @@ func (w *WCC) Gather(dst core.VertexID, v *WCCState, m core.VertexID) {
 	}
 }
 
+// RemapState implements core.StateRemapper: labels are vertex IDs, so
+// after a relabeled run they are translated back to input IDs. The label
+// is then a valid representative of the component (the vertex whose
+// execution ID was minimal), though not necessarily the minimum input ID.
+func (w *WCC) RemapState(v *WCCState, new2old func(core.VertexID) core.VertexID) {
+	v.Label = new2old(v.Label)
+}
+
 // Labels extracts the component label of every vertex.
 func Labels(verts []WCCState) []core.VertexID {
 	out := make([]core.VertexID, len(verts))

@@ -45,7 +45,7 @@ func TestReverse(t *testing.T) {
 
 func TestPartitionerRanges(t *testing.T) {
 	const n, k = 103, 8
-	p := NewPartitioner(n, k)
+	p := NewSplit(n, k)
 	covered := 0
 	for i := 0; i < k; i++ {
 		lo, hi := p.Range(i, n)
@@ -65,7 +65,7 @@ func TestPartitionerProperty(t *testing.T) {
 	f := func(nRaw uint32, kRaw uint8) bool {
 		n := int64(nRaw%1_000_000) + 1
 		k := int(kRaw%64) + 1
-		p := NewPartitioner(n, k)
+		p := NewSplit(n, k)
 		// Every vertex maps into [0, K); ranges are disjoint and ordered.
 		for _, v := range []int64{0, n / 2, n - 1} {
 			pid := p.Of(VertexID(v))

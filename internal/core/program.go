@@ -50,6 +50,43 @@ type IterationStarter interface {
 	StartIteration(iter int)
 }
 
+// VertexMapper is implemented by programs whose *parameters* reference
+// specific vertex IDs (a BFS root, a bipartite user/item boundary, a
+// subset membership predicate). Engines call MapVertices exactly once per
+// run, before Init, with the assignment's translation functions — the
+// identity when the partitioner does not relabel — so the program can
+// convert its parameters from input IDs into the execution ID space.
+// Implementations must derive the mapped values from their original
+// construction parameters each call, so a program value can be reused
+// across runs with different partitioners.
+//
+// During a relabeled run every ID a program sees — Init and Gather ids,
+// edge endpoints in Scatter, VertexView iteration order — is an execution
+// (relabeled) ID. Programs that never compare IDs against parameters need
+// no mapping; engines restore original vertex order in results themselves.
+// Implementations on a streaming hot path (per-edge membership tests)
+// should use numVertices to precompute an execution-space lookup table in
+// MapVertices rather than calling the translation functions per edge:
+// new2old is a random access into an O(V) array when the partitioner
+// relabels, exactly the access pattern the engines exist to avoid.
+type VertexMapper interface {
+	// MapVertices installs the input->execution (old2new) and
+	// execution->input (new2old) ID translations for the coming run over
+	// numVertices vertices.
+	MapVertices(numVertices int64, old2new, new2old func(VertexID) VertexID)
+}
+
+// StateRemapper is implemented by programs whose per-vertex *state* holds
+// vertex IDs (WCC labels, SCC component IDs). After a relabeled run the
+// engine calls RemapState on every vertex before restoring original order,
+// so reported states reference input IDs. Note the representative an
+// ID-valued state ends up with may legitimately differ between
+// partitioners (e.g. WCC picks the minimum *execution* ID of a component);
+// only its component membership is partitioner-independent.
+type StateRemapper[V any] interface {
+	RemapState(v *V, new2old func(VertexID) VertexID)
+}
+
 // VertexView gives phase hooks streaming access to all vertex state.
 // Mutations through ForEach are persisted by the engine (for the disk
 // engine this means the vertex files are rewritten).

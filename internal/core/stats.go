@@ -10,16 +10,21 @@ import (
 // Figure 20/22 (pre-processing split) and Figure 21 (memory-reference
 // proxy).
 type Stats struct {
-	Algorithm  string
-	Engine     string // "memory", "ssd", "disk", ...
-	Iterations int
-	Partitions int
-	Threads    int
+	Algorithm   string
+	Engine      string // "memory", "ssd", "disk", ...
+	Partitioner string // "range", "2ps", ...
+	Iterations  int
+	Partitions  int
+	Threads     int
 
 	// Streaming volume.
 	EdgesStreamed int64 // edge records read across all scatter phases
 	UpdatesSent   int64 // updates produced across all scatter phases
 	WastedEdges   int64 // edges streamed that produced no update
+	// CrossPartitionUpdates counts updates whose destination lies outside
+	// the partition that produced them — the shuffle traffic a
+	// locality-aware partitioner exists to reduce.
+	CrossPartitionUpdates int64
 
 	// Time split.
 	TotalTime      time.Duration
@@ -48,6 +53,15 @@ func (s Stats) WastedFraction() float64 {
 		return 0
 	}
 	return float64(s.WastedEdges) / float64(s.EdgesStreamed)
+}
+
+// CrossFraction returns the fraction of sent updates that crossed a
+// partition boundary.
+func (s Stats) CrossFraction() float64 {
+	if s.UpdatesSent == 0 {
+		return 0
+	}
+	return float64(s.CrossPartitionUpdates) / float64(s.UpdatesSent)
 }
 
 // StreamingTime estimates the time a pure streaming pass over the moved

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/pod"
 	"repro/internal/storage"
 	"repro/internal/streambuf"
@@ -68,6 +69,13 @@ type Config struct {
 	// even when the whole vertex set would fit; exercised by tests and
 	// the scaling benchmarks.
 	ForceVertexSpill bool
+	// Partitioner chooses how vertices map to streaming partitions. nil
+	// means core.RangePartitioner (the paper's fixed contiguous split).
+	// Locality-aware partitioners relabel vertices during pre-processing;
+	// the engine still returns vertex states in original input order.
+	// Note the partitioner's own working state is O(V) in memory, the
+	// same order as one iteration's vertex windows.
+	Partitioner core.Partitioner
 }
 
 func (c Config) withDefaults() Config {
@@ -116,7 +124,31 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	devBefore := cfg.Device.Stats()
 	updBefore := cfg.UpdateDevice.Stats()
 
+	// Partitioning policy: plan the assignment (part of pre-processing —
+	// a locality-aware partitioner pays its streaming passes here),
+	// rewrite the edge stream through the relabeling, and let the program
+	// translate any ID-valued parameters.
 	t0 := time.Now()
+	pr := cfg.Partitioner
+	if pr == nil {
+		pr = core.RangePartitioner{}
+	}
+	asg, err := pr.Assign(g, e.k)
+	if err != nil {
+		return nil, fmt.Errorf("diskengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if err := asg.Validate(e.nv); err != nil {
+		return nil, fmt.Errorf("diskengine: partitioner %s: %w", pr.Name(), err)
+	}
+	e.asg = asg
+	e.stats.Partitioner = pr.Name()
+	if vm, ok := any(prog).(core.VertexMapper); ok {
+		vm.MapVertices(e.nv, asg.NewID, asg.OldID)
+	}
+	if !asg.Identity() {
+		g = graphio.Relabeled(g, asg.Relabel)
+	}
+
 	if err := e.setup(g); err != nil {
 		e.cleanup()
 		return nil, err
@@ -154,7 +186,8 @@ type engine[V, M any] struct {
 	ne   int64
 
 	k        int
-	part     core.Partitioner
+	part     core.Split
+	asg      *core.Assignment
 	shufPlan streambuf.Plan
 	// bufRecs is the record capacity of one stream buffer (S·K bytes).
 	bufEdgeRecs int
@@ -206,7 +239,7 @@ func (e *engine[V, M]) plan() error {
 		return fmt.Errorf("diskengine: partition count %d is not a power of two", k)
 	}
 	e.k = k
-	e.part = core.NewPartitioner(e.nv, k)
+	e.part = core.NewSplit(e.nv, k)
 
 	fanout := k // disk engine: single-stage shuffle (K is small, §3.4)
 	if fanout < 2 {
@@ -505,7 +538,9 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64
 				if take > room {
 					take = room
 				}
-				sent += e.scatterSegment(chunk[off:off+take], verts, lo, w.Buf())
+				nSent, nCross := e.scatterSegment(chunk[off:off+take], verts, lo, s, w.Buf())
+				sent += nSent
+				e.stats.CrossPartitionUpdates += nCross
 				off += take
 			}
 		}
@@ -527,13 +562,14 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64
 
 // scatterSegment applies Scatter to a slice of edges in parallel, appending
 // updates through thread-private buffers (§4.1). verts holds the current
-// partition's vertex window starting at vertex id lo.
-func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, out *streambuf.Buffer[core.Update[M]]) int64 {
+// partition's vertex window starting at vertex id lo; p is the partition
+// being scattered, for cross-partition accounting.
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (int64, int64) {
 	workers := e.cfg.Threads
 	if len(edges) < 4096 || workers <= 1 {
-		return e.scatterRange(edges, verts, lo, out)
+		return e.scatterRange(edges, verts, lo, p, out)
 	}
-	var total atomic.Int64
+	var total, totalCross atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (len(edges) + workers - 1) / workers
 	for wkr := 0; wkr < workers; wkr++ {
@@ -547,21 +583,25 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, ou
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			total.Add(e.scatterRange(edges[a:b], verts, lo, out))
+			nSent, nCross := e.scatterRange(edges[a:b], verts, lo, p, out)
+			total.Add(nSent)
+			totalCross.Add(nCross)
 		}(a, b)
 	}
 	wg.Wait()
-	return total.Load()
+	return total.Load(), totalCross.Load()
 }
 
-func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, out *streambuf.Buffer[core.Update[M]]) int64 {
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (sent, cross int64) {
 	const privCap = 1024
 	priv := make([]core.Update[M], 0, privCap)
-	var sent int64
 	for _, ed := range edges {
 		if m, ok := e.prog.Scatter(ed, &verts[int64(ed.Src)-lo]); ok {
 			priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
 			sent++
+			if e.part.Of(ed.Dst) != uint32(p) {
+				cross++
+			}
 			if len(priv) == cap(priv) {
 				out.Append(priv)
 				priv = priv[:0]
@@ -569,7 +609,7 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, out 
 		}
 	}
 	out.Append(priv)
-	return sent
+	return sent, cross
 }
 
 // gatherPhase streams each partition's updates onto its vertex window.
@@ -621,7 +661,7 @@ func (e *engine[V, M]) gatherChunk(chunk []core.Update[M], verts []V, lo int64) 
 		return
 	}
 	subK := core.NextPow2(workers * 4)
-	subPart := core.NewPartitioner(int64(len(verts)), subK)
+	subPart := core.NewSplit(int64(len(verts)), subK)
 	if e.subA == nil || e.subA.Cap() < e.bufUpdRecs {
 		e.subA = streambuf.New[core.Update[M]](e.bufUpdRecs)
 		e.subB = streambuf.New[core.Update[M]](e.bufUpdRecs)
@@ -716,18 +756,27 @@ func (s *spillView[V, M]) ForEach(fn func(core.VertexID, *V)) {
 	}
 }
 
-// materializeVertices returns the full final vertex state.
+// materializeVertices returns the full final vertex state in original
+// input order (ID-valued state remapped, relabeling undone).
 func (e *engine[V, M]) materializeVertices() ([]V, error) {
-	if e.allVerts != nil {
-		return e.allVerts, nil
-	}
-	out := make([]V, e.nv)
-	for p := 0; p < e.k; p++ {
-		verts, lo, err := e.loadVerts(p, false)
-		if err != nil {
-			return nil, err
+	out := e.allVerts
+	if out == nil {
+		out = make([]V, e.nv)
+		for p := 0; p < e.k; p++ {
+			verts, lo, err := e.loadVerts(p, false)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[lo:], verts)
 		}
-		copy(out[lo:], verts)
+	}
+	if e.asg != nil && !e.asg.Identity() {
+		if rm, ok := any(e.prog).(core.StateRemapper[V]); ok {
+			for i := range out {
+				rm.RemapState(&out[i], e.asg.OldID)
+			}
+		}
+		out = core.RestoreOrder(out, e.asg.Relabel)
 	}
 	return out, nil
 }

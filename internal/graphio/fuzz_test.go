@@ -1,0 +1,84 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParseText fuzzes the text edge-list parser: whatever the input, it
+// must either return a clean error or a well-formed graph, never panic —
+// and anything it accepts must survive a write/parse round trip intact.
+// Seed cases below plus the checked-in corpus under
+// testdata/fuzz/FuzzParseText cover the malformed shapes we know about.
+func FuzzParseText(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# just a comment\n",
+		"1 2\n",
+		"1 2 0.5\n",
+		"0 0 0\n",
+		"1\n",                         // too few fields
+		"a b\n",                       // non-numeric IDs
+		"1 2 x\n",                     // non-numeric weight
+		"-1 2\n",                      // negative ID
+		"4294967296 1\n",              // src overflows uint32
+		"1 4294967296\n",              // dst overflows uint32
+		"1 2 1e400\n",                 // weight overflows float32
+		"1 2 3 4 5\n",                 // extra fields are tolerated
+		"1 2\r\n3 4\n",                // CRLF line endings
+		"  7   9   0.25  # trail\n",   // whitespace soup
+		"\x00\x01\x02",                // binary garbage
+		"999999999 999999998 1.0\n",   // huge but valid IDs
+		"1 2\n# mid comment\n3 4 2\n", // comment between edges
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, n, err := ParseText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to fail cleanly
+		}
+		if n == 0 && len(edges) != 0 {
+			t.Fatalf("0 vertices but %d edges", len(edges))
+		}
+		var max core.VertexID
+		for _, e := range edges {
+			if int64(e.Src) >= n || int64(e.Dst) >= n {
+				t.Fatalf("edge (%d,%d) outside [0,%d)", e.Src, e.Dst, n)
+			}
+			if e.Src > max {
+				max = e.Src
+			}
+			if e.Dst > max {
+				max = e.Dst
+			}
+		}
+		if len(edges) > 0 && n != int64(max)+1 {
+			t.Fatalf("vertex count %d, want max id + 1 = %d", n, int64(max)+1)
+		}
+		// Round trip: WriteText always emits explicit weights, so a
+		// reparse must reproduce the edges exactly (%g prints the
+		// shortest representation that parses back to the same float32).
+		var buf bytes.Buffer
+		if err := WriteText(&buf, edges); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		again, n2, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if n2 != n || len(again) != len(edges) {
+			t.Fatalf("round trip: %d vertices/%d edges, want %d/%d", n2, len(again), n, len(edges))
+		}
+		for i := range edges {
+			a, b := again[i], edges[i]
+			// The parser accepts NaN weights; NaN breaks value equality.
+			sameW := a.Weight == b.Weight || (a.Weight != a.Weight && b.Weight != b.Weight)
+			if a.Src != b.Src || a.Dst != b.Dst || !sameW {
+				t.Fatalf("edge %d: %+v != %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/pod"
 	"repro/internal/streambuf"
 )
@@ -53,6 +54,11 @@ type Config struct {
 	// PrivateBufBytes is the size of each thread's private append buffer
 	// (§4.1). 0 means 8 KiB, the paper's value.
 	PrivateBufBytes int
+	// Partitioner chooses how vertices map to streaming partitions. nil
+	// means core.RangePartitioner (the paper's fixed contiguous split).
+	// Locality-aware partitioners relabel vertices during pre-processing;
+	// the engine still returns vertex states in original input order.
+	Partitioner core.Partitioner
 }
 
 func (c Config) withDefaults() Config {
@@ -115,26 +121,61 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	if err != nil {
 		return nil, fmt.Errorf("memengine: %w", err)
 	}
-	part := core.NewPartitioner(nv, k)
+
+	// Partitioning policy: plan the vertex->partition assignment, rewrite
+	// the edge stream through the relabeling if there is one, and let the
+	// program translate any ID-valued parameters.
+	pr := cfg.Partitioner
+	if pr == nil {
+		pr = core.RangePartitioner{}
+	}
+	t0 := time.Now()
+	asg, err := pr.Assign(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("memengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if err := asg.Validate(nv); err != nil {
+		return nil, fmt.Errorf("memengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if vm, ok := any(prog).(core.VertexMapper); ok {
+		vm.MapVertices(nv, asg.NewID, asg.OldID)
+	}
+	if !asg.Identity() {
+		g = graphio.Relabeled(g, asg.Relabel)
+	}
 
 	e := &engine[V, M]{
 		cfg:  cfg,
 		prog: prog,
-		part: part,
+		part: asg.Split,
+		asg:  asg,
 		plan: plan,
 		nv:   nv,
 		ne:   ne,
 	}
 	e.stats.Algorithm = prog.Name()
 	e.stats.Engine = "memory"
+	e.stats.Partitioner = pr.Name()
 	e.stats.Partitions = k
 	e.stats.Threads = cfg.Threads
 
 	if err := e.setup(g); err != nil {
 		return nil, err
 	}
+	e.stats.PreprocessTime = time.Since(t0)
 	if err := e.loop(); err != nil {
 		return nil, err
+	}
+
+	// Report results in original input order: remap ID-valued state, then
+	// undo the relabeling permutation.
+	if !asg.Identity() {
+		if rm, ok := any(prog).(core.StateRemapper[V]); ok {
+			for i := range e.verts {
+				rm.RemapState(&e.verts[i], asg.OldID)
+			}
+		}
+		e.verts = core.RestoreOrder(e.verts, asg.Relabel)
 	}
 	e.stats.TotalTime = time.Since(start)
 	return &Result[V]{Vertices: e.verts, Stats: e.stats}, nil
@@ -143,7 +184,8 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 type engine[V, M any] struct {
 	cfg  Config
 	prog core.Program[V, M]
-	part core.Partitioner
+	part core.Split
+	asg  *core.Assignment
 	plan streambuf.Plan
 	nv   int64
 	ne   int64
@@ -226,11 +268,12 @@ func (e *engine[V, M]) loop() error {
 		// Scatter phase.
 		t0 := time.Now()
 		e.updA.Reset()
-		sent, streamed, err := e.scatter(edges)
+		sent, streamed, cross, err := e.scatter(edges)
 		if err != nil {
 			return err
 		}
 		e.stats.ScatterTime += time.Since(t0)
+		e.stats.CrossPartitionUpdates += cross
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
@@ -289,9 +332,10 @@ func (e *engine[V, M]) reverseEdges() (*streambuf.Buffer[core.Edge], error) {
 }
 
 // scatter streams every partition's edge chunk, appending updates through
-// thread-private buffers (§4.1). It returns (updates sent, edges streamed).
-func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, streamed int64, err error) {
-	var sentTotal, streamedTotal atomic.Int64
+// thread-private buffers (§4.1). It returns (updates sent, edges streamed,
+// updates addressed outside their source partition).
+func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, streamed, cross int64, err error) {
+	var sentTotal, streamedTotal, crossTotal atomic.Int64
 	var overflow atomic.Bool
 	privCap := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
 	if privCap < 1 {
@@ -300,13 +344,16 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, stream
 
 	e.forEachPartition(func(p int) {
 		priv := make([]core.Update[M], 0, privCap)
-		var nSent, nStreamed int64
+		var nSent, nStreamed, nCross int64
 		edges.Bucket(p, func(run []core.Edge) {
 			for _, ed := range run {
 				nStreamed++
 				if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
 					priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
 					nSent++
+					if e.part.Of(ed.Dst) != uint32(p) {
+						nCross++
+					}
 					if len(priv) == cap(priv) {
 						if !e.updA.Append(priv) {
 							overflow.Store(true)
@@ -322,12 +369,13 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, stream
 		}
 		sentTotal.Add(nSent)
 		streamedTotal.Add(nStreamed)
+		crossTotal.Add(nCross)
 	})
 
 	if overflow.Load() {
-		return 0, 0, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
+		return 0, 0, 0, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
 	}
-	return sentTotal.Load(), streamedTotal.Load(), nil
+	return sentTotal.Load(), streamedTotal.Load(), crossTotal.Load(), nil
 }
 
 // gather streams every partition's update chunk into its vertices.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskengine"
 	"repro/internal/memengine"
+	"repro/internal/partition2ps"
 )
 
 // Core model types, re-exported from the engine packages.
@@ -81,3 +82,24 @@ func Reverse(src EdgeSource) EdgeSource { return core.Reverse(src) }
 // Symmetrize returns src plus its transpose — the undirected version of a
 // directed graph.
 func Symmetrize(src EdgeSource) EdgeSource { return core.Symmetrize(src) }
+
+// Partitioning policies. Engines take a Partitioner in their Config; nil
+// means the paper's fixed contiguous range split.
+type (
+	// Partitioner decides how vertices map to streaming partitions.
+	Partitioner = core.Partitioner
+	// Assignment is a planned partitioning: contiguous split plus the
+	// vertex relabeling that realizes it.
+	Assignment = core.Assignment
+)
+
+// NewRangePartitioner returns the paper's fixed policy: partitions are
+// contiguous ranges of the input vertex IDs.
+func NewRangePartitioner() Partitioner { return core.RangePartitioner{} }
+
+// New2PSPartitioner returns the locality-aware two-phase streaming
+// partitioner: one pass learns degree-weighted vertex clusters, a second
+// packs them into partitions via a relabeling permutation, cutting
+// cross-partition update traffic on community-structured graphs. Results
+// are still reported in input vertex IDs.
+func New2PSPartitioner() Partitioner { return partition2ps.New() }
