@@ -111,6 +111,9 @@ func NewHyperANF() *algorithms.HyperANF { return algorithms.NewHyperANF() }
 // after a completed run).
 const NoSCC = algorithms.NoSCC
 
+// Inf32 is the distance SSSP assigns to unreached vertices.
+var Inf32 = algorithms.Inf32
+
 // MIS vertex status values (MISState.Status).
 const (
 	MISUndecided = algorithms.MISUndecided

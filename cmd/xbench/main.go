@@ -8,20 +8,43 @@
 //	xbench -run fig14,fig15      # run several
 //	xbench -all                  # run everything
 //	xbench -all -quick           # smoke-test scale
+//	xbench -run figcombine -quick -json BENCH_ci.json  # machine-readable, for CI
 //
 // Results print as aligned text tables with the paper's reference values in
-// the notes; EXPERIMENTS.md records a full run.
+// the notes; EXPERIMENTS.md records a full run. With -json, each
+// experiment's deterministic work metrics (record counts, stream bytes,
+// cross fractions — never wall time) are also written to a report file that
+// cmd/benchgate diffs against a checked-in baseline to catch perf
+// regressions in CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
+
+// jsonReport is the machine-readable output of a run, consumed by
+// cmd/benchgate.
+type jsonReport struct {
+	GoVersion string       `json:"go_version"`
+	Quick     bool         `json:"quick"`
+	Threads   int          `json:"threads"`
+	Results   []jsonResult `json:"results"`
+}
+
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"` // recorded for trajectory, never gated
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
 
 func main() {
 	var (
@@ -31,6 +54,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink workloads to smoke-test size")
 		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		timeScale = flag.Float64("timescale", 0, "simulated-device pacing (0 = per-figure default, 1.0 = real time)")
+		jsonOut   = flag.String("json", "", "write a machine-readable report to this file (for cmd/benchgate)")
 	)
 	flag.Parse()
 
@@ -55,6 +79,7 @@ func main() {
 	}
 
 	cfg := bench.Config{Quick: *quick, Threads: *threads, TimeScale: *timeScale}
+	report := jsonReport{GoVersion: runtime.Version(), Quick: *quick, Threads: *threads}
 	failed := 0
 	for _, id := range ids {
 		r, ok := bench.Get(strings.TrimSpace(id))
@@ -70,8 +95,23 @@ func main() {
 			failed++
 			continue
 		}
+		elapsed := time.Since(start)
 		tab.Fprint(os.Stdout)
-		fmt.Printf("  [%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s completed in %s]\n\n", r.ID, elapsed.Round(time.Millisecond))
+		report.Results = append(report.Results, jsonResult{
+			ID: tab.ID, Title: tab.Title, Seconds: elapsed.Seconds(), Metrics: tab.Metrics,
+		})
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: encode report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

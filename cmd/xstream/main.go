@@ -8,6 +8,10 @@
 //	xstream -algo bfs -root 5 -input g.xsedge \
 //	        -engine disk -dir /mnt/fast/xs -budget 8g # out of core on real files
 //	xstream -algo sssp -engine disk -device sim-ssd   # out of core on the simulated SSD
+//	xstream -algo pagerank -rmat 18 -partitioner 2ps \
+//	        -save-permutation g.xsperm                # pay the clustering pass once...
+//	xstream -algo wcc -rmat 18 -load-permutation g.xsperm  # ...replay it later
+//	xstream -algo pagerank -rmat 18 -combine=false    # disable update pre-aggregation
 //
 // It prints the execution Stats (iterations, partitions, wasted edges,
 // phase times) and an algorithm-specific summary.
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +47,9 @@ func main() {
 		ioUnit     = flag.String("iounit", "1m", "disk engine I/O unit (e.g. 16m)")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		partition  = flag.String("partitioner", "range", "partitioning policy: range|2ps")
+		combine    = flag.Bool("combine", true, "pre-aggregate the update stream when the algorithm has a combiner")
+		savePerm   = flag.String("save-permutation", "", "save the partitioner's vertex relabeling to this file after planning")
+		loadPerm   = flag.String("load-permutation", "", "replay a saved vertex relabeling instead of running the partitioner")
 	)
 	flag.Parse()
 
@@ -53,6 +61,27 @@ func main() {
 		partitioner = xstream.New2PSPartitioner()
 	default:
 		fatal("unknown -partitioner %q", *partition)
+	}
+	// A saved permutation replaces the partitioning pass entirely; saving
+	// wraps the chosen partitioner so the pass is paid once per dataset.
+	if *loadPerm != "" {
+		if *savePerm != "" {
+			fatal("-save-permutation and -load-permutation are mutually exclusive")
+		}
+		dev, name, err := fileDevice(*loadPerm)
+		if err != nil {
+			fatal("device: %v", err)
+		}
+		partitioner, err = xstream.LoadPartitioner(dev, name)
+		if err != nil {
+			fatal("load permutation: %v", err)
+		}
+	} else if *savePerm != "" {
+		dev, name, err := fileDevice(*savePerm)
+		if err != nil {
+			fatal("device: %v", err)
+		}
+		partitioner = xstream.SavingPartitioner(partitioner, dev, name)
 	}
 
 	src := loadInput(*input, *rmat, *edgeFactor, *seed, *undirected)
@@ -81,9 +110,10 @@ func main() {
 			IOUnit:       int(parseBytes(*ioUnit)),
 			Threads:      *threads,
 			Partitioner:  partitioner,
+			NoCombine:    !*combine,
 		}
 	}
-	memCfg := xstream.MemConfig{Threads: *threads, Partitioner: partitioner}
+	memCfg := xstream.MemConfig{Threads: *threads, Partitioner: partitioner, NoCombine: !*combine}
 
 	switch *algo {
 	case "wcc":
@@ -237,6 +267,10 @@ func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
 		fmt.Printf("partitioner %s: %.1f%% of updates crossed partitions\n",
 			stats.Partitioner, 100*stats.CrossFraction())
 	}
+	if stats.UpdatesCombined > 0 {
+		fmt.Printf("combiner: %d of %d updates pre-aggregated (%.1f%%), %d-byte update stream\n",
+			stats.UpdatesCombined, stats.UpdatesSent, 100*stats.CombinedFraction(), stats.UpdateBytes)
+	}
 	summarize(verts, stats)
 }
 
@@ -245,12 +279,7 @@ func loadInput(input string, rmat, ef int, seed int64, undirected bool) xstream.
 	case rmat > 0:
 		return xstream.RMAT(xstream.RMATConfig{Scale: rmat, EdgeFactor: ef, Seed: seed, Undirected: undirected})
 	case input != "":
-		dir := "."
-		name := input
-		if i := strings.LastIndexByte(input, '/'); i >= 0 {
-			dir, name = input[:i], input[i+1:]
-		}
-		dev, err := xstream.NewOSDevice("input", dir)
+		dev, name, err := fileDevice(input)
 		if err != nil {
 			fatal("device: %v", err)
 		}
@@ -263,6 +292,17 @@ func loadInput(input string, rmat, ef int, seed int64, undirected bool) xstream.
 		fatal("need -input FILE or -rmat SCALE")
 		return nil
 	}
+}
+
+// fileDevice splits a path into an OS device over its directory plus the
+// file name on it — shared by -input and the permutation flags.
+func fileDevice(path string) (xstream.Device, string, error) {
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	dev, err := xstream.NewOSDevice("file", dir)
+	return dev, name, err
 }
 
 func parseBytes(s string) int64 {

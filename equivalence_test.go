@@ -2,51 +2,76 @@ package xstream_test
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	xstream "repro"
 	"repro/internal/refalgo"
 )
 
-// Cross-engine equivalence: for every partitioner, the in-memory engine,
-// the out-of-core engine and the textbook reference implementations must
-// agree — after the engines have mapped relabeled results back to input
-// IDs — on PageRank, BFS and WCC.
+// Cross-engine equivalence: for every partitioner, every engine, and with
+// the update combiner both enabled and disabled, the engines and the
+// textbook reference implementations must agree — after the engines have
+// mapped relabeled results back to input IDs — on PageRank, BFS, WCC and
+// SSSP. Running each algorithm across all eight combinations is what
+// proves the Combiner contract: pre-aggregating the update stream never
+// changes gather results.
 
-// equivCase is one (engine, partitioner) combination under test.
+// equivCase is one (engine, partitioner, combining) combination under test.
 type equivCase struct {
-	name string
-	mem  bool
-	part xstream.Partitioner
+	name      string
+	mem       bool
+	part      xstream.Partitioner
+	noCombine bool
 }
 
 func equivCases() []equivCase {
 	return []equivCase{
-		{"mem/range", true, xstream.NewRangePartitioner()},
-		{"mem/2ps", true, xstream.New2PSPartitioner()},
-		{"disk/range", false, xstream.NewRangePartitioner()},
-		{"disk/2ps", false, xstream.New2PSPartitioner()},
+		{"mem/range", true, xstream.NewRangePartitioner(), false},
+		{"mem/2ps", true, xstream.New2PSPartitioner(), false},
+		{"disk/range", false, xstream.NewRangePartitioner(), false},
+		{"disk/2ps", false, xstream.New2PSPartitioner(), false},
+		{"mem/range/nocombine", true, xstream.NewRangePartitioner(), true},
+		{"mem/2ps/nocombine", true, xstream.New2PSPartitioner(), true},
+		{"disk/range/nocombine", false, xstream.NewRangePartitioner(), true},
+		{"disk/2ps/nocombine", false, xstream.New2PSPartitioner(), true},
 	}
 }
 
 // runEquiv executes prog on the case's engine with its partitioner.
 func runEquiv[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, prog xstream.Program[V, M]) []V {
 	t.Helper()
+	res, stats := runEquivStats(t, c, src, prog)
+	if !c.noCombine {
+		if _, ok := prog.(xstream.Combiner[M]); ok && stats.UpdatesSent > 0 && stats.UpdatesCombined == 0 {
+			t.Fatalf("%s: combiner enabled for %s but nothing was combined", c.name, stats.Algorithm)
+		}
+	} else if stats.UpdatesCombined != 0 {
+		t.Fatalf("%s: NoCombine run still combined %d updates", c.name, stats.UpdatesCombined)
+	}
+	return res
+}
+
+func runEquivStats[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
+	t.Helper()
 	if c.mem {
-		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{Threads: 3, Partitioner: c.part})
+		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
+			Threads: 3, Partitioner: c.part, NoCombine: c.noCombine,
+		})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		return res.Vertices
+		return res.Vertices, res.Stats
 	}
 	dev := xstream.NewSimDevice(xstream.SimSSD("equiv", 2, 0))
 	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
 		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part,
+		NoCombine: c.noCombine,
 	})
 	if err != nil {
 		t.Fatalf("%s: %v", c.name, err)
 	}
-	return res.Vertices
+	return res.Vertices, res.Stats
 }
 
 func TestEquivalenceBFS(t *testing.T) {
@@ -257,4 +282,157 @@ func TestDeterminism2PS(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCombinerParitySpMV: the sum semigroup over float32. Combining
+// changes the order float additions reduce in, so parity is checked within
+// the same relative tolerance the PageRank equivalence test uses.
+func TestCombinerParitySpMV(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 28})
+	var want []xstream.SpMVState
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := runEquiv(t, c, src, xstream.NewSpMV())
+			if want == nil {
+				want = got
+				return
+			}
+			for v := range want {
+				diff := math.Abs(float64(got[v].Y - want[v].Y))
+				if diff > 1e-3*(1+math.Abs(float64(want[v].Y))) {
+					t.Fatalf("vertex %d: y %g, want %g", v, got[v].Y, want[v].Y)
+				}
+			}
+		})
+	}
+}
+
+// TestCombinerParityHyperANF: sketch union is idempotent as well as
+// commutative and associative, so combined runs must be bit-identical to
+// uncombined ones — the strictest parity the suite can ask for.
+func TestCombinerParityHyperANF(t *testing.T) {
+	src := xstream.Symmetrize(xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 29}))
+	var want []xstream.ANFState
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			got := runEquiv(t, c, src, xstream.NewHyperANF())
+			if want == nil {
+				want = got
+				return
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: sketch state diverged", v)
+				}
+			}
+		})
+	}
+}
+
+// TestCombineGroupingInvariance is the property behind the Combiner
+// contract: for a random multiset of updates to one destination, gathering
+// them one at a time must leave the vertex in the same state as gathering
+// any random grouping of them pre-reduced through Combine, in any order.
+// The sum semigroup is exercised with dyadic values small enough that
+// float32 addition is exact, so even it can be compared bit-for-bit.
+func TestCombineGroupingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+
+	// group partitions vals into random contiguous-free groups, reduces
+	// each through combine (in random internal order), and returns the
+	// group values shuffled.
+	group := func(vals []float32, combine func(a, b float32) float32) []float32 {
+		var groups [][]float32
+		for _, v := range vals {
+			if len(groups) > 0 && rng.Intn(2) == 0 {
+				g := rng.Intn(len(groups))
+				groups[g] = append(groups[g], v)
+			} else {
+				groups = append(groups, []float32{v})
+			}
+		}
+		out := make([]float32, 0, len(groups))
+		for _, g := range groups {
+			rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+			acc := g[0]
+			for _, v := range g[1:] {
+				acc = combine(acc, v)
+			}
+			out = append(out, acc)
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+
+	t.Run("sum/pagerank", func(t *testing.T) {
+		prog := xstream.NewPageRank(1)
+		prog.StartIteration(1) // rank-accumulation path
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(30)
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = float32(rng.Intn(512)) / 16 // dyadic: exact addition
+			}
+			var direct, grouped xstream.PRState
+			for _, v := range vals {
+				prog.Gather(0, &direct, v)
+			}
+			for _, v := range group(vals, prog.Combine) {
+				prog.Gather(0, &grouped, v)
+			}
+			if direct != grouped {
+				t.Fatalf("trial %d: direct %+v, grouped %+v", trial, direct, grouped)
+			}
+		}
+	})
+
+	t.Run("min/sssp", func(t *testing.T) {
+		prog := xstream.NewSSSP(0)
+		prog.StartIteration(0)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(30)
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = rng.Float32() * 100
+			}
+			direct := xstream.SSSPState{Dist: xstream.Inf32, Updated: -1}
+			grouped := direct
+			for _, v := range vals {
+				prog.Gather(1, &direct, v)
+			}
+			for _, v := range group(vals, prog.Combine) {
+				prog.Gather(1, &grouped, v)
+			}
+			if direct != grouped {
+				t.Fatalf("trial %d: direct %+v, grouped %+v", trial, direct, grouped)
+			}
+		}
+	})
+
+	t.Run("min/wcc", func(t *testing.T) {
+		prog := xstream.NewWCC()
+		prog.StartIteration(0)
+		combine := func(a, b float32) float32 {
+			return float32(prog.Combine(xstream.VertexID(a), xstream.VertexID(b)))
+		}
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(30)
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = float32(rng.Intn(1 << 20)) // vertex labels, exact in float32
+			}
+			var direct, grouped xstream.WCCState
+			prog.Init(1<<21, &direct)
+			prog.Init(1<<21, &grouped)
+			for _, v := range vals {
+				prog.Gather(0, &direct, xstream.VertexID(v))
+			}
+			for _, v := range group(vals, combine) {
+				prog.Gather(0, &grouped, xstream.VertexID(v))
+			}
+			if direct != grouped {
+				t.Fatalf("trial %d: direct %+v, grouped %+v", trial, direct, grouped)
+			}
+		}
+	})
 }

@@ -62,6 +62,15 @@ func (b *BFS) Gather(dst core.VertexID, v *BFSState, m int32) {
 	}
 }
 
+// Combine implements core.Combiner: within one iteration every update
+// carries the same frontier depth, so min is exact (and trivially so).
+func (b *BFS) Combine(a, m int32) int32 {
+	if a < m {
+		return a
+	}
+	return m
+}
+
 // Levels extracts per-vertex hop distances (-1 = unreachable).
 func Levels(verts []BFSState) []int32 {
 	out := make([]int32, len(verts))

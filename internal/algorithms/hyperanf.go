@@ -67,6 +67,14 @@ func (h *HyperANF) Gather(dst core.VertexID, v *ANFState, m hll.Counter) {
 	}
 }
 
+// Combine implements core.Combiner: sketch union is commutative,
+// associative and idempotent, so combined runs are bit-identical to
+// uncombined ones.
+func (h *HyperANF) Combine(a, b hll.Counter) hll.Counter {
+	a.Union(&b)
+	return a
+}
+
 // EndIteration implements core.PhasedProgram: record N(t); converged when
 // no counter changed (sent == 0 next round would also stop, but checking
 // the view keeps NF aligned with completed radii).

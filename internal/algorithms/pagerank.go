@@ -66,14 +66,25 @@ func (p *PageRank) Scatter(e core.Edge, src *PRState) (float32, bool) {
 	return 0, false
 }
 
-// Gather implements core.Program.
+// Gather implements core.Program. The degree-counting iteration sums the
+// update values (each 1) rather than counting updates, so pre-combined
+// updates — where several count-1 records merged into one — land the same
+// total.
 func (p *PageRank) Gather(dst core.VertexID, v *PRState, m float32) {
 	if p.iter == 0 {
-		v.Deg++
+		v.Deg += int32(m)
 		return
 	}
 	v.Sum += m
 }
+
+// Combine implements core.Combiner: rank mass (and the degree counts of
+// iteration 0) sum. Degree counting through float32 partial sums is exact
+// up to 2^24 per combined partial — a ceiling the paper's graphs stay far
+// under (the heaviest hubs in web/social crawls are low millions of
+// edges). For inputs with vertices beyond ~16.7M out-degree, run with
+// Config.NoCombine, which restores the exact one-update-per-edge count.
+func (p *PageRank) Combine(a, b float32) float32 { return a + b }
 
 // EndIteration implements core.PhasedProgram: fold the accumulated rank
 // mass into the damped rank and reset the accumulator.

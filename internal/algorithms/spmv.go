@@ -47,6 +47,9 @@ func (s *SpMV) Gather(dst core.VertexID, v *SpMVState, m float32) {
 	v.Y += m
 }
 
+// Combine implements core.Combiner: partial products sum.
+func (s *SpMV) Combine(a, b float32) float32 { return a + b }
+
 // EndIteration implements core.PhasedProgram: SpMV is a single pass.
 func (s *SpMV) EndIteration(iter int, sent int64, view core.VertexView[SpMVState]) bool {
 	return true

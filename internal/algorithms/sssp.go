@@ -69,6 +69,15 @@ func (s *SSSP) Gather(dst core.VertexID, v *SSSPState, m float32) {
 	}
 }
 
+// Combine implements core.Combiner: only the shortest tentative distance
+// can relax the destination.
+func (s *SSSP) Combine(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Distances extracts per-vertex distances.
 func Distances(verts []SSSPState) []float32 {
 	out := make([]float32, len(verts))

@@ -50,6 +50,15 @@ func (w *WCC) Gather(dst core.VertexID, v *WCCState, m core.VertexID) {
 	}
 }
 
+// Combine implements core.Combiner: only the smallest label can improve
+// the destination.
+func (w *WCC) Combine(a, b core.VertexID) core.VertexID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // RemapState implements core.StateRemapper: labels are vertex IDs, so
 // after a relabeled run they are translated back to input IDs. The label
 // is then a valid representative of the component (the vertex whose

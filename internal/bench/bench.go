@@ -67,6 +67,20 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics are machine-readable outcomes for the perf-regression CI
+	// gate (cmd/xbench -json / cmd/benchgate). By convention every metric
+	// is a deterministic work measure where lower is better — record
+	// counts, stream bytes, cross fractions — never wall-clock time,
+	// which CI runners make too noisy to gate on.
+	Metrics map[string]float64
+}
+
+// SetMetric records one gateable metric, allocating the map on first use.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
 }
 
 // Fprint renders the table as aligned text.

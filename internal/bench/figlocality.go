@@ -49,7 +49,7 @@ func runFigLocality(cfg Config) (*Table, error) {
 		ID:    "figlocality",
 		Title: fmt.Sprintf("Locality-aware partitioning, RMAT scale %d, K=%d (in-memory engine)", scale, parts),
 		Columns: []string{"graph", "algorithm", "partitioner", "cross-updates",
-			"preproc", "scatter+shuffle", "total"},
+			"combined", "update-bytes", "preproc", "scatter+shuffle", "total"},
 	}
 
 	type variant struct {
@@ -80,12 +80,15 @@ func runFigLocality(cfg Config) (*Table, error) {
 				t.Rows = append(t.Rows, []string{
 					in.name, algo, v.name,
 					fmt.Sprintf("%.1f%%", 100*s.CrossFraction()),
+					fmt.Sprintf("%.1f%%", 100*s.CombinedFraction()),
+					fmt.Sprintf("%d", s.UpdateBytes),
 					fmtDur(s.PreprocessTime),
 					fmtDur(s.ScatterTime + s.ShuffleTime),
 					fmtDur(s.TotalTime),
 				})
 			}
 			crossBy[in.name+"/"+v.name] = prs.CrossFraction()
+			t.SetMetric(fmt.Sprintf("pagerank_%s_%s_cross_fraction", in.name, v.name), prs.CrossFraction())
 		}
 		ratio := 0.0
 		if r := crossBy[in.name+"/range"]; r > 0 {

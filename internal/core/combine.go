@@ -1,0 +1,109 @@
+package core
+
+import "repro/internal/streambuf"
+
+// MaxFoldSlots bounds the per-worker dense slot tables of the
+// post-shuffle fold: beyond ~4M vertices per partition the tables stop
+// being worth their footprint and engines skip the fold (scatter-side
+// combining still applies).
+const MaxFoldSlots = 4 << 20
+
+// NewUpdateFolder builds the per-partition combining fold both engines
+// apply to shuffled update buffers: within each partition's chunk, updates
+// to the same destination merge through combine. The slot of an update is
+// its destination's offset inside the partition's contiguous vertex range.
+// Returns nil when the partitions are too wide for dense slot tables
+// (MaxFoldSlots); the folder's tables are cached, so one folder should be
+// reused for every fold of a run.
+func NewUpdateFolder[M any](split Split, workers int, combine func(a, b M) M) *streambuf.Folder[Update[M]] {
+	per := split.PerPartition()
+	if per > MaxFoldSlots {
+		return nil
+	}
+	return streambuf.NewFolder(workers, int(per), func(p int, u Update[M]) uint32 {
+		return uint32(u.Dst) - uint32(p)*uint32(per)
+	}, func(dst *Update[M], src Update[M]) {
+		dst.Val = combine(dst.Val, src.Val)
+	})
+}
+
+// CombineBuffer is the thread-private combining buffer the engines put in
+// front of the shared update stream when the program implements Combiner.
+// It replaces the plain private append buffer of §4.1: updates are staged
+// in a small dense record array, and a hash slot table keyed by destination
+// vertex lets a new update merge into a staged one addressed to the same
+// vertex instead of occupying a second record. The slot table is
+// direct-mapped — a collision between different destinations simply
+// forgets the older mapping (a missed combining opportunity, never a
+// correctness issue) — and is invalidated in O(1) on drain by bumping an
+// epoch rather than clearing.
+//
+// A CombineBuffer belongs to one goroutine; it is not safe for concurrent
+// use. Engines create one per scatter task, so the combining it performs is
+// a deterministic function of the task's edge order, independent of thread
+// scheduling.
+type CombineBuffer[M any] struct {
+	recs    []Update[M]
+	slots   []uint64 // epoch<<32 | (record index + 1)
+	mask    uint32
+	epoch   uint32
+	combine func(a, b M) M
+
+	// Combined counts updates merged away since construction.
+	Combined int64
+}
+
+// NewCombineBuffer returns a combining buffer staging up to capacity
+// records between drains. The slot table is sized at twice the capacity to
+// keep the collision rate low.
+func NewCombineBuffer[M any](capacity int, combine func(a, b M) M) *CombineBuffer[M] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	slots := NextPow2(2 * capacity)
+	return &CombineBuffer[M]{
+		recs:    make([]Update[M], 0, capacity),
+		slots:   make([]uint64, slots),
+		mask:    uint32(slots - 1),
+		epoch:   1,
+		combine: combine,
+	}
+}
+
+// Add stages one update, merging it into a staged update with the same
+// destination when the slot table still remembers one. It returns true when
+// the buffer is full and must be drained before the next Add.
+func (c *CombineBuffer[M]) Add(dst VertexID, val M) bool {
+	h := (uint32(dst) * 0x9E3779B1) >> 7 & c.mask
+	w := c.slots[h]
+	if uint32(w>>32) == c.epoch {
+		if r := &c.recs[uint32(w)-1]; r.Dst == dst {
+			r.Val = c.combine(r.Val, val)
+			c.Combined++
+			return false
+		}
+	}
+	c.recs = append(c.recs, Update[M]{Dst: dst, Val: val})
+	c.slots[h] = uint64(c.epoch)<<32 | uint64(len(c.recs))
+	return len(c.recs) == cap(c.recs)
+}
+
+// Len returns the number of staged records.
+func (c *CombineBuffer[M]) Len() int { return len(c.recs) }
+
+// Drain hands the staged records to fn (the slice aliases the buffer and
+// is only valid within fn) and resets the buffer. Draining an empty buffer
+// skips fn.
+func (c *CombineBuffer[M]) Drain(fn func([]Update[M])) {
+	if len(c.recs) > 0 {
+		fn(c.recs)
+	}
+	c.recs = c.recs[:0]
+	c.epoch++
+	if c.epoch == 0 { // epoch wrapped: stale slots could alias, clear them
+		for i := range c.slots {
+			c.slots[i] = 0
+		}
+		c.epoch = 1
+	}
+}

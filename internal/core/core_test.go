@@ -188,3 +188,110 @@ func TestStats(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+// TestCombineBuffer: same-destination updates merge while the slot table
+// remembers them, drains hand back exactly the surviving records, and the
+// epoch trick keeps drains independent.
+func TestCombineBuffer(t *testing.T) {
+	cb := NewCombineBuffer[int64](4, func(a, b int64) int64 { return a + b })
+	if full := cb.Add(7, 1); full {
+		t.Fatal("full after one add")
+	}
+	cb.Add(7, 2) // merges
+	cb.Add(9, 5)
+	if cb.Combined != 1 || cb.Len() != 2 {
+		t.Fatalf("combined %d, len %d", cb.Combined, cb.Len())
+	}
+	var got map[VertexID]int64
+	cb.Drain(func(recs []Update[int64]) {
+		got = map[VertexID]int64{}
+		for _, r := range recs {
+			got[r.Dst] += r.Val
+		}
+	})
+	if got[7] != 3 || got[9] != 5 {
+		t.Fatalf("drained %v", got)
+	}
+	if cb.Len() != 0 {
+		t.Fatalf("len %d after drain", cb.Len())
+	}
+	// After a drain the table must not resurrect pre-drain records.
+	cb.Add(7, 10)
+	cb.Drain(func(recs []Update[int64]) {
+		if len(recs) != 1 || recs[0].Val != 10 {
+			t.Fatalf("second drain: %v", recs)
+		}
+	})
+}
+
+// TestCombineBufferTotalsPreserved: for any update stream, draining through
+// a combining buffer preserves per-destination sums and never exceeds
+// capacity between drains.
+func TestCombineBufferTotalsPreserved(t *testing.T) {
+	const cap = 8
+	cb := NewCombineBuffer[int64](cap, func(a, b int64) int64 { return a + b })
+	want := map[VertexID]int64{}
+	got := map[VertexID]int64{}
+	flush := func(recs []Update[int64]) {
+		if len(recs) > cap {
+			t.Fatalf("drained %d records from capacity %d", len(recs), cap)
+		}
+		for _, r := range recs {
+			got[r.Dst] += r.Val
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		// 5 destinations cycle within the 8-record window, so every pass
+		// offers combining opportunities; the multiplier shuffles order.
+		dst := VertexID((i * 3) % 5)
+		val := int64(i%13 + 1)
+		want[dst] += val
+		if cb.Add(dst, val) {
+			cb.Drain(flush)
+		}
+	}
+	cb.Drain(flush)
+	if cb.Combined == 0 {
+		t.Fatal("no combining over a 37-destination stream")
+	}
+	for dst, w := range want {
+		if got[dst] != w {
+			t.Fatalf("dst %d: sum %d, want %d", dst, got[dst], w)
+		}
+	}
+}
+
+// TestPermutationPartitioner: replaying a saved permutation reproduces the
+// assignment, and bad permutations surface as errors.
+func TestPermutationPartitioner(t *testing.T) {
+	src := NewSliceSource([]Edge{{Src: 0, Dst: 3}, {Src: 1, Dst: 2}}, 4)
+	perm := []VertexID{2, 3, 0, 1}
+	p := NewPermutationPartitioner("saved", perm)
+	if p.Name() != "saved" {
+		t.Fatalf("name %q", p.Name())
+	}
+	asg, err := p.Assign(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if asg.NewID(0) != 2 || asg.OldID(2) != 0 {
+		t.Fatalf("translation broken: %v / %v", asg.NewID(0), asg.OldID(2))
+	}
+	// Identity replay.
+	idp := NewPermutationPartitioner("", nil)
+	asg, err = idp.Assign(src, 2)
+	if err != nil || !asg.Identity() {
+		t.Fatalf("identity replay: %v %v", asg, err)
+	}
+	// Wrong length errors.
+	if _, err := NewPermutationPartitioner("x", []VertexID{0, 1}).Assign(src, 2); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	// Out-of-range entry errors.
+	if _, err := NewPermutationPartitioner("x", []VertexID{0, 1, 2, 9}).Assign(src, 2); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+}

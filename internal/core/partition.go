@@ -167,6 +167,52 @@ func (RangePartitioner) Assign(src EdgeSource, k int) (*Assignment, error) {
 	return &Assignment{Split: NewSplit(src.NumVertices(), k)}, nil
 }
 
+// PermutationPartitioner replays a previously computed relabeling
+// permutation — the mechanism behind persisted assignments: an expensive
+// clustering pass (2PS) is run once per dataset, its permutation is saved
+// with graphio.WritePermutation, and later runs replay it here for free.
+// The permutation maps original vertex ID -> relabeled ID; nil replays the
+// identity. Any partition count works, because contiguous equal ranges
+// over a fixed relabeling remain a valid Split for every K.
+type PermutationPartitioner struct {
+	name    string
+	relabel []VertexID
+}
+
+// NewPermutationPartitioner wraps a saved old->new relabeling as a
+// Partitioner. The name identifies the policy in stats tables.
+func NewPermutationPartitioner(name string, relabel []VertexID) *PermutationPartitioner {
+	if name == "" {
+		name = "perm"
+	}
+	return &PermutationPartitioner{name: name, relabel: relabel}
+}
+
+// Name implements Partitioner.
+func (p *PermutationPartitioner) Name() string { return p.name }
+
+// Assign implements Partitioner by replaying the stored permutation.
+func (p *PermutationPartitioner) Assign(src EdgeSource, k int) (*Assignment, error) {
+	n := src.NumVertices()
+	asg := &Assignment{Split: NewSplit(n, k)}
+	if p.relabel == nil {
+		return asg, nil
+	}
+	if int64(len(p.relabel)) != n {
+		return nil, fmt.Errorf("core: saved permutation has %d entries for %d vertices", len(p.relabel), n)
+	}
+	inv := make([]VertexID, n)
+	for old, nw := range p.relabel {
+		if int64(nw) >= n {
+			return nil, fmt.Errorf("core: saved permutation entry %d = %d out of range [0,%d)", old, nw, n)
+		}
+		inv[nw] = VertexID(old)
+	}
+	asg.Relabel = p.relabel
+	asg.Inverse = inv
+	return asg, nil
+}
+
 // RestoreOrder reorders relabeled-space vertex states back to original
 // input order: out[old] = verts[relabel[old]]. A nil relabel returns verts
 // unchanged.

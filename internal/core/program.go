@@ -24,6 +24,35 @@ type Program[V, M any] interface {
 	Gather(dst VertexID, v *V, m M)
 }
 
+// Combiner is implemented by programs whose update values form a
+// commutative semigroup: Combine(a, b) must equal Combine(b, a), and
+// Combine(Combine(a, b), c) must equal Combine(a, Combine(b, c)), so that
+// Gather(dst, v, Combine(a, b)) leaves the vertex in the same state as
+// Gather(dst, v, a) followed by Gather(dst, v, b) — for any order and any
+// grouping of the updates addressed to dst within one iteration.
+//
+// When a program implements Combiner, the engines pre-aggregate the update
+// stream before it is shuffled and gathered (the update stream dominates
+// X-Stream's cost model, §3.2): thread-private combining buffers absorb
+// same-destination updates at scatter time, and a per-partition fold merges
+// the survivors after the shuffle, so fewer records cross RAM — and, in the
+// out-of-core engine, fewer bytes are written to the update files.
+//
+// Typical combiners: sum (PageRank, SpMV), min (SSSP, BFS levels, WCC
+// labels), set union (HyperANF sketches). Programs whose Gather is not a
+// pure semigroup action on the update value (e.g. ones that count the
+// *number* of updates received) must not implement Combiner. Floating-point
+// addition is accepted as associative here, exactly as the paper's own
+// PageRank tolerates reduction-order rounding differences.
+//
+// Combining can be disabled per run (Config.NoCombine in either engine)
+// without changing results, which is how the equivalence suite proves the
+// contract.
+type Combiner[M any] interface {
+	// Combine merges two update values addressed to the same vertex.
+	Combine(a, b M) M
+}
+
 // Direction selects which edge list an iteration streams.
 type Direction int
 

@@ -23,8 +23,13 @@ type Stats struct {
 	WastedEdges   int64 // edges streamed that produced no update
 	// CrossPartitionUpdates counts updates whose destination lies outside
 	// the partition that produced them — the shuffle traffic a
-	// locality-aware partitioner exists to reduce.
+	// locality-aware partitioner exists to reduce. Counted before any
+	// combining, so it is comparable across combiner on/off runs.
 	CrossPartitionUpdates int64
+	// UpdatesCombined counts update records merged away by the program's
+	// Combiner before gather: at scatter time in thread-private combining
+	// buffers, and in the per-partition fold after the shuffle.
+	UpdatesCombined int64
 
 	// Time split.
 	TotalTime      time.Duration
@@ -37,6 +42,13 @@ type Stats struct {
 	BytesStreamed int64 // records moved through stream buffers
 	BytesRead     int64 // device reads (out-of-core only)
 	BytesWritten  int64 // device writes (out-of-core only)
+	// UpdateBytes is the post-combining volume of the update stream: the
+	// bytes of update records the gather phase streams (in-memory engine)
+	// or that are appended to the update files / bypass buffer
+	// (out-of-core engine). With no Combiner this equals
+	// UpdatesSent × sizeof(update); the figcombine experiment reports how
+	// far below that a Combiner pushes it.
+	UpdateBytes int64
 
 	// RandomRefs counts random accesses to vertex state (one per
 	// scattered edge + one per gathered update); SequentialRefs counts
@@ -64,6 +76,15 @@ func (s Stats) CrossFraction() float64 {
 	return float64(s.CrossPartitionUpdates) / float64(s.UpdatesSent)
 }
 
+// CombinedFraction returns the fraction of sent updates the Combiner
+// merged away before gather.
+func (s Stats) CombinedFraction() float64 {
+	if s.UpdatesSent == 0 {
+		return 0
+	}
+	return float64(s.UpdatesCombined) / float64(s.UpdatesSent)
+}
+
 // StreamingTime estimates the time a pure streaming pass over the moved
 // bytes would take at the given sequential bandwidth (bytes/sec). The
 // paper's "ratio" column is TotalTime / StreamingTime.
@@ -85,8 +106,29 @@ func (s Stats) Ratio(seqBandwidth float64) float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%s[%s]: %d iters, %d parts, %v total (scatter %v, shuffle %v, gather %v), %d edges streamed, %d updates, %.0f%% wasted",
+	out := fmt.Sprintf("%s[%s]: %d iters, %d parts, %v total (scatter %v, shuffle %v, gather %v), %d edges streamed, %d updates, %.0f%% wasted",
 		s.Algorithm, s.Engine, s.Iterations, s.Partitions, s.TotalTime.Round(time.Millisecond),
 		s.ScatterTime.Round(time.Millisecond), s.ShuffleTime.Round(time.Millisecond), s.GatherTime.Round(time.Millisecond),
 		s.EdgesStreamed, s.UpdatesSent, 100*s.WastedFraction())
+	if s.UpdatesCombined > 0 {
+		out += fmt.Sprintf(", %d combined (%.0f%%)", s.UpdatesCombined, 100*s.CombinedFraction())
+	}
+	if s.UpdateBytes > 0 {
+		out += fmt.Sprintf(", %s update stream", humanBytes(s.UpdateBytes))
+	}
+	return out
+}
+
+// humanBytes renders a byte count with a binary unit suffix.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }

@@ -17,6 +17,12 @@
 // vertex files are bypassed entirely when all vertex state fits in the
 // memory budget, and the update files are bypassed when one scatter
 // phase's updates fit in a single stream buffer.
+//
+// When the program implements core.Combiner the scatter's private buffers
+// combine same-destination updates and every shuffled buffer is folded
+// per partition before writeback, shrinking the update-file I/O that
+// dominates out-of-core runs (see Config.NoCombine and the figcombine
+// experiment).
 package diskengine
 
 import (
@@ -76,6 +82,10 @@ type Config struct {
 	// Note the partitioner's own working state is O(V) in memory, the
 	// same order as one iteration's vertex windows.
 	Partitioner core.Partitioner
+	// NoCombine disables update combining even when the program
+	// implements core.Combiner; used by ablation benchmarks and the
+	// combiner-equivalence tests.
+	NoCombine bool
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +128,9 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 
 	start := time.Now()
 	e := &engine[V, M]{cfg: cfg, prog: prog, nv: g.NumVertices(), ne: g.NumEdges()}
+	if cb, ok := any(prog).(core.Combiner[M]); ok && !cfg.NoCombine {
+		e.combine = cb.Combine
+	}
 	if err := e.plan(); err != nil {
 		return nil, err
 	}
@@ -189,6 +202,11 @@ type engine[V, M any] struct {
 	part     core.Split
 	asg      *core.Assignment
 	shufPlan streambuf.Plan
+	// combine is the program's update semigroup, nil when the program has
+	// none (or Config.NoCombine disabled it); folder is the reusable
+	// pre-writeback fold over it (nil when partitions are too wide).
+	combine func(a, b M) M
+	folder  *streambuf.Folder[core.Update[M]]
 	// bufRecs is the record capacity of one stream buffer (S·K bytes).
 	bufEdgeRecs int
 	bufUpdRecs  int
@@ -240,6 +258,9 @@ func (e *engine[V, M]) plan() error {
 	}
 	e.k = k
 	e.part = core.NewSplit(e.nv, k)
+	if e.combine != nil {
+		e.folder = core.NewUpdateFolder(e.part, e.cfg.Threads, e.combine)
+	}
 
 	fanout := k // disk engine: single-stage shuffle (K is small, §3.4)
 	if fanout < 2 {
@@ -356,7 +377,7 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 func (e *engine[V, M]) partitionEdges(src core.EdgeSource, files []*partFile, transpose bool) error {
 	w := newBucketWriter(e.bufEdgeRecs, files, e.shufPlan, func(ed core.Edge) uint32 {
 		return e.part.Of(ed.Src)
-	}, e.cfg.Threads)
+	}, e.cfg.Threads, nil)
 	err := src.Edges(func(batch []core.Edge) error {
 		if transpose {
 			for i := range batch {
@@ -411,25 +432,29 @@ func (e *engine[V, M]) loop() error {
 		}
 
 		t0 := time.Now()
-		sent, streamed, inMem, err := e.scatterPhase(edgeFiles)
+		sp, err := e.scatterPhase(edgeFiles)
 		if err != nil {
 			return err
 		}
+		sent, streamed := sp.sent, sp.streamed
+		appended := sent - sp.scatterCombined
 		e.stats.ScatterTime += time.Since(t0)
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
 		e.stats.RandomRefs += streamed
 		e.stats.SequentialRefs += streamed
-		e.stats.BytesStreamed += streamed*12 + sent*int64(usize)*2
+		e.stats.BytesStreamed += streamed*12 + (appended+sp.written)*int64(usize)
+		e.stats.UpdatesCombined += sp.scatterCombined + sp.foldCombined
+		e.stats.UpdateBytes += sp.written * int64(usize)
 
 		t1 := time.Now()
-		if err := e.gatherPhase(inMem); err != nil {
+		if err := e.gatherPhase(sp.inMem); err != nil {
 			return err
 		}
 		e.stats.GatherTime += time.Since(t1)
-		e.stats.RandomRefs += sent
-		e.stats.SequentialRefs += sent
+		e.stats.RandomRefs += sp.written
+		e.stats.SequentialRefs += sp.written
 
 		e.stats.Iterations = iter + 1
 		if isPhased {
@@ -497,19 +522,43 @@ func (s *partFilesSource) Edges(fn func([]core.Edge) error) error {
 	return nil
 }
 
+// scatterResult aggregates one scatter phase's accounting.
+type scatterResult[M any] struct {
+	sent            int64 // updates produced by Scatter (pre-combining)
+	streamed        int64 // edge records streamed
+	scatterCombined int64 // updates merged in thread-private combining buffers
+	foldCombined    int64 // updates merged by the pre-writeback fold
+	written         int64 // update records written to files (or kept for bypass gather)
+	inMem           *streambuf.Buffer[core.Update[M]]
+}
+
+// updateFold returns the bucket fold the bucketWriter applies to each
+// shuffled update buffer before writeback — the out-of-core engine's
+// second combining stage, which shrinks the dominant update-file I/O
+// (§3.2). nil when the program has no Combiner or partitions are too
+// wide. The folder is built once per run (plan) so its slot tables are
+// reused across every flush.
+func (e *engine[V, M]) updateFold() func(*streambuf.Buffer[core.Update[M]]) int64 {
+	if e.folder == nil {
+		return nil
+	}
+	return e.folder.Fold
+}
+
 // scatterPhase runs the merged scatter/shuffle over every partition. It
-// returns the update count, edge count, and — when the §3.2 bypass applies
-// — the in-memory shuffled update buffer.
-func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64, inMem *streambuf.Buffer[core.Update[M]], err error) {
+// returns the phase's accounting and — when the §3.2 bypass applies — the
+// in-memory shuffled update buffer.
+func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (scatterResult[M], error) {
+	var res scatterResult[M]
 	w := newBucketWriter(e.bufUpdRecs, e.updFiles, e.shufPlan, func(u core.Update[M]) uint32 {
 		return e.part.Of(u.Dst)
-	}, e.cfg.Threads)
+	}, e.cfg.Threads, e.updateFold())
 
 	for s := 0; s < e.k; s++ {
 		verts, lo, err := e.loadVerts(s, false)
 		if err != nil {
 			w.Finish()
-			return 0, 0, nil, err
+			return res, err
 		}
 		rd := newChunkReader[core.Edge](edgeFiles[s].f, edgeFiles[s].size, e.bufEdgeRecs, !e.cfg.NoPrefetch)
 		for {
@@ -517,20 +566,22 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64
 			if err != nil {
 				rd.Close()
 				w.Finish()
-				return 0, 0, nil, err
+				return res, err
 			}
 			if chunk == nil {
 				break
 			}
-			streamed += int64(len(chunk))
-			// Scatter the chunk in segments that fit the output buffer.
+			res.streamed += int64(len(chunk))
+			// Scatter the chunk in segments that fit the output buffer
+			// (combining only ever shrinks a segment's append volume, so
+			// the room reserved for a segment still suffices).
 			for off := 0; off < len(chunk); {
 				room := w.Room()
 				if room == 0 {
 					if err := w.Flush(); err != nil {
 						rd.Close()
 						w.Finish()
-						return 0, 0, nil, err
+						return res, err
 					}
 					continue
 				}
@@ -538,8 +589,9 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64
 				if take > room {
 					take = room
 				}
-				nSent, nCross := e.scatterSegment(chunk[off:off+take], verts, lo, s, w.Buf())
-				sent += nSent
+				nSent, nCross, nCombined := e.scatterSegment(chunk[off:off+take], verts, lo, s, w.Buf())
+				res.sent += nSent
+				res.scatterCombined += nCombined
 				e.stats.CrossPartitionUpdates += nCross
 				off += take
 			}
@@ -548,28 +600,29 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (sent, streamed int64
 	}
 
 	if e.cfg.NoUpdateBypass {
-		if err := w.Finish(); err != nil {
-			return 0, 0, nil, err
-		}
-		return sent, streamed, nil, nil
+		err := w.Finish()
+		res.foldCombined, res.written = w.combined, w.written
+		return res, err
 	}
-	inMem, err = w.FinishBypass()
+	inMem, err := w.FinishBypass()
+	res.foldCombined, res.written = w.combined, w.written
 	if err != nil {
-		return 0, 0, nil, err
+		return res, err
 	}
-	return sent, streamed, inMem, nil
+	res.inMem = inMem
+	return res, nil
 }
 
 // scatterSegment applies Scatter to a slice of edges in parallel, appending
 // updates through thread-private buffers (§4.1). verts holds the current
 // partition's vertex window starting at vertex id lo; p is the partition
 // being scattered, for cross-partition accounting.
-func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (int64, int64) {
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64) {
 	workers := e.cfg.Threads
 	if len(edges) < 4096 || workers <= 1 {
 		return e.scatterRange(edges, verts, lo, p, out)
 	}
-	var total, totalCross atomic.Int64
+	var total, totalCross, totalCombined atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (len(edges) + workers - 1) / workers
 	for wkr := 0; wkr < workers; wkr++ {
@@ -583,33 +636,51 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p 
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			nSent, nCross := e.scatterRange(edges[a:b], verts, lo, p, out)
+			nSent, nCross, nCombined := e.scatterRange(edges[a:b], verts, lo, p, out)
 			total.Add(nSent)
 			totalCross.Add(nCross)
+			totalCombined.Add(nCombined)
 		}(a, b)
 	}
 	wg.Wait()
-	return total.Load(), totalCross.Load()
+	return total.Load(), totalCross.Load(), totalCombined.Load()
 }
 
-func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (sent, cross int64) {
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined int64) {
 	const privCap = 1024
+	flush := func(recs []core.Update[M]) { out.Append(recs) }
+	if e.combine != nil {
+		cb := core.NewCombineBuffer[M](privCap, e.combine)
+		for _, ed := range edges {
+			if m, ok := e.prog.Scatter(ed, &verts[int64(ed.Src)-lo]); ok {
+				sent++
+				if e.part.Of(ed.Dst) != uint32(p) {
+					cross++
+				}
+				if cb.Add(ed.Dst, m) {
+					cb.Drain(flush)
+				}
+			}
+		}
+		cb.Drain(flush)
+		return sent, cross, cb.Combined
+	}
 	priv := make([]core.Update[M], 0, privCap)
 	for _, ed := range edges {
 		if m, ok := e.prog.Scatter(ed, &verts[int64(ed.Src)-lo]); ok {
-			priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
 			sent++
 			if e.part.Of(ed.Dst) != uint32(p) {
 				cross++
 			}
+			priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
 			if len(priv) == cap(priv) {
-				out.Append(priv)
+				flush(priv)
 				priv = priv[:0]
 			}
 		}
 	}
 	out.Append(priv)
-	return sent, cross
+	return sent, cross, 0
 }
 
 // gatherPhase streams each partition's updates onto its vertex window.

@@ -197,23 +197,35 @@ type bucketWriter[T any] struct {
 	plan    streambuf.Plan
 	key     func(T) uint32
 	threads int
+	// fold, when non-nil, is applied to every shuffled buffer before its
+	// buckets are written — the combining stage that merges
+	// same-destination records so fewer bytes reach the update files. It
+	// returns the number of records merged away.
+	fold func(*streambuf.Buffer[T]) int64
 
 	cur     *streambuf.Buffer[T]
 	free    chan *streambuf.Buffer[T]
 	queue   chan *streambuf.Buffer[T]
 	wg      sync.WaitGroup
 	flushes int
+	// combined and written account the fold: records merged away, and
+	// records that survived to be written (or, for the bypass path, kept
+	// for the in-memory gather). Only touched by the coordinating
+	// goroutine; read after Finish/FinishBypass.
+	combined int64
+	written  int64
 
 	mu  sync.Mutex
 	err error
 }
 
-func newBucketWriter[T any](capacity int, files []*partFile, plan streambuf.Plan, key func(T) uint32, threads int) *bucketWriter[T] {
+func newBucketWriter[T any](capacity int, files []*partFile, plan streambuf.Plan, key func(T) uint32, threads int, fold func(*streambuf.Buffer[T]) int64) *bucketWriter[T] {
 	w := &bucketWriter[T]{
 		files:   files,
 		plan:    plan,
 		key:     key,
 		threads: threads,
+		fold:    fold,
 		free:    make(chan *streambuf.Buffer[T], 3),
 		queue:   make(chan *streambuf.Buffer[T], 1),
 	}
@@ -281,6 +293,10 @@ func (w *bucketWriter[T]) Flush() error {
 	w.flushes++
 	scratch := <-w.free
 	res := streambuf.Shuffle(w.cur, scratch, w.plan, w.threads, w.key)
+	if w.fold != nil {
+		w.combined += w.fold(res)
+	}
+	w.written += int64(res.Len())
 	other := scratch
 	if res == scratch {
 		other = w.cur
@@ -301,6 +317,10 @@ func (w *bucketWriter[T]) FinishBypass() (*streambuf.Buffer[T], error) {
 	if w.flushes == 0 {
 		scratch := <-w.free
 		res := streambuf.Shuffle(w.cur, scratch, w.plan, w.threads, w.key)
+		if w.fold != nil {
+			w.combined += w.fold(res)
+		}
+		w.written += int64(res.Len())
 		close(w.queue)
 		w.wg.Wait()
 		return res, w.Err()

@@ -107,7 +107,7 @@ func TestBucketWriterPipeline(t *testing.T) {
 		}
 	}
 	plan, _ := streambuf.NewPlan(k, k)
-	w := newBucketWriter(64, files, plan, func(r rec) uint32 { return r.K % k }, 2)
+	w := newBucketWriter(64, files, plan, func(r rec) uint32 { return r.K % k }, 2, nil)
 
 	const total = 10_000
 	next := 0
@@ -160,7 +160,7 @@ func TestBucketWriterBypass(t *testing.T) {
 	dev := storage.NewSim(storage.SSDParams("t", 1, 0))
 	files := []*partFile{mustPart(t, dev, "x"), mustPart(t, dev, "y")}
 	plan, _ := streambuf.NewPlan(2, 2)
-	w := newBucketWriter(1000, files, plan, func(r rec) uint32 { return r.K % 2 }, 2)
+	w := newBucketWriter(1000, files, plan, func(r rec) uint32 { return r.K % 2 }, 2, nil)
 	w.Buf().Append(makeRecs(100))
 	buf, err := w.FinishBypass()
 	if err != nil {
@@ -183,7 +183,7 @@ func TestBucketWriterNoBypassAfterFlush(t *testing.T) {
 	dev := storage.NewSim(storage.SSDParams("t", 1, 0))
 	files := []*partFile{mustPart(t, dev, "x"), mustPart(t, dev, "y")}
 	plan, _ := streambuf.NewPlan(2, 2)
-	w := newBucketWriter(64, files, plan, func(r rec) uint32 { return r.K % 2 }, 1)
+	w := newBucketWriter(64, files, plan, func(r rec) uint32 { return r.K % 2 }, 1, nil)
 	w.Buf().Append(makeRecs(64))
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)

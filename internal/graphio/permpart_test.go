@@ -1,0 +1,82 @@
+package graphio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/partition2ps"
+	"repro/internal/storage"
+)
+
+// TestSaveLoadPartitionerRoundTrip: a 2PS assignment saved during Assign
+// must replay identically from the permutation file, with no clustering
+// pass on replay.
+func TestSaveLoadPartitionerRoundTrip(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	edges := []core.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+		{Src: 4, Dst: 5}, {Src: 5, Dst: 4},
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 3},
+	}
+	src := core.NewSliceSource(edges, 8)
+
+	saving := SavingPartitioner(partition2ps.New(), dev, "g.xsperm")
+	if saving.Name() != partition2ps.New().Name() {
+		t.Fatalf("saving wrapper changed the policy name to %q", saving.Name())
+	}
+	want, err := saving.Assign(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadPartitioner(dev, "g.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Assign(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	for v := core.VertexID(0); v < 8; v++ {
+		if got.NewID(v) != want.NewID(v) {
+			t.Fatalf("vertex %d: replayed id %d, want %d", v, got.NewID(v), want.NewID(v))
+		}
+	}
+}
+
+// TestSavingPartitionerIdentity: an identity assignment (range) persists
+// an explicit identity permutation so later loads work uniformly.
+func TestSavingPartitionerIdentity(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	src := core.NewSliceSource([]core.Edge{{Src: 0, Dst: 1}}, 2)
+	if _, err := SavingPartitioner(core.RangePartitioner{}, dev, "id.xsperm").Assign(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPartitioner(dev, "id.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := loaded.Assign(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.NewID(0) != 0 || asg.NewID(1) != 1 {
+		t.Fatalf("identity permutation did not replay: %v %v", asg.NewID(0), asg.NewID(1))
+	}
+}
+
+// TestLoadPartitionerMissingFile: a missing permutation file errors
+// instead of silently degrading to the identity.
+func TestLoadPartitionerMissingFile(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	if _, err := LoadPartitioner(dev, "nope.xsperm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

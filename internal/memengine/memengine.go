@@ -12,6 +12,11 @@
 // stealing, §4.1); threads append updates through small private buffers
 // flushed into the shared output buffer by atomic reservation; the shuffle
 // runs lock-free on per-thread slices (§4.2).
+//
+// When the program implements core.Combiner the private buffers become
+// combining buffers and the shuffled result is folded per partition, so
+// the stream the gather phase random-accesses vertices for is
+// pre-aggregated (see Config.NoCombine and the figcombine experiment).
 package memengine
 
 import (
@@ -59,6 +64,10 @@ type Config struct {
 	// Locality-aware partitioners relabel vertices during pre-processing;
 	// the engine still returns vertex states in original input order.
 	Partitioner core.Partitioner
+	// NoCombine disables update combining even when the program
+	// implements core.Combiner; used by ablation benchmarks and the
+	// combiner-equivalence tests.
+	NoCombine bool
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +162,10 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		nv:   nv,
 		ne:   ne,
 	}
+	if cb, ok := any(prog).(core.Combiner[M]); ok && !cfg.NoCombine {
+		e.combine = cb.Combine
+		e.folder = core.NewUpdateFolder(asg.Split, cfg.Threads, cb.Combine)
+	}
 	e.stats.Algorithm = prog.Name()
 	e.stats.Engine = "memory"
 	e.stats.Partitioner = pr.Name()
@@ -189,6 +202,11 @@ type engine[V, M any] struct {
 	plan streambuf.Plan
 	nv   int64
 	ne   int64
+	// combine is the program's update semigroup, nil when the program has
+	// none (or Config.NoCombine disabled it); folder is the reusable
+	// post-shuffle fold over it (nil when partitions are too wide).
+	combine func(a, b M) M
+	folder  *streambuf.Folder[core.Update[M]]
 
 	verts []V
 	// Edge stream buffers, bucketed by partition of the source vertex.
@@ -265,15 +283,19 @@ func (e *engine[V, M]) loop() error {
 			edges = e.edgesBwd
 		}
 
-		// Scatter phase.
+		// Scatter phase. With a Combiner, thread-private combining buffers
+		// absorb same-destination updates before they reach the shared
+		// stream, so appended ≤ sent.
 		t0 := time.Now()
 		e.updA.Reset()
-		sent, streamed, cross, err := e.scatter(edges)
+		sc, err := e.scatter(edges)
 		if err != nil {
 			return err
 		}
+		sent, streamed := sc.sent, sc.streamed
+		appended := sent - sc.combined
 		e.stats.ScatterTime += time.Since(t0)
-		e.stats.CrossPartitionUpdates += cross
+		e.stats.CrossPartitionUpdates += sc.cross
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
@@ -281,20 +303,28 @@ func (e *engine[V, M]) loop() error {
 		e.stats.SequentialRefs += streamed
 		e.stats.BytesStreamed += streamed * 12
 
-		// Shuffle phase.
+		// Shuffle phase, plus — with a Combiner — the per-partition fold
+		// that merges surviving same-destination records before gather.
 		t1 := time.Now()
 		res := streambuf.Shuffle(e.updA, e.updB, e.plan, e.cfg.Threads, func(u core.Update[M]) uint32 {
 			return e.part.Of(u.Dst)
 		})
+		foldCombined := int64(0)
+		if e.folder != nil {
+			foldCombined = e.folder.Fold(res)
+		}
+		gathered := appended - foldCombined
 		e.stats.ShuffleTime += time.Since(t1)
-		e.stats.BytesStreamed += sent * int64(usize) * int64(e.plan.NumStages()+2)
-		e.stats.SequentialRefs += sent * int64(e.plan.NumStages()+2)
+		e.stats.UpdatesCombined += sc.combined + foldCombined
+		e.stats.UpdateBytes += gathered * int64(usize)
+		e.stats.BytesStreamed += (appended*int64(e.plan.NumStages()+1) + gathered) * int64(usize)
+		e.stats.SequentialRefs += appended*int64(e.plan.NumStages()+1) + gathered
 
 		// Gather phase.
 		t2 := time.Now()
 		e.gather(res)
 		e.stats.GatherTime += time.Since(t2)
-		e.stats.RandomRefs += sent
+		e.stats.RandomRefs += gathered
 		res.Reset()
 
 		e.stats.Iterations = iter + 1
@@ -331,11 +361,19 @@ func (e *engine[V, M]) reverseEdges() (*streambuf.Buffer[core.Edge], error) {
 	}), nil
 }
 
+// scatterCounts aggregates one scatter phase's accounting.
+type scatterCounts struct {
+	sent     int64 // updates produced by Scatter (pre-combining)
+	streamed int64 // edge records streamed
+	cross    int64 // updates addressed outside their source partition
+	combined int64 // updates merged away by scatter-side combining
+}
+
 // scatter streams every partition's edge chunk, appending updates through
-// thread-private buffers (§4.1). It returns (updates sent, edges streamed,
-// updates addressed outside their source partition).
-func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, streamed, cross int64, err error) {
-	var sentTotal, streamedTotal, crossTotal atomic.Int64
+// thread-private buffers (§4.1) — plain append buffers normally, combining
+// buffers when the program has a Combiner.
+func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (scatterCounts, error) {
+	var sentTotal, streamedTotal, crossTotal, combinedTotal atomic.Int64
 	var overflow atomic.Bool
 	privCap := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
 	if privCap < 1 {
@@ -343,29 +381,60 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, stream
 	}
 
 	e.forEachPartition(func(p int) {
-		priv := make([]core.Update[M], 0, privCap)
 		var nSent, nStreamed, nCross int64
-		edges.Bucket(p, func(run []core.Edge) {
-			for _, ed := range run {
-				nStreamed++
-				if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
-					priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
-					nSent++
-					if e.part.Of(ed.Dst) != uint32(p) {
-						nCross++
-					}
-					if len(priv) == cap(priv) {
-						if !e.updA.Append(priv) {
-							overflow.Store(true)
-							return
+		flush := func(recs []core.Update[M]) {
+			if !e.updA.Append(recs) {
+				overflow.Store(true)
+			}
+		}
+		if e.combine != nil {
+			// One combining buffer per partition task: merging is a
+			// deterministic function of the partition's edge order,
+			// independent of which thread claims it.
+			cb := core.NewCombineBuffer[M](privCap, e.combine)
+			edges.Bucket(p, func(run []core.Edge) {
+				if overflow.Load() {
+					return
+				}
+				for _, ed := range run {
+					nStreamed++
+					if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
+						nSent++
+						if e.part.Of(ed.Dst) != uint32(p) {
+							nCross++
 						}
-						priv = priv[:0]
+						if cb.Add(ed.Dst, m) {
+							cb.Drain(flush)
+						}
 					}
 				}
+			})
+			cb.Drain(flush)
+			combinedTotal.Add(cb.Combined)
+		} else {
+			priv := make([]core.Update[M], 0, privCap)
+			edges.Bucket(p, func(run []core.Edge) {
+				if overflow.Load() {
+					return
+				}
+				for _, ed := range run {
+					nStreamed++
+					if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
+						nSent++
+						if e.part.Of(ed.Dst) != uint32(p) {
+							nCross++
+						}
+						priv = append(priv, core.Update[M]{Dst: ed.Dst, Val: m})
+						if len(priv) == cap(priv) {
+							flush(priv)
+							priv = priv[:0]
+						}
+					}
+				}
+			})
+			if len(priv) > 0 {
+				flush(priv)
 			}
-		})
-		if len(priv) > 0 && !e.updA.Append(priv) {
-			overflow.Store(true)
 		}
 		sentTotal.Add(nSent)
 		streamedTotal.Add(nStreamed)
@@ -373,9 +442,14 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (sent, stream
 	})
 
 	if overflow.Load() {
-		return 0, 0, 0, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
+		return scatterCounts{}, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
 	}
-	return sentTotal.Load(), streamedTotal.Load(), crossTotal.Load(), nil
+	return scatterCounts{
+		sent:     sentTotal.Load(),
+		streamed: streamedTotal.Load(),
+		cross:    crossTotal.Load(),
+		combined: combinedTotal.Load(),
+	}, nil
 }
 
 // gather streams every partition's update chunk into its vertices.

@@ -239,6 +239,129 @@ func Shuffle[T any](in, out *Buffer[T], plan Plan, p int, key func(T) uint32) *B
 	return cur
 }
 
+// FoldBuckets merges records that share a slot within every (slice, bucket)
+// chunk of a bucketed buffer, in place, and returns the number of records
+// merged away. slot maps a record of the given bucket to a dense index in
+// [0, slots) — for update streams, the destination vertex's offset inside
+// its partition's vertex range — and merge folds a doomed record into its
+// surviving twin. Chunks are compacted towards their own start, so the
+// buffer's chunk index stays valid and consumers simply see shorter
+// buckets; only a Reset restores the invariant that slice regions are
+// densely filled.
+//
+// This is the shuffler's combining step: when updates form a semigroup
+// (core.Combiner), folding each partition's chunk after the final shuffle
+// stage shrinks the stream the gather phase random-accesses vertices for —
+// and, in the out-of-core engine, the bytes written to the update files.
+// Each worker touches only its own slices, so the fold is lock-free like
+// the shuffle itself; records of the same destination that landed in
+// different slices stay separate (the gather merges them anyway).
+func (b *Buffer[T]) FoldBuckets(workers, slots int, slot func(bucket int, rec T) uint32, merge func(dst *T, src T)) int64 {
+	return NewFolder(workers, slots, slot, merge).Fold(b)
+}
+
+// Folder folds buffers repeatedly with cached per-worker slot tables. The
+// out-of-core engine folds every flushed update buffer, so re-allocating
+// the tables (8 bytes per slot per worker) on each fold would put pure
+// zeroing work on the write path; a Folder pays it once. A Folder is safe
+// for sequential reuse, not for concurrent Fold calls.
+type Folder[T any] struct {
+	slots int
+	slot  func(bucket int, rec T) uint32
+	merge func(dst *T, src T)
+	// Per-worker tables: pos remembers, per slot, the compacted position
+	// of the slot's surviving record; gen invalidates a worker's whole
+	// table in O(1) per chunk via the cur counter.
+	pos [][]int32
+	gen [][]uint32
+	cur []uint32
+}
+
+// NewFolder prepares a fold over records mapped to [0, slots) dense slots
+// per bucket, merging doomed records into their surviving twin, with at
+// most workers parallel slice workers.
+func NewFolder[T any](workers, slots int, slot func(bucket int, rec T) uint32, merge func(dst *T, src T)) *Folder[T] {
+	if slots < 1 {
+		slots = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f := &Folder[T]{
+		slots: slots,
+		slot:  slot,
+		merge: merge,
+		pos:   make([][]int32, workers),
+		gen:   make([][]uint32, workers),
+		cur:   make([]uint32, workers),
+	}
+	for w := range f.pos {
+		f.pos[w] = make([]int32, slots)
+		f.gen[w] = make([]uint32, slots)
+	}
+	return f
+}
+
+// Fold runs the fold over a bucketed buffer and returns the number of
+// records merged away (see FoldBuckets).
+func (f *Folder[T]) Fold(b *Buffer[T]) int64 {
+	if b.buckets == 0 {
+		panic("streambuf: fold of a buffer in append state")
+	}
+	workers := len(f.pos)
+	if workers > len(b.slices) {
+		workers = len(b.slices)
+	}
+	var merged atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pos, gen := f.pos[w], f.gen[w]
+			cur := f.cur[w]
+			var n int64
+			for si := w; si < len(b.slices); si += workers {
+				s := &b.slices[si]
+				fill := 0
+				for g := range s.idx {
+					c := &s.idx[g]
+					cur++
+					if cur == 0 { // counter wrapped: stale gen entries could alias
+						for i := range gen {
+							gen[i] = 0
+						}
+						cur = 1
+					}
+					keep := 0
+					recs := b.data[c.Off : c.Off+c.Len]
+					for i, rec := range recs {
+						k := f.slot(g, rec)
+						if gen[k] == cur {
+							f.merge(&recs[pos[k]], rec)
+							continue
+						}
+						gen[k] = cur
+						pos[k] = int32(keep)
+						if keep != i {
+							recs[keep] = rec
+						}
+						keep++
+					}
+					n += int64(c.Len - keep)
+					c.Len = keep
+					fill += keep
+				}
+				s.fill = fill
+			}
+			f.cur[w] = cur
+			merged.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	return merged.Load()
+}
+
 // stageShuffle performs one shuffle stage: every existing bucket of cur is
 // split into sub sub-buckets ordered by (key >> shift) within each slice.
 // Slices are processed by parallel workers; a worker touches only its own

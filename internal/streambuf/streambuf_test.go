@@ -313,3 +313,106 @@ func TestShuffleReshuffleBucketed(t *testing.T) {
 	res2 := Shuffle(res, other, fine, 4, keyOf)
 	checkShuffled(t, in, res2, 64)
 }
+
+// TestFoldBucketsMergesDuplicates: after a fold, every (slice, bucket)
+// chunk holds at most one record per key, sums are preserved, and the
+// buffer's Len/BucketLen reflect the compaction.
+func TestFoldBucketsMergesDuplicates(t *testing.T) {
+	const n, k = 5000, 16
+	rng := rand.New(rand.NewSource(99))
+	in := make([]rec, n)
+	sums := map[uint32]uint32{}
+	for i := range in {
+		key := uint32(rng.Intn(k * 4)) // 4 distinct "vertices" per bucket
+		in[i] = rec{Key: key, Val: uint32(1 + rng.Intn(10))}
+		sums[key] += in[i].Val
+	}
+	a, b := New[rec](n), New[rec](n)
+	a.Fill(in)
+	plan, _ := NewPlan(k, 4)
+	res := Shuffle(a, b, plan, 3, func(r rec) uint32 { return r.Key / 4 })
+
+	before := res.Len()
+	merged := res.FoldBuckets(3, 4, func(bucket int, r rec) uint32 { return r.Key % 4 },
+		func(dst *rec, src rec) { dst.Val += src.Val })
+	if merged <= 0 {
+		t.Fatal("nothing merged from a duplicate-heavy stream")
+	}
+	if got := res.Len(); got != before-int(merged) {
+		t.Fatalf("Len %d after folding %d of %d", got, merged, before)
+	}
+
+	got := map[uint32]uint32{}
+	total := 0
+	for p := 0; p < k; p++ {
+		if bl := res.BucketLen(p); bl > 3*4 {
+			t.Fatalf("bucket %d still holds %d records over 4 keys x 3 slices", p, bl)
+		}
+		run := 0
+		res.Bucket(p, func(rs []rec) {
+			seen := map[uint32]bool{}
+			for _, r := range rs {
+				if int(r.Key/4) != p {
+					t.Fatalf("bucket %d contains key %d", p, r.Key)
+				}
+				if seen[r.Key] {
+					t.Fatalf("bucket %d run %d holds key %d twice after fold", p, run, r.Key)
+				}
+				seen[r.Key] = true
+				got[r.Key] += r.Val
+				total++
+			}
+			run++
+		})
+	}
+	if total != res.Len() {
+		t.Fatalf("bucket walk saw %d records, Len says %d", total, res.Len())
+	}
+	for key, want := range sums {
+		if got[key] != want {
+			t.Fatalf("key %d: folded sum %d, want %d", key, got[key], want)
+		}
+	}
+}
+
+// TestFoldBucketsSingleBucket: K=1 (append state sliced, one bucket) folds
+// across the whole stream.
+func TestFoldBucketsSingleBucket(t *testing.T) {
+	a, b := New[rec](100), New[rec](100)
+	in := make([]rec, 100)
+	for i := range in {
+		in[i] = rec{Key: uint32(i % 5), Val: 1}
+	}
+	a.Fill(in)
+	plan, _ := NewPlan(1, 2)
+	res := Shuffle(a, b, plan, 2, keyOf)
+	merged := res.FoldBuckets(2, 5, func(_ int, r rec) uint32 { return r.Key }, func(dst *rec, src rec) { dst.Val += src.Val })
+	// Two slices of 50 records with 5 keys each -> at most 10 survivors.
+	if res.Len() > 10 {
+		t.Fatalf("Len %d after fold, want <= 10", res.Len())
+	}
+	if merged != int64(100-res.Len()) {
+		t.Fatalf("merged %d, Len %d", merged, res.Len())
+	}
+	var sum uint32
+	res.Bucket(0, func(rs []rec) {
+		for _, r := range rs {
+			sum += r.Val
+		}
+	})
+	if sum != 100 {
+		t.Fatalf("folded total %d, want 100", sum)
+	}
+}
+
+// TestFoldBucketsAppendStatePanics: folding requires bucket structure.
+func TestFoldBucketsAppendStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on append-state fold")
+		}
+	}()
+	b := New[rec](10)
+	b.Fill([]rec{{1, 1}})
+	b.FoldBuckets(1, 1, func(int, rec) uint32 { return 0 }, func(*rec, rec) {})
+}

@@ -3,6 +3,7 @@ package xstream
 import (
 	"repro/internal/core"
 	"repro/internal/diskengine"
+	"repro/internal/graphio"
 	"repro/internal/memengine"
 	"repro/internal/partition2ps"
 )
@@ -21,6 +22,12 @@ type (
 	Program[V, M any] = core.Program[V, M]
 	// PhasedProgram adds per-iteration aggregation and termination.
 	PhasedProgram[V, M any] = core.PhasedProgram[V, M]
+	// Combiner marks programs whose update values form a commutative
+	// semigroup, letting the engines pre-aggregate the update stream
+	// (thread-private combining buffers at scatter time plus a
+	// per-partition fold after the shuffle). Disable per run with
+	// MemConfig/DiskConfig.NoCombine.
+	Combiner[M any] = core.Combiner[M]
 	// DirectedProgram selects forward or transposed streaming per
 	// iteration.
 	DirectedProgram = core.DirectedProgram
@@ -103,3 +110,23 @@ func NewRangePartitioner() Partitioner { return core.RangePartitioner{} }
 // cross-partition update traffic on community-structured graphs. Results
 // are still reported in input vertex IDs.
 func New2PSPartitioner() Partitioner { return partition2ps.New() }
+
+// NewPermutationPartitioner replays a saved old->new vertex relabeling as
+// a Partitioner (nil = identity), so a clustering pass persisted with
+// SavingPartitioner is paid once per dataset.
+func NewPermutationPartitioner(name string, relabel []VertexID) Partitioner {
+	return core.NewPermutationPartitioner(name, relabel)
+}
+
+// SavingPartitioner wraps inner so the relabeling permutation it plans is
+// persisted as a permutation file on dev when an engine runs; replay it
+// later with LoadPartitioner.
+func SavingPartitioner(inner Partitioner, dev Device, name string) Partitioner {
+	return graphio.SavingPartitioner(inner, dev, name)
+}
+
+// LoadPartitioner reads a saved permutation file and returns a Partitioner
+// replaying it, skipping the clustering passes entirely.
+func LoadPartitioner(dev Device, name string) (Partitioner, error) {
+	return graphio.LoadPartitioner(dev, name)
+}
