@@ -120,7 +120,7 @@ func main() {
 	}
 	if regressed > 0 {
 		fmt.Println("benchgate: perf regression detected — if intentional, regenerate the baseline with:")
-		fmt.Println("  go run ./cmd/xbench -run figcombine,figlocality -quick -threads 2 -json BENCH_baseline.json")
+		fmt.Println("  go run ./cmd/xbench -run figcombine,figfrontier,figlocality -quick -threads 2 -json BENCH_baseline.json")
 		os.Exit(1)
 	}
 }

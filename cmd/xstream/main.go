@@ -12,6 +12,7 @@
 //	        -save-permutation g.xsperm                # pay the clustering pass once...
 //	xstream -algo wcc -rmat 18 -load-permutation g.xsperm  # ...replay it later
 //	xstream -algo pagerank -rmat 18 -combine=false    # disable update pre-aggregation
+//	xstream -algo bfs -rmat 18 -selective=false       # stream densely even with a frontier
 //
 // It prints the execution Stats (iterations, partitions, wasted edges,
 // phase times) and an algorithm-specific summary.
@@ -48,6 +49,7 @@ func main() {
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		partition  = flag.String("partitioner", "range", "partitioning policy: range|2ps")
 		combine    = flag.Bool("combine", true, "pre-aggregate the update stream when the algorithm has a combiner")
+		selective  = flag.Bool("selective", true, "skip inactive partitions and edge tiles when the algorithm has a frontier (bfs/sssp/wcc)")
 		savePerm   = flag.String("save-permutation", "", "save the partitioner's vertex relabeling to this file after planning")
 		loadPerm   = flag.String("load-permutation", "", "replay a saved vertex relabeling instead of running the partitioner")
 	)
@@ -111,9 +113,12 @@ func main() {
 			Threads:      *threads,
 			Partitioner:  partitioner,
 			NoCombine:    !*combine,
+			Selective:    *selective,
 		}
 	}
-	memCfg := xstream.MemConfig{Threads: *threads, Partitioner: partitioner, NoCombine: !*combine}
+	memCfg := xstream.MemConfig{
+		Threads: *threads, Partitioner: partitioner, NoCombine: !*combine, Selective: *selective,
+	}
 
 	switch *algo {
 	case "wcc":
@@ -270,6 +275,11 @@ func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
 	if stats.UpdatesCombined > 0 {
 		fmt.Printf("combiner: %d of %d updates pre-aggregated (%.1f%%), %d-byte update stream\n",
 			stats.UpdatesCombined, stats.UpdatesSent, 100*stats.CombinedFraction(), stats.UpdateBytes)
+	}
+	if stats.EdgesSkipped > 0 {
+		fmt.Printf("selective: %d of %d edges skipped (%.1f%%), %d partitions + %d tiles elided\n",
+			stats.EdgesSkipped, stats.EdgesStreamed+stats.EdgesSkipped,
+			100*stats.SkippedFraction(), stats.PartitionsSkipped, stats.TilesSkipped)
 	}
 	summarize(verts, stats)
 }

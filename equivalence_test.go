@@ -436,3 +436,222 @@ func TestCombineGroupingInvariance(t *testing.T) {
 		}
 	})
 }
+
+// ---- selective (frontier-aware) streaming equivalence ----
+
+// selectiveCase is one (engine, partitioner, selective) combination. The
+// full matrix — both engines x both partitioners x selective on/off — run
+// over every frontier algorithm is what proves the FrontierProgram
+// contract: skipping partitions and tiles whose sources are inactive never
+// changes a result.
+type selectiveCase struct {
+	name      string
+	mem       bool
+	part      func() xstream.Partitioner
+	selective bool
+}
+
+func selectiveCases() []selectiveCase {
+	var out []selectiveCase
+	for _, mem := range []bool{true, false} {
+		for _, part := range []struct {
+			name string
+			mk   func() xstream.Partitioner
+		}{
+			{"range", xstream.NewRangePartitioner},
+			{"2ps", xstream.New2PSPartitioner},
+		} {
+			for _, sel := range []bool{false, true} {
+				eng := "disk"
+				if mem {
+					eng = "mem"
+				}
+				mode := "dense"
+				if sel {
+					mode = "selective"
+				}
+				out = append(out, selectiveCase{
+					name:      eng + "/" + part.name + "/" + mode,
+					mem:       mem,
+					part:      part.mk,
+					selective: sel,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// runSelective executes prog on the case's engine, returning states and
+// stats.
+func runSelective[V, M any](t *testing.T, c selectiveCase, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
+	t.Helper()
+	if c.mem {
+		// Partitions forced: the auto-sizer picks K=1 on test-size graphs,
+		// which would leave the partition-skip path unexercised.
+		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
+			Threads: 3, Partitions: 16, Partitioner: c.part(), Selective: c.selective, TileEdges: 128,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		return res.Vertices, res.Stats
+	}
+	dev := xstream.NewSimDevice(xstream.SimSSD("sel-equiv", 2, 0))
+	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
+		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part(),
+		Selective: c.selective, TileEdges: 128,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	return res.Vertices, res.Stats
+}
+
+// checkSelectiveStats asserts the workload bookkeeping: selective runs must
+// reconcile exactly to the dense edge workload and actually skip something
+// on these inputs; dense runs must report no skips. denseStreamed is 0 when
+// the paired dense subtest was filtered out (go test -run of a single
+// selective case), in which case the reconciliation is skipped rather than
+// compared against a value that never ran.
+func checkSelectiveStats(t *testing.T, c selectiveCase, s xstream.Stats, denseStreamed int64) {
+	t.Helper()
+	if !c.selective {
+		if s.EdgesSkipped != 0 || s.PartitionsSkipped != 0 || s.TilesSkipped != 0 {
+			t.Fatalf("%s: dense run reported skips: %+v", c.name, s)
+		}
+		return
+	}
+	if denseStreamed > 0 && s.EdgesStreamed+s.EdgesSkipped != denseStreamed {
+		t.Fatalf("%s: streamed %d + skipped %d != dense %d",
+			c.name, s.EdgesStreamed, s.EdgesSkipped, denseStreamed)
+	}
+	if s.EdgesSkipped == 0 {
+		t.Fatalf("%s: selective run skipped nothing", c.name)
+	}
+}
+
+// TestSelectiveEquivalenceBFS: the flagship frontier algorithm on the
+// flagship input — a high-diameter clique chain — plus a scale-free graph,
+// against the reference implementation.
+func TestSelectiveEquivalenceBFS(t *testing.T) {
+	for _, g := range []struct {
+		name string
+		src  xstream.EdgeSource
+	}{
+		{"clique-chain", xstream.CliqueChain(48, 8, 51)},
+		{"rmat", xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 52})},
+	} {
+		edges, err := xstream.Materialize(g.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const root = 2
+		want := refalgo.BFSLevels(g.src.NumVertices(), edges, root)
+		var denseStreamed int64
+		for _, c := range selectiveCases() {
+			t.Run(g.name+"/"+c.name, func(t *testing.T) {
+				verts, stats := runSelective(t, c, g.src, xstream.NewBFS(root))
+				got := xstream.BFSLevels(verts)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("vertex %d: level %d, want %d", v, got[v], want[v])
+					}
+				}
+				if !c.selective {
+					denseStreamed = stats.EdgesStreamed
+				}
+				checkSelectiveStats(t, c, stats, denseStreamed)
+			})
+		}
+	}
+}
+
+// TestSelectiveEquivalenceSSSP: float distances through the same matrix.
+func TestSelectiveEquivalenceSSSP(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 53})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 5
+	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
+	var denseStreamed int64
+	for _, c := range selectiveCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runSelective(t, c, src, xstream.NewSSSP(root))
+			got := xstream.SSSPDistances(verts)
+			for v := range want {
+				if math.IsInf(want[v], 1) {
+					if got[v] != float32(math.Inf(1)) {
+						t.Fatalf("vertex %d: reached at %g, want unreachable", v, got[v])
+					}
+					continue
+				}
+				if math.Abs(float64(got[v])-want[v]) > 1e-4*(1+want[v]) {
+					t.Fatalf("vertex %d: dist %g, want %g", v, got[v], want[v])
+				}
+			}
+			if !c.selective {
+				denseStreamed = stats.EdgesStreamed
+			}
+			checkSelectiveStats(t, c, stats, denseStreamed)
+		})
+	}
+}
+
+// TestSelectiveEquivalenceWCC: all-active start converging to a narrow
+// tail; labels are compared canonically as in TestEquivalenceWCC.
+func TestSelectiveEquivalenceWCC(t *testing.T) {
+	src := xstream.CliqueChain(32, 8, 54)
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.Components(src.NumVertices(), edges)
+	var denseStreamed int64
+	for _, c := range selectiveCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runSelective(t, c, src, xstream.NewWCC())
+			got := xstream.WCCLabels(verts)
+			repOf := map[xstream.VertexID]xstream.VertexID{}
+			for v := range got {
+				ref := want[v]
+				if seen, ok := repOf[got[v]]; ok && seen != ref {
+					t.Fatalf("label %d spans reference components %d and %d", got[v], seen, ref)
+				}
+				repOf[got[v]] = ref
+				if want[got[v]] != ref {
+					t.Fatalf("vertex %d: label %d is not a member of its component", v, got[v])
+				}
+			}
+			if !c.selective {
+				denseStreamed = stats.EdgesStreamed
+			}
+			checkSelectiveStats(t, c, stats, denseStreamed)
+		})
+	}
+}
+
+// TestSelectiveBitParity: within one engine+partitioner, selective on and
+// off must agree bit-for-bit — stronger than reference equality, and the
+// most direct statement of "skips are pure elision".
+func TestSelectiveBitParity(t *testing.T) {
+	src := xstream.CliqueChain(40, 8, 55)
+	cases := selectiveCases()
+	for i := 0; i < len(cases); i += 2 {
+		dense, sel := cases[i], cases[i+1]
+		if dense.selective || !sel.selective || dense.mem != sel.mem {
+			t.Fatalf("selectiveCases() no longer pairs dense/selective adjacently: %s / %s", dense.name, sel.name)
+		}
+		t.Run(sel.name, func(t *testing.T) {
+			dv, _ := runSelective(t, dense, src, xstream.NewBFS(0))
+			sv, _ := runSelective(t, sel, src, xstream.NewBFS(0))
+			for v := range dv {
+				if dv[v] != sv[v] {
+					t.Fatalf("vertex %d: dense %+v, selective %+v", v, dv[v], sv[v])
+				}
+			}
+		})
+	}
+}

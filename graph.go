@@ -30,6 +30,18 @@ func UniformGraph(n, m, seed int64, undirected bool) EdgeSource {
 	return graphgen.Uniform(n, m, seed, undirected)
 }
 
+// ChainGraph returns a path graph stored in both directions — the worst
+// case for scatter-gather iteration counts (diameter n-1).
+func ChainGraph(n, seed int64) EdgeSource { return graphgen.Chain(n, seed) }
+
+// CliqueChain returns cliques chained by single bridge edges, stored
+// undirected: a high-diameter graph with community structure, the designed
+// stress case for frontier-aware selective streaming (MemConfig/
+// DiskConfig.Selective) and its composition with the 2PS partitioner.
+func CliqueChain(cliques, cliqueSize int, seed int64) EdgeSource {
+	return graphgen.CliqueChain(cliques, cliqueSize, seed)
+}
+
 // WriteEdgeFile streams src into a binary edge file on dev (unordered
 // records; X-Stream's native input format).
 func WriteEdgeFile(dev Device, name string, src EdgeSource) error {

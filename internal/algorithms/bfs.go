@@ -46,6 +46,13 @@ func (b *BFS) Init(id core.VertexID, v *BFSState) {
 // StartIteration implements core.IterationStarter.
 func (b *BFS) StartIteration(iter int) { b.iter = int32(iter) }
 
+// InitiallyActive implements core.FrontierProgram: only the root can
+// scatter in iteration 0, and Scatter fires only for vertices discovered
+// in the previous iteration — exactly the frontier contract, making BFS
+// the canonical beneficiary of selective streaming on high-diameter
+// graphs (the paper's §5.3 worst case).
+func (b *BFS) InitiallyActive(id core.VertexID, v *BFSState) bool { return id == b.cur }
+
 // Scatter implements core.Program.
 func (b *BFS) Scatter(e core.Edge, src *BFSState) (int32, bool) {
 	if src.Updated == b.iter {

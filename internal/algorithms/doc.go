@@ -27,4 +27,13 @@
 // vertex state so scatter can cheaply decide whether to send — the edges
 // that are streamed but produce no update are precisely the paper's
 // "wasted edges" (Figure 12b).
+//
+// The frontier algorithms — BFS, SSSP, WCC — promote that field into the
+// core.FrontierProgram contract (Scatter of a vertex that received no
+// update is a no-op), which lets engines with Selective enabled skip
+// inactive partitions and edge tiles instead of streaming them. The dense
+// algorithms (PageRank, SpMV, HyperANF, Conductance, ALS, BP) scatter from
+// every vertex each iteration and deliberately do not opt in; the phased
+// ones (SCC, MIS, MCST) cannot, because their EndIteration hooks activate
+// vertices outside the update stream.
 package algorithms

@@ -53,6 +53,11 @@ func (s *SSSP) Init(id core.VertexID, v *SSSPState) {
 // StartIteration implements core.IterationStarter.
 func (s *SSSP) StartIteration(iter int) { s.iter = int32(iter) }
 
+// InitiallyActive implements core.FrontierProgram: Bellman–Ford relaxes
+// only edges whose source improved last iteration, so a source that
+// received no update cannot scatter.
+func (s *SSSP) InitiallyActive(id core.VertexID, v *SSSPState) bool { return id == s.cur }
+
 // Scatter implements core.Program.
 func (s *SSSP) Scatter(e core.Edge, src *SSSPState) (float32, bool) {
 	if src.Updated == s.iter {

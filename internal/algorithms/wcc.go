@@ -34,6 +34,13 @@ func (w *WCC) Init(id core.VertexID, v *WCCState) {
 // StartIteration implements core.IterationStarter.
 func (w *WCC) StartIteration(iter int) { w.iter = int32(iter) }
 
+// InitiallyActive implements core.FrontierProgram: every vertex starts
+// with a fresh label and scatters in iteration 0; afterwards only label
+// receivers can improve further, so the converging tail — where most
+// labels are settled and most edges are waste — is where selective
+// streaming pays off.
+func (w *WCC) InitiallyActive(id core.VertexID, v *WCCState) bool { return true }
+
 // Scatter implements core.Program.
 func (w *WCC) Scatter(e core.Edge, src *WCCState) (core.VertexID, bool) {
 	if src.Updated == w.iter {

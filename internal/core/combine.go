@@ -70,6 +70,42 @@ func NewCombineBuffer[M any](capacity int, combine func(a, b M) M) *CombineBuffe
 	}
 }
 
+// DegreeAwareBufRecs sizes a scatter-side combining buffer for one
+// partition from its average out-degree. baseRecs is the configured
+// capacity (PrivateBufBytes / record size); edges and verts describe the
+// partition being scattered. A vertex of out-degree d emits up to d updates
+// whose destinations repeat across the partition's edge chunk, so a window
+// proportional to the average degree catches correspondingly more
+// same-destination merges; dense partitions grow the buffer up to 16× the
+// base, growth is capped at the partition's own edge count (a bigger
+// buffer than the chunk cannot combine anything extra), and the result
+// never shrinks below baseRecs. The
+// result is a deterministic function of (baseRecs, edges, verts), so
+// combining stays a deterministic function of the partition's edge order.
+func DegreeAwareBufRecs(baseRecs int, edges, verts int64) int {
+	if baseRecs < 1 {
+		baseRecs = 1
+	}
+	if edges <= 0 || verts <= 0 {
+		return baseRecs
+	}
+	avg := (edges + verts - 1) / verts
+	if avg < 1 {
+		avg = 1
+	}
+	recs := int64(baseRecs) * avg
+	if lim := int64(baseRecs) * 16; recs > lim {
+		recs = lim
+	}
+	if recs > edges {
+		recs = edges
+	}
+	if recs < int64(baseRecs) {
+		recs = int64(baseRecs)
+	}
+	return int(recs)
+}
+
 // Add stages one update, merging it into a staged update with the same
 // destination when the slot table still remembers one. It returns true when
 // the buffer is full and must be drained before the next Add.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 )
 
 // Split is the contiguous vertex-ID layout every engine executes over:
@@ -307,6 +308,5 @@ func DiskPartitions(vertexBytes int64, ioUnit int, memBudget int64) (int, error)
 // Footprint returns the §4 vertex footprint used to size in-memory
 // partitions: vertex state plus one edge plus one update.
 func Footprint(vertexStateBytes, updateBytes int) int {
-	const edgeBytes = 12 // unsafe.Sizeof(Edge{})
-	return vertexStateBytes + edgeBytes + updateBytes
+	return vertexStateBytes + int(unsafe.Sizeof(Edge{})) + updateBytes
 }

@@ -31,6 +31,19 @@ type Stats struct {
 	// buffers, and in the per-partition fold after the shuffle.
 	UpdatesCombined int64
 
+	// Selective streaming (frontier-aware scheduling, Config.Selective in
+	// either engine, programs implementing FrontierProgram). EdgesSkipped
+	// counts edge records never streamed because no source in their
+	// partition or tile was active; PartitionsSkipped and TilesSkipped
+	// record the granularity of those skips (a skipped partition's tiles
+	// are not separately counted). On the out-of-core engine a skipped
+	// partition's edge file — or a skipped tile's byte range — is never
+	// read, so BytesRead drops correspondingly. All three are deterministic
+	// work measures, gateable by cmd/benchgate independent of wall time.
+	EdgesSkipped      int64
+	PartitionsSkipped int64
+	TilesSkipped      int64
+
 	// Time split.
 	TotalTime      time.Duration
 	PreprocessTime time.Duration // initial partitioning of the input edge list
@@ -85,6 +98,16 @@ func (s Stats) CombinedFraction() float64 {
 	return float64(s.UpdatesCombined) / float64(s.UpdatesSent)
 }
 
+// SkippedFraction returns the fraction of the full edge workload that
+// selective scheduling elided: skipped / (streamed + skipped).
+func (s Stats) SkippedFraction() float64 {
+	total := s.EdgesStreamed + s.EdgesSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EdgesSkipped) / float64(total)
+}
+
 // StreamingTime estimates the time a pure streaming pass over the moved
 // bytes would take at the given sequential bandwidth (bytes/sec). The
 // paper's "ratio" column is TotalTime / StreamingTime.
@@ -115,6 +138,10 @@ func (s Stats) String() string {
 	}
 	if s.UpdateBytes > 0 {
 		out += fmt.Sprintf(", %s update stream", humanBytes(s.UpdateBytes))
+	}
+	if s.EdgesSkipped > 0 {
+		out += fmt.Sprintf(", %d edges skipped (%.0f%%: %d partitions, %d tiles)",
+			s.EdgesSkipped, 100*s.SkippedFraction(), s.PartitionsSkipped, s.TilesSkipped)
 	}
 	return out
 }

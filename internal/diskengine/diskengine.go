@@ -23,6 +23,18 @@
 // per partition before writeback, shrinking the update-file I/O that
 // dominates out-of-core runs (see Config.NoCombine and the figcombine
 // experiment).
+//
+// When the program additionally implements core.FrontierProgram and
+// Config.Selective is set, the engine keeps an active-vertex frontier
+// across iterations and skips I/O the frontier proves useless: a partition
+// with no active source has its edge file not read at all, a partially
+// active partition is read only in the segments whose tiles (indexed
+// during the pre-processing edge shuffle) contain an active source, and a
+// partition whose update file is empty skips its gather — including the
+// vertex-file read/writeback in spill mode. Edge-file waste is the
+// out-of-core engine's dominant loss case on frontier algorithms (§5.3);
+// Stats.EdgesSkipped / PartitionsSkipped / TilesSkipped and the drop in
+// BytesRead quantify the recovery (see the figfrontier experiment).
 package diskengine
 
 import (
@@ -86,6 +98,18 @@ type Config struct {
 	// implements core.Combiner; used by ablation benchmarks and the
 	// combiner-equivalence tests.
 	NoCombine bool
+	// Selective enables frontier-aware selective streaming for programs
+	// implementing core.FrontierProgram: edge files of partitions with no
+	// active source are not read, partially active partitions are read
+	// only in their active tile segments, and update-empty partitions
+	// skip gather. Results are identical with Selective on or off by the
+	// FrontierProgram contract; ignored for programs without it (and for
+	// PhasedPrograms, whose EndIteration can activate vertices without an
+	// update).
+	Selective bool
+	// TileEdges is the tile granularity (edge records) of the selective
+	// read index. 0 means 4096.
+	TileEdges int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,8 +128,14 @@ func (c Config) withDefaults() Config {
 	if c.UpdateDevice == nil {
 		c.UpdateDevice = c.Device
 	}
+	if c.TileEdges <= 0 {
+		c.TileEdges = 4096
+	}
 	return c
 }
+
+// edgeRecSize is the on-disk size of one edge record.
+var edgeRecSize = int64(pod.Size[core.Edge]())
 
 // Result carries final vertex states and execution statistics.
 type Result[V any] struct {
@@ -130,6 +160,18 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	e := &engine[V, M]{cfg: cfg, prog: prog, nv: g.NumVertices(), ne: g.NumEdges()}
 	if cb, ok := any(prog).(core.Combiner[M]); ok && !cfg.NoCombine {
 		e.combine = cb.Combine
+	}
+	// Selective scheduling requires the FrontierProgram contract; phased
+	// programs are excluded because EndIteration may activate vertices
+	// through the VertexView without any update the frontier could see.
+	if cfg.Selective {
+		if fp, ok := any(prog).(core.FrontierProgram[V]); ok {
+			if _, phased := any(prog).(core.PhasedProgram[V, M]); !phased {
+				e.fp = fp
+				e.cur = core.NewFrontier(e.nv)
+				e.nxt = core.NewFrontier(e.nv)
+			}
+		}
 	}
 	if err := e.plan(); err != nil {
 		return nil, err
@@ -207,6 +249,15 @@ type engine[V, M any] struct {
 	// pre-writeback fold over it (nil when partitions are too wide).
 	combine func(a, b M) M
 	folder  *streambuf.Folder[core.Update[M]]
+	// Selective scheduling state (nil fp = dense streaming): cur is the
+	// frontier scattered this iteration, nxt collects gather receivers for
+	// the next, active caches cur's per-partition counts for one scatter;
+	// tilesFwd/tilesBwd index the edge files' tile source summaries.
+	fp       core.FrontierProgram[V]
+	cur, nxt *core.Frontier
+	active   []int64
+	tilesFwd *diskTiles
+	tilesBwd *diskTiles
 	// bufRecs is the record capacity of one stream buffer (S·K bytes).
 	bufEdgeRecs int
 	bufUpdRecs  int
@@ -273,7 +324,7 @@ func (e *engine[V, M]) plan() error {
 	e.shufPlan = plan
 
 	bufBytes := s * int64(k)
-	e.bufEdgeRecs = int(bufBytes / 12)
+	e.bufEdgeRecs = int(bufBytes / edgeRecSize)
 	e.bufUpdRecs = int(bufBytes / int64(usize))
 	if e.bufEdgeRecs < 1 || e.bufUpdRecs < 1 {
 		return fmt.Errorf("diskengine: I/O unit %d too small for record sizes", e.cfg.IOUnit)
@@ -327,7 +378,8 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 		}
 	}
 
-	// Vertex state.
+	// Vertex state. With selective scheduling, Init doubles as the census
+	// seeding iteration 0's frontier.
 	if e.allVerts != nil {
 		var wg sync.WaitGroup
 		workers := e.cfg.Threads
@@ -346,6 +398,9 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
 					e.prog.Init(core.VertexID(i), &e.allVerts[i])
+					if e.fp != nil && e.fp.InitiallyActive(core.VertexID(i), &e.allVerts[i]) {
+						e.cur.Mark(core.VertexID(i))
+					}
 				}
 			}(lo, hi)
 		}
@@ -360,7 +415,11 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 			lo, hi := e.part.Range(p, e.nv)
 			buf := e.vertsBuf[:hi-lo]
 			for i := range buf {
-				e.prog.Init(core.VertexID(lo+int64(i)), &buf[i])
+				id := core.VertexID(lo + int64(i))
+				e.prog.Init(id, &buf[i])
+				if e.fp != nil && e.fp.InitiallyActive(id, &buf[i]) {
+					e.cur.Mark(id)
+				}
 			}
 			if err := e.vertFiles[p].appendBytes(pod.AsBytes(buf)); err != nil {
 				return err
@@ -368,16 +427,26 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 		}
 	}
 
-	// Partition the edge list (in-memory shuffle reused, §3.2).
-	return e.partitionEdges(g, e.edgeFiles, false)
+	// Partition the edge list (in-memory shuffle reused, §3.2), indexing
+	// tile source summaries along the way when selective scheduling is on.
+	if e.fp != nil {
+		e.tilesFwd = newDiskTiles(e.k, e.cfg.TileEdges)
+	}
+	return e.partitionEdges(g, e.edgeFiles, false, e.tilesFwd)
 }
 
 // partitionEdges streams src through the shuffle pipeline into files,
-// optionally transposing each edge first.
-func (e *engine[V, M]) partitionEdges(src core.EdgeSource, files []*partFile, transpose bool) error {
+// optionally transposing each edge first. A non-nil tiles index observes
+// every run written, building the selective-read tile summaries during
+// the shuffle itself.
+func (e *engine[V, M]) partitionEdges(src core.EdgeSource, files []*partFile, transpose bool, tiles *diskTiles) error {
 	w := newBucketWriter(e.bufEdgeRecs, files, e.shufPlan, func(ed core.Edge) uint32 {
 		return e.part.Of(ed.Src)
 	}, e.cfg.Threads, nil)
+	if tiles != nil {
+		w.observe = tiles.observe
+		defer tiles.finish()
+	}
 	err := src.Edges(func(batch []core.Edge) error {
 		if transpose {
 			for i := range batch {
@@ -421,18 +490,21 @@ func (e *engine[V, M]) loop() error {
 			s.StartIteration(iter)
 		}
 
-		edgeFiles := e.edgeFiles
+		edgeFiles, tiles := e.edgeFiles, e.tilesFwd
 		if isDirected && directed.Direction(iter) == core.Backward {
 			if e.bwdFiles == nil {
 				if err := e.buildBackwardFiles(); err != nil {
 					return err
 				}
 			}
-			edgeFiles = e.bwdFiles
+			edgeFiles, tiles = e.bwdFiles, e.tilesBwd
 		}
 
 		t0 := time.Now()
-		sp, err := e.scatterPhase(edgeFiles)
+		if e.fp != nil {
+			e.active = e.cur.CountByPartition(e.part)
+		}
+		sp, err := e.scatterPhase(edgeFiles, tiles)
 		if err != nil {
 			return err
 		}
@@ -442,9 +514,12 @@ func (e *engine[V, M]) loop() error {
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
+		e.stats.EdgesSkipped += sp.skippedEdges
+		e.stats.PartitionsSkipped += sp.skippedParts
+		e.stats.TilesSkipped += sp.skippedTiles
 		e.stats.RandomRefs += streamed
 		e.stats.SequentialRefs += streamed
-		e.stats.BytesStreamed += streamed*12 + (appended+sp.written)*int64(usize)
+		e.stats.BytesStreamed += streamed*edgeRecSize + (appended+sp.written)*int64(usize)
 		e.stats.UpdatesCombined += sp.scatterCombined + sp.foldCombined
 		e.stats.UpdateBytes += sp.written * int64(usize)
 
@@ -455,6 +530,10 @@ func (e *engine[V, M]) loop() error {
 		e.stats.GatherTime += time.Since(t1)
 		e.stats.RandomRefs += sp.written
 		e.stats.SequentialRefs += sp.written
+		if e.fp != nil {
+			e.cur, e.nxt = e.nxt, e.cur
+			e.nxt.Clear()
+		}
 
 		e.stats.Iterations = iter + 1
 		if isPhased {
@@ -479,7 +558,10 @@ func (e *engine[V, M]) buildBackwardFiles() error {
 		}
 	}
 	src := &partFilesSource{files: e.edgeFiles, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch}
-	return e.partitionEdges(src, e.bwdFiles, true)
+	if e.fp != nil {
+		e.tilesBwd = newDiskTiles(e.k, e.cfg.TileEdges)
+	}
+	return e.partitionEdges(src, e.bwdFiles, true, e.tilesBwd)
 }
 
 // partFilesSource re-streams already-partitioned edge files as one source.
@@ -495,7 +577,7 @@ func (s *partFilesSource) NumVertices() int64 { return s.nv }
 func (s *partFilesSource) NumEdges() int64 {
 	var n int64
 	for _, f := range s.files {
-		n += f.size / 12
+		n += f.size / edgeRecSize
 	}
 	return n
 }
@@ -529,7 +611,11 @@ type scatterResult[M any] struct {
 	scatterCombined int64 // updates merged in thread-private combining buffers
 	foldCombined    int64 // updates merged by the pre-writeback fold
 	written         int64 // update records written to files (or kept for bypass gather)
-	inMem           *streambuf.Buffer[core.Update[M]]
+	// selective-scheduling elisions — skipped edges are bytes never read
+	skippedEdges int64
+	skippedParts int64
+	skippedTiles int64
+	inMem        *streambuf.Buffer[core.Update[M]]
 }
 
 // updateFold returns the bucket fold the bucketWriter applies to each
@@ -547,56 +633,90 @@ func (e *engine[V, M]) updateFold() func(*streambuf.Buffer[core.Update[M]]) int6
 
 // scatterPhase runs the merged scatter/shuffle over every partition. It
 // returns the phase's accounting and — when the §3.2 bypass applies — the
-// in-memory shuffled update buffer.
-func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (scatterResult[M], error) {
+// in-memory shuffled update buffer. With selective scheduling, a partition
+// with no active source is skipped without reading its edge file (or, in
+// spill mode, its vertex file); a partially active partition is read only
+// in the record segments whose tiles intersect the frontier.
+func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (scatterResult[M], error) {
 	var res scatterResult[M]
 	w := newBucketWriter(e.bufUpdRecs, e.updFiles, e.shufPlan, func(u core.Update[M]) uint32 {
 		return e.part.Of(u.Dst)
 	}, e.cfg.Threads, e.updateFold())
 
 	for s := 0; s < e.k; s++ {
+		fileRecs := edgeFiles[s].size / edgeRecSize
+		vlo, vhi := e.part.Range(s, e.nv)
+		if e.fp != nil && e.active[s] == 0 {
+			// No active source in the partition: by the FrontierProgram
+			// contract every edge here is a no-op, so the file is not
+			// read. An empty file elides nothing, so it is not counted.
+			if fileRecs > 0 {
+				res.skippedEdges += fileRecs
+				res.skippedParts++
+			}
+			continue
+		}
+		segs := []recRange{{0, fileRecs}}
+		if e.fp != nil && e.active[s] < vhi-vlo && tiles != nil {
+			var nRecs, nTiles int64
+			segs, nRecs, nTiles = tiles.activeSegments(s, e.cur, fileRecs)
+			res.skippedEdges += nRecs
+			res.skippedTiles += nTiles
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		// Degree-aware combining buffers: a denser partition repeats
+		// update destinations more, so combining gets a wider window. A
+		// plain append buffer gains nothing from width and stays at base.
+		privCap := basePrivCap
+		if e.combine != nil {
+			privCap = core.DegreeAwareBufRecs(basePrivCap, fileRecs, vhi-vlo)
+		}
 		verts, lo, err := e.loadVerts(s, false)
 		if err != nil {
 			w.Finish()
 			return res, err
 		}
-		rd := newChunkReader[core.Edge](edgeFiles[s].f, edgeFiles[s].size, e.bufEdgeRecs, !e.cfg.NoPrefetch)
-		for {
-			chunk, err := rd.Next()
-			if err != nil {
-				rd.Close()
-				w.Finish()
-				return res, err
-			}
-			if chunk == nil {
-				break
-			}
-			res.streamed += int64(len(chunk))
-			// Scatter the chunk in segments that fit the output buffer
-			// (combining only ever shrinks a segment's append volume, so
-			// the room reserved for a segment still suffices).
-			for off := 0; off < len(chunk); {
-				room := w.Room()
-				if room == 0 {
-					if err := w.Flush(); err != nil {
-						rd.Close()
-						w.Finish()
-						return res, err
+		for _, seg := range segs {
+			rd := newChunkReaderRange[core.Edge](edgeFiles[s].f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, e.bufEdgeRecs, !e.cfg.NoPrefetch)
+			for {
+				chunk, err := rd.Next()
+				if err != nil {
+					rd.Close()
+					w.Finish()
+					return res, err
+				}
+				if chunk == nil {
+					break
+				}
+				res.streamed += int64(len(chunk))
+				// Scatter the chunk in segments that fit the output buffer
+				// (combining only ever shrinks a segment's append volume, so
+				// the room reserved for a segment still suffices).
+				for off := 0; off < len(chunk); {
+					room := w.Room()
+					if room == 0 {
+						if err := w.Flush(); err != nil {
+							rd.Close()
+							w.Finish()
+							return res, err
+						}
+						continue
 					}
-					continue
+					take := len(chunk) - off
+					if take > room {
+						take = room
+					}
+					nSent, nCross, nCombined := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
+					res.sent += nSent
+					res.scatterCombined += nCombined
+					e.stats.CrossPartitionUpdates += nCross
+					off += take
 				}
-				take := len(chunk) - off
-				if take > room {
-					take = room
-				}
-				nSent, nCross, nCombined := e.scatterSegment(chunk[off:off+take], verts, lo, s, w.Buf())
-				res.sent += nSent
-				res.scatterCombined += nCombined
-				e.stats.CrossPartitionUpdates += nCross
-				off += take
 			}
+			rd.Close()
 		}
-		rd.Close()
 	}
 
 	if e.cfg.NoUpdateBypass {
@@ -613,14 +733,19 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile) (scatterResult[M], er
 	return res, nil
 }
 
+// basePrivCap is the baseline capacity (records) of the scatter's
+// thread-private buffers; core.DegreeAwareBufRecs scales it per partition.
+const basePrivCap = 1024
+
 // scatterSegment applies Scatter to a slice of edges in parallel, appending
 // updates through thread-private buffers (§4.1). verts holds the current
 // partition's vertex window starting at vertex id lo; p is the partition
-// being scattered, for cross-partition accounting.
-func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64) {
+// being scattered, for cross-partition accounting; privCap is the
+// degree-aware private buffer capacity for this partition.
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64) {
 	workers := e.cfg.Threads
 	if len(edges) < 4096 || workers <= 1 {
-		return e.scatterRange(edges, verts, lo, p, out)
+		return e.scatterRange(edges, verts, lo, p, privCap, out)
 	}
 	var total, totalCross, totalCombined atomic.Int64
 	var wg sync.WaitGroup
@@ -636,7 +761,7 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p 
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			nSent, nCross, nCombined := e.scatterRange(edges[a:b], verts, lo, p, out)
+			nSent, nCross, nCombined := e.scatterRange(edges[a:b], verts, lo, p, privCap, out)
 			total.Add(nSent)
 			totalCross.Add(nCross)
 			totalCombined.Add(nCombined)
@@ -646,8 +771,7 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p 
 	return total.Load(), totalCross.Load(), totalCombined.Load()
 }
 
-func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined int64) {
-	const privCap = 1024
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined int64) {
 	flush := func(recs []core.Update[M]) { out.Append(recs) }
 	if e.combine != nil {
 		cb := core.NewCombineBuffer[M](privCap, e.combine)
@@ -684,8 +808,20 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p in
 }
 
 // gatherPhase streams each partition's updates onto its vertex window.
+// With selective scheduling an update-empty partition is skipped outright:
+// no gather can change its state, so neither its update file nor (in spill
+// mode) its vertex file is touched.
 func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) error {
 	for p := 0; p < e.k; p++ {
+		if e.fp != nil {
+			empty := e.updFiles[p].size == 0
+			if inMem != nil {
+				empty = inMem.BucketLen(p) == 0
+			}
+			if empty {
+				continue
+			}
+		}
 		verts, lo, err := e.loadVerts(p, true)
 		if err != nil {
 			return err
@@ -722,12 +858,18 @@ func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) erro
 // gatherChunk applies a chunk of updates to the partition's vertex window.
 // With multiple workers the chunk is first shuffled by destination
 // sub-range so workers touch disjoint vertices — the in-memory engine
-// layered inside the disk engine (§4.3).
+// layered inside the disk engine (§4.3). With selective scheduling every
+// receiver is marked into the next frontier: receipt of an update, not a
+// state change, is what (conservatively) activates a vertex, so the
+// frontier is identical whether or not the stream was pre-combined.
 func (e *engine[V, M]) gatherChunk(chunk []core.Update[M], verts []V, lo int64) {
 	workers := e.cfg.Threads
 	if workers <= 1 || len(chunk) < 8192 {
 		for _, u := range chunk {
 			e.prog.Gather(u.Dst, &verts[int64(u.Dst)-lo], u.Val)
+			if e.fp != nil {
+				e.nxt.Mark(u.Dst)
+			}
 		}
 		return
 	}
@@ -760,6 +902,9 @@ func (e *engine[V, M]) gatherChunk(chunk []core.Update[M], verts []V, lo int64) 
 				res.Bucket(sp, func(run []core.Update[M]) {
 					for _, u := range run {
 						e.prog.Gather(u.Dst, &verts[int64(u.Dst)-lo], u.Val)
+						if e.fp != nil {
+							e.nxt.Mark(u.Dst)
+						}
 					}
 				})
 			}

@@ -284,3 +284,200 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("missing preprocess time")
 	}
 }
+
+// ---- selective (frontier-aware) streaming ----
+
+type bfsState struct {
+	Dist    int32
+	Updated int32
+}
+
+type bfsProg struct {
+	root core.VertexID
+	iter int32
+}
+
+func (b *bfsProg) Name() string { return "bfs-test" }
+
+func (b *bfsProg) Init(id core.VertexID, v *bfsState) {
+	if id == b.root {
+		*v = bfsState{Dist: 0, Updated: 0}
+	} else {
+		*v = bfsState{Dist: -1, Updated: -1}
+	}
+}
+
+func (b *bfsProg) StartIteration(iter int) { b.iter = int32(iter) }
+
+func (b *bfsProg) Scatter(e core.Edge, src *bfsState) (int32, bool) {
+	if src.Updated == b.iter {
+		return src.Dist + 1, true
+	}
+	return 0, false
+}
+
+func (b *bfsProg) Gather(dst core.VertexID, v *bfsState, m int32) {
+	if v.Dist < 0 {
+		v.Dist = m
+		v.Updated = b.iter + 1
+	}
+}
+
+func (b *bfsProg) InitiallyActive(id core.VertexID, v *bfsState) bool { return id == b.root }
+
+// TestSelectiveBFSDisk: a path graph keeps the BFS frontier one vertex
+// wide, so the selective disk engine must skip whole edge files, skip
+// tiles inside the frontier's own partition, read far fewer bytes — and
+// still produce bit-identical state, across the bypass, no-bypass and
+// vertex-spill configurations.
+func TestSelectiveBFSDisk(t *testing.T) {
+	src := graphgen.Chain(2048, 13)
+	for _, variant := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"bypass", func(c *Config) {}},
+		{"nobypass", func(c *Config) { c.NoUpdateBypass = true }},
+		{"spill", func(c *Config) { c.ForceVertexSpill = true }},
+		{"noprefetch", func(c *Config) { c.NoPrefetch = true }},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			base := Config{Threads: 2, IOUnit: 16 << 10, Partitions: 8, TileEdges: 64}
+			variant.mod(&base)
+			offCfg := base
+			offCfg.Device = ssd(0)
+			off, err := Run(src, &bfsProg{root: 0}, offCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			onCfg := base
+			onCfg.Device = ssd(0)
+			onCfg.Selective = true
+			on, err := Run(src, &bfsProg{root: 0}, onCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for v := range off.Vertices {
+				if on.Vertices[v] != off.Vertices[v] {
+					t.Fatalf("vertex %d: selective %+v, dense %+v", v, on.Vertices[v], off.Vertices[v])
+				}
+			}
+			s := on.Stats
+			if s.EdgesStreamed+s.EdgesSkipped != off.Stats.EdgesStreamed {
+				t.Fatalf("streamed %d + skipped %d != dense streamed %d",
+					s.EdgesStreamed, s.EdgesSkipped, off.Stats.EdgesStreamed)
+			}
+			if s.PartitionsSkipped == 0 || s.TilesSkipped == 0 {
+				t.Fatalf("expected partition and tile skips: %+v", s)
+			}
+			if s.EdgesStreamed*4 > off.Stats.EdgesStreamed {
+				t.Fatalf("weak reduction: %d of %d edges streamed", s.EdgesStreamed, off.Stats.EdgesStreamed)
+			}
+			// Skipped edges are bytes never read from the device.
+			if s.BytesRead*2 > off.Stats.BytesRead {
+				t.Fatalf("expected <=half the device reads, got %d vs dense %d", s.BytesRead, off.Stats.BytesRead)
+			}
+			if off.Stats.EdgesSkipped != 0 || off.Stats.PartitionsSkipped != 0 {
+				t.Fatalf("dense run reported skips: %+v", off.Stats)
+			}
+		})
+	}
+}
+
+// TestSelectiveDiskMemParity: both engines under selective scheduling must
+// agree with each other and with their dense selves on a scale-free graph.
+func TestSelectiveDiskMemParity(t *testing.T) {
+	src, _ := smallGraph(31)
+	memRes, err := memengine.Run(src, &bfsProg{root: 3}, memengine.Config{Threads: 2, Selective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskRes, err := Run(src, &bfsProg{root: 3}, Config{
+		Device: ssd(0), Threads: 2, IOUnit: 32 << 10, Partitions: 8, Selective: true, TileEdges: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Run(src, &bfsProg{root: 3}, Config{
+		Device: ssd(0), Threads: 2, IOUnit: 32 << 10, Partitions: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range memRes.Vertices {
+		if diskRes.Vertices[v] != memRes.Vertices[v] {
+			t.Fatalf("vertex %d: disk %+v, mem %+v", v, diskRes.Vertices[v], memRes.Vertices[v])
+		}
+		if diskRes.Vertices[v] != dense.Vertices[v] {
+			t.Fatalf("vertex %d: selective %+v, dense %+v", v, diskRes.Vertices[v], dense.Vertices[v])
+		}
+	}
+	if diskRes.Stats.EdgesStreamed+diskRes.Stats.EdgesSkipped != dense.Stats.EdgesStreamed {
+		t.Fatalf("disk workload does not reconcile: %+v vs %d", diskRes.Stats, dense.Stats.EdgesStreamed)
+	}
+	if memRes.Stats.UpdatesSent != diskRes.Stats.UpdatesSent {
+		t.Fatalf("updates sent: mem %d, disk %d", memRes.Stats.UpdatesSent, diskRes.Stats.UpdatesSent)
+	}
+}
+
+// TestSelectiveIgnoredWithoutContractDisk mirrors the mem-engine test: no
+// FrontierProgram, no skips.
+func TestSelectiveIgnoredWithoutContractDisk(t *testing.T) {
+	src, _ := smallGraph(32)
+	res, err := Run(src, &wccProg{}, Config{
+		Device: ssd(0), Threads: 2, IOUnit: 32 << 10, Partitions: 8, Selective: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.EdgesSkipped != 0 || s.PartitionsSkipped != 0 || s.TilesSkipped != 0 {
+		t.Fatalf("selective fired without contract: %+v", s)
+	}
+	if s.EdgesStreamed != src.NumEdges()*int64(s.Iterations) {
+		t.Fatalf("streamed %d, want dense %d", s.EdgesStreamed, src.NumEdges()*int64(s.Iterations))
+	}
+}
+
+// TestDiskTilesSegments exercises the tile index directly: coverage
+// mismatch falls back to a full scan, active tiles coalesce into maximal
+// segments, and skipped record counts reconcile.
+func TestDiskTilesSegments(t *testing.T) {
+	dt := newDiskTiles(1, 4)
+	edges := make([]core.Edge, 10)
+	for i := range edges {
+		edges[i].Src = core.VertexID(i * 10) // tiles span [0,30],[40,70],[80,90]
+	}
+	dt.observe(0, edges)
+	dt.finish()
+	if got := len(dt.parts[0]); got != 3 {
+		t.Fatalf("tile count %d, want 3", got)
+	}
+
+	front := core.NewFrontier(100)
+	front.Mark(45) // activates only the middle tile
+	segs, skipRecs, skipTiles := dt.activeSegments(0, front, 10)
+	if len(segs) != 1 || segs[0] != (recRange{4, 8}) {
+		t.Fatalf("segments %+v, want [{4 8}]", segs)
+	}
+	if skipRecs != 6 || skipTiles != 2 {
+		t.Fatalf("skipped %d recs / %d tiles, want 6 / 2", skipRecs, skipTiles)
+	}
+
+	// Adjacent active tiles coalesce.
+	front.Mark(0)
+	segs, skipRecs, skipTiles = dt.activeSegments(0, front, 10)
+	if len(segs) != 1 || segs[0] != (recRange{0, 8}) {
+		t.Fatalf("segments %+v, want [{0 8}]", segs)
+	}
+	if skipRecs != 2 || skipTiles != 1 {
+		t.Fatalf("skipped %d recs / %d tiles, want 2 / 1", skipRecs, skipTiles)
+	}
+
+	// Coverage mismatch (index says 10 records, file has 12): full scan.
+	segs, skipRecs, skipTiles = dt.activeSegments(0, front, 12)
+	if len(segs) != 1 || segs[0] != (recRange{0, 12}) || skipRecs != 0 || skipTiles != 0 {
+		t.Fatalf("fallback segments %+v (skip %d/%d), want full scan", segs, skipRecs, skipTiles)
+	}
+}

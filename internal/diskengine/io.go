@@ -68,6 +68,7 @@ type chunkReader[T any] struct {
 	// sync mode (prefetch disabled, used by the ablation)
 	f         storage.File
 	off, end  int64
+	start     int64
 	chunkRecs int
 	buf       []T
 }
@@ -80,7 +81,15 @@ type readRes[T any] struct {
 // newChunkReader streams f from byte offset 0 to end. chunkRecs is the
 // number of records per I/O request.
 func newChunkReader[T any](f storage.File, end int64, chunkRecs int, prefetch bool) *chunkReader[T] {
-	r := &chunkReader[T]{recSize: pod.Size[T](), chunkRecs: chunkRecs, f: f, end: end}
+	return newChunkReaderRange[T](f, 0, end, chunkRecs, prefetch)
+}
+
+// newChunkReaderRange streams the byte range [start, end) of f — the
+// selective-scatter read path, where only the active segments of an edge
+// file are streamed and the skipped tiles in between are never read. Both
+// offsets must be record-aligned.
+func newChunkReaderRange[T any](f storage.File, start, end int64, chunkRecs int, prefetch bool) *chunkReader[T] {
+	r := &chunkReader[T]{recSize: pod.Size[T](), chunkRecs: chunkRecs, f: f, off: start, start: start, end: end}
 	if !prefetch {
 		r.buf = make([]T, chunkRecs)
 		return r
@@ -97,7 +106,7 @@ func newChunkReader[T any](f storage.File, end int64, chunkRecs int, prefetch bo
 // reader is the dedicated I/O goroutine (§3.3: one I/O thread per stream).
 func (r *chunkReader[T]) reader() {
 	defer close(r.ready)
-	off := int64(0)
+	off := r.start
 	for off < r.end {
 		var buf []T
 		select {
@@ -202,6 +211,12 @@ type bucketWriter[T any] struct {
 	// same-destination records so fewer bytes reach the update files. It
 	// returns the number of records merged away.
 	fold func(*streambuf.Buffer[T]) int64
+	// observe, when non-nil, sees every bucket run in exactly the order it
+	// is appended to its file. It runs on the writer goroutine (single-
+	// threaded, overlapped with the caller's next fill) and is how the
+	// selective-streaming tile index is built during the existing edge
+	// shuffle, without an extra pass. Set before the first Flush.
+	observe func(bucket int, run []T)
 
 	cur     *streambuf.Buffer[T]
 	free    chan *streambuf.Buffer[T]
@@ -260,6 +275,9 @@ func (w *bucketWriter[T]) writer() {
 			var err error
 			buf.Bucket(p, func(run []T) {
 				if err == nil {
+					if w.observe != nil {
+						w.observe(p, run)
+					}
 					err = w.files[p].appendBytes(pod.AsBytes(run))
 				}
 			})

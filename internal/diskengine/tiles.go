@@ -1,0 +1,99 @@
+package diskengine
+
+import (
+	"repro/internal/core"
+)
+
+// tileSpan is one edge-file tile: a fixed-size run of records (the last
+// tile of a partition may be short) and its core.SrcSpan source summary.
+// A tile is skippable in an iteration exactly when its span misses the
+// frontier — with a locality-aware partitioner packing communities into
+// contiguous ID ranges, spans are narrow and skips frequent.
+type tileSpan struct {
+	recs int64
+	span core.SrcSpan
+}
+
+// diskTiles is the per-partition tile index of a set of edge files. It is
+// built *during* the pre-processing edge shuffle: the bucketWriter's
+// observer hands it every run in exactly file-append order, so tile i of
+// partition p always describes records [i*tileRecs, ...) of edge file p.
+// observe runs on the single writer goroutine; the index is read-only
+// afterwards.
+type diskTiles struct {
+	tileRecs int64
+	parts    [][]tileSpan
+	open     []tileSpan // per-partition tile still being filled
+}
+
+func newDiskTiles(k, tileRecs int) *diskTiles {
+	return &diskTiles{
+		tileRecs: int64(tileRecs),
+		parts:    make([][]tileSpan, k),
+		open:     make([]tileSpan, k),
+	}
+}
+
+// observe folds one appended run into partition p's tiles.
+func (t *diskTiles) observe(p int, run []core.Edge) {
+	open := &t.open[p]
+	for _, ed := range run {
+		if open.recs == 0 {
+			open.span = core.NewSrcSpan(ed.Src)
+		} else {
+			open.span.Add(ed.Src)
+		}
+		open.recs++
+		if open.recs == t.tileRecs {
+			t.parts[p] = append(t.parts[p], *open)
+			open.recs = 0
+		}
+	}
+}
+
+// finish closes every partition's trailing short tile. Call after the
+// bucketWriter's Finish, when no more runs will be observed.
+func (t *diskTiles) finish() {
+	for p := range t.open {
+		if t.open[p].recs > 0 {
+			t.parts[p] = append(t.parts[p], t.open[p])
+			t.open[p].recs = 0
+		}
+	}
+}
+
+// recRange is a contiguous record range [lo, hi) of one edge file.
+type recRange struct {
+	lo, hi int64
+}
+
+// activeSegments walks partition p's tiles against the frontier and
+// returns the coalesced record ranges that must be streamed, plus the
+// number of records and tiles skipped. wantRecs is the file's actual
+// record count: if the index does not cover it exactly (it always should;
+// this is a safety net, not an expected path) the whole file is returned
+// as one segment and nothing is skipped.
+func (t *diskTiles) activeSegments(p int, front *core.Frontier, wantRecs int64) (segs []recRange, skippedRecs, skippedTiles int64) {
+	var total int64
+	for _, tile := range t.parts[p] {
+		total += tile.recs
+	}
+	if total != wantRecs {
+		return []recRange{{0, wantRecs}}, 0, 0
+	}
+	off := int64(0)
+	for _, tile := range t.parts[p] {
+		if tile.span.Intersects(front) {
+			if n := len(segs); n > 0 && segs[n-1].hi == off {
+				segs[n-1].hi = off + tile.recs
+			} else {
+				segs = append(segs, recRange{off, off + tile.recs})
+			}
+		} else {
+			skippedRecs += tile.recs
+			skippedTiles++
+		}
+		off += tile.recs
+	}
+	return segs, skippedRecs, skippedTiles
+}

@@ -159,6 +159,80 @@ func (u *uniformSource) Edges(fn func([]Edge) error) error {
 	return nil
 }
 
+// CliqueChain returns a "beads on a string" graph: cliques of cliqueSize
+// vertices chained by single bridge edges (the last vertex of clique i to
+// the first of clique i+1), stored undirected. Vertex IDs are assigned
+// clique by clique; pass the source through a random relabeling to hide
+// that structure from a range partitioner.
+//
+// It is the designed stress case for frontier-aware selective streaming:
+// the diameter is ~2·cliques (each hop alternates bridge and intra-clique
+// expansion) so traversals run hundreds of iterations, yet the BFS
+// frontier occupies only one or two cliques at a time — almost every
+// partition is skippable almost every iteration, and a locality-aware
+// partitioner that packs cliques into contiguous ranges maximizes those
+// skips. High diameter with community structure is exactly the regime
+// where the paper's stream-everything design loses to index-based systems
+// (§5.3); this generator measures how much of that loss selective
+// scheduling recovers.
+func CliqueChain(cliques, cliqueSize int, seed int64) core.EdgeSource {
+	if cliques < 1 {
+		cliques = 1
+	}
+	if cliqueSize < 1 {
+		cliqueSize = 1
+	}
+	return &cliqueChainSource{cliques: cliques, size: cliqueSize, seed: seed}
+}
+
+type cliqueChainSource struct {
+	cliques, size int
+	seed          int64
+}
+
+func (c *cliqueChainSource) NumVertices() int64 { return int64(c.cliques) * int64(c.size) }
+
+func (c *cliqueChainSource) NumEdges() int64 {
+	intra := int64(c.cliques) * int64(c.size) * int64(c.size-1) // each clique complete, both directions
+	bridges := 2 * int64(c.cliques-1)
+	return intra + bridges
+}
+
+func (c *cliqueChainSource) Edges(fn func([]Edge) error) error {
+	rng := rand.New(rand.NewSource(c.seed))
+	const batchSize = 64 << 10
+	buf := make([]Edge, 0, batchSize)
+	emit := func(a, b core.VertexID, w float32) error {
+		buf = append(buf, Edge{Src: a, Dst: b, Weight: w}, Edge{Src: b, Dst: a, Weight: w})
+		if len(buf) >= batchSize {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	}
+	for q := 0; q < c.cliques; q++ {
+		base := core.VertexID(q * c.size)
+		for i := 0; i < c.size; i++ {
+			for j := i + 1; j < c.size; j++ {
+				if err := emit(base+core.VertexID(i), base+core.VertexID(j), rng.Float32()); err != nil {
+					return err
+				}
+			}
+		}
+		if q+1 < c.cliques {
+			next := core.VertexID((q + 1) * c.size)
+			if err := emit(base+core.VertexID(c.size-1), next, rng.Float32()); err != nil {
+				return err
+			}
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
 // Chain returns a path graph 0-1-2-...-n-1 stored in both directions: the
 // worst case for iteration count (diameter n-1).
 func Chain(n int64, seed int64) core.EdgeSource {

@@ -173,3 +173,143 @@ func TestDatasets(t *testing.T) {
 		}
 	}
 }
+
+// refBFS computes hop distances with a plain queue — the reference the
+// high-diameter generators' eccentricity claims are checked against.
+func refBFS(n int64, edges []core.Edge, root core.VertexID) []int32 {
+	adj := make([][]core.VertexID, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []core.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func maxDist(dist []int32) int32 {
+	var m int32
+	for _, d := range dist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestChainDiameter: the path graph's eccentricity from vertex 0 is
+// exactly n-1 — the worst case for scatter-gather iteration counts.
+func TestChainDiameter(t *testing.T) {
+	const n = 257
+	c := Chain(n, 3)
+	edges := materialize(t, c)
+	if int64(len(edges)) != c.NumEdges() || c.NumEdges() != 2*(n-1) {
+		t.Fatalf("records = %d, declared %d", len(edges), c.NumEdges())
+	}
+	dist := refBFS(n, edges, 0)
+	for v := int64(0); v < n; v++ {
+		if dist[v] != int32(v) {
+			t.Fatalf("vertex %d at distance %d", v, dist[v])
+		}
+	}
+}
+
+// TestGridDiameter: the rows×cols grid has eccentricity rows+cols-2 from a
+// corner — the DIMACS-road stand-in's defining property.
+func TestGridDiameter(t *testing.T) {
+	const rows, cols = 13, 9
+	g := Grid(rows, cols, 4)
+	edges := materialize(t, g)
+	dist := refBFS(g.NumVertices(), edges, 0)
+	if got := maxDist(dist); got != rows+cols-2 {
+		t.Fatalf("eccentricity %d, want %d", got, rows+cols-2)
+	}
+	for v, d := range dist {
+		if d < 0 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+		if want := int32(v/cols + v%cols); d != want {
+			t.Fatalf("vertex %d at distance %d, want Manhattan %d", v, d, want)
+		}
+	}
+}
+
+// TestCliqueChain checks the frontier stress generator: counts, structure
+// (edges stay inside a clique or bridge adjacent cliques), connectivity,
+// high diameter (~2·cliques), and determinism.
+func TestCliqueChain(t *testing.T) {
+	const cliques, size = 20, 5
+	c := CliqueChain(cliques, size, 7)
+	if c.NumVertices() != cliques*size {
+		t.Fatalf("vertices = %d", c.NumVertices())
+	}
+	wantEdges := int64(cliques*size*(size-1) + 2*(cliques-1))
+	if c.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", c.NumEdges(), wantEdges)
+	}
+	edges := materialize(t, c)
+	if int64(len(edges)) != wantEdges {
+		t.Fatalf("materialized %d records, declared %d", len(edges), wantEdges)
+	}
+
+	intra, bridges := 0, 0
+	for _, e := range edges {
+		qs, qd := int(e.Src)/size, int(e.Dst)/size
+		switch {
+		case qs == qd:
+			intra++
+		case qd == qs+1:
+			// Forward bridge: last vertex of qs to first of qd.
+			if int(e.Src)%size != size-1 || int(e.Dst)%size != 0 {
+				t.Fatalf("malformed bridge %+v", e)
+			}
+			bridges++
+		case qd == qs-1:
+			if int(e.Dst)%size != size-1 || int(e.Src)%size != 0 {
+				t.Fatalf("malformed bridge %+v", e)
+			}
+			bridges++
+		default:
+			t.Fatalf("edge %+v spans non-adjacent cliques", e)
+		}
+	}
+	if bridges != 2*(cliques-1) {
+		t.Fatalf("bridge records = %d, want %d", bridges, 2*(cliques-1))
+	}
+	if intra != cliques*size*(size-1) {
+		t.Fatalf("intra records = %d", intra)
+	}
+
+	dist := refBFS(c.NumVertices(), edges, 0)
+	for v, d := range dist {
+		if d < 0 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+	// The far end of the chain is ~2 hops per clique away (bridge +
+	// intra-clique step); size>2 keeps the corner cases away.
+	ecc := maxDist(dist)
+	if ecc < 2*(cliques-1) {
+		t.Fatalf("eccentricity %d, want >= %d (high diameter)", ecc, 2*(cliques-1))
+	}
+
+	again := materialize(t, CliqueChain(cliques, size, 7))
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatalf("nondeterministic at record %d", i)
+		}
+	}
+}

@@ -17,6 +17,15 @@
 // combining buffers and the shuffled result is folded per partition, so
 // the stream the gather phase random-accesses vertices for is
 // pre-aggregated (see Config.NoCombine and the figcombine experiment).
+//
+// When the program additionally implements core.FrontierProgram and
+// Config.Selective is set, the engine keeps an active-vertex frontier
+// across iterations and skips the edge chunks of partitions with no active
+// source — and, via a per-tile source index built once at setup, skips
+// fixed-size tiles inside partially active partitions. This closes the
+// paper's §5.3 loss case (frontier algorithms re-streaming edges whose
+// sources cannot scatter) while preserving the streaming-partition
+// architecture; see the figfrontier experiment.
 package memengine
 
 import (
@@ -68,6 +77,22 @@ type Config struct {
 	// implements core.Combiner; used by ablation benchmarks and the
 	// combiner-equivalence tests.
 	NoCombine bool
+	// Selective enables frontier-aware selective scatter for programs
+	// implementing core.FrontierProgram: the engine maintains an active-
+	// vertex bitset across iterations (a vertex is active iff it received
+	// an update last iteration) and skips the edge chunk of any partition
+	// with no active source — and, inside partially active partitions,
+	// any fixed-size edge tile whose source summary holds no active
+	// vertex. By the FrontierProgram contract every skipped edge would
+	// have produced no update, so results are identical with Selective on
+	// or off; Stats.EdgesSkipped / PartitionsSkipped / TilesSkipped
+	// measure the elided work. Ignored for programs without the contract
+	// (and for PhasedPrograms, whose EndIteration hook can activate
+	// vertices the update stream never saw).
+	Selective bool
+	// TileEdges is the tile granularity (edge records) of selective
+	// skipping inside partially active partitions. 0 means 4096.
+	TileEdges int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PrivateBufBytes <= 0 {
 		c.PrivateBufBytes = 8 << 10
+	}
+	if c.TileEdges <= 0 {
+		c.TileEdges = 4096
 	}
 	return c
 }
@@ -166,6 +194,18 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.combine = cb.Combine
 		e.folder = core.NewUpdateFolder(asg.Split, cfg.Threads, cb.Combine)
 	}
+	// Selective scheduling requires the FrontierProgram contract; phased
+	// programs are excluded because EndIteration may activate vertices
+	// through the VertexView without any update the frontier could see.
+	if cfg.Selective {
+		if fp, ok := any(prog).(core.FrontierProgram[V]); ok {
+			if _, phased := any(prog).(core.PhasedProgram[V, M]); !phased {
+				e.fp = fp
+				e.cur = core.NewFrontier(nv)
+				e.nxt = core.NewFrontier(nv)
+			}
+		}
+	}
 	e.stats.Algorithm = prog.Name()
 	e.stats.Engine = "memory"
 	e.stats.Partitioner = pr.Name()
@@ -207,13 +247,24 @@ type engine[V, M any] struct {
 	// post-shuffle fold over it (nil when partitions are too wide).
 	combine func(a, b M) M
 	folder  *streambuf.Folder[core.Update[M]]
+	// Selective scheduling state (nil fp = dense streaming): cur is the
+	// frontier scattered this iteration, nxt collects gather receivers for
+	// the next, active caches cur's per-partition counts for one scatter.
+	fp       core.FrontierProgram[V]
+	cur, nxt *core.Frontier
+	active   []int64
 
 	verts []V
 	// Edge stream buffers, bucketed by partition of the source vertex.
 	// edgesBwd is built lazily the first time a DirectedProgram asks for
 	// a Backward iteration (§2: transposes are a streaming pass).
+	// tilesFwd/tilesBwd are the matching per-partition tile source
+	// summaries (min/max source ID per BucketTiles tile), indexed only
+	// when selective scheduling is on.
 	edgesFwd *streambuf.Buffer[core.Edge]
 	edgesBwd *streambuf.Buffer[core.Edge]
+	tilesFwd [][]core.SrcSpan
+	tilesBwd [][]core.SrcSpan
 	// Update buffers: one receives scatter output, the other is shuffle
 	// scratch (the engine needs exactly three stream buffers, §4).
 	updA, updB *streambuf.Buffer[core.Update[M]]
@@ -227,6 +278,9 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 	e.verts = make([]V, e.nv)
 	e.parallelVertices(func(id core.VertexID, v *V) {
 		e.prog.Init(id, v)
+		if e.fp != nil && e.fp.InitiallyActive(id, v) {
+			e.cur.Mark(id)
+		}
 	})
 
 	buf, err := e.loadEdges(g)
@@ -234,11 +288,32 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 		return err
 	}
 	e.edgesFwd = buf
+	if e.fp != nil {
+		e.tilesFwd = buildTileIndex(buf, e.part.K, e.cfg.TileEdges)
+	}
 
 	updCap := int(e.ne)
 	e.updA = streambuf.New[core.Update[M]](updCap)
 	e.updB = streambuf.New[core.Update[M]](updCap)
 	return nil
+}
+
+// buildTileIndex walks every partition's edge chunk in BucketTiles order
+// and records each tile's source span. The buffer is shuffled once at
+// setup and never changes, so a scatter walking BucketTiles with the same
+// tile size sees exactly the indexed tiles.
+func buildTileIndex(buf *streambuf.Buffer[core.Edge], k, tileRecs int) [][]core.SrcSpan {
+	idx := make([][]core.SrcSpan, k)
+	for p := 0; p < k; p++ {
+		buf.BucketTiles(p, tileRecs, func(tile []core.Edge) {
+			span := core.NewSrcSpan(tile[0].Src)
+			for _, ed := range tile[1:] {
+				span.Add(ed.Src)
+			}
+			idx[p] = append(idx[p], span)
+		})
+	}
+	return idx
 }
 
 // loadEdges streams src into a buffer and shuffles it by source partition.
@@ -265,13 +340,14 @@ func (e *engine[V, M]) loop() error {
 	directed, isDirected := any(e.prog).(core.DirectedProgram)
 	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
 	usize := pod.Size[core.Update[M]]()
+	esize := pod.Size[core.Edge]()
 
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
 		if s, ok := any(e.prog).(core.IterationStarter); ok {
 			s.StartIteration(iter)
 		}
 
-		edges := e.edgesFwd
+		edges, tiles := e.edgesFwd, e.tilesFwd
 		if isDirected && directed.Direction(iter) == core.Backward {
 			if e.edgesBwd == nil {
 				rev, err := e.reverseEdges()
@@ -279,16 +355,24 @@ func (e *engine[V, M]) loop() error {
 					return err
 				}
 				e.edgesBwd = rev
+				if e.fp != nil {
+					e.tilesBwd = buildTileIndex(rev, e.part.K, e.cfg.TileEdges)
+				}
 			}
-			edges = e.edgesBwd
+			edges, tiles = e.edgesBwd, e.tilesBwd
 		}
 
 		// Scatter phase. With a Combiner, thread-private combining buffers
 		// absorb same-destination updates before they reach the shared
-		// stream, so appended ≤ sent.
+		// stream, so appended ≤ sent. With selective scheduling, the
+		// frontier's per-partition counts decide which chunks and tiles
+		// are streamed at all.
 		t0 := time.Now()
+		if e.fp != nil {
+			e.active = e.cur.CountByPartition(e.part)
+		}
 		e.updA.Reset()
-		sc, err := e.scatter(edges)
+		sc, err := e.scatter(edges, tiles)
 		if err != nil {
 			return err
 		}
@@ -299,9 +383,12 @@ func (e *engine[V, M]) loop() error {
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
+		e.stats.EdgesSkipped += sc.skippedEdges
+		e.stats.PartitionsSkipped += sc.skippedParts
+		e.stats.TilesSkipped += sc.skippedTiles
 		e.stats.RandomRefs += streamed // one vertex load per edge
 		e.stats.SequentialRefs += streamed
-		e.stats.BytesStreamed += streamed * 12
+		e.stats.BytesStreamed += streamed * int64(esize)
 
 		// Shuffle phase, plus — with a Combiner — the per-partition fold
 		// that merges surviving same-destination records before gather.
@@ -320,12 +407,17 @@ func (e *engine[V, M]) loop() error {
 		e.stats.BytesStreamed += (appended*int64(e.plan.NumStages()+1) + gathered) * int64(usize)
 		e.stats.SequentialRefs += appended*int64(e.plan.NumStages()+1) + gathered
 
-		// Gather phase.
+		// Gather phase; with selective scheduling it doubles as the census
+		// for the next frontier (receivers become active).
 		t2 := time.Now()
 		e.gather(res)
 		e.stats.GatherTime += time.Since(t2)
 		e.stats.RandomRefs += gathered
 		res.Reset()
+		if e.fp != nil {
+			e.cur, e.nxt = e.nxt, e.cur
+			e.nxt.Clear()
+		}
 
 		e.stats.Iterations = iter + 1
 		if isPhased {
@@ -339,22 +431,31 @@ func (e *engine[V, M]) loop() error {
 	return nil
 }
 
-// reverseEdges builds the transposed, re-partitioned edge buffer.
+// reverseEdges builds the transposed, re-partitioned edge buffer. A failed
+// append means the transpose would silently truncate, so it is fatal.
 func (e *engine[V, M]) reverseEdges() (*streambuf.Buffer[core.Edge], error) {
 	a := streambuf.New[core.Edge](int(e.ne))
 	batch := make([]core.Edge, 0, 64<<10)
+	overflowed := false
 	for p := 0; p < e.part.K; p++ {
 		e.edgesFwd.Bucket(p, func(run []core.Edge) {
 			for _, ed := range run {
 				batch = append(batch, core.Edge{Src: ed.Dst, Dst: ed.Src, Weight: ed.Weight})
 				if len(batch) == cap(batch) {
-					a.Append(batch)
+					if !a.Append(batch) {
+						overflowed = true
+					}
 					batch = batch[:0]
 				}
 			}
 		})
 	}
-	a.Append(batch)
+	if !a.Append(batch) {
+		overflowed = true
+	}
+	if overflowed {
+		return nil, fmt.Errorf("memengine: transpose overflow: more than %d edges in the forward buffer", a.Cap())
+	}
 	b := streambuf.New[core.Edge](a.Cap())
 	return streambuf.Shuffle(a, b, e.plan, e.cfg.Threads, func(ed core.Edge) uint32 {
 		return e.part.Of(ed.Src)
@@ -367,32 +468,59 @@ type scatterCounts struct {
 	streamed int64 // edge records streamed
 	cross    int64 // updates addressed outside their source partition
 	combined int64 // updates merged away by scatter-side combining
+	// selective-scheduling elisions
+	skippedEdges int64 // edges not streamed (inactive partition or tile)
+	skippedParts int64 // whole partition chunks skipped
+	skippedTiles int64 // tiles skipped inside partially active partitions
 }
 
 // scatter streams every partition's edge chunk, appending updates through
 // thread-private buffers (§4.1) — plain append buffers normally, combining
-// buffers when the program has a Combiner.
-func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (scatterCounts, error) {
+// buffers when the program has a Combiner. With selective scheduling,
+// partitions with no active source are skipped whole, and inside partially
+// active partitions each fixed-size tile is streamed only when its source
+// span intersects the frontier.
+func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]core.SrcSpan) (scatterCounts, error) {
 	var sentTotal, streamedTotal, crossTotal, combinedTotal atomic.Int64
+	var skippedEdges, skippedParts, skippedTiles atomic.Int64
 	var overflow atomic.Bool
-	privCap := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
-	if privCap < 1 {
-		privCap = 1
+	basePriv := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
+	if basePriv < 1 {
+		basePriv = 1
 	}
 
 	e.forEachPartition(func(p int) {
+		chunkLen := int64(edges.BucketLen(p))
+		lo, hi := e.part.Range(p, e.nv)
+		if e.fp != nil && e.active[p] == 0 {
+			// No active source anywhere in the partition: by the
+			// FrontierProgram contract the whole chunk is a no-op. An
+			// edgeless partition elides nothing, so it is not counted.
+			if chunkLen > 0 {
+				skippedEdges.Add(chunkLen)
+				skippedParts.Add(1)
+			}
+			return
+		}
+
 		var nSent, nStreamed, nCross int64
 		flush := func(recs []core.Update[M]) {
 			if !e.updA.Append(recs) {
 				overflow.Store(true)
 			}
 		}
+		// scan processes one run (or tile) of the chunk; finish drains the
+		// task-private buffer once all runs are done.
+		var scan func(run []core.Edge)
+		var finish func()
 		if e.combine != nil {
 			// One combining buffer per partition task: merging is a
 			// deterministic function of the partition's edge order,
-			// independent of which thread claims it.
-			cb := core.NewCombineBuffer[M](privCap, e.combine)
-			edges.Bucket(p, func(run []core.Edge) {
+			// independent of which thread claims it. Its capacity scales
+			// with the partition's average out-degree — denser partitions
+			// repeat destinations more, so a wider window combines more.
+			cb := core.NewCombineBuffer[M](core.DegreeAwareBufRecs(basePriv, chunkLen, hi-lo), e.combine)
+			scan = func(run []core.Edge) {
 				if overflow.Load() {
 					return
 				}
@@ -408,12 +536,14 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (scatterCount
 						}
 					}
 				}
-			})
-			cb.Drain(flush)
-			combinedTotal.Add(cb.Combined)
+			}
+			finish = func() {
+				cb.Drain(flush)
+				combinedTotal.Add(cb.Combined)
+			}
 		} else {
-			priv := make([]core.Update[M], 0, privCap)
-			edges.Bucket(p, func(run []core.Edge) {
+			priv := make([]core.Update[M], 0, basePriv)
+			scan = func(run []core.Edge) {
 				if overflow.Load() {
 					return
 				}
@@ -431,11 +561,35 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (scatterCount
 						}
 					}
 				}
-			})
-			if len(priv) > 0 {
-				flush(priv)
+			}
+			finish = func() {
+				if len(priv) > 0 {
+					flush(priv)
+				}
 			}
 		}
+
+		if e.fp != nil && e.active[p] < hi-lo && tiles != nil {
+			// Partially active partition: walk the chunk tile by tile and
+			// skip every tile whose source span misses the frontier. The
+			// walk mirrors buildTileIndex exactly (same buffer, same tile
+			// size), so index i always describes the i-th tile seen.
+			spans := tiles[p]
+			ti := 0
+			edges.BucketTiles(p, e.cfg.TileEdges, func(tile []core.Edge) {
+				span := spans[ti]
+				ti++
+				if !span.Intersects(e.cur) {
+					skippedEdges.Add(int64(len(tile)))
+					skippedTiles.Add(1)
+					return
+				}
+				scan(tile)
+			})
+		} else {
+			edges.Bucket(p, scan)
+		}
+		finish()
 		sentTotal.Add(nSent)
 		streamedTotal.Add(nStreamed)
 		crossTotal.Add(nCross)
@@ -445,17 +599,31 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge]) (scatterCount
 		return scatterCounts{}, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
 	}
 	return scatterCounts{
-		sent:     sentTotal.Load(),
-		streamed: streamedTotal.Load(),
-		cross:    crossTotal.Load(),
-		combined: combinedTotal.Load(),
+		sent:         sentTotal.Load(),
+		streamed:     streamedTotal.Load(),
+		cross:        crossTotal.Load(),
+		combined:     combinedTotal.Load(),
+		skippedEdges: skippedEdges.Load(),
+		skippedParts: skippedParts.Load(),
+		skippedTiles: skippedTiles.Load(),
 	}, nil
 }
 
-// gather streams every partition's update chunk into its vertices.
+// gather streams every partition's update chunk into its vertices. With
+// selective scheduling every receiver is marked into the next frontier —
+// receipt of an update, not a state change, is what (conservatively)
+// activates a vertex, so the frontier is identical whether or not the
+// update stream was pre-combined.
 func (e *engine[V, M]) gather(updates *streambuf.Buffer[core.Update[M]]) {
 	e.forEachPartition(func(p int) {
 		updates.Bucket(p, func(run []core.Update[M]) {
+			if e.fp != nil {
+				for _, u := range run {
+					e.prog.Gather(u.Dst, &e.verts[u.Dst], u.Val)
+					e.nxt.Mark(u.Dst)
+				}
+				return
+			}
 			for _, u := range run {
 				e.prog.Gather(u.Dst, &e.verts[u.Dst], u.Val)
 			}

@@ -279,3 +279,189 @@ func TestStatsTiming(t *testing.T) {
 		t.Fatalf("missing volume stats: %+v", s)
 	}
 }
+
+// ---- selective (frontier-aware) streaming ----
+
+type bfsState struct {
+	Dist    int32
+	Updated int32
+}
+
+// bfsProg is a frontier BFS: scatter fires only for vertices discovered in
+// the previous iteration, which is exactly the core.FrontierProgram
+// contract.
+type bfsProg struct {
+	root core.VertexID
+	iter int32
+}
+
+func (b *bfsProg) Name() string { return "bfs-test" }
+
+func (b *bfsProg) Init(id core.VertexID, v *bfsState) {
+	if id == b.root {
+		*v = bfsState{Dist: 0, Updated: 0}
+	} else {
+		*v = bfsState{Dist: -1, Updated: -1}
+	}
+}
+
+func (b *bfsProg) StartIteration(iter int) { b.iter = int32(iter) }
+
+func (b *bfsProg) Scatter(e core.Edge, src *bfsState) (int32, bool) {
+	if src.Updated == b.iter {
+		return src.Dist + 1, true
+	}
+	return 0, false
+}
+
+func (b *bfsProg) Gather(dst core.VertexID, v *bfsState, m int32) {
+	if v.Dist < 0 {
+		v.Dist = m
+		v.Updated = b.iter + 1
+	}
+}
+
+func (b *bfsProg) InitiallyActive(id core.VertexID, v *bfsState) bool { return id == b.root }
+
+// combiningBFS additionally pre-aggregates updates (min), to prove the
+// frontier is insensitive to combining.
+type combiningBFS struct{ bfsProg }
+
+func (c *combiningBFS) Combine(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSelectiveBFSChain: on a path graph the BFS frontier is a single
+// vertex per iteration, so selective streaming must skip almost every
+// partition scan while producing bit-identical results.
+func TestSelectiveBFSChain(t *testing.T) {
+	src := graphgen.Chain(4096, 9)
+	base := Config{Threads: 3, Partitions: 16}
+	off, err := Run(src, &bfsProg{root: 0}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selCfg := base
+	selCfg.Selective = true
+	selCfg.TileEdges = 64
+	on, err := Run(src, &bfsProg{root: 0}, selCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range off.Vertices {
+		if on.Vertices[v] != off.Vertices[v] {
+			t.Fatalf("vertex %d: selective %+v, dense %+v", v, on.Vertices[v], off.Vertices[v])
+		}
+	}
+	if off.Stats.EdgesSkipped != 0 || off.Stats.PartitionsSkipped != 0 || off.Stats.TilesSkipped != 0 {
+		t.Fatalf("dense run reported skips: %+v", off.Stats)
+	}
+	s := on.Stats
+	if s.Iterations != off.Stats.Iterations {
+		t.Fatalf("iterations %d, dense %d", s.Iterations, off.Stats.Iterations)
+	}
+	if s.EdgesStreamed+s.EdgesSkipped != off.Stats.EdgesStreamed {
+		t.Fatalf("streamed %d + skipped %d != dense streamed %d",
+			s.EdgesStreamed, s.EdgesSkipped, off.Stats.EdgesStreamed)
+	}
+	if s.UpdatesSent != off.Stats.UpdatesSent {
+		t.Fatalf("updates %d, dense %d", s.UpdatesSent, off.Stats.UpdatesSent)
+	}
+	if s.PartitionsSkipped == 0 || s.TilesSkipped == 0 {
+		t.Fatalf("expected partition and tile skips, got %+v", s)
+	}
+	// The frontier is one vertex wide: the reduction must be large, not
+	// marginal (the chain's dense cost is quadratic in the vertex count).
+	if s.EdgesStreamed*4 > off.Stats.EdgesStreamed {
+		t.Fatalf("weak reduction: %d of %d edges streamed", s.EdgesStreamed, off.Stats.EdgesStreamed)
+	}
+}
+
+// TestSelectiveCombineParity: combining merges update records but must not
+// change which vertices the frontier activates, so selective x combining
+// agree bit-for-bit with the plain run.
+func TestSelectiveCombineParity(t *testing.T) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 91, Undirected: true})
+	want, err := Run(src, &combiningBFS{bfsProg{root: 5}}, Config{Threads: 2, NoCombine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []bool{false, true} {
+		for _, noCombine := range []bool{false, true} {
+			res, err := Run(src, &combiningBFS{bfsProg{root: 5}}, Config{
+				Threads: 3, Selective: sel, NoCombine: noCombine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want.Vertices {
+				if res.Vertices[v] != want.Vertices[v] {
+					t.Fatalf("sel=%v nocombine=%v: vertex %d: %+v, want %+v",
+						sel, noCombine, v, res.Vertices[v], want.Vertices[v])
+				}
+			}
+			if res.Stats.EdgesStreamed+res.Stats.EdgesSkipped != want.Stats.EdgesStreamed {
+				t.Fatalf("sel=%v nocombine=%v: workload does not reconcile: %+v", sel, noCombine, res.Stats)
+			}
+		}
+	}
+}
+
+// TestSelectiveIgnoredWithoutContract: a program without FrontierProgram
+// must stream densely even when Selective is requested.
+func TestSelectiveIgnoredWithoutContract(t *testing.T) {
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 92, Undirected: true})
+	res, err := Run(src, &wccProg{}, Config{Threads: 2, Selective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.EdgesSkipped != 0 || s.PartitionsSkipped != 0 || s.TilesSkipped != 0 {
+		t.Fatalf("selective fired without contract: %+v", s)
+	}
+	if s.EdgesStreamed != src.NumEdges()*int64(s.Iterations) {
+		t.Fatalf("streamed %d, want dense %d", s.EdgesStreamed, src.NumEdges()*int64(s.Iterations))
+	}
+}
+
+// TestSelectiveRandomProperty: random graphs, random configs — selective
+// and dense runs must agree exactly, and the edge accounting must always
+// reconcile to the dense workload.
+func TestSelectiveRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		n := int64(rng.Intn(300) + 2)
+		m := rng.Intn(600)
+		edges := make([]core.Edge, 0, 2*m)
+		for i := 0; i < m; i++ {
+			a := core.VertexID(rng.Int63n(n))
+			b := core.VertexID(rng.Int63n(n))
+			edges = append(edges, core.Edge{Src: a, Dst: b, Weight: 1}, core.Edge{Src: b, Dst: a, Weight: 1})
+		}
+		src := core.NewSliceSource(edges, n)
+		root := core.VertexID(rng.Int63n(n))
+		cfg := Config{Threads: 1 + rng.Intn(4), Partitions: 1 << rng.Intn(4), TileEdges: 1 + rng.Intn(100)}
+		dense, err := Run(src, &bfsProg{root: root}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Selective = true
+		sel, err := Run(src, &bfsProg{root: root}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range dense.Vertices {
+			if sel.Vertices[v] != dense.Vertices[v] {
+				t.Fatalf("trial %d vertex %d: %+v, want %+v", trial, v, sel.Vertices[v], dense.Vertices[v])
+			}
+		}
+		if sel.Stats.EdgesStreamed+sel.Stats.EdgesSkipped != dense.Stats.EdgesStreamed {
+			t.Fatalf("trial %d: workload does not reconcile: %+v vs dense %d",
+				trial, sel.Stats, dense.Stats.EdgesStreamed)
+		}
+	}
+}

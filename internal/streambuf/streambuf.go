@@ -142,6 +142,31 @@ func (b *Buffer[T]) BucketRuns(p int) [][]T {
 	return runs
 }
 
+// BucketTiles streams bucket p exactly as Bucket does, but in tiles of at
+// most tileRecs records; tiles never span a slice-chunk boundary, so the
+// tiling is a pure function of the bucketed layout and tileRecs. These are
+// the tile boundaries of selective streaming: an engine walks the tiles
+// once to index a per-tile source summary, and — as long as the buffer is
+// not re-shuffled or reset between walks — every later walk with the same
+// tileRecs sees the identical i-th tile, letting it skip tiles whose
+// summary proves no record matters this iteration. tileRecs < 1 degrades
+// to whole runs (one tile per run).
+func (b *Buffer[T]) BucketTiles(p, tileRecs int, fn func(tile []T)) {
+	b.Bucket(p, func(run []T) {
+		if tileRecs < 1 || tileRecs >= len(run) {
+			fn(run)
+			return
+		}
+		for off := 0; off < len(run); off += tileRecs {
+			end := off + tileRecs
+			if end > len(run) {
+				end = len(run)
+			}
+			fn(run[off:end])
+		}
+	})
+}
+
 // slicesFor computes P equal slices over the filled region.
 func (b *Buffer[T]) sliceAppendState(p int) {
 	n := int(b.n.Load())

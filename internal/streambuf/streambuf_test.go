@@ -416,3 +416,81 @@ func TestFoldBucketsAppendStatePanics(t *testing.T) {
 	b.Fill([]rec{{1, 1}})
 	b.FoldBuckets(1, 1, func(int, rec) uint32 { return 0 }, func(*rec, rec) {})
 }
+
+// TestBucketTiles: tiling must concatenate to exactly the Bucket stream,
+// cap every tile at tileRecs, never span a run boundary, and be stable
+// across repeated walks of an unchanged buffer — the invariant selective
+// engines index tile summaries against.
+func TestBucketTiles(t *testing.T) {
+	const k = 8
+	recs := makeRecs(5000, k, 33)
+	a := New[rec](len(recs))
+	b := New[rec](len(recs))
+	a.Append(recs)
+	plan, err := NewPlan(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Shuffle(a, b, plan, 3, keyOf)
+
+	for _, tileRecs := range []int{1, 7, 64, 100000, 0, -5} {
+		for p := 0; p < k; p++ {
+			runEnds := map[int]bool{} // cumulative record offsets of run ends
+			off := 0
+			res.Bucket(p, func(run []rec) {
+				off += len(run)
+				runEnds[off] = true
+			})
+
+			walk := func() ([]rec, []int) {
+				var flat []rec
+				var sizes []int
+				res.BucketTiles(p, tileRecs, func(tile []rec) {
+					flat = append(flat, tile...)
+					sizes = append(sizes, len(tile))
+				})
+				return flat, sizes
+			}
+			flat, sizes := walk()
+			want := collectBucket(res, p)
+			if len(flat) != len(want) {
+				t.Fatalf("tileRecs=%d p=%d: %d records, want %d", tileRecs, p, len(flat), len(want))
+			}
+			for i := range flat {
+				if flat[i] != want[i] {
+					t.Fatalf("tileRecs=%d p=%d: record %d differs", tileRecs, p, i)
+				}
+			}
+			pos := 0
+			for _, sz := range sizes {
+				if sz == 0 {
+					t.Fatalf("tileRecs=%d p=%d: empty tile", tileRecs, p)
+				}
+				if tileRecs >= 1 && sz > tileRecs {
+					t.Fatalf("tileRecs=%d p=%d: tile of %d records", tileRecs, p, sz)
+				}
+				pos += sz
+				// A tile may end inside a run only when it is full-sized:
+				// otherwise it must end exactly at a run boundary.
+				if (tileRecs < 1 || sz < tileRecs) && !runEnds[pos] {
+					t.Fatalf("tileRecs=%d p=%d: short tile ends at %d, not a run boundary", tileRecs, p, pos)
+				}
+			}
+			flat2, sizes2 := walk()
+			if len(sizes2) != len(sizes) || len(flat2) != len(flat) {
+				t.Fatalf("tileRecs=%d p=%d: second walk differs", tileRecs, p)
+			}
+			for i := range sizes {
+				if sizes[i] != sizes2[i] {
+					t.Fatalf("tileRecs=%d p=%d: tile %d resized between walks", tileRecs, p, i)
+				}
+			}
+		}
+	}
+}
+
+func collectBucket(b *Buffer[rec], p int) []rec {
+	var out []rec
+	b.Bucket(p, func(run []rec) { out = append(out, run...) })
+	return out
+}

@@ -28,6 +28,12 @@ type (
 	// per-partition fold after the shuffle). Disable per run with
 	// MemConfig/DiskConfig.NoCombine.
 	Combiner[M any] = core.Combiner[M]
+	// FrontierProgram marks programs whose Scatter is a no-op for
+	// vertices that received no update last iteration, letting engines
+	// with MemConfig/DiskConfig.Selective skip inactive partitions and
+	// edge tiles (the out-of-core engine skips the file reads outright).
+	// BFS, SSSP and WCC opt in; results are identical either way.
+	FrontierProgram[V any] = core.FrontierProgram[V]
 	// DirectedProgram selects forward or transposed streaming per
 	// iteration.
 	DirectedProgram = core.DirectedProgram
