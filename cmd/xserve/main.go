@@ -1,0 +1,193 @@
+// Command xserve is the graph-analytics serving layer: an HTTP API over
+// the dataset registry (internal/dataset) and job scheduler
+// (internal/jobs). Datasets are ingested once at startup — parse/generate,
+// optional 2PS clustering with a persisted permutation, and (with a
+// device) the out-of-core pre-processing shuffle — and then served to any
+// number of jobs, with same-dataset jobs batched into shared passes so N
+// concurrent queries pay for one edge stream instead of N.
+//
+// Usage:
+//
+//	xserve -addr :8080 -dataset social=rmat:18:16:1 \
+//	       -dataset roads=file:/data/usa.xsedge:undirected
+//	xserve -dataset g=rmat:16 -partitioner 2ps -device os -dir /mnt/fast/xs
+//
+// Dataset specs are name=rmat:scale[:edgefactor[:seed]][:undirected] or
+// name=file:path[:undirected]; mark a spec undirected when the edge list
+// already stores both directions (required for hyperanf jobs).
+//
+// API (all JSON):
+//
+//	POST   /jobs             {"dataset":..,"algo":..,"engine":"mem"|"disk","params":{..}}
+//	GET    /jobs             list
+//	GET    /jobs/{id}        status
+//	GET    /jobs/{id}/result result payload + stats
+//	DELETE /jobs/{id}        cancel
+//	GET    /datasets         registered datasets
+//	GET    /metrics          scheduler counters (batching, shared edge reads)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	xstream "repro"
+	"repro/internal/dataset"
+	"repro/internal/jobs"
+)
+
+// datasetSpecs collects repeated -dataset flags.
+type datasetSpecs []string
+
+func (d *datasetSpecs) String() string     { return strings.Join(*d, ",") }
+func (d *datasetSpecs) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var specs datasetSpecs
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		partition = flag.String("partitioner", "range", "partitioning policy for all datasets: range|2ps")
+		device    = flag.String("device", "none", "out-of-core device: none|os|sim-ssd|sim-hdd")
+		dir       = flag.String("dir", os.TempDir(), "directory for -device os")
+		threads   = flag.Int("threads", 0, "worker threads per engine (0 = GOMAXPROCS)")
+		budget    = flag.String("budget", "1g", "scheduler memory budget for co-scheduled jobs (e.g. 4g)")
+		maxBatch  = flag.Int("max-batch", 16, "max jobs per shared pass")
+		workers   = flag.Int("workers", 2, "concurrent batch runners")
+		retention = flag.Int("retention", 256, "finished jobs kept for result retrieval")
+	)
+	flag.Var(&specs, "dataset", "dataset spec name=rmat:scale[:ef[:seed]][:undirected] or name=file:path[:undirected] (repeatable)")
+	flag.Parse()
+
+	if len(specs) == 0 {
+		fatal("need at least one -dataset spec")
+	}
+	var dev xstream.Device
+	var err error
+	switch *device {
+	case "none":
+	case "os":
+		if dev, err = xstream.NewOSDevice("xserve", *dir); err != nil {
+			fatal("device: %v", err)
+		}
+	case "sim-ssd":
+		dev = xstream.NewSimDevice(xstream.SimSSD("ssd", 2, 0))
+	case "sim-hdd":
+		dev = xstream.NewSimDevice(xstream.SimHDD("hdd", 2, 0))
+	default:
+		fatal("unknown -device %q", *device)
+	}
+
+	reg := dataset.NewRegistry()
+	defer reg.Close()
+	for _, spec := range specs {
+		name, src, undirected, err := parseDataset(spec)
+		if err != nil {
+			fatal("-dataset %q: %v", spec, err)
+		}
+		_, err = reg.Add(name, src, dataset.Options{
+			Partitioner: *partition,
+			Undirected:  undirected,
+			Threads:     *threads,
+			Device:      dev,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "xserve: dataset %s: %d vertices, %d edge records\n",
+			name, src.NumVertices(), src.NumEdges())
+	}
+
+	sched := jobs.New(reg, jobs.Config{
+		MemoryBudget: parseBytes(*budget),
+		MaxBatch:     *maxBatch,
+		Workers:      *workers,
+		Retention:    *retention,
+	})
+	defer sched.Close()
+
+	fmt.Fprintf(os.Stderr, "xserve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, jobs.NewHandler(sched)); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// parseDataset parses one name=kind:args spec.
+func parseDataset(spec string) (name string, src xstream.EdgeSource, undirected bool, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return "", nil, false, fmt.Errorf("want name=rmat:... or name=file:...")
+	}
+	parts := strings.Split(rest, ":")
+	if parts[len(parts)-1] == "undirected" {
+		undirected = true
+		parts = parts[:len(parts)-1]
+	}
+	switch parts[0] {
+	case "rmat":
+		if len(parts) < 2 || len(parts) > 4 {
+			return "", nil, false, fmt.Errorf("want rmat:scale[:ef[:seed]]")
+		}
+		scale, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return "", nil, false, fmt.Errorf("bad scale %q", parts[1])
+		}
+		ef, seed := 16, int64(1)
+		if len(parts) > 2 {
+			if ef, err = strconv.Atoi(parts[2]); err != nil {
+				return "", nil, false, fmt.Errorf("bad edge factor %q", parts[2])
+			}
+		}
+		if len(parts) > 3 {
+			if seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+				return "", nil, false, fmt.Errorf("bad seed %q", parts[3])
+			}
+		}
+		src = xstream.RMAT(xstream.RMATConfig{Scale: scale, EdgeFactor: ef, Seed: seed, Undirected: undirected})
+	case "file":
+		if len(parts) != 2 {
+			return "", nil, false, fmt.Errorf("want file:path")
+		}
+		fdir, fname := filepath.Split(parts[1])
+		if fdir == "" {
+			fdir = "."
+		}
+		fdev, err := xstream.NewOSDevice("input", fdir)
+		if err != nil {
+			return "", nil, false, err
+		}
+		if src, err = xstream.OpenEdgeFile(fdev, fname); err != nil {
+			return "", nil, false, err
+		}
+	default:
+		return "", nil, false, fmt.Errorf("unknown kind %q", parts[0])
+	}
+	return name, src, undirected, nil
+}
+
+func parseBytes(s string) int64 {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fatal("bad byte size %q", s)
+	}
+	return v * mult
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "xserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,25 +14,35 @@
 //	xstream -algo pagerank -rmat 18 -combine=false    # disable update pre-aggregation
 //	xstream -algo bfs -rmat 18 -selective=false       # stream densely even with a frontier
 //
-// It prints the execution Stats (iterations, partitions, wasted edges,
-// phase times) and an algorithm-specific summary.
+// Algorithms are dispatched through the registry in internal/algorithms —
+// the same table cmd/xserve serves jobs from — and executed as type-erased
+// jobs (the shared-pass path; a solo CLI run is a shared pass of one). On
+// the disk engine -budget still sizes partitions and stream buffers by the
+// §3.4 rule, but vertex state and updates stay in memory (the shared-pass
+// bypass; use the library's RunDisk for vertex spilling). It prints the
+// execution Stats (iterations, partitions, wasted edges, phase times) and
+// an algorithm-specific summary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 
 	xstream "repro"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/diskengine"
+	"repro/internal/memengine"
 )
 
 func main() {
 	var (
-		algo       = flag.String("algo", "wcc", "algorithm: wcc|scc|bfs|sssp|pagerank|spmv|mis|mcst|conductance|bp|als|hyperanf")
+		algo       = flag.String("algo", "wcc", "algorithm: "+strings.Join(algorithms.Names(), "|"))
 		input      = flag.String("input", "", "binary edge file to process")
 		rmat       = flag.Int("rmat", 0, "generate an RMAT graph of this scale instead of -input")
 		edgeFactor = flag.Int("ef", 16, "RMAT edge factor")
@@ -86,16 +96,38 @@ func main() {
 		partitioner = xstream.SavingPartitioner(partitioner, dev, name)
 	}
 
+	spec, ok := algorithms.ByName(*algo)
+	if !ok {
+		fatal("unknown -algo %q (have %s)", *algo, strings.Join(algorithms.Names(), "|"))
+	}
+	inst, err := spec.New(algorithms.Params{
+		Root: core.VertexID(*root), Iters: *iters, Users: *users,
+	})
+	if err != nil {
+		fatal("-algo %s: %v", *algo, err)
+	}
+
 	src := loadInput(*input, *rmat, *edgeFactor, *seed, *undirected)
 	fmt.Fprintf(os.Stderr, "xstream: %d vertices, %d edge records\n", src.NumVertices(), src.NumEdges())
+	if spec.Symmetrize {
+		src = xstream.Symmetrize(src)
+	}
 
-	var diskCfg xstream.DiskConfig
-	if *engine == "disk" {
+	var out *core.JobResult
+	switch *engine {
+	case "mem":
+		memCfg := xstream.MemConfig{
+			Threads: *threads, Partitioner: partitioner, NoCombine: !*combine, Selective: *selective,
+		}
+		out, err = memengine.RunJob(context.Background(), src, inst.Job, memCfg)
+	case "disk":
 		var dev xstream.Device
-		var err error
 		switch *device {
 		case "os":
 			dev, err = xstream.NewOSDevice("scratch", *dir)
+			if err != nil {
+				fatal("device: %v", err)
+			}
 		case "sim-ssd":
 			dev = xstream.NewSimDevice(xstream.SimSSD("ssd", 2, 1.0))
 		case "sim-hdd":
@@ -103,10 +135,7 @@ func main() {
 		default:
 			fatal("unknown -device %q", *device)
 		}
-		if err != nil {
-			fatal("device: %v", err)
-		}
-		diskCfg = xstream.DiskConfig{
+		diskCfg := xstream.DiskConfig{
 			Device:       dev,
 			MemoryBudget: parseBytes(*budget),
 			IOUnit:       int(parseBytes(*ioUnit)),
@@ -115,158 +144,15 @@ func main() {
 			NoCombine:    !*combine,
 			Selective:    *selective,
 		}
+		out, err = diskengine.RunJob(context.Background(), src, inst.Job, diskCfg)
+	default:
+		fatal("unknown -engine %q", *engine)
 	}
-	memCfg := xstream.MemConfig{
-		Threads: *threads, Partitioner: partitioner, NoCombine: !*combine, Selective: *selective,
+	if err != nil {
+		fatal("%v", err)
 	}
 
-	switch *algo {
-	case "wcc":
-		runAlgo(src, xstream.NewWCC(), *engine, memCfg, diskCfg, func(v []xstream.WCCState, s xstream.Stats) {
-			counts := map[xstream.VertexID]int{}
-			for _, st := range v {
-				counts[st.Label]++
-			}
-			largest := 0
-			for _, c := range counts {
-				if c > largest {
-					largest = c
-				}
-			}
-			fmt.Printf("components: %d (largest %d vertices)\n", len(counts), largest)
-		})
-	case "scc":
-		runAlgo(src, xstream.NewSCC(), *engine, memCfg, diskCfg, func(v []xstream.SCCState, s xstream.Stats) {
-			comps := map[uint32]bool{}
-			for _, st := range v {
-				comps[st.SCCID] = true
-			}
-			fmt.Printf("strongly connected components: %d\n", len(comps))
-		})
-	case "bfs":
-		runAlgo(src, xstream.NewBFS(xstream.VertexID(*root)), *engine, memCfg, diskCfg, func(v []xstream.BFSState, s xstream.Stats) {
-			reached, maxd := 0, int32(0)
-			for _, st := range v {
-				if st.Dist >= 0 {
-					reached++
-					if st.Dist > maxd {
-						maxd = st.Dist
-					}
-				}
-			}
-			fmt.Printf("reached %d vertices, max depth %d\n", reached, maxd)
-		})
-	case "sssp":
-		runAlgo(src, xstream.NewSSSP(xstream.VertexID(*root)), *engine, memCfg, diskCfg, func(v []xstream.SSSPState, s xstream.Stats) {
-			reached := 0
-			for _, st := range v {
-				if st.Dist < 1e38 {
-					reached++
-				}
-			}
-			fmt.Printf("reached %d vertices\n", reached)
-		})
-	case "pagerank":
-		runAlgo(src, xstream.NewPageRank(*iters), *engine, memCfg, diskCfg, func(v []xstream.PRState, s xstream.Stats) {
-			type vr struct {
-				id xstream.VertexID
-				r  float32
-			}
-			top := make([]vr, 0, len(v))
-			for i, st := range v {
-				top = append(top, vr{xstream.VertexID(i), st.Rank})
-			}
-			sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
-			n := 5
-			if len(top) < n {
-				n = len(top)
-			}
-			fmt.Printf("top ranks: ")
-			for _, t := range top[:n] {
-				fmt.Printf("v%d=%.2f ", t.id, t.r)
-			}
-			fmt.Println()
-		})
-	case "spmv":
-		runAlgo(src, xstream.NewSpMV(), *engine, memCfg, diskCfg, func(v []xstream.SpMVState, s xstream.Stats) {
-			var sum float64
-			for _, st := range v {
-				sum += float64(st.Y)
-			}
-			fmt.Printf("sum(y) = %.3f\n", sum)
-		})
-	case "mis":
-		runAlgo(src, xstream.NewMIS(), *engine, memCfg, diskCfg, func(v []xstream.MISState, s xstream.Stats) {
-			in := 0
-			for _, st := range v {
-				if st.Status == xstream.MISIn {
-					in++
-				}
-			}
-			fmt.Printf("independent set size: %d\n", in)
-		})
-	case "mcst":
-		prog := xstream.NewMCST()
-		runAlgo(src, prog, *engine, memCfg, diskCfg, func(v []xstream.MCSTState, s xstream.Stats) {
-			fmt.Printf("spanning forest: %d edges, total weight %.3f\n", len(prog.Edges), prog.TotalWeight)
-		})
-	case "conductance":
-		prog := xstream.NewConductance(nil)
-		runAlgo(src, prog, *engine, memCfg, diskCfg, func(v []xstream.CondState, s xstream.Stats) {
-			fmt.Printf("conductance of odd-ID subset: %.4f (cut %d, vol %d/%d)\n",
-				prog.Phi, prog.CutEdges, prog.VolS, prog.VolT)
-		})
-	case "bp":
-		runAlgo(src, xstream.NewBP(*iters), *engine, memCfg, diskCfg, func(v []xstream.BPState, s xstream.Stats) {
-			var mean float64
-			for _, st := range v {
-				mean += float64(st.B1)
-			}
-			fmt.Printf("mean belief(state 1): %.4f\n", mean/float64(len(v)))
-		})
-	case "als":
-		if *users == 0 {
-			fatal("als needs -users (bipartite split)")
-		}
-		runAlgo(src, xstream.NewALS(*users, *iters), *engine, memCfg, diskCfg, func(v []xstream.ALSState, s xstream.Stats) {
-			edges, err := xstream.Materialize(src)
-			if err == nil {
-				fmt.Printf("training RMSE: %.4f\n", xstream.ALSRMSE(v, edges, xstream.VertexID(*users)))
-			}
-		})
-	case "hyperanf":
-		prog := xstream.NewHyperANF()
-		runAlgo(xstream.Symmetrize(src), prog, *engine, memCfg, diskCfg, func(v []xstream.ANFState, s xstream.Stats) {
-			fmt.Printf("steps to cover: %d, effective diameter (0.9): %d\n",
-				prog.Steps(), prog.EffectiveDiameter(0.9))
-		})
-	default:
-		fatal("unknown -algo %q", *algo)
-	}
-}
-
-// runAlgo dispatches to the selected engine and prints Stats.
-func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
-	engine string, memCfg xstream.MemConfig, diskCfg xstream.DiskConfig,
-	summarize func([]V, xstream.Stats)) {
-	var verts []V
-	var stats xstream.Stats
-	switch engine {
-	case "mem":
-		res, err := xstream.RunMemory(src, prog, memCfg)
-		if err != nil {
-			fatal("%v", err)
-		}
-		verts, stats = res.Vertices, res.Stats
-	case "disk":
-		res, err := xstream.RunDisk(src, prog, diskCfg)
-		if err != nil {
-			fatal("%v", err)
-		}
-		verts, stats = res.Vertices, res.Stats
-	default:
-		fatal("unknown -engine %q", engine)
-	}
+	stats := out.Stats
 	fmt.Println(stats.String())
 	if stats.UpdatesSent > 0 {
 		fmt.Printf("partitioner %s: %.1f%% of updates crossed partitions\n",
@@ -281,7 +167,12 @@ func runAlgo[V, M any](src xstream.EdgeSource, prog xstream.Program[V, M],
 			stats.EdgesSkipped, stats.EdgesStreamed+stats.EdgesSkipped,
 			100*stats.SkippedFraction(), stats.PartitionsSkipped, stats.TilesSkipped)
 	}
-	summarize(verts, stats)
+	fmt.Println(inst.Summarize(out.Vertices))
+	if inst.EvalEdges != nil {
+		if edges, err := xstream.Materialize(src); err == nil {
+			fmt.Println(inst.EvalEdges(out.Vertices, edges))
+		}
+	}
 }
 
 func loadInput(input string, rmat, ef int, seed int64, undirected bool) xstream.EdgeSource {

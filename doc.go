@@ -118,6 +118,33 @@
 // likely; the figfrontier experiment measures both effects (a ~20x
 // edge-stream and edge-byte reduction for BFS on a clique chain).
 //
+// # Shared-pass execution and the serving layer
+//
+// X-Stream's cost model says the sequential edge stream is the dominant,
+// fixed cost of a computation — which means a server running N concurrent
+// jobs over the same dataset should pay that cost once per pass, not once
+// per job. NewJob type-erases any Program; RunManyMemory and RunManyDisk
+// drive a whole ProgramSet from one edge stream per iteration (each
+// streamed chunk is scattered for every subscribing job; per-job frontiers
+// skip partitions and tiles no job needs; jobs drop out as they converge),
+// with Stats.CoJobs and Stats.EdgesShared proving the amortization. The
+// job-independent half of a run is cached per dataset: PrepareMemory and
+// PrepareDisk return immutable handles holding the partitioning plan, any
+// 2PS clustering permutation, the shuffled edge chunks (in memory) or
+// pre-processed partition edge files plus tile index (out of core), shared
+// by every subsequent pass. ctx cancelation is honored between iterations
+// and chunks — as it is by RunMemory/RunDisk via Config.Context.
+//
+// On top of this sit internal/dataset (a named registry of ingested
+// graphs), internal/jobs (a scheduler with memory-budget admission
+// control, same-dataset batching into shared passes, per-job status and
+// cancelation, and result retention), and cmd/xserve (the HTTP API:
+// POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, GET /datasets,
+// GET /metrics). The figshare experiment shows K co-scheduled PageRank
+// jobs streaming ~1/K the edge records — and reading ~1/K the bytes out
+// of core — of K sequential runs; see examples/serving for the library
+// view.
+//
 // # Reproducing the paper
 //
 // The cmd/xbench binary regenerates every table and figure of the paper's

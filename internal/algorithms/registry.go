@@ -1,0 +1,392 @@
+package algorithms
+
+// registry.go names every shipped algorithm and builds type-erased jobs
+// for it, so callers that receive the algorithm as a *string* — cmd/xstream
+// flags, cmd/xserve's POST /jobs body — share one dispatch table instead of
+// duplicating a per-algorithm type switch. An entry knows how to construct
+// the program from its Params, wrap it as a core.Job for either engine's
+// Run/RunMany, and render the finished vertex states both for humans
+// (Summarize) and for the serving API (Result, a JSON-encodable payload).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hll"
+)
+
+// Params are the algorithm construction parameters the registry accepts.
+// Fields an algorithm does not use are ignored.
+type Params struct {
+	// Root is the start vertex of bfs/sssp.
+	Root core.VertexID `json:"root,omitempty"`
+	// Iters is the iteration count of pagerank/bp/als (default 5).
+	Iters int `json:"iters,omitempty"`
+	// Users is the bipartite user/item boundary of als (required there).
+	Users int64 `json:"users,omitempty"`
+}
+
+func (p Params) iters() int {
+	if p.Iters < 1 {
+		return 5
+	}
+	return p.Iters
+}
+
+// Instance is one constructed algorithm run: the type-erased job plus
+// closures that render its finished vertex states. Each Instance is a
+// single computation — run its Job once.
+type Instance struct {
+	// Job wraps the program for Run/RunMany on either engine.
+	Job *core.Job
+	// Summarize renders the job's result vertices as the one-line summary
+	// cmd/xstream prints.
+	Summarize func(verts any) string
+	// Result renders the result vertices as a JSON-encodable payload for
+	// the serving API (no NaN/Inf values).
+	Result func(verts any) any
+	// EvalEdges, when non-nil, renders an extra summary line that needs
+	// the input edge list (ALS training RMSE).
+	EvalEdges func(verts any, edges []core.Edge) string
+}
+
+// Spec describes one registered algorithm.
+type Spec struct {
+	// Name is the canonical lowercase name (the -algo flag / API value).
+	Name string
+	// Params documents which Params fields the algorithm reads.
+	Params string
+	// Symmetrize means the engine must stream the undirected
+	// (symmetrized) edge list for the results to be meaningful.
+	Symmetrize bool
+	// New constructs a fresh instance from the parameters.
+	New func(p Params) (*Instance, error)
+}
+
+// ByName returns the spec registered under name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns every registered algorithm name, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+var registry = []Spec{
+	{Name: "wcc", Params: "none (undirected input)", New: newWCCInstance},
+	{Name: "scc", Params: "none", New: newSCCInstance},
+	{Name: "bfs", Params: "root", New: newBFSInstance},
+	{Name: "sssp", Params: "root", New: newSSSPInstance},
+	{Name: "pagerank", Params: "iters", New: newPageRankInstance},
+	{Name: "spmv", Params: "none", New: newSpMVInstance},
+	{Name: "mis", Params: "none (undirected input)", New: newMISInstance},
+	{Name: "mcst", Params: "none (undirected input)", New: newMCSTInstance},
+	{Name: "conductance", Params: "none", New: newConductanceInstance},
+	{Name: "bp", Params: "iters", New: newBPInstance},
+	{Name: "als", Params: "users (required), iters", New: newALSInstance},
+	{Name: "hyperanf", Params: "none", Symmetrize: true, New: newHyperANFInstance},
+}
+
+func newWCCInstance(Params) (*Instance, error) {
+	prog := NewWCC()
+	return &Instance{
+		Job: core.NewJob[WCCState, core.VertexID](prog),
+		Summarize: func(verts any) string {
+			n, largest := componentCounts(Labels(verts.([]WCCState)))
+			return fmt.Sprintf("components: %d (largest %d vertices)", n, largest)
+		},
+		Result: func(verts any) any {
+			labels := Labels(verts.([]WCCState))
+			n, largest := componentCounts(labels)
+			return map[string]any{"components": n, "largest": largest, "labels": labels}
+		},
+	}, nil
+}
+
+func newSCCInstance(Params) (*Instance, error) {
+	prog := NewSCC()
+	return &Instance{
+		Job: core.NewJob[SCCState, uint32](prog),
+		Summarize: func(verts any) string {
+			ids := ComponentIDs(verts.([]SCCState))
+			comps := map[uint32]bool{}
+			for _, id := range ids {
+				comps[id] = true
+			}
+			return fmt.Sprintf("strongly connected components: %d", len(comps))
+		},
+		Result: func(verts any) any {
+			ids := ComponentIDs(verts.([]SCCState))
+			comps := map[uint32]bool{}
+			for _, id := range ids {
+				comps[id] = true
+			}
+			return map[string]any{"components": len(comps), "component_ids": ids}
+		},
+	}, nil
+}
+
+func newBFSInstance(p Params) (*Instance, error) {
+	prog := NewBFS(p.Root)
+	return &Instance{
+		Job: core.NewJob[BFSState, int32](prog),
+		Summarize: func(verts any) string {
+			reached, maxd := bfsReach(Levels(verts.([]BFSState)))
+			return fmt.Sprintf("reached %d vertices, max depth %d", reached, maxd)
+		},
+		Result: func(verts any) any {
+			levels := Levels(verts.([]BFSState))
+			reached, maxd := bfsReach(levels)
+			return map[string]any{"root": p.Root, "reached": reached, "max_depth": maxd, "levels": levels}
+		},
+	}, nil
+}
+
+func newSSSPInstance(p Params) (*Instance, error) {
+	prog := NewSSSP(p.Root)
+	return &Instance{
+		Job: core.NewJob[SSSPState, float32](prog),
+		Summarize: func(verts any) string {
+			reached := 0
+			for _, d := range Distances(verts.([]SSSPState)) {
+				if d < 1e38 {
+					reached++
+				}
+			}
+			return fmt.Sprintf("reached %d vertices", reached)
+		},
+		Result: func(verts any) any {
+			dists := Distances(verts.([]SSSPState))
+			// JSON has no Inf: unreachable vertices report distance -1.
+			out := make([]float32, len(dists))
+			reached := 0
+			for i, d := range dists {
+				if d < 1e38 {
+					out[i] = d
+					reached++
+				} else {
+					out[i] = -1
+				}
+			}
+			return map[string]any{"root": p.Root, "reached": reached, "distances": out}
+		},
+	}, nil
+}
+
+func newPageRankInstance(p Params) (*Instance, error) {
+	prog := NewPageRank(p.iters())
+	return &Instance{
+		Job: core.NewJob[PRState, float32](prog),
+		Summarize: func(verts any) string {
+			top := topRanks(Ranks(verts.([]PRState)), 5)
+			s := "top ranks:"
+			for _, t := range top {
+				s += fmt.Sprintf(" v%d=%.2f", t.ID, t.Rank)
+			}
+			return s
+		},
+		Result: func(verts any) any {
+			ranks := Ranks(verts.([]PRState))
+			return map[string]any{"iters": p.iters(), "top": topRanks(ranks, 10), "ranks": ranks}
+		},
+	}, nil
+}
+
+func newSpMVInstance(Params) (*Instance, error) {
+	prog := NewSpMV()
+	sum := func(verts any) float64 {
+		var s float64
+		for _, st := range verts.([]SpMVState) {
+			s += float64(st.Y)
+		}
+		return s
+	}
+	return &Instance{
+		Job: core.NewJob[SpMVState, float32](prog),
+		Summarize: func(verts any) string {
+			return fmt.Sprintf("sum(y) = %.3f", sum(verts))
+		},
+		Result: func(verts any) any {
+			states := verts.([]SpMVState)
+			y := make([]float32, len(states))
+			for i, st := range states {
+				y[i] = st.Y
+			}
+			return map[string]any{"sum": sum(verts), "y": y}
+		},
+	}, nil
+}
+
+func newMISInstance(Params) (*Instance, error) {
+	prog := NewMIS()
+	return &Instance{
+		Job: core.NewJob[MISState, MISMsg](prog),
+		Summarize: func(verts any) string {
+			return fmt.Sprintf("independent set size: %d", misSize(verts.([]MISState)))
+		},
+		Result: func(verts any) any {
+			return map[string]any{"size": misSize(verts.([]MISState)), "in_set": InSet(verts.([]MISState))}
+		},
+	}, nil
+}
+
+func newMCSTInstance(Params) (*Instance, error) {
+	prog := NewMCST()
+	return &Instance{
+		Job: core.NewJob[MCSTState, MCSTMsg](prog),
+		Summarize: func(any) string {
+			return fmt.Sprintf("spanning forest: %d edges, total weight %.3f", len(prog.Edges), prog.TotalWeight)
+		},
+		Result: func(any) any {
+			return map[string]any{"edges": len(prog.Edges), "total_weight": prog.TotalWeight, "forest": prog.Edges}
+		},
+	}, nil
+}
+
+func newConductanceInstance(Params) (*Instance, error) {
+	prog := NewConductance(nil)
+	return &Instance{
+		Job: core.NewJob[CondState, int32](prog),
+		Summarize: func(any) string {
+			return fmt.Sprintf("conductance of odd-ID subset: %.4f (cut %d, vol %d/%d)",
+				prog.Phi, prog.CutEdges, prog.VolS, prog.VolT)
+		},
+		Result: func(any) any {
+			return map[string]any{"phi": prog.Phi, "cut_edges": prog.CutEdges, "vol_s": prog.VolS, "vol_t": prog.VolT}
+		},
+	}, nil
+}
+
+func newBPInstance(p Params) (*Instance, error) {
+	prog := NewBP(p.iters())
+	mean := func(verts any) float64 {
+		states := verts.([]BPState)
+		var m float64
+		for _, st := range states {
+			m += float64(st.B1)
+		}
+		if len(states) > 0 {
+			m /= float64(len(states))
+		}
+		return m
+	}
+	return &Instance{
+		Job: core.NewJob[BPState, BPMsg](prog),
+		Summarize: func(verts any) string {
+			return fmt.Sprintf("mean belief(state 1): %.4f", mean(verts))
+		},
+		Result: func(verts any) any {
+			states := verts.([]BPState)
+			b1 := make([]float32, len(states))
+			for i, st := range states {
+				b1[i] = st.B1
+			}
+			return map[string]any{"mean_belief1": mean(verts), "beliefs1": b1}
+		},
+	}, nil
+}
+
+func newALSInstance(p Params) (*Instance, error) {
+	if p.Users <= 0 {
+		return nil, fmt.Errorf("als needs users > 0 (the bipartite user/item boundary)")
+	}
+	prog := NewALS(p.Users, p.iters())
+	return &Instance{
+		Job: core.NewJob[ALSState, ALSMsg](prog),
+		Summarize: func(verts any) string {
+			return fmt.Sprintf("trained ALS model: %d users, %d iterations", p.Users, p.iters())
+		},
+		Result: func(verts any) any {
+			return map[string]any{"users": p.Users, "iters": p.iters(), "vertices": len(verts.([]ALSState))}
+		},
+		EvalEdges: func(verts any, edges []core.Edge) string {
+			return fmt.Sprintf("training RMSE: %.4f", RMSE(verts.([]ALSState), edges, core.VertexID(p.Users)))
+		},
+	}, nil
+}
+
+func newHyperANFInstance(Params) (*Instance, error) {
+	prog := NewHyperANF()
+	return &Instance{
+		Job: core.NewJob[ANFState, hll.Counter](prog),
+		Summarize: func(any) string {
+			return fmt.Sprintf("steps to cover: %d, effective diameter (0.9): %d",
+				prog.Steps(), prog.EffectiveDiameter(0.9))
+		},
+		Result: func(any) any {
+			return map[string]any{"steps": prog.Steps(), "effective_diameter_09": prog.EffectiveDiameter(0.9)}
+		},
+	}, nil
+}
+
+// ---- shared renderers ----
+
+func componentCounts(labels []core.VertexID) (components, largest int) {
+	counts := map[core.VertexID]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c > largest {
+			largest = c
+		}
+	}
+	return len(counts), largest
+}
+
+func bfsReach(levels []int32) (reached int, maxd int32) {
+	for _, d := range levels {
+		if d >= 0 {
+			reached++
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	return reached, maxd
+}
+
+func misSize(verts []MISState) int {
+	in := 0
+	for _, st := range verts {
+		if st.Status == MISIn {
+			in++
+		}
+	}
+	return in
+}
+
+// RankedVertex is one entry of PageRank's top-N result payload.
+type RankedVertex struct {
+	ID   core.VertexID `json:"id"`
+	Rank float32       `json:"rank"`
+}
+
+func topRanks(ranks []float32, n int) []RankedVertex {
+	top := make([]RankedVertex, 0, len(ranks))
+	for i, r := range ranks {
+		top = append(top, RankedVertex{core.VertexID(i), r})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Rank != top[j].Rank {
+			return top[i].Rank > top[j].Rank
+		}
+		return top[i].ID < top[j].ID
+	})
+	if len(top) > n {
+		top = top[:n]
+	}
+	return top
+}

@@ -1,0 +1,569 @@
+package core
+
+// job.go is the shared-pass execution layer. X-Stream's cost model says the
+// sequential edge stream is the dominant, fixed cost of a computation — so
+// that cost should be paid once per *pass*, not once per *job*: N concurrent
+// computations over the same dataset can share a single streamed scatter
+// phase. A Job type-erases one Program[V, M] behind an interface the engines
+// can drive without knowing V or M; a ProgramSet collects the co-scheduled
+// jobs of one shared pass. Each job owns its entire update path — vertex
+// state, update stream buffers, scatter-side combining, post-shuffle fold,
+// gather, frontier — while the engine owns the one thing the jobs share:
+// the edge stream. RunMany in internal/memengine and internal/diskengine
+// feed every job's scatter from each streamed edge chunk exactly once per
+// iteration; Stats.CoJobs and Stats.EdgesShared measure the amortization.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pod"
+	"repro/internal/streambuf"
+)
+
+// ProgramSet is the ordered collection of jobs one shared pass co-schedules.
+type ProgramSet []*Job
+
+// Label names the set in stats tables: the algorithm name for a uniform
+// set, a multi(n) marker otherwise.
+func (s ProgramSet) Label() string {
+	if len(s) == 0 {
+		return ""
+	}
+	name := s[0].Name()
+	for _, j := range s[1:] {
+		if j.Name() != name {
+			return fmt.Sprintf("multi(%d)", len(s))
+		}
+	}
+	if len(s) > 1 {
+		return fmt.Sprintf("%s x%d", name, len(s))
+	}
+	return name
+}
+
+// EndAndGather shuffles, folds and gathers every live job's update stream
+// — the per-job half of a shared-pass iteration, run by both engines after
+// the shared scatter. Jobs are independent, so they proceed in parallel;
+// each job's own shuffle and fold parallelize internally as well.
+func EndAndGather(live []JobRun) error {
+	if len(live) == 1 {
+		if err := live[0].EndScatter(); err != nil {
+			return err
+		}
+		live[0].Gather()
+		return nil
+	}
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, r := range live {
+		wg.Add(1)
+		go func(i int, r JobRun) {
+			defer wg.Done()
+			if err := r.EndScatter(); err != nil {
+				errs[i] = err
+				return
+			}
+			r.Gather()
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JobResult is one job's outcome from a shared pass: the final vertex
+// states (a []V in input vertex order, type-erased) and the job's own
+// execution profile.
+type JobResult struct {
+	Vertices any
+	Stats    Stats
+}
+
+// Job is a type-erased handle over one Program[V, M], created with NewJob.
+// It captures the program's concrete types in closures so engines can spawn
+// typed executors (JobRun) without generic plumbing. A Job describes one
+// computation; each NewRun executor is single-use, but distinct runs of the
+// same Job must not execute concurrently — programs are stateful.
+type Job struct {
+	name        string
+	vertexBytes int
+	updateBytes int
+	check       func() error
+	newRun      func() JobRun
+}
+
+// NewJob wraps prog for shared-pass execution.
+func NewJob[V, M any](prog Program[V, M]) *Job {
+	return &Job{
+		name:        prog.Name(),
+		vertexBytes: pod.Size[V](),
+		updateBytes: pod.Size[Update[M]](),
+		check: func() error {
+			if err := pod.Check[V](); err != nil {
+				return fmt.Errorf("vertex state: %w", err)
+			}
+			if err := pod.Check[M](); err != nil {
+				return fmt.Errorf("update value: %w", err)
+			}
+			return nil
+		},
+		newRun: func() JobRun { return &jobRun[V, M]{prog: prog} },
+	}
+}
+
+// Name returns the wrapped program's name.
+func (j *Job) Name() string { return j.name }
+
+// VertexBytes returns the size of one vertex state record.
+func (j *Job) VertexBytes() int { return j.vertexBytes }
+
+// UpdateBytes returns the size of one update record.
+func (j *Job) UpdateBytes() int { return j.updateBytes }
+
+// Check validates the program's pod contracts (pointer-free fixed-size
+// vertex and update types).
+func (j *Job) Check() error { return j.check() }
+
+// NewRun returns a fresh single-use executor for the job.
+func (j *Job) NewRun() JobRun { return j.newRun() }
+
+// MemoryEstimate returns the bytes one run of the job holds in memory on a
+// graph of nv vertices and ne edge records: the vertex state array, the two
+// update stream buffers (sized to the worst-case scatter output), and the
+// frontier bitsets. The jobs scheduler's admission control co-schedules
+// jobs only while the sum of their estimates fits the memory budget.
+func (j *Job) MemoryEstimate(nv, ne int64) int64 {
+	return nv*int64(j.vertexBytes) + 2*ne*int64(j.updateBytes) + nv/4
+}
+
+// JobSetup is the shared-pass context an engine hands every job's executor:
+// the dataset-wide assignment and sizes plus the engine's buffer/shuffle
+// policy. All jobs of one pass receive the same setup.
+type JobSetup struct {
+	// Assignment is the pass's vertex->partition plan (shared: the edge
+	// stream was rewritten through its relabeling once, at prepare time).
+	Assignment *Assignment
+	// NumVertices and NumEdges describe the prepared graph.
+	NumVertices int64
+	NumEdges    int64
+	// Threads bounds the job's internal parallelism (shuffle, fold).
+	Threads int
+	// Plan is the update shuffle plan matching the assignment's split.
+	Plan streambuf.Plan
+	// UpdateCap is the record capacity of each update stream buffer.
+	UpdateCap int
+	// PrivateBufRecs sizes the scatter-side private buffers in records;
+	// when 0, PrivateBufBytes/sizeof(update) is used instead.
+	PrivateBufRecs  int
+	PrivateBufBytes int
+	// NoCombine disables update combining even for Combiner programs.
+	NoCombine bool
+	// Selective enables per-job frontier scheduling for FrontierPrograms.
+	Selective bool
+}
+
+// JobRun drives one job through the iterations of a shared pass. The engine
+// owns the edge stream and the iteration loop; everything update-side is
+// behind this interface. Methods are called from the engine's coordinating
+// goroutine except NewScatter sinks, which run one per partition task.
+type JobRun interface {
+	// Name identifies the job in errors and stats.
+	Name() string
+	// Setup allocates and initializes vertex state under the shared
+	// assignment (calling VertexMapper first, like the engines do).
+	Setup(s JobSetup) error
+	// Done reports the job converged in an earlier iteration; a done job
+	// drops out of subsequent passes.
+	Done() bool
+	// StartIteration runs the program's per-iteration hook.
+	StartIteration(iter int)
+	// Direction returns the edge list orientation the job streams this
+	// iteration (DirectedPrograms may ask for the transpose).
+	Direction(iter int) Direction
+	// BeginScatter resets the update stream and recomputes the frontier
+	// schedule; call once per iteration before any NewScatter.
+	BeginScatter()
+	// Dense reports the job has no frontier and streams every partition.
+	Dense() bool
+	// NeedsPartition reports whether the job must see partition p's edges
+	// this iteration (always true without a frontier).
+	NeedsPartition(p int) bool
+	// PartiallyActive reports whether partition p has active sources but
+	// not all of them — the tile-granular scheduling case.
+	PartiallyActive(p int) bool
+	// NeedsTile reports whether an edge tile with the given source span
+	// may matter to the job this iteration.
+	NeedsTile(span SrcSpan) bool
+	// NewScatter returns a scatter sink for partition p whose edge chunk
+	// holds chunkEdges records. Sinks are single-goroutine; Flush must be
+	// called when the partition's edges are exhausted.
+	NewScatter(p int, chunkEdges int64) JobScatter
+	// SkipPartition accounts a whole partition chunk the job's frontier
+	// proved useless (the engine never handed it to a sink). Safe for
+	// concurrent use from partition tasks.
+	SkipPartition(chunkEdges int64)
+	// SkipTiles accounts tiles the job's frontier proved useless. Safe
+	// for concurrent use from partition tasks.
+	SkipTiles(edges, tiles int64)
+	// EndScatter shuffles and folds the iteration's update stream.
+	EndScatter() error
+	// Gather streams the shuffled updates into vertex state and advances
+	// the frontier.
+	Gather()
+	// EndIteration runs phase hooks and termination for the iteration.
+	EndIteration(iter int)
+	// Finalize returns the final vertex states ([]V, type-erased) in
+	// original input order, plus the job's accumulated stats.
+	Finalize() (any, Stats, error)
+}
+
+// JobScatter is a per-partition scatter sink: the engine streams edge runs
+// into it, the sink applies the program's Scatter and stages updates
+// through a private (combining) buffer into the job's update stream.
+type JobScatter interface {
+	// Edges scatters one contiguous run of the partition's edge chunk.
+	Edges(run []Edge)
+	// Flush drains the private buffer and folds the sink's counts into
+	// the job; no Edges call may follow.
+	Flush()
+}
+
+// jobRun is the generic JobRun implementation: a per-job slice of the
+// in-memory engine's update path, deliberately mirroring its structures
+// (same combining-buffer sizing, same shuffle plan, same fold, same
+// gather order) so a job's results are identical to a solo Run.
+type jobRun[V, M any] struct {
+	prog  Program[V, M]
+	setup JobSetup
+	part  Split
+
+	combine func(a, b M) M
+	folder  *streambuf.Folder[Update[M]]
+
+	// Selective scheduling state (nil fp = dense): cur is scattered this
+	// iteration, nxt collects gather receivers, active caches cur's
+	// per-partition counts for one scatter.
+	fp     FrontierProgram[V]
+	cur    *Frontier
+	nxt    *Frontier
+	active []int64
+
+	phased   PhasedProgram[V, M]
+	starter  IterationStarter
+	directed DirectedProgram
+	remapper StateRemapper[V]
+
+	verts      []V
+	updA, updB *streambuf.Buffer[Update[M]]
+	shuffled   *streambuf.Buffer[Update[M]]
+
+	basePriv int
+	done     bool
+	finished bool
+	iterSent int64
+
+	overflow    atomic.Bool
+	itSent      atomic.Int64
+	itStreamed  atomic.Int64
+	itCross     atomic.Int64
+	itCombined  atomic.Int64
+	itSkipEdges atomic.Int64
+	itSkipParts atomic.Int64
+	itSkipTiles atomic.Int64
+
+	stats Stats
+}
+
+func (r *jobRun[V, M]) Name() string { return r.prog.Name() }
+
+func (r *jobRun[V, M]) Setup(s JobSetup) error {
+	if err := pod.Check[V](); err != nil {
+		return fmt.Errorf("job %s: vertex state: %w", r.prog.Name(), err)
+	}
+	if err := pod.Check[M](); err != nil {
+		return fmt.Errorf("job %s: update value: %w", r.prog.Name(), err)
+	}
+	r.setup = s
+	r.part = s.Assignment.Split
+	if vm, ok := any(r.prog).(VertexMapper); ok {
+		vm.MapVertices(s.NumVertices, s.Assignment.NewID, s.Assignment.OldID)
+	}
+	r.phased, _ = any(r.prog).(PhasedProgram[V, M])
+	r.starter, _ = any(r.prog).(IterationStarter)
+	r.directed, _ = any(r.prog).(DirectedProgram)
+	r.remapper, _ = any(r.prog).(StateRemapper[V])
+	if cb, ok := any(r.prog).(Combiner[M]); ok && !s.NoCombine {
+		r.combine = cb.Combine
+		r.folder = NewUpdateFolder(r.part, s.Threads, cb.Combine)
+	}
+	// Same exclusion as the engines: selective scheduling needs the
+	// FrontierProgram contract and refuses phased programs, whose
+	// EndIteration can activate vertices the update stream never saw.
+	if s.Selective {
+		if fp, ok := any(r.prog).(FrontierProgram[V]); ok && r.phased == nil {
+			r.fp = fp
+			r.cur = NewFrontier(s.NumVertices)
+			r.nxt = NewFrontier(s.NumVertices)
+		}
+	}
+	r.basePriv = s.PrivateBufRecs
+	if r.basePriv <= 0 {
+		r.basePriv = s.PrivateBufBytes / pod.Size[Update[M]]()
+	}
+	if r.basePriv < 1 {
+		r.basePriv = 1
+	}
+	r.verts = make([]V, s.NumVertices)
+	for i := range r.verts {
+		id := VertexID(i)
+		r.prog.Init(id, &r.verts[i])
+		if r.fp != nil && r.fp.InitiallyActive(id, &r.verts[i]) {
+			r.cur.Mark(id)
+		}
+	}
+	updCap := s.UpdateCap
+	if updCap < 1 {
+		updCap = 1
+	}
+	r.updA = streambuf.New[Update[M]](updCap)
+	r.updB = streambuf.New[Update[M]](updCap)
+	r.stats.Algorithm = r.prog.Name()
+	return nil
+}
+
+func (r *jobRun[V, M]) Done() bool { return r.done }
+
+func (r *jobRun[V, M]) StartIteration(iter int) {
+	if r.starter != nil {
+		r.starter.StartIteration(iter)
+	}
+}
+
+func (r *jobRun[V, M]) Direction(iter int) Direction {
+	if r.directed != nil {
+		return r.directed.Direction(iter)
+	}
+	return Forward
+}
+
+func (r *jobRun[V, M]) BeginScatter() {
+	r.updA.Reset()
+	r.shuffled = nil
+	if r.fp != nil {
+		r.active = r.cur.CountByPartition(r.part)
+	}
+}
+
+func (r *jobRun[V, M]) Dense() bool { return r.fp == nil }
+
+func (r *jobRun[V, M]) NeedsPartition(p int) bool {
+	return r.fp == nil || r.active[p] > 0
+}
+
+func (r *jobRun[V, M]) PartiallyActive(p int) bool {
+	if r.fp == nil {
+		return false
+	}
+	lo, hi := r.part.Range(p, r.setup.NumVertices)
+	return r.active[p] > 0 && r.active[p] < hi-lo
+}
+
+func (r *jobRun[V, M]) NeedsTile(span SrcSpan) bool {
+	return r.fp == nil || span.Intersects(r.cur)
+}
+
+func (r *jobRun[V, M]) SkipPartition(chunkEdges int64) {
+	if chunkEdges > 0 {
+		r.itSkipEdges.Add(chunkEdges)
+		r.itSkipParts.Add(1)
+	}
+}
+
+func (r *jobRun[V, M]) SkipTiles(edges, tiles int64) {
+	r.itSkipEdges.Add(edges)
+	r.itSkipTiles.Add(tiles)
+}
+
+func (r *jobRun[V, M]) NewScatter(p int, chunkEdges int64) JobScatter {
+	s := &jobScatter[V, M]{r: r, p: uint32(p)}
+	if r.combine != nil {
+		lo, hi := r.part.Range(p, r.setup.NumVertices)
+		s.cb = NewCombineBuffer[M](DegreeAwareBufRecs(r.basePriv, chunkEdges, hi-lo), r.combine)
+	} else {
+		s.priv = make([]Update[M], 0, r.basePriv)
+	}
+	return s
+}
+
+// jobScatter stages one partition's updates; it belongs to one goroutine.
+type jobScatter[V, M any] struct {
+	r    *jobRun[V, M]
+	p    uint32
+	cb   *CombineBuffer[M]
+	priv []Update[M]
+
+	sent, streamed, cross int64
+}
+
+func (s *jobScatter[V, M]) flush(recs []Update[M]) {
+	if !s.r.updA.Append(recs) {
+		s.r.overflow.Store(true)
+	}
+}
+
+func (s *jobScatter[V, M]) Edges(run []Edge) {
+	r := s.r
+	if r.overflow.Load() {
+		return
+	}
+	if s.cb != nil {
+		for _, ed := range run {
+			s.streamed++
+			if m, ok := r.prog.Scatter(ed, &r.verts[ed.Src]); ok {
+				s.sent++
+				if r.part.Of(ed.Dst) != s.p {
+					s.cross++
+				}
+				if s.cb.Add(ed.Dst, m) {
+					s.cb.Drain(s.flush)
+				}
+			}
+		}
+		return
+	}
+	for _, ed := range run {
+		s.streamed++
+		if m, ok := r.prog.Scatter(ed, &r.verts[ed.Src]); ok {
+			s.sent++
+			if r.part.Of(ed.Dst) != s.p {
+				s.cross++
+			}
+			s.priv = append(s.priv, Update[M]{Dst: ed.Dst, Val: m})
+			if len(s.priv) == cap(s.priv) {
+				s.flush(s.priv)
+				s.priv = s.priv[:0]
+			}
+		}
+	}
+}
+
+func (s *jobScatter[V, M]) Flush() {
+	if s.cb != nil {
+		s.cb.Drain(s.flush)
+		s.r.itCombined.Add(s.cb.Combined)
+	} else if len(s.priv) > 0 {
+		s.flush(s.priv)
+	}
+	s.r.itSent.Add(s.sent)
+	s.r.itStreamed.Add(s.streamed)
+	s.r.itCross.Add(s.cross)
+}
+
+func (r *jobRun[V, M]) EndScatter() error {
+	if r.overflow.Load() {
+		return fmt.Errorf("job %s: update buffer overflow (capacity %d)", r.prog.Name(), r.updA.Cap())
+	}
+	sent := r.itSent.Swap(0)
+	streamed := r.itStreamed.Swap(0)
+	cross := r.itCross.Swap(0)
+	scatterCombined := r.itCombined.Swap(0)
+	r.stats.EdgesSkipped += r.itSkipEdges.Swap(0)
+	r.stats.PartitionsSkipped += r.itSkipParts.Swap(0)
+	r.stats.TilesSkipped += r.itSkipTiles.Swap(0)
+	appended := sent - scatterCombined
+
+	t0 := time.Now()
+	res := streambuf.Shuffle(r.updA, r.updB, r.setup.Plan, r.setup.Threads, func(u Update[M]) uint32 {
+		return r.part.Of(u.Dst)
+	})
+	foldCombined := int64(0)
+	if r.folder != nil {
+		foldCombined = r.folder.Fold(res)
+	}
+	r.shuffled = res
+	r.stats.ShuffleTime += time.Since(t0)
+
+	gathered := appended - foldCombined
+	usize := int64(pod.Size[Update[M]]())
+	esize := int64(pod.Size[Edge]())
+	stages := int64(r.setup.Plan.NumStages())
+	r.stats.EdgesStreamed += streamed
+	r.stats.UpdatesSent += sent
+	r.stats.WastedEdges += streamed - sent
+	r.stats.CrossPartitionUpdates += cross
+	r.stats.UpdatesCombined += scatterCombined + foldCombined
+	r.stats.UpdateBytes += gathered * usize
+	r.stats.BytesStreamed += streamed*esize + (appended*(stages+1)+gathered)*usize
+	r.stats.RandomRefs += streamed + gathered
+	r.stats.SequentialRefs += streamed + appended*(stages+1) + gathered
+	r.iterSent = sent
+	return nil
+}
+
+func (r *jobRun[V, M]) Gather() {
+	res := r.shuffled
+	if res == nil {
+		return
+	}
+	t0 := time.Now()
+	for p := 0; p < r.part.K; p++ {
+		res.Bucket(p, func(run []Update[M]) {
+			if r.fp != nil {
+				for _, u := range run {
+					r.prog.Gather(u.Dst, &r.verts[u.Dst], u.Val)
+					r.nxt.Mark(u.Dst)
+				}
+				return
+			}
+			for _, u := range run {
+				r.prog.Gather(u.Dst, &r.verts[u.Dst], u.Val)
+			}
+		})
+	}
+	res.Reset()
+	r.shuffled = nil
+	if r.fp != nil {
+		r.cur, r.nxt = r.nxt, r.cur
+		r.nxt.Clear()
+	}
+	r.stats.GatherTime += time.Since(t0)
+}
+
+func (r *jobRun[V, M]) EndIteration(iter int) {
+	r.stats.Iterations++
+	if r.phased != nil {
+		if r.phased.EndIteration(iter, r.iterSent, SliceView[V](r.verts)) {
+			r.done = true
+		}
+		return
+	}
+	if r.iterSent == 0 {
+		r.done = true
+	}
+}
+
+func (r *jobRun[V, M]) Finalize() (any, Stats, error) {
+	if r.finished {
+		return nil, r.stats, fmt.Errorf("job %s: finalized twice", r.prog.Name())
+	}
+	r.finished = true
+	asg := r.setup.Assignment
+	verts := r.verts
+	if !asg.Identity() {
+		if r.remapper != nil {
+			for i := range verts {
+				r.remapper.RemapState(&verts[i], asg.OldID)
+			}
+		}
+		verts = RestoreOrder(verts, asg.Relabel)
+	}
+	r.verts = nil
+	return verts, r.stats, nil
+}

@@ -44,6 +44,17 @@ type Stats struct {
 	PartitionsSkipped int64
 	TilesSkipped      int64
 
+	// Shared-pass execution (RunMany in either engine). CoJobs is the
+	// number of jobs that shared this pass's edge stream (1 for a solo
+	// run). On pass-level stats, EdgesStreamed counts each edge record
+	// streamed once however many jobs consumed it, and EdgesShared is the
+	// edge-record reads the sharing avoided versus independent runs:
+	// the sum of per-job EdgesStreamed minus the pass's EdgesStreamed.
+	// Both are deterministic work measures, gateable by cmd/benchgate
+	// (see the figshare experiment).
+	CoJobs      int
+	EdgesShared int64
+
 	// Time split.
 	TotalTime      time.Duration
 	PreprocessTime time.Duration // initial partitioning of the input edge list
@@ -143,7 +154,22 @@ func (s Stats) String() string {
 		out += fmt.Sprintf(", %d edges skipped (%.0f%%: %d partitions, %d tiles)",
 			s.EdgesSkipped, 100*s.SkippedFraction(), s.PartitionsSkipped, s.TilesSkipped)
 	}
+	if s.CoJobs > 1 {
+		out += fmt.Sprintf(", %d co-jobs sharing the stream (%d edge reads saved, %.0f%%)",
+			s.CoJobs, s.EdgesShared, 100*s.SharedFraction())
+	}
 	return out
+}
+
+// SharedFraction returns the fraction of the per-job edge demand the shared
+// pass elided: shared / (streamed + shared). K perfectly co-scheduled jobs
+// approach (K-1)/K.
+func (s Stats) SharedFraction() float64 {
+	total := s.EdgesStreamed + s.EdgesShared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EdgesShared) / float64(total)
 }
 
 // humanBytes renders a byte count with a binary unit suffix.

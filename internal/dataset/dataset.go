@@ -1,0 +1,293 @@
+// Package dataset is the serving layer's registry of ingested graphs. A
+// production graph service answers many queries against few datasets, so
+// everything about a dataset that is job-independent should be paid once at
+// ingest and shared by every job thereafter: the parse/generation of the
+// edge source, the 2PS clustering permutation (persisted on the device via
+// graphio so even process restarts skip the clustering passes), the
+// in-memory engine's shuffled edge chunks (memengine.Prepared), and the
+// out-of-core engine's pre-processing shuffle into partition edge files
+// plus tile index (diskengine.Prepared). The registry hands out cached,
+// immutable handles; internal/jobs schedules shared passes over them.
+//
+// Engine state is built lazily, once, on first use: a dataset that only
+// ever serves in-memory jobs never touches the device, and vice versa. All
+// methods are safe for concurrent use.
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/diskengine"
+	"repro/internal/graphio"
+	"repro/internal/memengine"
+	"repro/internal/partition2ps"
+	"repro/internal/storage"
+)
+
+// Options configures how a dataset is ingested.
+type Options struct {
+	// Partitioner is the partitioning policy: "range" (default) or "2ps".
+	// With "2ps" the clustering permutation is computed once per dataset
+	// — and, when a Device is set, persisted there so later processes
+	// replay it for free.
+	Partitioner string
+	// Undirected records that the source already stores both directions
+	// of every edge. Algorithms that require a symmetrized input
+	// (hyperanf) are admitted only on such datasets.
+	Undirected bool
+	// Threads bounds the engines' internal parallelism (0 = GOMAXPROCS).
+	Threads int
+	// MemPartitions forces the in-memory partition count (0 = auto).
+	MemPartitions int
+	// TileEdges is the selective-streaming tile granularity (0 = default).
+	TileEdges int
+
+	// Device holds the out-of-core partition files and the persisted 2PS
+	// permutation. nil means the dataset serves the in-memory engine only.
+	Device storage.Device
+	// DiskPartitions forces the out-of-core partition count (0 = auto).
+	DiskPartitions int
+	// IOUnit is the out-of-core request size (0 = default).
+	IOUnit int
+	// MemoryBudget sizes the out-of-core stream buffers (0 = default).
+	MemoryBudget int64
+}
+
+// Info is a dataset's JSON-encodable description, served by GET /datasets.
+type Info struct {
+	Name         string `json:"name"`
+	Vertices     int64  `json:"vertices"`
+	Edges        int64  `json:"edges"`
+	Undirected   bool   `json:"undirected"`
+	Partitioner  string `json:"partitioner"`
+	Disk         bool   `json:"disk"`
+	MemPrepared  bool   `json:"mem_prepared"`
+	DiskPrepared bool   `json:"disk_prepared"`
+}
+
+// Dataset is one ingested graph and its cached engine state.
+type Dataset struct {
+	name   string
+	src    core.EdgeSource
+	opts   Options
+	nv, ne int64
+
+	permOnce sync.Once
+	perm     []core.VertexID
+	permErr  error
+
+	memOnce  sync.Once
+	memReady atomic.Bool
+	mem      *memengine.Prepared
+	memErr   error
+
+	diskOnce  sync.Once
+	diskReady atomic.Bool
+	disk      *diskengine.Prepared
+	diskErr   error
+}
+
+// Name returns the registry name.
+func (d *Dataset) Name() string { return d.name }
+
+// NumVertices returns the vertex count.
+func (d *Dataset) NumVertices() int64 { return d.nv }
+
+// NumEdges returns the edge record count.
+func (d *Dataset) NumEdges() int64 { return d.ne }
+
+// Undirected reports whether the source stores both edge directions.
+func (d *Dataset) Undirected() bool { return d.opts.Undirected }
+
+// HasDevice reports whether the dataset can serve the out-of-core engine.
+func (d *Dataset) HasDevice() bool { return d.opts.Device != nil }
+
+// Info snapshots the dataset's description.
+func (d *Dataset) Info() Info {
+	part := d.opts.Partitioner
+	if part == "" {
+		part = "range"
+	}
+	return Info{
+		Name: d.name, Vertices: d.nv, Edges: d.ne,
+		Undirected: d.opts.Undirected, Partitioner: part,
+		Disk:        d.opts.Device != nil,
+		MemPrepared: d.memReady.Load(), DiskPrepared: d.diskReady.Load(),
+	}
+}
+
+// permFile names the persisted 2PS permutation on the device.
+func (d *Dataset) permFile() string { return "xserve-" + d.name + ".xsperm" }
+
+// partitioner returns the policy engines prepare with. For 2PS the
+// clustering passes run at most once per dataset per process — and not at
+// all when a permutation persisted by an earlier process is on the device.
+func (d *Dataset) partitioner() (core.Partitioner, error) {
+	switch d.opts.Partitioner {
+	case "", "range":
+		return core.RangePartitioner{}, nil
+	case "2ps":
+		d.permOnce.Do(d.cluster)
+		if d.permErr != nil {
+			return nil, d.permErr
+		}
+		return core.NewPermutationPartitioner("2ps", d.perm), nil
+	default:
+		return nil, fmt.Errorf("dataset %s: unknown partitioner %q", d.name, d.opts.Partitioner)
+	}
+}
+
+// cluster computes (or reloads) the 2PS permutation.
+func (d *Dataset) cluster() {
+	if d.opts.Device != nil {
+		if perm, err := graphio.ReadPermutation(d.opts.Device, d.permFile()); err == nil {
+			if int64(len(perm)) == d.nv {
+				d.perm = perm
+				return
+			}
+		}
+	}
+	pr := core.Partitioner(partition2ps.New())
+	if d.opts.Device != nil {
+		// Persist through the same wrapper the CLI's -save-permutation
+		// uses, so the file formats interoperate.
+		pr = graphio.SavingPartitioner(pr, d.opts.Device, d.permFile())
+	}
+	k := core.NextPow2(d.opts.MemPartitions)
+	if k < 64 {
+		k = 64
+	}
+	asg, err := pr.Assign(d.src, k)
+	if err != nil {
+		d.permErr = fmt.Errorf("dataset %s: 2ps clustering: %w", d.name, err)
+		return
+	}
+	d.perm = asg.Relabel
+}
+
+// Mem returns the dataset's in-memory engine handle, preparing it on first
+// use: partition plan, relabeled edge stream shuffled into chunks.
+func (d *Dataset) Mem() (*memengine.Prepared, error) {
+	d.memOnce.Do(func() {
+		pr, err := d.partitioner()
+		if err != nil {
+			d.memErr = err
+			return
+		}
+		d.mem, d.memErr = memengine.Prepare(d.src, memengine.Config{
+			Threads:     d.opts.Threads,
+			Partitions:  d.opts.MemPartitions,
+			TileEdges:   d.opts.TileEdges,
+			Partitioner: pr,
+			Selective:   true,
+		})
+		if d.memErr == nil {
+			d.memReady.Store(true)
+		}
+	})
+	return d.mem, d.memErr
+}
+
+// Disk returns the dataset's out-of-core engine handle, preparing it on
+// first use: the pre-processing shuffle into partition edge files plus the
+// tile index, on the configured device.
+func (d *Dataset) Disk() (*diskengine.Prepared, error) {
+	d.diskOnce.Do(func() {
+		if d.opts.Device == nil {
+			d.diskErr = fmt.Errorf("dataset %s: no device configured for the out-of-core engine", d.name)
+			return
+		}
+		pr, err := d.partitioner()
+		if err != nil {
+			d.diskErr = err
+			return
+		}
+		d.disk, d.diskErr = diskengine.Prepare(d.src, diskengine.Config{
+			Device:       d.opts.Device,
+			MemoryBudget: d.opts.MemoryBudget,
+			IOUnit:       d.opts.IOUnit,
+			Threads:      d.opts.Threads,
+			Partitions:   d.opts.DiskPartitions,
+			TileEdges:    d.opts.TileEdges,
+			Prefix:       "xserve-" + d.name + "-",
+			Partitioner:  pr,
+			Selective:    true,
+		})
+		if d.diskErr == nil {
+			d.diskReady.Store(true)
+		}
+	})
+	return d.disk, d.diskErr
+}
+
+// close releases the dataset's device-backed state.
+func (d *Dataset) close() {
+	if d.diskReady.Load() && d.disk != nil {
+		d.disk.Close()
+	}
+}
+
+// Registry maps names to ingested datasets.
+type Registry struct {
+	mu    sync.RWMutex
+	m     map[string]*Dataset
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]*Dataset{}}
+}
+
+// Add registers src under name. The source must be re-streamable (the
+// usual EdgeSource contract); engine state is prepared lazily.
+func (r *Registry) Add(name string, src core.EdgeSource, opts Options) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset: empty name")
+	}
+	switch opts.Partitioner {
+	case "", "range", "2ps":
+	default:
+		return nil, fmt.Errorf("dataset %s: unknown partitioner %q", name, opts.Partitioner)
+	}
+	d := &Dataset{name: name, src: src, opts: opts, nv: src.NumVertices(), ne: src.NumEdges()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return nil, fmt.Errorf("dataset %s: already registered", name)
+	}
+	r.m[name] = d
+	r.order = append(r.order, name)
+	return d, nil
+}
+
+// Get returns the dataset registered under name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.m[name]
+	return d, ok
+}
+
+// List returns every dataset's Info in registration order.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.m[name].Info())
+	}
+	return out
+}
+
+// Close releases device-backed state of every dataset.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range r.m {
+		d.close()
+	}
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/graphio"
+	"repro/internal/storage"
+)
+
+func testSource() core.EdgeSource {
+	return graphgen.RMAT(graphgen.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 71, Undirected: true})
+}
+
+func TestRegistryAddGetList(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Add("", testSource(), Options{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.Add("g", testSource(), Options{Partitioner: "bogus"}); err == nil {
+		t.Fatal("bogus partitioner accepted")
+	}
+	d, err := r.Add("g", testSource(), Options{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("g", testSource(), Options{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	got, ok := r.Get("g")
+	if !ok || got != d {
+		t.Fatal("Get did not return the registered dataset")
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Name != "g" || !infos[0].Undirected || infos[0].MemPrepared {
+		t.Fatalf("List = %+v", infos)
+	}
+	if d.NumVertices() == 0 || d.NumEdges() == 0 {
+		t.Fatalf("sizes not captured: %d/%d", d.NumVertices(), d.NumEdges())
+	}
+}
+
+func TestMemPreparedOnceAndServes(t *testing.T) {
+	r := NewRegistry()
+	d, err := r.Add("g", testSource(), Options{Threads: 2, MemPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp1, err := d.Mem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp2, err := d.Mem()
+	if err != nil || pp1 != pp2 {
+		t.Fatalf("Mem not cached: %p vs %p (%v)", pp1, pp2, err)
+	}
+	if !d.Info().MemPrepared {
+		t.Fatal("Info does not report the prepared state")
+	}
+	// The handle actually serves jobs.
+	inst, err := mustSpec(t, "wcc").New(algorithms.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pass, err := pp1.RunMany(context.Background(), core.ProgramSet{inst.Job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.CoJobs != 1 || len(res) != 1 {
+		t.Fatalf("unexpected pass: %+v", pass)
+	}
+}
+
+func mustSpec(t *testing.T, name string) algorithms.Spec {
+	t.Helper()
+	spec, ok := algorithms.ByName(name)
+	if !ok {
+		t.Fatalf("algorithm %q not registered", name)
+	}
+	return spec
+}
+
+func TestDiskRequiresDevice(t *testing.T) {
+	r := NewRegistry()
+	d, err := r.Add("g", testSource(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Disk(); err == nil {
+		t.Fatal("Disk prepared without a device")
+	}
+}
+
+// Test2PSPermutationLoaded: a permutation already persisted on the device
+// is replayed instead of re-running the clustering passes — proven by
+// planting a distinctive permutation and seeing it picked up.
+func Test2PSPermutationLoaded(t *testing.T) {
+	src := testSource()
+	n := src.NumVertices()
+	dev := storage.NewSim(storage.SSDParams("perm", 2, 0))
+	planted := make([]core.VertexID, n)
+	for i := range planted {
+		planted[i] = core.VertexID(n) - 1 - core.VertexID(i)
+	}
+	r := NewRegistry()
+	d, err := r.Add("g", src, Options{Partitioner: "2ps", Device: dev, Threads: 2, MemPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WritePermutation(dev, d.permFile(), planted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Mem(); err != nil {
+		t.Fatal(err)
+	}
+	if d.perm == nil || d.perm[0] != planted[0] || d.perm[len(d.perm)-1] != planted[len(planted)-1] {
+		t.Fatal("planted permutation was not replayed")
+	}
+}
+
+// Test2PSPermutationSaved: with no file present the clustering runs once
+// and persists its permutation for future processes.
+func Test2PSPermutationSaved(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 2, 0))
+	r := NewRegistry()
+	d, err := r.Add("g", testSource(), Options{Partitioner: "2ps", Device: dev, Threads: 2, MemPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Mem(); err != nil {
+		t.Fatal(err)
+	}
+	perm, err := graphio.ReadPermutation(dev, d.permFile())
+	if err != nil {
+		t.Fatalf("clustering permutation was not persisted: %v", err)
+	}
+	if int64(len(perm)) != d.NumVertices() {
+		t.Fatalf("persisted permutation has %d entries for %d vertices", len(perm), d.NumVertices())
+	}
+	// Both engines share the one permutation: preparing the disk handle
+	// must not re-cluster (the loaded partitioner replays it).
+	if _, err := d.Disk(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Info().DiskPrepared {
+		t.Fatal("Info does not report the disk prepared state")
+	}
+	r.Close()
+}

@@ -38,6 +38,7 @@
 package diskengine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -110,6 +111,11 @@ type Config struct {
 	// TileEdges is the tile granularity (edge records) of the selective
 	// read index. 0 means 4096.
 	TileEdges int
+	// Context cancels the run: it is checked between iterations, between
+	// partition files and between streamed chunks, so server jobs honor
+	// cancelation and deadlines promptly. nil means context.Background(),
+	// keeping batch callers unchanged.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TileEdges <= 0 {
 		c.TileEdges = 4096
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
 	}
 	return c
 }
@@ -440,9 +449,16 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 // every run written, building the selective-read tile summaries during
 // the shuffle itself.
 func (e *engine[V, M]) partitionEdges(src core.EdgeSource, files []*partFile, transpose bool, tiles *diskTiles) error {
-	w := newBucketWriter(e.bufEdgeRecs, files, e.shufPlan, func(ed core.Edge) uint32 {
-		return e.part.Of(ed.Src)
-	}, e.cfg.Threads, nil)
+	return partitionEdgesInto(src, files, transpose, tiles, e.bufEdgeRecs, e.shufPlan, e.part, e.cfg.Threads)
+}
+
+// partitionEdgesInto is the engine-independent pre-processing shuffle: it
+// streams src into the partition edge files, shared by solo runs and by
+// Prepare's cached dataset handles.
+func partitionEdgesInto(src core.EdgeSource, files []*partFile, transpose bool, tiles *diskTiles, bufEdgeRecs int, plan streambuf.Plan, part core.Split, threads int) error {
+	w := newBucketWriter(bufEdgeRecs, files, plan, func(ed core.Edge) uint32 {
+		return part.Of(ed.Src)
+	}, threads, nil)
 	if tiles != nil {
 		w.observe = tiles.observe
 		defer tiles.finish()
@@ -486,6 +502,9 @@ func (e *engine[V, M]) loop() error {
 	usize := pod.Size[core.Update[M]]()
 
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		if err := e.cfg.Context.Err(); err != nil {
+			return err
+		}
 		if s, ok := any(e.prog).(core.IterationStarter); ok {
 			s.StartIteration(iter)
 		}
@@ -644,6 +663,10 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 	}, e.cfg.Threads, e.updateFold())
 
 	for s := 0; s < e.k; s++ {
+		if err := e.cfg.Context.Err(); err != nil { // between partition files
+			w.Finish()
+			return res, err
+		}
 		fileRecs := edgeFiles[s].size / edgeRecSize
 		vlo, vhi := e.part.Range(s, e.nv)
 		if e.fp != nil && e.active[s] == 0 {
@@ -689,6 +712,11 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 				}
 				if chunk == nil {
 					break
+				}
+				if err := e.cfg.Context.Err(); err != nil { // between chunks
+					rd.Close()
+					w.Finish()
+					return res, err
 				}
 				res.streamed += int64(len(chunk))
 				// Scatter the chunk in segments that fit the output buffer
@@ -813,6 +841,9 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, p
 // mode) its vertex file is touched.
 func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) error {
 	for p := 0; p < e.k; p++ {
+		if err := e.cfg.Context.Err(); err != nil { // between partition files
+			return err
+		}
 		if e.fp != nil {
 			empty := e.updFiles[p].size == 0
 			if inMem != nil {

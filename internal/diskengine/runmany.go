@@ -1,0 +1,493 @@
+package diskengine
+
+// runmany.go is the out-of-core engine's shared-pass execution path. A
+// Prepared holds a dataset's pre-processing output — the input edge list
+// shuffled once into partition edge files, the tile source index built
+// during that shuffle, and the lazily built transposed files — so the
+// shuffle is paid once per dataset instead of once per run. RunMany then
+// drives any number of co-scheduled jobs (core.ProgramSet) from one pass
+// over the edge files per iteration: each chunk read from a file is handed
+// to every subscribing job's scatter, so the edge-file I/O that dominates
+// out-of-core runs is amortized across jobs (BytesRead drops toward 1/K of
+// K sequential runs; the figshare experiment gates it).
+//
+// Shared-pass jobs keep their vertex state and update streams in memory —
+// the §3.2 bypass optimizations applied unconditionally. That is a serving
+// design choice, not a loss of generality: the jobs scheduler's admission
+// control only co-schedules jobs whose combined footprint
+// (core.Job.MemoryEstimate) fits the budget, which is exactly the regime
+// where the bypasses are legal. Jobs too big for the budget run solo
+// through Run, which still spills vertices and updates to the device.
+//
+// Selective streaming composes: a partition's edge file is not read at all
+// when no job's frontier reaches it, and when every subscribing job is
+// partially active the file is read only in the segments whose tiles some
+// job needs (the frontier union). Within a streamed chunk every job
+// scatters all records — extra records are wasted edges by the
+// FrontierProgram contract, never wrong results.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/streambuf"
+)
+
+// sharedVertexBytes is the nominal per-vertex state size Prepare sizes
+// partitions with when Config.Partitions is 0: the prepared file layout is
+// shared by jobs of different state sizes.
+const sharedVertexBytes = 16
+
+// Prepared is a dataset's cached out-of-core pre-processing: partition
+// edge files plus tile index, shared read-only by any number of RunMany
+// passes. Close removes the files.
+type Prepared struct {
+	cfg         Config
+	k           int
+	part        core.Split
+	asg         *core.Assignment
+	partName    string
+	shufPlan    streambuf.Plan
+	nv, ne      int64
+	bufEdgeRecs int
+	prepTime    time.Duration
+
+	mu        sync.Mutex
+	edgeFiles []*partFile
+	bwdFiles  []*partFile
+	tilesFwd  *diskTiles
+	tilesBwd  *diskTiles
+	closed    bool
+}
+
+// Prepare ingests a graph once for shared-pass execution on cfg.Device:
+// it plans the partitioning (paying any clustering passes now), rewrites
+// the edge stream through the relabeling, and shuffles it into partition
+// edge files, indexing tile source summaries along the way. The handle
+// serves any number of jobs until Close.
+func Prepare(g core.EdgeSource, cfg Config) (*Prepared, error) {
+	return prepare(g, cfg, sharedVertexBytes)
+}
+
+// prepare is Prepare with an explicit per-vertex state size for the §3.4
+// partition sizing — the direct RunMany/RunJob paths know their jobs'
+// actual sizes and must not fail a budget the solo engine would meet.
+func prepare(g core.EdgeSource, cfg Config, vertexBytes int64) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("diskengine: Config.Device is required")
+	}
+	t0 := time.Now()
+	nv, ne := g.NumVertices(), g.NumEdges()
+
+	k := cfg.Partitions
+	if k == 0 {
+		s, m := int64(cfg.IOUnit), cfg.MemoryBudget
+		vb := nv * vertexBytes
+		for cand := 1; cand <= 1<<20; cand <<= 1 {
+			if vb/int64(cand)+5*s*int64(cand) <= m {
+				k = cand
+				break
+			}
+			if 5*s*int64(cand) > m {
+				break
+			}
+		}
+		if k == 0 {
+			return nil, fmt.Errorf("diskengine: no partition count satisfies N/K + 5·S·K ≤ M with N=%d S=%d M=%d", vb, s, m)
+		}
+	}
+	if k&(k-1) != 0 {
+		return nil, fmt.Errorf("diskengine: partition count %d is not a power of two", k)
+	}
+	fanout := k
+	if fanout < 2 {
+		fanout = 2
+	}
+	plan, err := streambuf.NewPlan(k, fanout)
+	if err != nil {
+		return nil, err
+	}
+	bufEdgeRecs := int(int64(cfg.IOUnit) * int64(k) / edgeRecSize)
+	if bufEdgeRecs < 1 {
+		return nil, fmt.Errorf("diskengine: I/O unit %d too small for edge records", cfg.IOUnit)
+	}
+
+	pr := cfg.Partitioner
+	if pr == nil {
+		pr = core.RangePartitioner{}
+	}
+	asg, err := pr.Assign(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("diskengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if err := asg.Validate(nv); err != nil {
+		return nil, fmt.Errorf("diskengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if !asg.Identity() {
+		g = graphio.Relabeled(g, asg.Relabel)
+	}
+
+	pp := &Prepared{
+		cfg: cfg, k: k, part: asg.Split, asg: asg, partName: pr.Name(),
+		shufPlan: plan, nv: nv, ne: ne, bufEdgeRecs: bufEdgeRecs,
+	}
+	pp.edgeFiles = make([]*partFile, k)
+	for p := 0; p < k; p++ {
+		if pp.edgeFiles[p], err = createPartFile(cfg.Device, fmt.Sprintf("%sds-p%04d.edges", cfg.Prefix, p)); err != nil {
+			pp.removeFiles()
+			return nil, err
+		}
+	}
+	pp.tilesFwd = newDiskTiles(k, cfg.TileEdges)
+	if err := partitionEdgesInto(g, pp.edgeFiles, false, pp.tilesFwd, bufEdgeRecs, plan, pp.part, cfg.Threads); err != nil {
+		pp.removeFiles()
+		return nil, err
+	}
+	pp.prepTime = time.Since(t0)
+	return pp, nil
+}
+
+// NumVertices returns the prepared graph's vertex count.
+func (pp *Prepared) NumVertices() int64 { return pp.nv }
+
+// NumEdges returns the prepared graph's edge record count.
+func (pp *Prepared) NumEdges() int64 { return pp.ne }
+
+// Partitions returns the shared partition count.
+func (pp *Prepared) Partitions() int { return pp.k }
+
+// Close removes the prepared partition files from the device.
+func (pp *Prepared) Close() {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.closed {
+		return
+	}
+	pp.closed = true
+	pp.removeFiles()
+}
+
+func (pp *Prepared) removeFiles() {
+	for _, fs := range [][]*partFile{pp.edgeFiles, pp.bwdFiles} {
+		for _, f := range fs {
+			if f != nil {
+				f.remove()
+			}
+		}
+	}
+}
+
+// files returns the partition edge files and tile index for a direction,
+// building the transposed files lazily, at most once. The build's own I/O
+// (one read and one write of the whole edge volume) is returned so the
+// triggering pass can account it — per-pass I/O is tallied from what the
+// pass actually reads, never from global device counters, so concurrent
+// passes on one device stay correctly attributed.
+func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTiles, buildRead, buildWritten int64, err error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.closed {
+		return nil, nil, 0, 0, fmt.Errorf("diskengine: prepared dataset is closed")
+	}
+	if dir == core.Forward {
+		return pp.edgeFiles, pp.tilesFwd, 0, 0, nil
+	}
+	if pp.bwdFiles == nil {
+		bwd := make([]*partFile, pp.k)
+		cleanup := func() {
+			for _, f := range bwd {
+				if f != nil {
+					f.remove()
+				}
+			}
+		}
+		for p := 0; p < pp.k; p++ {
+			if bwd[p], err = createPartFile(pp.cfg.Device, fmt.Sprintf("%sds-p%04d.redges", pp.cfg.Prefix, p)); err != nil {
+				cleanup()
+				return nil, nil, 0, 0, err
+			}
+		}
+		src := &partFilesSource{files: pp.edgeFiles, nv: pp.nv, chunkRecs: pp.bufEdgeRecs, prefetch: !pp.cfg.NoPrefetch}
+		t := newDiskTiles(pp.k, pp.cfg.TileEdges)
+		if err := partitionEdgesInto(src, bwd, true, t, pp.bufEdgeRecs, pp.shufPlan, pp.part, pp.cfg.Threads); err != nil {
+			cleanup()
+			return nil, nil, 0, 0, err
+		}
+		for p := 0; p < pp.k; p++ {
+			buildRead += pp.edgeFiles[p].size
+			buildWritten += bwd[p].size
+		}
+		pp.bwdFiles, pp.tilesBwd = bwd, t
+	}
+	return pp.bwdFiles, pp.tilesBwd, buildRead, buildWritten, nil
+}
+
+// RunMany executes every job of set against g out of core, sharing one
+// pass over the edge files per iteration. See Prepared.RunMany.
+func RunMany(ctx context.Context, g core.EdgeSource, set core.ProgramSet, cfg Config) ([]core.JobResult, core.Stats, error) {
+	vb := vertexBytesOf(set)
+	if vb == 0 {
+		vb = sharedVertexBytes
+	}
+	pp, err := prepare(g, cfg, vb)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	defer pp.Close()
+	return pp.RunMany(ctx, set)
+}
+
+// vertexBytesOf returns the widest vertex state in the set.
+func vertexBytesOf(set core.ProgramSet) int64 {
+	var vb int64
+	for _, j := range set {
+		if int64(j.VertexBytes()) > vb {
+			vb = int64(j.VertexBytes())
+		}
+	}
+	return vb
+}
+
+// RunJob executes a single type-erased job — the registry-driven
+// counterpart of Run. Unlike Run it holds vertex state and updates in
+// memory (see the package notes on shared-pass execution).
+func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (*core.JobResult, error) {
+	res, pass, err := RunMany(ctx, g, core.ProgramSet{job}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := res[0]
+	// A solo pass's shared-side accounting is the job's own.
+	out.Stats.PreprocessTime = pass.PreprocessTime
+	out.Stats.ScatterTime = pass.ScatterTime
+	out.Stats.BytesRead = pass.BytesRead
+	out.Stats.BytesWritten = pass.BytesWritten
+	return &out, nil
+}
+
+// RunMany drives all jobs of set from one pass over the prepared edge
+// files per iteration. It returns each job's result plus pass-level stats:
+// EdgesStreamed counts every edge record read once however many jobs
+// consumed it, EdgesShared the reads the sharing avoided, and
+// BytesRead/BytesWritten the device traffic of this pass alone. ctx
+// cancels between iterations, files and chunks; nil means Background.
+func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.JobResult, core.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(set) == 0 {
+		return nil, core.Stats{}, fmt.Errorf("diskengine: RunMany of an empty program set")
+	}
+	cfg := pp.cfg
+	start := time.Now()
+	pass := core.Stats{
+		Algorithm: set.Label(), Engine: "disk:" + cfg.Device.Name(),
+		Partitioner: pp.partName, Partitions: pp.k, Threads: cfg.Threads,
+		CoJobs: len(set), PreprocessTime: pp.prepTime,
+	}
+
+	runs := make([]core.JobRun, len(set))
+	for i, j := range set {
+		if err := j.Check(); err != nil {
+			return nil, pass, fmt.Errorf("diskengine: job %s: %w", j.Name(), err)
+		}
+		runs[i] = j.NewRun()
+		err := runs[i].Setup(core.JobSetup{
+			Assignment: pp.asg, NumVertices: pp.nv, NumEdges: pp.ne,
+			Threads: cfg.Threads, Plan: pp.shufPlan, UpdateCap: int(pp.ne),
+			PrivateBufRecs: basePrivCap,
+			NoCombine:      cfg.NoCombine, Selective: cfg.Selective,
+		})
+		if err != nil {
+			return nil, pass, fmt.Errorf("diskengine: %w", err)
+		}
+	}
+
+	live := make([]core.JobRun, 0, len(runs))
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		live = live[:0]
+		for _, r := range runs {
+			if !r.Done() {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, pass, err
+		}
+		for _, r := range live {
+			r.StartIteration(iter)
+			r.BeginScatter()
+		}
+
+		t0 := time.Now()
+		for _, dir := range []core.Direction{core.Forward, core.Backward} {
+			var subs []core.JobRun
+			for _, r := range live {
+				if r.Direction(iter) == dir {
+					subs = append(subs, r)
+				}
+			}
+			if len(subs) == 0 {
+				continue
+			}
+			files, tiles, buildRead, buildWritten, err := pp.files(dir)
+			if err != nil {
+				return nil, pass, err
+			}
+			pass.BytesRead += buildRead
+			pass.BytesWritten += buildWritten
+			if err := pp.scatterShared(ctx, &pass, subs, files, tiles); err != nil {
+				return nil, pass, err
+			}
+		}
+		pass.ScatterTime += time.Since(t0)
+
+		t1 := time.Now()
+		if err := core.EndAndGather(live); err != nil {
+			return nil, pass, err
+		}
+		pass.GatherTime += time.Since(t1)
+		for _, r := range live {
+			r.EndIteration(iter)
+		}
+		pass.Iterations = iter + 1
+	}
+
+	results := make([]core.JobResult, len(runs))
+	for i, r := range runs {
+		verts, js, err := r.Finalize()
+		if err != nil {
+			return nil, pass, err
+		}
+		js.Engine, js.Partitioner = pass.Engine, pass.Partitioner
+		js.Partitions, js.Threads, js.CoJobs = pass.Partitions, pass.Threads, pass.CoJobs
+		js.TotalTime = time.Since(start)
+		results[i] = core.JobResult{Vertices: verts, Stats: js}
+		pass.UpdatesSent += js.UpdatesSent
+		pass.WastedEdges += js.WastedEdges
+		pass.CrossPartitionUpdates += js.CrossPartitionUpdates
+		pass.UpdatesCombined += js.UpdatesCombined
+		pass.UpdateBytes += js.UpdateBytes
+		pass.RandomRefs += js.RandomRefs
+		pass.EdgesShared += js.EdgesStreamed
+	}
+	pass.EdgesShared -= pass.EdgesStreamed
+	if pass.EdgesShared < 0 {
+		pass.EdgesShared = 0
+	}
+	pass.BytesStreamed += pass.EdgesStreamed * edgeRecSize
+	pass.TotalTime = time.Since(start)
+	return results, pass, nil
+}
+
+// scatterShared reads each partition's edge file (or only its needed tile
+// segments) once and feeds every chunk to every subscribing job.
+func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []core.JobRun, files []*partFile, tiles *diskTiles) error {
+	cfg := pp.cfg
+	for p := 0; p < pp.k; p++ {
+		if err := ctx.Err(); err != nil { // between partition files
+			return err
+		}
+		fileRecs := files[p].size / edgeRecSize
+		needing := make([]core.JobRun, 0, len(subs))
+		allPartial := true
+		for _, r := range subs {
+			if r.NeedsPartition(p) {
+				needing = append(needing, r)
+				if !r.PartiallyActive(p) {
+					allPartial = false
+				}
+			} else {
+				r.SkipPartition(fileRecs)
+			}
+		}
+		if len(needing) == 0 {
+			// No job reaches the partition: its edge file is never read.
+			if fileRecs > 0 {
+				pass.EdgesSkipped += fileRecs
+				pass.PartitionsSkipped++
+			}
+			continue
+		}
+		segs := []recRange{{0, fileRecs}}
+		if allPartial && tiles != nil {
+			// Every subscriber can tile-skip: read only the segments whose
+			// tiles some job's frontier reaches. A tile no job needs is a
+			// byte range never read — and every subscriber would have
+			// skipped at least it in a solo run.
+			var skippedRecs, skippedTiles int64
+			segs, skippedRecs, skippedTiles = tiles.activeSegmentsFunc(p, func(span core.SrcSpan) bool {
+				for _, r := range needing {
+					if r.NeedsTile(span) {
+						return true
+					}
+				}
+				return false
+			}, fileRecs)
+			pass.EdgesSkipped += skippedRecs
+			pass.TilesSkipped += skippedTiles
+			for _, r := range needing {
+				r.SkipTiles(skippedRecs, skippedTiles)
+			}
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		scatters := make([]core.JobScatter, len(needing))
+		for i, r := range needing {
+			scatters[i] = r.NewScatter(p, fileRecs)
+		}
+		for _, seg := range segs {
+			rd := newChunkReaderRange[core.Edge](files[p].f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, pp.bufEdgeRecs, !cfg.NoPrefetch)
+			for {
+				chunk, err := rd.Next()
+				if err != nil {
+					rd.Close()
+					return err
+				}
+				if chunk == nil {
+					break
+				}
+				if err := ctx.Err(); err != nil { // between chunks
+					rd.Close()
+					return err
+				}
+				pass.EdgesStreamed += int64(len(chunk))
+				pass.SequentialRefs += int64(len(chunk))
+				pass.BytesRead += int64(len(chunk)) * edgeRecSize
+				feedJobs(scatters, chunk)
+			}
+			rd.Close()
+		}
+		for _, sc := range scatters {
+			sc.Flush()
+		}
+	}
+	return nil
+}
+
+// feedJobs scatters one read chunk for every subscribing job — the read is
+// paid once, the compute proceeds in parallel across jobs.
+func feedJobs(scatters []core.JobScatter, chunk []core.Edge) {
+	if len(scatters) == 1 {
+		scatters[0].Edges(chunk)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sc := range scatters {
+		wg.Add(1)
+		go func(sc core.JobScatter) {
+			defer wg.Done()
+			sc.Edges(chunk)
+		}(sc)
+	}
+	wg.Wait()
+}

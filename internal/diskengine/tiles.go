@@ -74,6 +74,13 @@ type recRange struct {
 // this is a safety net, not an expected path) the whole file is returned
 // as one segment and nothing is skipped.
 func (t *diskTiles) activeSegments(p int, front *core.Frontier, wantRecs int64) (segs []recRange, skippedRecs, skippedTiles int64) {
+	return t.activeSegmentsFunc(p, func(s core.SrcSpan) bool { return s.Intersects(front) }, wantRecs)
+}
+
+// activeSegmentsFunc is activeSegments over an arbitrary tile predicate —
+// shared-pass execution streams a tile when *any* co-scheduled job's
+// frontier needs it, so the predicate there is a union over jobs.
+func (t *diskTiles) activeSegmentsFunc(p int, need func(core.SrcSpan) bool, wantRecs int64) (segs []recRange, skippedRecs, skippedTiles int64) {
 	var total int64
 	for _, tile := range t.parts[p] {
 		total += tile.recs
@@ -83,7 +90,7 @@ func (t *diskTiles) activeSegments(p int, front *core.Frontier, wantRecs int64) 
 	}
 	off := int64(0)
 	for _, tile := range t.parts[p] {
-		if tile.span.Intersects(front) {
+		if need(tile.span) {
 			if n := len(segs); n > 0 && segs[n-1].hi == off {
 				segs[n-1].hi = off + tile.recs
 			} else {

@@ -1,0 +1,113 @@
+package jobs
+
+// api.go is the HTTP face of the scheduler — the handler cmd/xserve mounts.
+//
+//	POST   /jobs             submit a job            -> 202 {"id": ...}
+//	GET    /jobs             list retained jobs
+//	GET    /jobs/{id}        job status
+//	GET    /jobs/{id}/result result payload + stats (done jobs)
+//	DELETE /jobs/{id}        cancel
+//	GET    /datasets         registered datasets
+//	GET    /metrics          scheduler counters
+//
+// Everything is JSON. Validation failures are 400, unknown IDs 404,
+// results of unfinished jobs 409.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// NewHandler returns the serving API over s.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		id, err := s.Submit(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "job not found")
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		payload, summary, stats, err := s.Result(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, "job not found")
+		case err != nil:
+			writeError(w, http.StatusConflict, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, resultResponse{
+				ID: id, Summary: summary, Stats: stats, Result: payload,
+			})
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		err := s.Cancel(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, "job not found")
+		case err != nil:
+			writeError(w, http.StatusConflict, err.Error())
+		default:
+			info, _ := s.Get(id)
+			writeJSON(w, http.StatusOK, info)
+		}
+	})
+
+	mux.HandleFunc("GET /datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry().List()})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+
+	return mux
+}
+
+// resultResponse is the GET /jobs/{id}/result body.
+type resultResponse struct {
+	ID      string      `json:"id"`
+	Summary string      `json:"summary"`
+	Stats   *core.Stats `json:"stats,omitempty"`
+	Result  any         `json:"result"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

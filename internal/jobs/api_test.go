@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAPIEndToEnd drives the whole serving stack over HTTP: list datasets,
+// submit jobs (good and bad), poll status, fetch results, cancel, read
+// metrics — the workflow a client of cmd/xserve follows.
+func TestAPIEndToEnd(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	getJSON := func(path string, wantCode int) map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+
+	// Datasets are listed before anything runs.
+	ds := getJSON("/datasets", http.StatusOK)
+	if n := len(ds["datasets"].([]any)); n != 2 {
+		t.Fatalf("listed %d datasets, want 2", n)
+	}
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	// Bad submissions are 400 with an error body.
+	for _, bad := range []string{
+		`{"dataset":"nope","algo":"wcc"}`,
+		`{"dataset":"g","algo":"nope"}`,
+		`not json`,
+	} {
+		if resp, out := post(bad); resp.StatusCode != http.StatusBadRequest || out["error"] == "" {
+			t.Fatalf("bad submission %q: status %d, body %v", bad, resp.StatusCode, out)
+		}
+	}
+
+	// A good submission is 202 with an ID; the job completes and serves a
+	// result with summary, stats and payload.
+	resp, out := post(`{"dataset":"g","algo":"bfs","params":{"root":3}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%v)", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+
+	var status string
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		info := getJSON("/jobs/"+id, http.StatusOK)
+		status = info["status"].(string)
+		if status == "done" || status == "failed" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if status != "done" {
+		t.Fatalf("job ended as %q", status)
+	}
+	res := getJSON("/jobs/"+id+"/result", http.StatusOK)
+	if res["summary"] == "" || res["result"] == nil || res["stats"] == nil {
+		t.Fatalf("result missing fields: %v", res)
+	}
+	payload := res["result"].(map[string]any)
+	if payload["reached"].(float64) <= 0 {
+		t.Fatalf("BFS reached nobody: %v", payload)
+	}
+
+	// Listing includes the finished job.
+	list := getJSON("/jobs", http.StatusOK)
+	if n := len(list["jobs"].([]any)); n != 1 {
+		t.Fatalf("listed %d jobs, want 1", n)
+	}
+
+	// Unknown IDs are 404; results of unfinished jobs are 409.
+	getJSON("/jobs/j999999", http.StatusNotFound)
+	getJSON("/jobs/j999999/result", http.StatusNotFound)
+	s.Pause()
+	_, out = post(`{"dataset":"g","algo":"wcc"}`)
+	queued := out["id"].(string)
+	getJSON("/jobs/"+queued+"/result", http.StatusConflict)
+
+	// DELETE cancels the queued job.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+queued, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+	s.Resume()
+	info := getJSON("/jobs/"+queued, http.StatusOK)
+	if info["status"].(string) != "canceled" {
+		t.Fatalf("canceled job reports %q", info["status"])
+	}
+
+	// Metrics aggregate the activity.
+	m := getJSON("/metrics", http.StatusOK)
+	if m["submitted"].(float64) != 2 || m["completed"].(float64) != 1 || m["canceled"].(float64) != 1 {
+		t.Fatalf("metrics: %v", m)
+	}
+	if m["edges_streamed"].(float64) <= 0 {
+		t.Fatalf("no edges accounted: %v", m)
+	}
+}
+
+// TestAPIBatchingVisible: co-scheduled jobs report their shared pass in
+// batch_size, and the shared reads show in /metrics.
+func TestAPIBatchingVisible(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	s.Pause()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"dataset":"g","algo":"pagerank","params":{"iters":%d}}`, 5)
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		ids = append(ids, out["id"].(string))
+	}
+	s.Resume()
+	for _, id := range ids {
+		info := waitDone(t, s, id)
+		if info.Status != StatusDone || info.BatchSize != 3 {
+			t.Fatalf("job %s: %s, batch %d", id, info.Status, info.BatchSize)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Batches != 1 || m.EdgesShared <= 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}

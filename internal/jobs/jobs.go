@@ -1,0 +1,612 @@
+// Package jobs is the serving layer's scheduler: it accepts algorithm jobs
+// against registered datasets (internal/dataset), queues them, and executes
+// them as shared passes (RunMany) so co-scheduled jobs on the same dataset
+// pay for one edge stream instead of one each — X-Stream's cost model
+// applied to a multi-tenant server.
+//
+// Scheduling policy, in order:
+//
+//   - Admission control: a job's memory footprint (core.Job.MemoryEstimate
+//     over the dataset's sizes) is checked at submit — jobs above the whole
+//     budget are rejected — and the combined footprint of running jobs
+//     never exceeds Config.MemoryBudget; jobs wait in the queue until
+//     memory frees up.
+//   - Batching: when a worker picks the oldest admissible queued job, it
+//     also takes every other queued job on the same (dataset, engine) that
+//     still fits the remaining budget, up to Config.MaxBatch, and runs them
+//     all in one RunMany pass.
+//   - Cancelation: a queued job cancels immediately; a running job is
+//     marked and its result discarded when its pass finishes — and when
+//     every job of a pass is canceled, the pass's context is canceled so
+//     the engines stop between iterations and chunks.
+//   - Retention: finished jobs (and their result payloads) are kept until
+//     Config.Retention newer ones finish, then pruned.
+//
+// All methods are safe for concurrent use.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Engine selects which execution engine serves a job.
+type Engine string
+
+const (
+	// EngineMem is the in-memory streaming engine (the default).
+	EngineMem Engine = "mem"
+	// EngineDisk is the out-of-core streaming engine; the dataset must
+	// have a device.
+	EngineDisk Engine = "disk"
+)
+
+// Request describes one job submission.
+type Request struct {
+	Dataset string            `json:"dataset"`
+	Algo    string            `json:"algo"`
+	Engine  Engine            `json:"engine,omitempty"`
+	Params  algorithms.Params `json:"params,omitempty"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Info is a job's JSON-encodable state.
+type Info struct {
+	ID        string            `json:"id"`
+	Dataset   string            `json:"dataset"`
+	Algo      string            `json:"algo"`
+	Engine    Engine            `json:"engine"`
+	Params    algorithms.Params `json:"params"`
+	Status    Status            `json:"status"`
+	Error     string            `json:"error,omitempty"`
+	Submitted time.Time         `json:"submitted"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	// BatchSize is how many jobs shared the job's pass (0 until running).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Summary is the algorithm's one-line result (done jobs only).
+	Summary string `json:"summary,omitempty"`
+	// MemoryEstimate is the admission-control footprint in bytes.
+	MemoryEstimate int64 `json:"memory_estimate"`
+}
+
+// Metrics are the scheduler's cumulative counters, served by GET /metrics.
+type Metrics struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Batches     int64 `json:"batches"`
+	BatchedJobs int64 `json:"batched_jobs"`
+	// EdgesStreamed and EdgesShared aggregate pass-level stats: streamed
+	// counts each edge record once per pass, shared counts the reads
+	// batching avoided versus independent runs.
+	EdgesStreamed int64 `json:"edges_streamed"`
+	EdgesShared   int64 `json:"edges_shared"`
+	BytesRead     int64 `json:"bytes_read"`
+	MemoryInUse   int64 `json:"memory_in_use"`
+	QueueDepth    int   `json:"queue_depth"`
+	Running       int   `json:"running"`
+}
+
+// Config tunes the scheduler. The zero value is usable.
+type Config struct {
+	// MemoryBudget bounds the combined MemoryEstimate of running jobs.
+	// 0 means 1 GiB.
+	MemoryBudget int64
+	// MaxBatch caps jobs per shared pass. 0 means 16.
+	MaxBatch int
+	// Workers is the number of concurrent batch runners (batches of
+	// different datasets proceed in parallel). 0 means 2.
+	Workers int
+	// Retention is how many finished jobs are kept before the oldest are
+	// pruned. 0 means 256.
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 1 << 30
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Retention <= 0 {
+		c.Retention = 256
+	}
+	return c
+}
+
+// ErrNotFound reports an unknown (or already pruned) job ID.
+var ErrNotFound = errors.New("jobs: job not found")
+
+// job is the scheduler's internal record.
+type job struct {
+	id   string
+	req  Request
+	inst *algorithms.Instance
+	ds   *dataset.Dataset
+	est  int64
+
+	status    Status
+	err       error
+	summary   string
+	result    any
+	stats     *core.Stats
+	batchSize int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	canceled  bool
+	batchRef  *batchState
+}
+
+// batchState is one shared pass in flight.
+type batchState struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []*job
+}
+
+// Scheduler queues, batches and executes jobs over a dataset registry.
+type Scheduler struct {
+	reg *dataset.Registry
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*job
+	jobs    map[string]*job
+	done    []string
+	memUse  int64
+	running int
+	paused  bool
+	closed  bool
+	metrics Metrics
+	nextID  int
+	wg      sync.WaitGroup
+}
+
+// New starts a scheduler over reg with Config.Workers batch runners.
+func New(reg *dataset.Registry, cfg Config) *Scheduler {
+	s := &Scheduler{reg: reg, cfg: cfg.withDefaults(), jobs: map[string]*job{}}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the dataset registry the scheduler serves.
+func (s *Scheduler) Registry() *dataset.Registry { return s.reg }
+
+// Submit validates and enqueues a job, returning its ID. Validation is
+// synchronous: unknown datasets/algorithms, bad parameters, engine
+// mismatches and over-budget jobs are rejected here with an error rather
+// than producing a failed job.
+func (s *Scheduler) Submit(req Request) (string, error) {
+	if req.Engine == "" {
+		req.Engine = EngineMem
+	}
+	ds, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		return "", fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	spec, ok := algorithms.ByName(req.Algo)
+	if !ok {
+		return "", fmt.Errorf("unknown algorithm %q", req.Algo)
+	}
+	if spec.Symmetrize && !ds.Undirected() {
+		return "", fmt.Errorf("algorithm %s needs an undirected dataset (register the graph with both edge directions)", req.Algo)
+	}
+	switch req.Engine {
+	case EngineMem:
+	case EngineDisk:
+		if !ds.HasDevice() {
+			return "", fmt.Errorf("dataset %q has no device for the out-of-core engine", req.Dataset)
+		}
+	default:
+		return "", fmt.Errorf("unknown engine %q", req.Engine)
+	}
+	inst, err := spec.New(req.Params)
+	if err != nil {
+		return "", fmt.Errorf("algorithm %s: %w", req.Algo, err)
+	}
+	est := inst.Job.MemoryEstimate(ds.NumVertices(), ds.NumEdges())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("scheduler is closed")
+	}
+	if est > s.cfg.MemoryBudget {
+		return "", fmt.Errorf("job needs ~%d bytes of memory, above the scheduler budget of %d", est, s.cfg.MemoryBudget)
+	}
+	s.nextID++
+	j := &job{
+		id: fmt.Sprintf("j%06d", s.nextID), req: req, inst: inst, ds: ds,
+		est: est, status: StatusQueued, submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.metrics.Submitted++
+	s.cond.Broadcast()
+	return j.id, nil
+}
+
+// worker runs batches until the scheduler closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		b := s.nextBatch()
+		if b == nil {
+			return
+		}
+		s.runBatch(b)
+	}
+}
+
+// nextBatch blocks until a batch is admissible (or the scheduler closes).
+func (s *Scheduler) nextBatch() *batchState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if !s.paused {
+			if b := s.admitLocked(); b != nil {
+				return b
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// admitLocked pops the next batch under the memory budget: the oldest
+// queued job that fits the free budget, plus every younger queued job of
+// the same (dataset, engine) that still fits, up to MaxBatch.
+func (s *Scheduler) admitLocked() *batchState {
+	avail := s.cfg.MemoryBudget - s.memUse
+	seed := -1
+	for i, j := range s.queue {
+		if j.est <= avail {
+			seed = i
+			break
+		}
+	}
+	if seed < 0 {
+		return nil
+	}
+	sj := s.queue[seed]
+	b := &batchState{}
+	rest := s.queue[:seed:seed]
+	var sum int64
+	for _, j := range s.queue[seed:] {
+		if len(b.jobs) < s.cfg.MaxBatch &&
+			j.req.Dataset == sj.req.Dataset && j.req.Engine == sj.req.Engine &&
+			sum+j.est <= avail {
+			sum += j.est
+			b.jobs = append(b.jobs, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	s.queue = rest
+	s.memUse += sum
+	s.running += len(b.jobs)
+	b.ctx, b.cancel = context.WithCancel(context.Background())
+	now := time.Now()
+	for _, j := range b.jobs {
+		j.status = StatusRunning
+		j.started = now
+		j.batchSize = len(b.jobs)
+		j.batchRef = b
+	}
+	s.metrics.Batches++
+	s.metrics.BatchedJobs += int64(len(b.jobs))
+	return b
+}
+
+// runBatch executes one shared pass and records every job's outcome.
+func (s *Scheduler) runBatch(b *batchState) {
+	defer b.cancel()
+	set := make(core.ProgramSet, len(b.jobs))
+	for i, j := range b.jobs {
+		set[i] = j.inst.Job
+	}
+	var results []core.JobResult
+	var pass core.Stats
+	var err error
+	j0 := b.jobs[0]
+	switch j0.req.Engine {
+	case EngineMem:
+		pp, perr := j0.ds.Mem()
+		if perr != nil {
+			err = perr
+		} else {
+			results, pass, err = pp.RunMany(b.ctx, set)
+		}
+	case EngineDisk:
+		pp, perr := j0.ds.Disk()
+		if perr != nil {
+			err = perr
+		} else {
+			results, pass, err = pp.RunMany(b.ctx, set)
+		}
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for i, j := range b.jobs {
+		sum += j.est
+		j.finished = now
+		j.batchRef = nil
+		switch {
+		case j.canceled:
+			j.status = StatusCanceled
+			s.metrics.Canceled++
+		case err != nil:
+			j.status = StatusFailed
+			j.err = err
+			s.metrics.Failed++
+		default:
+			res := results[i]
+			j.status = StatusDone
+			j.summary = j.inst.Summarize(res.Vertices)
+			j.result = j.inst.Result(res.Vertices)
+			st := res.Stats
+			j.stats = &st
+			s.metrics.Completed++
+		}
+		s.done = append(s.done, j.id)
+	}
+	if err == nil {
+		s.metrics.EdgesStreamed += pass.EdgesStreamed
+		s.metrics.EdgesShared += pass.EdgesShared
+		s.metrics.BytesRead += pass.BytesRead
+	}
+	s.memUse -= sum
+	s.running -= len(b.jobs)
+	s.pruneLocked()
+	s.cond.Broadcast()
+}
+
+// pruneLocked drops the oldest finished jobs beyond the retention window.
+func (s *Scheduler) pruneLocked() {
+	for len(s.done) > s.cfg.Retention {
+		id := s.done[0]
+		s.done = s.done[1:]
+		delete(s.jobs, id)
+	}
+}
+
+// Cancel cancels a job: a queued job immediately, a running job by marking
+// it (its result is discarded when its pass finishes; when every job of
+// the pass is canceled, the pass itself is stopped). Canceling a finished
+// job is an error.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.status {
+	case StatusQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.status = StatusCanceled
+		j.canceled = true
+		j.finished = time.Now()
+		s.metrics.Canceled++
+		s.done = append(s.done, j.id)
+		s.pruneLocked()
+		s.cond.Broadcast()
+		return nil
+	case StatusRunning:
+		if j.canceled {
+			return nil
+		}
+		j.canceled = true
+		if b := j.batchRef; b != nil {
+			all := true
+			for _, peer := range b.jobs {
+				if !peer.canceled {
+					all = false
+					break
+				}
+			}
+			if all {
+				b.cancel()
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("job %s is already %s", id, j.status)
+	}
+}
+
+// infoLocked renders a job's Info.
+func (s *Scheduler) infoLocked(j *job) Info {
+	info := Info{
+		ID: j.id, Dataset: j.req.Dataset, Algo: j.req.Algo, Engine: j.req.Engine,
+		Params: j.req.Params, Status: j.status, Submitted: j.submitted,
+		BatchSize: j.batchSize, Summary: j.summary, MemoryEstimate: j.est,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	return info
+}
+
+// Get returns a job's Info.
+func (s *Scheduler) Get(id string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Info{}, false
+	}
+	return s.infoLocked(j), true
+}
+
+// List returns every retained job's Info in submission order.
+func (s *Scheduler) List() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	// IDs are zero-padded sequence numbers: lexicographic = submission.
+	sort.Strings(ids)
+	out := make([]Info, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.infoLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a done job's payload, summary and stats. ErrNotFound for
+// unknown jobs; other errors describe non-done states.
+func (s *Scheduler) Result(id string) (payload any, summary string, stats *core.Stats, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", nil, ErrNotFound
+	}
+	switch j.status {
+	case StatusDone:
+		return j.result, j.summary, j.stats, nil
+	case StatusFailed:
+		return nil, "", nil, fmt.Errorf("job %s failed: %w", id, j.err)
+	default:
+		return nil, "", nil, fmt.Errorf("job %s is %s", id, j.status)
+	}
+}
+
+// Metrics snapshots the scheduler counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.metrics
+	m.MemoryInUse = s.memUse
+	m.QueueDepth = len(s.queue)
+	m.Running = s.running
+	return m
+}
+
+// Pause stops dispatching new batches (running ones finish). Submissions
+// queue up — and batch together — until Resume.
+func (s *Scheduler) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume restarts batch dispatch.
+func (s *Scheduler) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Wait blocks until the job reaches a terminal status or ctx expires.
+// Every terminal transition broadcasts on the scheduler's condition
+// variable, so waiters wake exactly when something finished.
+func (s *Scheduler) Wait(ctx context.Context, id string) (Info, error) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		j, ok := s.jobs[id]
+		if !ok {
+			return Info{}, ErrNotFound
+		}
+		if j.status.Terminal() {
+			return s.infoLocked(j), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return s.infoLocked(j), err
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close stops the workers, canceling any running passes, and waits for
+// them to exit. Queued jobs are marked canceled.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	now := time.Now()
+	for _, j := range s.queue {
+		j.status = StatusCanceled
+		j.canceled = true
+		j.finished = now
+		s.metrics.Canceled++
+		s.done = append(s.done, j.id)
+	}
+	s.queue = nil
+	seen := map[*batchState]bool{}
+	for _, j := range s.jobs {
+		if b := j.batchRef; b != nil {
+			j.canceled = true
+			if !seen[b] {
+				seen[b] = true
+				b.cancel()
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

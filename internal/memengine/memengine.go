@@ -29,6 +29,7 @@
 package memengine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -93,6 +94,11 @@ type Config struct {
 	// TileEdges is the tile granularity (edge records) of selective
 	// skipping inside partially active partitions. 0 means 4096.
 	TileEdges int
+	// Context cancels the run: it is checked between iterations and
+	// between partition chunks inside the scatter phase, so server jobs
+	// honor cancelation and deadlines promptly. nil means
+	// context.Background(), keeping batch callers unchanged.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TileEdges <= 0 {
 		c.TileEdges = 4096
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
 	}
 	return c
 }
@@ -183,6 +192,7 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 
 	e := &engine[V, M]{
 		cfg:  cfg,
+		ctx:  cfg.Context,
 		prog: prog,
 		part: asg.Split,
 		asg:  asg,
@@ -236,6 +246,7 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 
 type engine[V, M any] struct {
 	cfg  Config
+	ctx  context.Context
 	prog core.Program[V, M]
 	part core.Split
 	asg  *core.Assignment
@@ -318,21 +329,7 @@ func buildTileIndex(buf *streambuf.Buffer[core.Edge], k, tileRecs int) [][]core.
 
 // loadEdges streams src into a buffer and shuffles it by source partition.
 func (e *engine[V, M]) loadEdges(src core.EdgeSource) (*streambuf.Buffer[core.Edge], error) {
-	a := streambuf.New[core.Edge](int(src.NumEdges()))
-	err := src.Edges(func(batch []core.Edge) error {
-		if !a.Append(batch) {
-			return fmt.Errorf("memengine: edge source produced more than its declared %d edges", src.NumEdges())
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	b := streambuf.New[core.Edge](a.Cap())
-	res := streambuf.Shuffle(a, b, e.plan, e.cfg.Threads, func(ed core.Edge) uint32 {
-		return e.part.Of(ed.Src)
-	})
-	return res, nil
+	return loadShuffled(src, e.plan, e.part, e.cfg.Threads)
 }
 
 // loop runs the synchronous scatter-shuffle-gather iterations.
@@ -343,6 +340,9 @@ func (e *engine[V, M]) loop() error {
 	esize := pod.Size[core.Edge]()
 
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		if s, ok := any(e.prog).(core.IterationStarter); ok {
 			s.StartIteration(iter)
 		}
@@ -434,32 +434,7 @@ func (e *engine[V, M]) loop() error {
 // reverseEdges builds the transposed, re-partitioned edge buffer. A failed
 // append means the transpose would silently truncate, so it is fatal.
 func (e *engine[V, M]) reverseEdges() (*streambuf.Buffer[core.Edge], error) {
-	a := streambuf.New[core.Edge](int(e.ne))
-	batch := make([]core.Edge, 0, 64<<10)
-	overflowed := false
-	for p := 0; p < e.part.K; p++ {
-		e.edgesFwd.Bucket(p, func(run []core.Edge) {
-			for _, ed := range run {
-				batch = append(batch, core.Edge{Src: ed.Dst, Dst: ed.Src, Weight: ed.Weight})
-				if len(batch) == cap(batch) {
-					if !a.Append(batch) {
-						overflowed = true
-					}
-					batch = batch[:0]
-				}
-			}
-		})
-	}
-	if !a.Append(batch) {
-		overflowed = true
-	}
-	if overflowed {
-		return nil, fmt.Errorf("memengine: transpose overflow: more than %d edges in the forward buffer", a.Cap())
-	}
-	b := streambuf.New[core.Edge](a.Cap())
-	return streambuf.Shuffle(a, b, e.plan, e.cfg.Threads, func(ed core.Edge) uint32 {
-		return e.part.Of(ed.Src)
-	}), nil
+	return reverseShuffled(e.edgesFwd, e.plan, e.part, e.cfg.Threads)
 }
 
 // scatterCounts aggregates one scatter phase's accounting.
@@ -490,6 +465,9 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 	}
 
 	e.forEachPartition(func(p int) {
+		if e.ctx.Err() != nil {
+			return // cancelation between partition chunks
+		}
 		chunkLen := int64(edges.BucketLen(p))
 		lo, hi := e.part.Range(p, e.nv)
 		if e.fp != nil && e.active[p] == 0 {
@@ -595,6 +573,9 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 		crossTotal.Add(nCross)
 	})
 
+	if err := e.ctx.Err(); err != nil {
+		return scatterCounts{}, err
+	}
 	if overflow.Load() {
 		return scatterCounts{}, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
 	}

@@ -1,0 +1,490 @@
+package memengine
+
+// runmany.go is the in-memory engine's shared-pass execution path: a
+// Prepared caches everything about a dataset that is job-independent — the
+// edge list shuffled into partition chunks, the lazily built transpose, the
+// tile source index — and RunMany drives any number of co-scheduled jobs
+// (core.ProgramSet) from one edge stream per iteration. Each streamed run
+// or tile is handed to every subscribing job's scatter sink, so the
+// sequential edge stream — the dominant, fixed cost of X-Stream's model —
+// is paid once per pass instead of once per job. Jobs with a frontier
+// (core.FrontierProgram, Config.Selective) subscribe per partition and per
+// tile: a chunk is skipped only when *no* job needs it (the frontier
+// union), and a streamed tile is still withheld from jobs whose own
+// frontier misses it, so every job's results and skip stats match its solo
+// run. Jobs drop out as they converge; the pass ends when all are done.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/pod"
+	"repro/internal/streambuf"
+)
+
+// Prepare sizes partitions for jobs of unknown state size using a nominal
+// footprint (Config.Partitions overrides): a Prepared layout is shared by
+// every algorithm run against the dataset.
+const (
+	sharedVertexBytes = 16
+	sharedUpdateBytes = 12
+)
+
+// Prepared is a dataset's cached in-memory execution state, built once by
+// Prepare and shared — read-only — by any number of RunMany passes. The
+// transposed edge buffer and the selective-streaming tile indexes are built
+// lazily, at most once. Safe for concurrent RunMany calls.
+type Prepared struct {
+	cfg      Config
+	plan     streambuf.Plan
+	asg      *core.Assignment
+	part     core.Split
+	partName string
+	nv, ne   int64
+	prepTime time.Duration
+
+	mu       sync.Mutex
+	fwd, bwd *streambuf.Buffer[core.Edge]
+	tilesFwd [][]core.SrcSpan
+	tilesBwd [][]core.SrcSpan
+}
+
+// Prepare ingests a graph once for shared-pass execution: it plans the
+// partitioning (paying any locality-aware clustering passes now), rewrites
+// the edge stream through the relabeling, and shuffles it into partition
+// chunks. The returned handle is immutable from the caller's perspective
+// and serves any number of jobs.
+func Prepare(g core.EdgeSource, cfg Config) (*Prepared, error) {
+	return prepare(g, cfg, core.Footprint(sharedVertexBytes, sharedUpdateBytes))
+}
+
+// prepare is Prepare with an explicit §4 vertex footprint for partition
+// auto-sizing — the direct RunMany/RunJob paths size from their jobs'
+// actual record widths, like the solo engine does.
+func prepare(g core.EdgeSource, cfg Config, footprint int) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	t0 := time.Now()
+	nv, ne := g.NumVertices(), g.NumEdges()
+
+	k := cfg.Partitions
+	if k == 0 {
+		k = core.MemPartitions(nv, footprint, cfg.CacheBytes)
+	}
+	if k&(k-1) != 0 {
+		return nil, fmt.Errorf("memengine: partition count %d is not a power of two", k)
+	}
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = core.MemFanout(cfg.CacheBytes, cfg.CacheLineBytes)
+	}
+	if fanout > k && k > 1 {
+		fanout = k
+	}
+	plan, err := streambuf.NewPlan(k, fanout)
+	if err != nil {
+		return nil, fmt.Errorf("memengine: %w", err)
+	}
+
+	pr := cfg.Partitioner
+	if pr == nil {
+		pr = core.RangePartitioner{}
+	}
+	asg, err := pr.Assign(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("memengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if err := asg.Validate(nv); err != nil {
+		return nil, fmt.Errorf("memengine: partitioner %s: %w", pr.Name(), err)
+	}
+	if !asg.Identity() {
+		g = graphio.Relabeled(g, asg.Relabel)
+	}
+	fwd, err := loadShuffled(g, plan, asg.Split, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		cfg: cfg, plan: plan, asg: asg, part: asg.Split, partName: pr.Name(),
+		nv: nv, ne: ne, fwd: fwd, prepTime: time.Since(t0),
+	}, nil
+}
+
+// NumVertices returns the prepared graph's vertex count.
+func (pp *Prepared) NumVertices() int64 { return pp.nv }
+
+// NumEdges returns the prepared graph's edge record count.
+func (pp *Prepared) NumEdges() int64 { return pp.ne }
+
+// Partitions returns the shared partition count.
+func (pp *Prepared) Partitions() int { return pp.part.K }
+
+// edges returns the edge buffer (and, when wanted, tile index) for a
+// direction, building the transpose and index lazily, at most once.
+func (pp *Prepared) edges(dir core.Direction, needTiles bool) (*streambuf.Buffer[core.Edge], [][]core.SrcSpan, error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	buf, tiles := pp.fwd, &pp.tilesFwd
+	if dir == core.Backward {
+		if pp.bwd == nil {
+			rev, err := reverseShuffled(pp.fwd, pp.plan, pp.part, pp.cfg.Threads)
+			if err != nil {
+				return nil, nil, err
+			}
+			pp.bwd = rev
+		}
+		buf, tiles = pp.bwd, &pp.tilesBwd
+	}
+	if needTiles && *tiles == nil {
+		*tiles = buildTileIndex(buf, pp.part.K, pp.cfg.TileEdges)
+	}
+	return buf, *tiles, nil
+}
+
+// RunMany executes every job of set against g with the in-memory engine,
+// sharing one edge stream per iteration. See Prepared.RunMany.
+func RunMany(ctx context.Context, g core.EdgeSource, set core.ProgramSet, cfg Config) ([]core.JobResult, core.Stats, error) {
+	foot := 0
+	for _, j := range set {
+		if f := core.Footprint(j.VertexBytes(), j.UpdateBytes()); f > foot {
+			foot = f
+		}
+	}
+	if foot == 0 {
+		foot = core.Footprint(sharedVertexBytes, sharedUpdateBytes)
+	}
+	pp, err := prepare(g, cfg, foot)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return pp.RunMany(ctx, set)
+}
+
+// RunJob executes a single type-erased job — the registry-driven
+// counterpart of Run, used by cmd/xstream and single-job serving paths.
+func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (*core.JobResult, error) {
+	res, pass, err := RunMany(ctx, g, core.ProgramSet{job}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := res[0]
+	// A solo pass's shared-side accounting is the job's own.
+	out.Stats.PreprocessTime = pass.PreprocessTime
+	out.Stats.ScatterTime = pass.ScatterTime
+	return &out, nil
+}
+
+// RunMany drives all jobs of set from one edge stream per iteration. It
+// returns each job's result (final vertex states in input order plus the
+// job's own stats) and the pass-level stats, whose EdgesStreamed counts
+// every edge record once however many jobs consumed it and whose
+// EdgesShared counts the reads the sharing avoided. ctx cancels the pass
+// between iterations and between partition chunks; nil means Background.
+func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.JobResult, core.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(set) == 0 {
+		return nil, core.Stats{}, fmt.Errorf("memengine: RunMany of an empty program set")
+	}
+	cfg := pp.cfg
+	start := time.Now()
+	pass := core.Stats{
+		Algorithm: set.Label(), Engine: "memory", Partitioner: pp.partName,
+		Partitions: pp.part.K, Threads: cfg.Threads, CoJobs: len(set),
+		PreprocessTime: pp.prepTime,
+	}
+
+	runs := make([]core.JobRun, len(set))
+	for i, j := range set {
+		if err := j.Check(); err != nil {
+			return nil, pass, fmt.Errorf("memengine: job %s: %w", j.Name(), err)
+		}
+		runs[i] = j.NewRun()
+		err := runs[i].Setup(core.JobSetup{
+			Assignment: pp.asg, NumVertices: pp.nv, NumEdges: pp.ne,
+			Threads: cfg.Threads, Plan: pp.plan, UpdateCap: int(pp.ne),
+			PrivateBufBytes: cfg.PrivateBufBytes,
+			NoCombine:       cfg.NoCombine, Selective: cfg.Selective,
+		})
+		if err != nil {
+			return nil, pass, fmt.Errorf("memengine: %w", err)
+		}
+	}
+
+	live := make([]core.JobRun, 0, len(runs))
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		live = live[:0]
+		for _, r := range runs {
+			if !r.Done() {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, pass, err
+		}
+		for _, r := range live {
+			r.StartIteration(iter)
+			r.BeginScatter()
+		}
+
+		// One shared scatter per direction a live job asked for: jobs that
+		// agree on orientation (the common same-algorithm batch) share the
+		// stream; disagreeing jobs cost one extra stream, never one per job.
+		t0 := time.Now()
+		for _, dir := range []core.Direction{core.Forward, core.Backward} {
+			var subs []core.JobRun
+			needTiles := false
+			for _, r := range live {
+				if r.Direction(iter) == dir {
+					subs = append(subs, r)
+					if !r.Dense() {
+						needTiles = true
+					}
+				}
+			}
+			if len(subs) == 0 {
+				continue
+			}
+			edges, tiles, err := pp.edges(dir, needTiles)
+			if err != nil {
+				return nil, pass, err
+			}
+			if err := pp.scatterShared(ctx, &pass, subs, edges, tiles); err != nil {
+				return nil, pass, err
+			}
+		}
+		pass.ScatterTime += time.Since(t0)
+
+		t1 := time.Now()
+		if err := core.EndAndGather(live); err != nil {
+			return nil, pass, err
+		}
+		pass.GatherTime += time.Since(t1)
+		for _, r := range live {
+			r.EndIteration(iter)
+		}
+		pass.Iterations = iter + 1
+	}
+
+	results := make([]core.JobResult, len(runs))
+	for i, r := range runs {
+		verts, js, err := r.Finalize()
+		if err != nil {
+			return nil, pass, err
+		}
+		js.Engine, js.Partitioner = pass.Engine, pass.Partitioner
+		js.Partitions, js.Threads, js.CoJobs = pass.Partitions, pass.Threads, pass.CoJobs
+		js.TotalTime = time.Since(start)
+		results[i] = core.JobResult{Vertices: verts, Stats: js}
+		pass.UpdatesSent += js.UpdatesSent
+		pass.WastedEdges += js.WastedEdges
+		pass.CrossPartitionUpdates += js.CrossPartitionUpdates
+		pass.UpdatesCombined += js.UpdatesCombined
+		pass.UpdateBytes += js.UpdateBytes
+		pass.RandomRefs += js.RandomRefs
+		pass.EdgesShared += js.EdgesStreamed
+	}
+	pass.EdgesShared -= pass.EdgesStreamed
+	if pass.EdgesShared < 0 {
+		pass.EdgesShared = 0
+	}
+	pass.TotalTime = time.Since(start)
+	return results, pass, nil
+}
+
+// scatterShared streams every partition's edge chunk once, feeding each run
+// or tile to every subscribing job. Partitions are claimed by worker
+// threads from a shared cursor (work stealing, §4.1), exactly as in the
+// solo engine.
+func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []core.JobRun, edges *streambuf.Buffer[core.Edge], tiles [][]core.SrcSpan) error {
+	var streamed, skippedEdges, skippedParts, skippedTiles atomic.Int64
+	var cancelled atomic.Bool
+
+	forEachPartition(pp.part.K, pp.cfg.Threads, pp.cfg.NoWorkStealing, func(p int) {
+		if cancelled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return
+		}
+		chunkLen := int64(edges.BucketLen(p))
+		needing := make([]core.JobRun, 0, len(subs))
+		partial := false
+		for _, r := range subs {
+			if r.NeedsPartition(p) {
+				needing = append(needing, r)
+				if r.PartiallyActive(p) {
+					partial = true
+				}
+			} else {
+				r.SkipPartition(chunkLen)
+			}
+		}
+		if len(needing) == 0 {
+			// No job needs the chunk: the pass skips it whole. An edgeless
+			// partition elides nothing, so it is not counted.
+			if chunkLen > 0 {
+				skippedEdges.Add(chunkLen)
+				skippedParts.Add(1)
+			}
+			return
+		}
+		scatters := make([]core.JobScatter, len(needing))
+		for i, r := range needing {
+			scatters[i] = r.NewScatter(p, chunkLen)
+		}
+		if partial && tiles != nil {
+			// Tile-granular scheduling: a tile is streamed when any job's
+			// frontier intersects its source span, and still withheld from
+			// the jobs whose own frontier misses it — per-job results and
+			// skip accounting match a solo selective run.
+			spans := tiles[p]
+			ti := 0
+			edges.BucketTiles(p, pp.cfg.TileEdges, func(tile []core.Edge) {
+				span := spans[ti]
+				ti++
+				took := false
+				for i, r := range needing {
+					if r.NeedsTile(span) {
+						scatters[i].Edges(tile)
+						took = true
+					} else {
+						r.SkipTiles(int64(len(tile)), 1)
+					}
+				}
+				if took {
+					streamed.Add(int64(len(tile)))
+				} else {
+					skippedEdges.Add(int64(len(tile)))
+					skippedTiles.Add(1)
+				}
+			})
+		} else {
+			edges.Bucket(p, func(run []core.Edge) {
+				for _, sc := range scatters {
+					sc.Edges(run)
+				}
+				streamed.Add(int64(len(run)))
+			})
+		}
+		for _, sc := range scatters {
+			sc.Flush()
+		}
+	})
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	n := streamed.Load()
+	pass.EdgesStreamed += n
+	pass.EdgesSkipped += skippedEdges.Load()
+	pass.PartitionsSkipped += skippedParts.Load()
+	pass.TilesSkipped += skippedTiles.Load()
+	pass.BytesStreamed += n * int64(pod.Size[core.Edge]())
+	pass.SequentialRefs += n
+	return nil
+}
+
+// forEachPartition runs fn over all partitions: by default workers claim
+// the next unprocessed partition from a shared cursor (work stealing,
+// §4.1); noSteal switches to the static round-robin assignment of the
+// solo engine's NoWorkStealing ablation.
+func forEachPartition(k, workers int, noSteal bool, fn func(p int)) {
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for p := 0; p < k; p++ {
+			fn(p)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	if noSteal {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < k; p += workers {
+					fn(p)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return
+	}
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(cursor.Add(1)) - 1
+				if p >= k {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// loadShuffled streams src into a buffer and shuffles it by source
+// partition — the engine's entire pre-processing (one pass, no sort).
+func loadShuffled(src core.EdgeSource, plan streambuf.Plan, part core.Split, threads int) (*streambuf.Buffer[core.Edge], error) {
+	a := streambuf.New[core.Edge](int(src.NumEdges()))
+	err := src.Edges(func(batch []core.Edge) error {
+		if !a.Append(batch) {
+			return fmt.Errorf("memengine: edge source produced more than its declared %d edges", src.NumEdges())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := streambuf.New[core.Edge](a.Cap())
+	return streambuf.Shuffle(a, b, plan, threads, func(ed core.Edge) uint32 {
+		return part.Of(ed.Src)
+	}), nil
+}
+
+// reverseShuffled builds the transposed, re-partitioned edge buffer with one
+// streaming pass over the forward buffer. A failed append means the
+// transpose would silently truncate, so it is fatal.
+func reverseShuffled(fwd *streambuf.Buffer[core.Edge], plan streambuf.Plan, part core.Split, threads int) (*streambuf.Buffer[core.Edge], error) {
+	a := streambuf.New[core.Edge](fwd.Cap())
+	batch := make([]core.Edge, 0, 64<<10)
+	overflowed := false
+	for p := 0; p < part.K; p++ {
+		fwd.Bucket(p, func(run []core.Edge) {
+			for _, ed := range run {
+				batch = append(batch, core.Edge{Src: ed.Dst, Dst: ed.Src, Weight: ed.Weight})
+				if len(batch) == cap(batch) {
+					if !a.Append(batch) {
+						overflowed = true
+					}
+					batch = batch[:0]
+				}
+			}
+		})
+	}
+	if !a.Append(batch) {
+		overflowed = true
+	}
+	if overflowed {
+		return nil, fmt.Errorf("memengine: transpose overflow: more than %d edges in the forward buffer", a.Cap())
+	}
+	b := streambuf.New[core.Edge](a.Cap())
+	return streambuf.Shuffle(a, b, plan, threads, func(ed core.Edge) uint32 {
+		return part.Of(ed.Src)
+	}), nil
+}

@@ -1,6 +1,8 @@
 package xstream
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/diskengine"
 	"repro/internal/graphio"
@@ -78,6 +80,63 @@ func RunMemory[V, M any](g EdgeSource, prog Program[V, M], cfg MemConfig) (*MemR
 // asynchronous prefetching I/O.
 func RunDisk[V, M any](g EdgeSource, prog Program[V, M], cfg DiskConfig) (*DiskResult[V], error) {
 	return diskengine.Run(g, prog, cfg)
+}
+
+// Shared-pass execution: X-Stream's sequential edge stream is the
+// dominant, fixed cost of a computation, so N co-scheduled jobs over the
+// same dataset can pay it once per pass instead of once per job.
+type (
+	// Job is a type-erased handle over one Program, created with NewJob,
+	// for shared-pass execution.
+	Job = core.Job
+	// ProgramSet is the ordered collection of co-scheduled jobs of one
+	// shared pass.
+	ProgramSet = core.ProgramSet
+	// JobResult is one job's outcome: its final vertex states ([]V,
+	// type-erased, in input order) and its own Stats.
+	JobResult = core.JobResult
+	// MemPrepared caches a dataset's in-memory execution state (shuffled
+	// edge chunks, transpose, tile index) across RunMany passes.
+	MemPrepared = memengine.Prepared
+	// DiskPrepared caches a dataset's out-of-core pre-processing
+	// (partition edge files, tile index) across RunMany passes.
+	DiskPrepared = diskengine.Prepared
+)
+
+// NewJob wraps prog for shared-pass execution with RunManyMemory or
+// RunManyDisk. Each Job is a single computation: run it once.
+func NewJob[V, M any](prog Program[V, M]) *Job { return core.NewJob(prog) }
+
+// PrepareMemory ingests a graph once for the in-memory engine — the
+// partitioning plan (including any clustering passes), the relabeled edge
+// stream shuffled into partition chunks — and returns a cached handle any
+// number of RunMany passes share.
+func PrepareMemory(g EdgeSource, cfg MemConfig) (*MemPrepared, error) {
+	return memengine.Prepare(g, cfg)
+}
+
+// PrepareDisk ingests a graph once for the out-of-core engine: the
+// pre-processing shuffle into partition edge files plus the tile index,
+// paid once per dataset. Close the handle to remove the files.
+func PrepareDisk(g EdgeSource, cfg DiskConfig) (*DiskPrepared, error) {
+	return diskengine.Prepare(g, cfg)
+}
+
+// RunManyMemory executes every job of set over g with the in-memory
+// engine, sharing one edge stream per iteration. It returns per-job
+// results plus the pass-level Stats (CoJobs, EdgesShared measure the
+// amortization). ctx cancels between iterations and chunks; nil means
+// context.Background().
+func RunManyMemory(ctx context.Context, g EdgeSource, set ProgramSet, cfg MemConfig) ([]JobResult, Stats, error) {
+	return memengine.RunMany(ctx, g, set, cfg)
+}
+
+// RunManyDisk executes every job of set over g out of core, sharing one
+// pass over the partition edge files per iteration, so edge-file reads are
+// amortized across jobs. Jobs hold vertex state and updates in memory;
+// size co-scheduled sets with Job.MemoryEstimate.
+func RunManyDisk(ctx context.Context, g EdgeSource, set ProgramSet, cfg DiskConfig) ([]JobResult, Stats, error) {
+	return diskengine.RunMany(ctx, g, set, cfg)
 }
 
 // NewSliceSource wraps an in-memory edge list as an EdgeSource. If
