@@ -1,8 +1,10 @@
 package xstream_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	xstream "repro"
@@ -653,5 +655,269 @@ func TestSelectiveBitParity(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// ---- vertex replication (mirror) equivalence ----
+
+// repCase is one (engine, partitioner, replication) combination. The full
+// matrix — both engines x partitioners (range, 2ps, volume-balanced 2psv)
+// x replication on/off — proves the mirror contract: absorbing
+// hub-addressed updates into partition-local accumulators merged by the
+// program's Combiner and flushing one sync per partition never changes a
+// min-lattice result bit-for-bit, and sum-based programs agree within
+// reduction-order tolerance.
+type repCase struct {
+	name      string
+	mem       bool
+	part      func() xstream.Partitioner
+	replicate bool
+}
+
+func repCases() []repCase {
+	var out []repCase
+	for _, mem := range []bool{true, false} {
+		for _, part := range []struct {
+			name string
+			mk   func() xstream.Partitioner
+		}{
+			{"range", xstream.NewRangePartitioner},
+			{"2ps", xstream.New2PSPartitioner},
+			{"2psv", xstream.New2PSVolumePartitioner},
+		} {
+			for _, rep := range []bool{false, true} {
+				eng := "disk"
+				if mem {
+					eng = "mem"
+				}
+				mode := "plain"
+				if rep {
+					mode = "mirrored"
+				}
+				out = append(out, repCase{
+					name:      eng + "/" + part.name + "/" + mode,
+					mem:       mem,
+					part:      part.mk,
+					replicate: rep,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// runRep executes prog on the case's engine with threads workers,
+// returning states and stats. Partitions are forced to 8 on both engines:
+// the mem auto-sizer picks K=1 on test-size graphs, and K=1 disables
+// replication outright.
+func runRep[V, M any](t *testing.T, c repCase, threads int, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
+	t.Helper()
+	part := c.part()
+	if c.replicate {
+		part = xstream.NewReplicatingPartitioner(part, xstream.ReplicationConfig{})
+	}
+	if c.mem {
+		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
+			Threads: threads, Partitions: 8, Partitioner: part,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		return res.Vertices, res.Stats
+	}
+	dev := xstream.NewSimDevice(xstream.SimSSD("rep-equiv", 2, 0))
+	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
+		Device: dev, Threads: threads, IOUnit: 32 << 10, Partitions: 8, Partitioner: part,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	return res.Vertices, res.Stats
+}
+
+// checkRepStats asserts the replication bookkeeping: mirrored runs on a
+// scale-free input must actually mirror and sync; plain runs must not.
+func checkRepStats(t *testing.T, c repCase, s xstream.Stats) {
+	t.Helper()
+	if !c.replicate {
+		if s.MirroredVertices != 0 || s.MirrorSyncUpdates != 0 {
+			t.Fatalf("%s: plain run reported mirrors: %d vertices, %d syncs", c.name, s.MirroredVertices, s.MirrorSyncUpdates)
+		}
+		return
+	}
+	if s.MirroredVertices == 0 {
+		t.Fatalf("%s: replicated run mirrored nothing", c.name)
+	}
+	if s.MirrorSyncUpdates == 0 {
+		t.Fatalf("%s: replicated run flushed no sync updates", c.name)
+	}
+}
+
+// TestReplicationEquivalenceBFS: min-lattice, so every case must be
+// bit-exact against the reference.
+func TestReplicationEquivalenceBFS(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 61})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 3
+	want := refalgo.BFSLevels(src.NumVertices(), edges, root)
+	for _, c := range repCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runRep(t, c, 3, src, xstream.NewBFS(root))
+			checkRepStats(t, c, stats)
+			got := xstream.BFSLevels(verts)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: level %d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestReplicationEquivalenceSSSP: float min is exact (no rounding), so
+// mirrored runs must be bit-exact too.
+func TestReplicationEquivalenceSSSP(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 62})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 1
+	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
+	for _, c := range repCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runRep(t, c, 3, src, xstream.NewSSSP(root))
+			checkRepStats(t, c, stats)
+			got := xstream.SSSPDistances(verts)
+			for v := range want {
+				diff := math.Abs(float64(got[v]) - want[v])
+				if diff > 1e-4*(1+math.Abs(want[v])) {
+					t.Fatalf("vertex %d: dist %g, want %g", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestReplicationEquivalenceWCC: label propagation over min — component
+// membership must match the reference partition exactly.
+func TestReplicationEquivalenceWCC(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 63, Undirected: true})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.Components(src.NumVertices(), edges)
+	for _, c := range repCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runRep(t, c, 3, src, xstream.NewWCC())
+			checkRepStats(t, c, stats)
+			got := xstream.WCCLabels(verts)
+			if err := sameComponents(got, want); err != nil {
+				t.Fatalf("%v", err)
+			}
+		})
+	}
+}
+
+// sameComponents compares a computed labeling against the reference
+// component partition canonically: same label ⇔ same reference component,
+// and every label names a member of its own component. Representatives
+// may legitimately differ between partitioners.
+func sameComponents(got, want []xstream.VertexID) error {
+	repOf := map[xstream.VertexID]xstream.VertexID{}
+	labelOf := map[xstream.VertexID]xstream.VertexID{}
+	for v := range got {
+		ref := want[v]
+		if seen, ok := repOf[got[v]]; ok && seen != ref {
+			return fmt.Errorf("label %d spans reference components %d and %d", got[v], seen, ref)
+		}
+		repOf[got[v]] = ref
+		if want[got[v]] != ref {
+			return fmt.Errorf("vertex %d: label %d is not a member of its component", v, got[v])
+		}
+		if seen, ok := labelOf[ref]; ok && seen != got[v] {
+			return fmt.Errorf("reference component %d split into labels %d and %d", ref, seen, got[v])
+		}
+		labelOf[ref] = got[v]
+	}
+	return nil
+}
+
+// TestReplicationParityPageRank: sum-based, so mirror merging regroups
+// float additions. At Threads=1 every case must agree with the reference
+// (and its own unmirrored twin) within reduction-order tolerance.
+func TestReplicationParityPageRank(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 64})
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 5
+	want := refalgo.PageRank(src.NumVertices(), edges, iters)
+	plain := map[string][]float32{}
+	for _, c := range repCases() {
+		t.Run(c.name, func(t *testing.T) {
+			verts, stats := runRep(t, c, 1, src, xstream.NewPageRank(iters))
+			checkRepStats(t, c, stats)
+			got := xstream.PageRankValues(verts)
+			for v := range want {
+				diff := math.Abs(float64(got[v]) - want[v])
+				if diff > 1e-3*(1+math.Abs(want[v])) {
+					t.Fatalf("vertex %d: rank %g, want %g", v, got[v], want[v])
+				}
+			}
+			// Mirrored vs plain twin: same engine+partitioner, tighter bar.
+			key := c.name[:strings.LastIndex(c.name, "/")]
+			if !c.replicate {
+				plain[key] = got
+				return
+			}
+			twin := plain[key]
+			if twin == nil {
+				return // twin filtered out by -run
+			}
+			for v := range got {
+				diff := math.Abs(float64(got[v]) - float64(twin[v]))
+				if diff > 1e-4*(1+math.Abs(float64(twin[v]))) {
+					t.Fatalf("vertex %d: mirrored rank %g vs plain %g", v, got[v], twin[v])
+				}
+			}
+		})
+	}
+}
+
+// TestReplicationFallbackNoCombine: a program stripped of its Combiner
+// (NoCombine) cannot merge mirror accumulators, so a replicating
+// assignment must fall back to the plain update path — no mirrors, no
+// syncs, identical results.
+func TestReplicationFallbackNoCombine(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 65})
+	part := xstream.NewReplicatingPartitioner(xstream.New2PSVolumePartitioner(), xstream.ReplicationConfig{})
+	const root = 3
+	base, err := xstream.RunMemory(src, xstream.NewBFS(root), xstream.MemConfig{
+		Threads: 2, Partitions: 8, Partitioner: xstream.New2PSVolumePartitioner(), NoCombine: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xstream.RunMemory(src, xstream.NewBFS(root), xstream.MemConfig{
+		Threads: 2, Partitions: 8, Partitioner: part, NoCombine: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MirroredVertices != 0 || res.Stats.MirrorSyncUpdates != 0 {
+		t.Fatalf("NoCombine run still mirrored: %d vertices, %d syncs",
+			res.Stats.MirroredVertices, res.Stats.MirrorSyncUpdates)
+	}
+	a, b := xstream.BFSLevels(base.Vertices), xstream.BFSLevels(res.Vertices)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d: %d vs %d", v, b[v], a[v])
+		}
 	}
 }

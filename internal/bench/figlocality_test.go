@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFigLocalityReplication pins the replication tentpole's acceptance
+// criterion: the replication-aware volume-balanced row ("2psv+rep") must
+// carry strictly less cross-partition update traffic than 0.85x the range
+// baseline — the bar the plain 2PS row set — and strictly less than plain
+// 2PS itself, on both input orderings. Quick scale keeps the test fast;
+// hub skew only grows with graph scale, so full scale does better.
+func TestFigLocalityReplication(t *testing.T) {
+	tab, err := runFigLocality(Config{Quick: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"rmat", "rmat-shuffled"} {
+		get := func(variant string) float64 {
+			v, ok := tab.Metrics[fmt.Sprintf("pagerank_%s_%s_cross_fraction", input, variant)]
+			if !ok {
+				t.Fatalf("%s: missing %s cross-fraction metric", input, variant)
+			}
+			return v
+		}
+		rng, twops, rep := get("range"), get("2ps"), get("2psv+rep")
+		if rep >= 0.85*rng {
+			t.Fatalf("%s: 2psv+rep cross fraction %.4f not below 0.85x range (%.4f)", input, rep, 0.85*rng)
+		}
+		if rep >= twops {
+			t.Fatalf("%s: 2psv+rep cross fraction %.4f not below plain 2PS (%.4f)", input, rep, twops)
+		}
+		t.Logf("%s: range %.3f, 2ps %.3f, 2psv+rep %.3f (%.2fx of range)", input, rng, twops, rep, rep/rng)
+	}
+}

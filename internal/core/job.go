@@ -246,6 +246,11 @@ type jobRun[V, M any] struct {
 
 	combine func(a, b M) M
 	folder  *streambuf.Folder[Update[M]]
+	// rep is the assignment's mirror set, nil unless replication is
+	// active (a planned set with no Combiner falls back to nil); mbPool
+	// recycles mirror accumulators across partition sinks and iterations.
+	rep    *Replication
+	mbPool sync.Pool
 
 	// Selective scheduling state (nil fp = dense): cur is scattered this
 	// iteration, nxt collects gather receivers, active caches cur's
@@ -274,6 +279,7 @@ type jobRun[V, M any] struct {
 	itStreamed  atomic.Int64
 	itCross     atomic.Int64
 	itCombined  atomic.Int64
+	itSynced    atomic.Int64
 	itSkipEdges atomic.Int64
 	itSkipParts atomic.Int64
 	itSkipTiles atomic.Int64
@@ -302,6 +308,13 @@ func (r *jobRun[V, M]) Setup(s JobSetup) error {
 	if cb, ok := any(r.prog).(Combiner[M]); ok && !s.NoCombine {
 		r.combine = cb.Combine
 		r.folder = NewUpdateFolder(r.part, s.Threads, cb.Combine)
+	}
+	// Vertex replication needs the Combiner to merge mirror accumulators;
+	// without one the assignment's mirror set is ignored (the fallback).
+	if r.combine != nil && s.Assignment.Mirrors.Len() > 0 {
+		r.rep = s.Assignment.Mirrors
+		r.stats.MirroredVertices = r.rep.Len()
+		r.mbPool.New = func() any { return NewMirrorBuffer(r.rep, r.combine) }
 	}
 	// Same exclusion as the engines: selective scheduling needs the
 	// FrontierProgram contract and refuses phased programs, whose
@@ -396,6 +409,9 @@ func (r *jobRun[V, M]) NewScatter(p int, chunkEdges int64) JobScatter {
 	if r.combine != nil {
 		lo, hi := r.part.Range(p, r.setup.NumVertices)
 		s.cb = NewCombineBuffer[M](DegreeAwareBufRecs(r.basePriv, chunkEdges, hi-lo), r.combine)
+		if r.rep != nil {
+			s.mb = r.mbPool.Get().(*MirrorBuffer[M])
+		}
 	} else {
 		s.priv = make([]Update[M], 0, r.basePriv)
 	}
@@ -407,9 +423,10 @@ type jobScatter[V, M any] struct {
 	r    *jobRun[V, M]
 	p    uint32
 	cb   *CombineBuffer[M]
+	mb   *MirrorBuffer[M]
 	priv []Update[M]
 
-	sent, streamed, cross int64
+	sent, streamed, cross, synced int64
 }
 
 func (s *jobScatter[V, M]) flush(recs []Update[M]) {
@@ -428,6 +445,9 @@ func (s *jobScatter[V, M]) Edges(run []Edge) {
 			s.streamed++
 			if m, ok := r.prog.Scatter(ed, &r.verts[ed.Src]); ok {
 				s.sent++
+				if s.mb != nil && s.mb.Absorb(ed.Dst, m) {
+					continue // merged into the partition-local mirror
+				}
 				if r.part.Of(ed.Dst) != s.p {
 					s.cross++
 				}
@@ -456,6 +476,19 @@ func (s *jobScatter[V, M]) Edges(run []Edge) {
 
 func (s *jobScatter[V, M]) Flush() {
 	if s.cb != nil {
+		if s.mb != nil {
+			s.r.itCombined.Add(s.mb.Merged)
+			s.synced = s.mb.Flush(func(u Update[M]) {
+				if s.r.part.Of(u.Dst) != s.p {
+					s.cross++
+				}
+				if s.cb.Add(u.Dst, u.Val) {
+					s.cb.Drain(s.flush)
+				}
+			})
+			s.r.mbPool.Put(s.mb)
+			s.mb = nil
+		}
 		s.cb.Drain(s.flush)
 		s.r.itCombined.Add(s.cb.Combined)
 	} else if len(s.priv) > 0 {
@@ -464,6 +497,7 @@ func (s *jobScatter[V, M]) Flush() {
 	s.r.itSent.Add(s.sent)
 	s.r.itStreamed.Add(s.streamed)
 	s.r.itCross.Add(s.cross)
+	s.r.itSynced.Add(s.synced)
 }
 
 func (r *jobRun[V, M]) EndScatter() error {
@@ -474,6 +508,7 @@ func (r *jobRun[V, M]) EndScatter() error {
 	streamed := r.itStreamed.Swap(0)
 	cross := r.itCross.Swap(0)
 	scatterCombined := r.itCombined.Swap(0)
+	r.stats.MirrorSyncUpdates += r.itSynced.Swap(0)
 	r.stats.EdgesSkipped += r.itSkipEdges.Swap(0)
 	r.stats.PartitionsSkipped += r.itSkipParts.Swap(0)
 	r.stats.TilesSkipped += r.itSkipTiles.Swap(0)

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+)
+
+// repTestGraph builds a small graph with two obvious hubs: vertex 0 and
+// vertex 1 receive an edge from every other vertex, plus a sprinkling of
+// low-degree edges.
+func repTestGraph(n int) EdgeSource {
+	var edges []Edge
+	for v := 2; v < n; v++ {
+		edges = append(edges, Edge{Src: VertexID(v), Dst: 0})
+		edges = append(edges, Edge{Src: VertexID(v), Dst: 1})
+		edges = append(edges, Edge{Src: VertexID(v), Dst: VertexID((v + 1) % n)})
+	}
+	return NewSliceSource(edges, int64(n))
+}
+
+func TestReplicationSetInvariants(t *testing.T) {
+	const n = 256
+	rep := NewReplication(n, []VertexID{7, 3, 7, 200}) // unsorted, duplicate
+	if err := rep.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicate dropped)", rep.Len())
+	}
+	want := []VertexID{3, 7, 200}
+	for i, h := range rep.Hubs {
+		if h != want[i] {
+			t.Fatalf("hub %d = %d, want %d", i, h, want[i])
+		}
+		if rep.SlotOf(h) != int32(i) {
+			t.Fatalf("SlotOf(%d) = %d, want %d", h, rep.SlotOf(h), i)
+		}
+	}
+	for _, v := range []VertexID{0, 4, 255, 1 << 20} {
+		if rep.SlotOf(v) != -1 {
+			t.Fatalf("SlotOf(%d) = %d for a non-hub", v, rep.SlotOf(v))
+		}
+	}
+	if (*Replication)(nil).Len() != 0 {
+		t.Fatal("nil replication must have length 0")
+	}
+}
+
+func TestMirrorBufferTotalsPreserved(t *testing.T) {
+	const n = 64
+	rep := NewReplication(n, []VertexID{5, 10, 20})
+	mb := NewMirrorBuffer(rep, func(a, b int32) int32 { return a + b })
+
+	var absorbed, direct int64
+	sums := map[VertexID]int32{}
+	for i := 0; i < 1000; i++ {
+		dst := VertexID(i * 7 % n)
+		val := int32(i)
+		if mb.Absorb(dst, val) {
+			absorbed++
+			sums[dst] += val
+		} else {
+			if rep.SlotOf(dst) >= 0 {
+				t.Fatalf("hub %d not absorbed", dst)
+			}
+			direct++
+		}
+	}
+	if absorbed == 0 || direct == 0 {
+		t.Fatalf("degenerate mix: %d absorbed, %d direct", absorbed, direct)
+	}
+	var emitted int64
+	prev := VertexID(0)
+	synced := mb.Flush(func(u Update[int32]) {
+		if emitted > 0 && u.Dst <= prev {
+			t.Fatalf("flush out of order: %d after %d", u.Dst, prev)
+		}
+		prev = u.Dst
+		if sums[u.Dst] != u.Val {
+			t.Fatalf("hub %d: flushed %d, want sum %d", u.Dst, u.Val, sums[u.Dst])
+		}
+		emitted++
+	})
+	if synced != emitted {
+		t.Fatalf("Flush reported %d syncs, emitted %d", synced, emitted)
+	}
+	// Every absorbed update is either merged away or represented by
+	// exactly one sync — the accounting identity the engines rely on.
+	if absorbed != mb.Merged+emitted && mb.Merged != 0 {
+		t.Fatalf("absorbed %d != merged %d + emitted %d", absorbed, mb.Merged, emitted)
+	}
+	// After Flush the buffer is reset: nothing to emit, counters zeroed.
+	if again := mb.Flush(func(Update[int32]) { t.Fatal("emit after reset") }); again != 0 {
+		t.Fatalf("second flush synced %d", again)
+	}
+	if mb.Merged != 0 {
+		t.Fatalf("Merged not reset: %d", mb.Merged)
+	}
+}
+
+// TestMirrorBufferMergedIdentity pins absorbed == merged + emitted (the
+// pre-Flush Merged reading the engines use for Stats.UpdatesCombined).
+func TestMirrorBufferMergedIdentity(t *testing.T) {
+	rep := NewReplication(8, []VertexID{1, 2})
+	mb := NewMirrorBuffer(rep, func(a, b int32) int32 { return a + b })
+	var absorbed int64
+	for i := 0; i < 10; i++ {
+		if mb.Absorb(1, 1) {
+			absorbed++
+		}
+	}
+	if mb.Absorb(2, 1) {
+		absorbed++
+	}
+	merged := mb.Merged
+	emitted := mb.Flush(func(Update[int32]) {})
+	if absorbed != merged+emitted {
+		t.Fatalf("absorbed %d != merged %d + emitted %d", absorbed, merged, emitted)
+	}
+}
+
+func TestReplicatingPartitionerSelectsHubs(t *testing.T) {
+	src := repTestGraph(256)
+	p := NewReplicatingPartitioner(RangePartitioner{}, ReplicationConfig{})
+	if p.Name() != "range+rep" {
+		t.Fatalf("name %q", p.Name())
+	}
+	asg, err := p.Assign(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(src.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+	if asg.Mirrors == nil {
+		t.Fatal("no mirrors selected on a hub-heavy graph")
+	}
+	hubs := asg.Mirrors.Hubs
+	if len(hubs) != 2 || hubs[0] != 0 || hubs[1] != 1 {
+		t.Fatalf("hubs = %v, want [0 1]", hubs)
+	}
+}
+
+// TestReplicatingPartitionerConsistentWithAssignment: hubs are selected in
+// execution-ID space, so under a relabeling partitioner the mirror set
+// must name the *relabeled* IDs of the high-in-degree vertices.
+func TestReplicatingPartitionerConsistentWithAssignment(t *testing.T) {
+	const n = 256
+	// Reverse relabeling: original v -> n-1-v.
+	relabel := make([]VertexID, n)
+	for i := range relabel {
+		relabel[i] = VertexID(n - 1 - i)
+	}
+	inner := NewPermutationPartitioner("rev", relabel)
+	src := repTestGraph(n)
+	asg, err := NewReplicatingPartitioner(inner, ReplicationConfig{}).Assign(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if asg.Mirrors == nil {
+		t.Fatal("no mirrors")
+	}
+	hubs := asg.Mirrors.Hubs
+	if len(hubs) != 2 || hubs[0] != VertexID(n-2) || hubs[1] != VertexID(n-1) {
+		t.Fatalf("hubs = %v, want execution IDs [%d %d]", hubs, n-2, n-1)
+	}
+}
+
+func TestReplicatingPartitionerCapAndDeterminism(t *testing.T) {
+	src := repTestGraph(512)
+	cfg := ReplicationConfig{MaxMirrors: 1, DegreeFactor: 0.5, MinInDegree: 1}
+	a, err := NewReplicatingPartitioner(RangePartitioner{}, cfg).Assign(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mirrors.Len() != 1 {
+		t.Fatalf("cap ignored: %d mirrors", a.Mirrors.Len())
+	}
+	// Highest in-degree wins the capped slot (vertex 0 edges out vertex 1
+	// by the wrap-around edge).
+	if a.Mirrors.Hubs[0] != 0 {
+		t.Fatalf("capped hub = %d, want 0", a.Mirrors.Hubs[0])
+	}
+	b, err := NewReplicatingPartitioner(RangePartitioner{}, cfg).Assign(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mirrors.Hubs[0] != b.Mirrors.Hubs[0] {
+		t.Fatal("non-deterministic hub selection")
+	}
+}
+
+func TestReplicatingPartitionerSinglePartition(t *testing.T) {
+	asg, err := NewReplicatingPartitioner(RangePartitioner{}, ReplicationConfig{}).Assign(repTestGraph(64), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Mirrors != nil {
+		t.Fatal("k=1 has no cross traffic to save; mirrors must be skipped")
+	}
+}

@@ -29,11 +29,18 @@ import (
 
 // Options configures how a dataset is ingested.
 type Options struct {
-	// Partitioner is the partitioning policy: "range" (default) or "2ps".
-	// With "2ps" the clustering permutation is computed once per dataset
-	// — and, when a Device is set, persisted there so later processes
-	// replay it for free.
+	// Partitioner is the partitioning policy: "range" (default), "2ps"
+	// (locality-aware clustering, count-balanced packing) or "2psv"
+	// (clustering with HEP-style volume-balanced packing — pair it with
+	// Replicate). With "2ps"/"2psv" the clustering permutation is
+	// computed once per dataset — and, when a Device is set, persisted
+	// there so later processes replay it for free.
 	Partitioner string
+	// Replicate enables hub replication: up to this many high-in-degree
+	// vertices are mirrored so their cross-partition updates collapse to
+	// per-partition syncs (Combiner programs only). 0 disables. The hub
+	// set persists alongside the clustering permutation.
+	Replicate int
 	// Undirected records that the source already stores both directions
 	// of every edge. Algorithms that require a symmetrized input
 	// (hyperanf) are admitted only on such datasets.
@@ -77,6 +84,7 @@ type Dataset struct {
 
 	permOnce sync.Once
 	perm     []core.VertexID
+	hubs     []core.VertexID
 	permErr  error
 
 	memOnce  sync.Once
@@ -111,6 +119,9 @@ func (d *Dataset) Info() Info {
 	if part == "" {
 		part = "range"
 	}
+	if d.opts.Replicate > 0 {
+		part += "+rep"
+	}
 	return Info{
 		Name: d.name, Vertices: d.nv, Edges: d.ne,
 		Undirected: d.opts.Undirected, Partitioner: part,
@@ -119,38 +130,85 @@ func (d *Dataset) Info() Info {
 	}
 }
 
-// permFile names the persisted 2PS permutation on the device.
-func (d *Dataset) permFile() string { return "xserve-" + d.name + ".xsperm" }
-
-// partitioner returns the policy engines prepare with. For 2PS the
-// clustering passes run at most once per dataset per process — and not at
-// all when a permutation persisted by an earlier process is on the device.
-func (d *Dataset) partitioner() (core.Partitioner, error) {
-	switch d.opts.Partitioner {
-	case "", "range":
-		return core.RangePartitioner{}, nil
-	case "2ps":
-		d.permOnce.Do(d.cluster)
-		if d.permErr != nil {
-			return nil, d.permErr
-		}
-		return core.NewPermutationPartitioner("2ps", d.perm), nil
-	default:
-		return nil, fmt.Errorf("dataset %s: unknown partitioner %q", d.name, d.opts.Partitioner)
+// permFile names the persisted partitioning plan on the device. The name
+// keys the *configuration* — policy and mirror cap — so changing either
+// across restarts recomputes the plan instead of silently replaying a
+// stale one under the new label.
+func (d *Dataset) permFile() string {
+	pol := d.opts.Partitioner
+	if pol == "" {
+		pol = "range"
 	}
+	if d.opts.Replicate > 0 {
+		return fmt.Sprintf("xserve-%s-%s-rep%d.xsperm", d.name, pol, d.opts.Replicate)
+	}
+	return fmt.Sprintf("xserve-%s-%s.xsperm", d.name, pol)
 }
 
-// cluster computes (or reloads) the 2PS permutation.
-func (d *Dataset) cluster() {
+// replicating wraps pr with hub selection when Options.Replicate asks for
+// it.
+func (d *Dataset) replicating(pr core.Partitioner) core.Partitioner {
+	if d.opts.Replicate <= 0 {
+		return pr
+	}
+	return core.NewReplicatingPartitioner(pr, core.ReplicationConfig{MaxMirrors: d.opts.Replicate})
+}
+
+// partitioner returns the policy engines prepare with. Anything beyond
+// the plain range split — clustering passes, hub-selection census — runs
+// at most once per dataset per process, and not at all when a plan
+// persisted by an earlier process under the same configuration is on the
+// device.
+func (d *Dataset) partitioner() (core.Partitioner, error) {
+	pol := d.opts.Partitioner
+	if pol == "" {
+		pol = "range"
+	}
+	switch pol {
+	case "range":
+		if d.opts.Replicate <= 0 {
+			return core.RangePartitioner{}, nil
+		}
+	case "2ps", "2psv":
+	default:
+		return nil, fmt.Errorf("dataset %s: unknown partitioner %q", d.name, pol)
+	}
+	d.permOnce.Do(d.plan)
+	if d.permErr != nil {
+		return nil, d.permErr
+	}
+	return core.NewPermutationPartitioner(pol, d.perm).WithMirrors(d.hubs), nil
+}
+
+// plan computes (or reloads) the persisted partitioning plan: the
+// 2PS/2psv relabeling permutation (an explicit identity for range) and,
+// with Replicate set, the mirrored hub set.
+func (d *Dataset) plan() {
 	if d.opts.Device != nil {
-		if perm, err := graphio.ReadPermutation(d.opts.Device, d.permFile()); err == nil {
-			if int64(len(perm)) == d.nv {
-				d.perm = perm
+		if perm, hubs, err := graphio.ReadPermutationMirrors(d.opts.Device, d.permFile()); err == nil {
+			// The file name keys the configuration, but guard anyway: a
+			// replicating configuration needs an explicit hub list (even
+			// an empty one), and a non-replicating one must never
+			// inherit mirrors.
+			if d.opts.Replicate <= 0 {
+				hubs = nil
+			}
+			if int64(len(perm)) == d.nv && (d.opts.Replicate <= 0 || hubs != nil) {
+				d.perm, d.hubs = perm, hubs
 				return
 			}
 		}
 	}
-	pr := core.Partitioner(partition2ps.New())
+	var inner core.Partitioner
+	switch d.opts.Partitioner {
+	case "2ps":
+		inner = partition2ps.New()
+	case "2psv":
+		inner = partition2ps.NewVolumeBalanced()
+	default:
+		inner = core.RangePartitioner{}
+	}
+	pr := d.replicating(inner)
 	if d.opts.Device != nil {
 		// Persist through the same wrapper the CLI's -save-permutation
 		// uses, so the file formats interoperate.
@@ -162,10 +220,13 @@ func (d *Dataset) cluster() {
 	}
 	asg, err := pr.Assign(d.src, k)
 	if err != nil {
-		d.permErr = fmt.Errorf("dataset %s: 2ps clustering: %w", d.name, err)
+		d.permErr = fmt.Errorf("dataset %s: partition planning: %w", d.name, err)
 		return
 	}
 	d.perm = asg.Relabel
+	if asg.Mirrors != nil {
+		d.hubs = asg.Mirrors.Hubs
+	}
 }
 
 // Mem returns the dataset's in-memory engine handle, preparing it on first
@@ -249,9 +310,12 @@ func (r *Registry) Add(name string, src core.EdgeSource, opts Options) (*Dataset
 		return nil, fmt.Errorf("dataset: empty name")
 	}
 	switch opts.Partitioner {
-	case "", "range", "2ps":
+	case "", "range", "2ps", "2psv":
 	default:
 		return nil, fmt.Errorf("dataset %s: unknown partitioner %q", name, opts.Partitioner)
+	}
+	if opts.Replicate < 0 {
+		return nil, fmt.Errorf("dataset %s: negative Replicate %d", name, opts.Replicate)
 	}
 	d := &Dataset{name: name, src: src, opts: opts, nv: src.NumVertices(), ne: src.NumEdges()}
 	r.mu.Lock()

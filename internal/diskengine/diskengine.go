@@ -206,6 +206,13 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	}
 	e.asg = asg
 	e.stats.Partitioner = pr.Name()
+	// Vertex replication needs the Combiner to merge mirror accumulators;
+	// without one the assignment's mirror set is ignored (the fallback).
+	if e.combine != nil && asg.Mirrors.Len() > 0 {
+		e.rep = asg.Mirrors
+		e.stats.MirroredVertices = asg.Mirrors.Len()
+		e.mbPool.New = func() any { return core.NewMirrorBuffer(e.rep, e.combine) }
+	}
 	if vm, ok := any(prog).(core.VertexMapper); ok {
 		vm.MapVertices(e.nv, asg.NewID, asg.OldID)
 	}
@@ -255,9 +262,16 @@ type engine[V, M any] struct {
 	shufPlan streambuf.Plan
 	// combine is the program's update semigroup, nil when the program has
 	// none (or Config.NoCombine disabled it); folder is the reusable
-	// pre-writeback fold over it (nil when partitions are too wide).
+	// pre-writeback fold over it (nil when partitions are too wide); rep
+	// is the assignment's mirror set, nil unless replication is active (a
+	// planned set with no Combiner falls back to nil).
 	combine func(a, b M) M
 	folder  *streambuf.Folder[core.Update[M]]
+	rep     *core.Replication
+	// mbPool recycles mirror accumulators across scatter ranges: a
+	// flushed buffer is clean, and with the default hub cap scaling as
+	// n/64 a fresh allocation per range would dwarf the work saved.
+	mbPool sync.Pool
 	// Selective scheduling state (nil fp = dense streaming): cur is the
 	// frontier scattered this iteration, nxt collects gather receivers for
 	// the next, active caches cur's per-partition counts for one scatter;
@@ -540,6 +554,7 @@ func (e *engine[V, M]) loop() error {
 		e.stats.SequentialRefs += streamed
 		e.stats.BytesStreamed += streamed*edgeRecSize + (appended+sp.written)*int64(usize)
 		e.stats.UpdatesCombined += sp.scatterCombined + sp.foldCombined
+		e.stats.MirrorSyncUpdates += sp.synced
 		e.stats.UpdateBytes += sp.written * int64(usize)
 
 		t1 := time.Now()
@@ -627,9 +642,10 @@ func (s *partFilesSource) Edges(fn func([]core.Edge) error) error {
 type scatterResult[M any] struct {
 	sent            int64 // updates produced by Scatter (pre-combining)
 	streamed        int64 // edge records streamed
-	scatterCombined int64 // updates merged in thread-private combining buffers
+	scatterCombined int64 // updates merged in thread-private combining/mirror buffers
 	foldCombined    int64 // updates merged by the pre-writeback fold
 	written         int64 // update records written to files (or kept for bypass gather)
+	synced          int64 // master-mirror sync updates flushed (replication)
 	// selective-scheduling elisions — skipped edges are bytes never read
 	skippedEdges int64
 	skippedParts int64
@@ -736,9 +752,10 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 					if take > room {
 						take = room
 					}
-					nSent, nCross, nCombined := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
+					nSent, nCross, nCombined, nSynced := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
 					res.sent += nSent
 					res.scatterCombined += nCombined
+					res.synced += nSynced
 					e.stats.CrossPartitionUpdates += nCross
 					off += take
 				}
@@ -770,12 +787,12 @@ const basePrivCap = 1024
 // partition's vertex window starting at vertex id lo; p is the partition
 // being scattered, for cross-partition accounting; privCap is the
 // degree-aware private buffer capacity for this partition.
-func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64) {
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64, int64) {
 	workers := e.cfg.Threads
 	if len(edges) < 4096 || workers <= 1 {
 		return e.scatterRange(edges, verts, lo, p, privCap, out)
 	}
-	var total, totalCross, totalCombined atomic.Int64
+	var total, totalCross, totalCombined, totalSynced atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (len(edges) + workers - 1) / workers
 	for wkr := 0; wkr < workers; wkr++ {
@@ -789,23 +806,38 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p,
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			nSent, nCross, nCombined := e.scatterRange(edges[a:b], verts, lo, p, privCap, out)
+			nSent, nCross, nCombined, nSynced := e.scatterRange(edges[a:b], verts, lo, p, privCap, out)
 			total.Add(nSent)
 			totalCross.Add(nCross)
 			totalCombined.Add(nCombined)
+			totalSynced.Add(nSynced)
 		}(a, b)
 	}
 	wg.Wait()
-	return total.Load(), totalCross.Load(), totalCombined.Load()
+	return total.Load(), totalCross.Load(), totalCombined.Load(), totalSynced.Load()
 }
 
-func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined int64) {
+// scatterRange scatters one thread's contiguous run of a segment. With
+// replication active, updates addressed to mirrored hubs are merged into a
+// range-local mirror accumulator and flushed as sync updates when the
+// range is done — the out-of-core engine syncs per scatter range rather
+// than per partition (its segments are scattered by multiple threads), so
+// it flushes somewhat more syncs than the in-memory engine; the absorbed
+// flood is the same.
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined, synced int64) {
 	flush := func(recs []core.Update[M]) { out.Append(recs) }
 	if e.combine != nil {
 		cb := core.NewCombineBuffer[M](privCap, e.combine)
+		var mb *core.MirrorBuffer[M]
+		if e.rep != nil {
+			mb = e.mbPool.Get().(*core.MirrorBuffer[M])
+		}
 		for _, ed := range edges {
 			if m, ok := e.prog.Scatter(ed, &verts[int64(ed.Src)-lo]); ok {
 				sent++
+				if mb != nil && mb.Absorb(ed.Dst, m) {
+					continue
+				}
 				if e.part.Of(ed.Dst) != uint32(p) {
 					cross++
 				}
@@ -814,8 +846,20 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, p
 				}
 			}
 		}
+		if mb != nil {
+			combined += mb.Merged
+			synced = mb.Flush(func(u core.Update[M]) {
+				if e.part.Of(u.Dst) != uint32(p) {
+					cross++
+				}
+				if cb.Add(u.Dst, u.Val) {
+					cb.Drain(flush)
+				}
+			})
+			e.mbPool.Put(mb)
+		}
 		cb.Drain(flush)
-		return sent, cross, cb.Combined
+		return sent, cross, combined + cb.Combined, synced
 	}
 	priv := make([]core.Update[M], 0, privCap)
 	for _, ed := range edges {
@@ -832,7 +876,7 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, p
 		}
 	}
 	out.Append(priv)
-	return sent, cross, 0
+	return sent, cross, 0, 0
 }
 
 // gatherPhase streams each partition's updates onto its vertex window.

@@ -80,3 +80,148 @@ func TestLoadPartitionerMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// hubGraph builds a graph where vertex 0 receives an edge from everyone —
+// an unambiguous replication hub.
+func hubGraph(n int) core.EdgeSource {
+	edges := make([]core.Edge, 0, 2*n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, core.Edge{Src: core.VertexID(v), Dst: 0})
+		edges = append(edges, core.Edge{Src: core.VertexID(v), Dst: core.VertexID((v + 1) % n)})
+	}
+	return core.NewSliceSource(edges, int64(n))
+}
+
+// TestSaveLoadMirrorsRoundTrip: an assignment with a replication set must
+// persist its hub list (version-2 file) and replay it — permutation and
+// mirrors both — through LoadPartitioner.
+func TestSaveLoadMirrorsRoundTrip(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	src := hubGraph(64)
+	inner := core.NewReplicatingPartitioner(partition2ps.NewVolumeBalanced(),
+		core.ReplicationConfig{DegreeFactor: 1, MinInDegree: 4})
+	saving := SavingPartitioner(inner, dev, "m.xsperm")
+	want, err := saving.Assign(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Mirrors == nil || want.Mirrors.Len() == 0 {
+		t.Fatal("no mirrors planned on a hub graph")
+	}
+
+	loaded, err := LoadPartitioner(dev, "m.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Assign(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	if got.Mirrors == nil || got.Mirrors.Len() != want.Mirrors.Len() {
+		t.Fatalf("replayed %d mirrors, want %d", got.Mirrors.Len(), want.Mirrors.Len())
+	}
+	for i, h := range want.Mirrors.Hubs {
+		if got.Mirrors.Hubs[i] != h {
+			t.Fatalf("mirror %d: replayed hub %d, want %d", i, got.Mirrors.Hubs[i], h)
+		}
+	}
+	for v := core.VertexID(0); v < 64; v++ {
+		if got.NewID(v) != want.NewID(v) {
+			t.Fatalf("vertex %d: replayed id %d, want %d", v, got.NewID(v), want.NewID(v))
+		}
+	}
+}
+
+// TestPermutationVersionCompat: version-1 files (no mirrors) keep loading
+// through both readers, and ReadPermutation ignores version-2 metadata.
+func TestPermutationVersionCompat(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	perm := []core.VertexID{2, 0, 1}
+	if err := WritePermutation(dev, "v1.xsperm", perm); err != nil {
+		t.Fatal(err)
+	}
+	got, hubs, err := ReadPermutationMirrors(dev, "v1.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubs != nil {
+		t.Fatalf("version-1 file yielded hubs %v", hubs)
+	}
+	for i := range perm {
+		if got[i] != perm[i] {
+			t.Fatalf("entry %d: %d, want %d", i, got[i], perm[i])
+		}
+	}
+
+	if err := WritePermutationMirrors(dev, "v2.xsperm", perm, []core.VertexID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadPermutation(dev, "v2.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		if got2[i] != perm[i] {
+			t.Fatalf("v2 entry %d: %d, want %d", i, got2[i], perm[i])
+		}
+	}
+	_, hubs2, err := ReadPermutationMirrors(dev, "v2.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hubs2) != 2 || hubs2[0] != 0 || hubs2[1] != 2 {
+		t.Fatalf("v2 hubs = %v, want [0 2]", hubs2)
+	}
+}
+
+// TestPermutationBadMirrorsRejected: corrupt mirror lists (out of range,
+// unsorted) must error, not load.
+func TestPermutationBadMirrorsRejected(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	perm := []core.VertexID{0, 1, 2}
+	if err := WritePermutationMirrors(dev, "bad1.xsperm", perm, []core.VertexID{5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPermutationMirrors(dev, "bad1.xsperm"); err == nil {
+		t.Fatal("out-of-range hub accepted")
+	}
+	if err := WritePermutationMirrors(dev, "bad2.xsperm", perm, []core.VertexID{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPermutationMirrors(dev, "bad2.xsperm"); err == nil {
+		t.Fatal("unsorted hub list accepted")
+	}
+}
+
+// TestPermutationTruncatedMirrorHeaderRejected: a v2 file cut right after
+// the permutation must error rather than silently load with no mirrors.
+func TestPermutationTruncatedMirrorHeaderRejected(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
+	perm := []core.VertexID{1, 0, 2}
+	if err := WritePermutationMirrors(dev, "t.xsperm", perm, []core.VertexID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := dev.Open("t.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16+len(perm)*4) // header + permutation, no hub count
+	if _, err := full.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	full.Close()
+	cut, err := dev.Create("cut.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cut.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cut.Close()
+	if _, _, err := ReadPermutationMirrors(dev, "cut.xsperm"); err == nil {
+		t.Fatal("truncated v2 file accepted")
+	}
+}

@@ -67,54 +67,133 @@ func WriteRelabeledEdges(dev storage.Device, name string, src core.EdgeSource, p
 // in the original ID space.
 var permMagic = [8]byte{'X', 'S', 'P', 'E', 'R', 'M', '1', '\n'}
 
-// WritePermutation stores a vertex ID map as a binary permutation file.
+// permMagic2 identifies version-2 permutation files, which append the
+// assignment's replication metadata after the permutation: a hub count
+// followed by the mirrored vertices' execution IDs in ascending order.
+// Version-1 files remain readable (they simply carry no mirrors), so
+// permutations persisted before replication existed keep loading.
+var permMagic2 = [8]byte{'X', 'S', 'P', 'E', 'R', 'M', '2', '\n'}
+
+// WritePermutation stores a vertex ID map as a binary permutation file
+// (version 1, no replication metadata).
 func WritePermutation(dev storage.Device, name string, perm []core.VertexID) error {
+	return WritePermutationMirrors(dev, name, perm, nil)
+}
+
+// WritePermutationMirrors stores a vertex ID map plus the mirrored-hub
+// list of a replication-aware assignment. A nil hub list writes a plain
+// version-1 file, so files without mirrors stay byte-compatible with
+// pre-replication readers.
+func WritePermutationMirrors(dev storage.Device, name string, perm, hubs []core.VertexID) error {
 	f, err := dev.Create(name)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	hdr := make([]byte, 16)
-	copy(hdr, permMagic[:])
+	magic := permMagic
+	if hubs != nil {
+		magic = permMagic2
+	}
+	copy(hdr, magic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(perm)))
 	if _, err := f.WriteAt(hdr, 0); err != nil {
 		return err
 	}
-	_, err = f.WriteAt(pod.AsBytes(perm), int64(len(hdr)))
-	return err
+	off := int64(len(hdr))
+	if _, err := f.WriteAt(pod.AsBytes(perm), off); err != nil {
+		return err
+	}
+	if hubs == nil {
+		return nil
+	}
+	off += int64(len(perm)) * 4
+	cnt := make([]byte, 8)
+	binary.LittleEndian.PutUint64(cnt, uint64(len(hubs)))
+	if _, err := f.WriteAt(cnt, off); err != nil {
+		return err
+	}
+	if len(hubs) > 0 {
+		if _, err := f.WriteAt(pod.AsBytes(hubs), off+8); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadPermutation loads a binary permutation file and validates that it is
-// a permutation of [0, n).
+// a permutation of [0, n). Version-2 replication metadata, if present, is
+// ignored; use ReadPermutationMirrors to recover it.
 func ReadPermutation(dev storage.Device, name string) ([]core.VertexID, error) {
+	perm, _, err := ReadPermutationMirrors(dev, name)
+	return perm, err
+}
+
+// ReadPermutationMirrors loads a binary permutation file plus its
+// replication metadata: the mirrored hubs as execution (relabeled) IDs,
+// strictly ascending. Version-1 files return nil hubs.
+func ReadPermutationMirrors(dev storage.Device, name string) (perm, hubs []core.VertexID, err error) {
 	f, err := dev.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	hdr := make([]byte, 16)
 	if _, err := f.ReadAt(hdr, 0); err != nil && err != io.EOF {
-		return nil, err
+		return nil, nil, err
 	}
-	if string(hdr[:8]) != string(permMagic[:]) {
-		return nil, fmt.Errorf("graphio: %s: not a permutation file", name)
+	v2 := string(hdr[:8]) == string(permMagic2[:])
+	if !v2 && string(hdr[:8]) != string(permMagic[:]) {
+		return nil, nil, fmt.Errorf("graphio: %s: not a permutation file", name)
 	}
 	n := int64(binary.LittleEndian.Uint64(hdr[8:]))
 	if want := int64(len(hdr)) + n*4; f.Size() < want {
-		return nil, fmt.Errorf("graphio: %s: truncated: %d bytes, want %d", name, f.Size(), want)
+		return nil, nil, fmt.Errorf("graphio: %s: truncated: %d bytes, want %d", name, f.Size(), want)
 	}
-	perm := make([]core.VertexID, n)
+	perm = make([]core.VertexID, n)
 	if n > 0 {
 		if _, err := f.ReadAt(pod.AsBytes(perm), int64(len(hdr))); err != nil && err != io.EOF {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	seen := make([]bool, n)
 	for i, v := range perm {
 		if int64(v) >= n || seen[v] {
-			return nil, fmt.Errorf("graphio: %s: entry %d = %d is not part of a permutation of [0,%d)", name, i, v, n)
+			return nil, nil, fmt.Errorf("graphio: %s: entry %d = %d is not part of a permutation of [0,%d)", name, i, v, n)
 		}
 		seen[v] = true
 	}
-	return perm, nil
+	if !v2 {
+		return perm, nil, nil
+	}
+	off := int64(len(hdr)) + n*4
+	// The hub count must actually be present: a v2 file cut right after
+	// the permutation would otherwise read as zero hubs and silently
+	// drop the mirror set.
+	if f.Size() < off+8 {
+		return nil, nil, fmt.Errorf("graphio: %s: truncated mirror header: %d bytes, want %d", name, f.Size(), off+8)
+	}
+	cnt := make([]byte, 8)
+	if _, err := f.ReadAt(cnt, off); err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	h := int64(binary.LittleEndian.Uint64(cnt))
+	if h < 0 || h > n {
+		return nil, nil, fmt.Errorf("graphio: %s: %d mirrored hubs for %d vertices", name, h, n)
+	}
+	if want := off + 8 + h*4; f.Size() < want {
+		return nil, nil, fmt.Errorf("graphio: %s: truncated mirror list: %d bytes, want %d", name, f.Size(), want)
+	}
+	hubs = make([]core.VertexID, h)
+	if h > 0 {
+		if _, err := f.ReadAt(pod.AsBytes(hubs), off+8); err != nil && err != io.EOF {
+			return nil, nil, err
+		}
+	}
+	for i, hv := range hubs {
+		if int64(hv) >= n || (i > 0 && hv <= hubs[i-1]) {
+			return nil, nil, fmt.Errorf("graphio: %s: mirror entry %d = %d is not strictly ascending in [0,%d)", name, i, hv, n)
+		}
+	}
+	return perm, hubs, nil
 }

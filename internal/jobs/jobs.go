@@ -60,6 +60,8 @@ type Request struct {
 // Status is a job's lifecycle state.
 type Status string
 
+// The job lifecycle: queued on submission, running once a batch claims
+// it, then exactly one of done, failed or canceled.
 const (
 	StatusQueued   Status = "queued"
 	StatusRunning  Status = "running"

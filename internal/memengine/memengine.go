@@ -204,6 +204,13 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.combine = cb.Combine
 		e.folder = core.NewUpdateFolder(asg.Split, cfg.Threads, cb.Combine)
 	}
+	// Vertex replication needs the Combiner to merge mirror accumulators;
+	// without one the assignment's mirror set is ignored (the fallback).
+	if e.combine != nil && asg.Mirrors.Len() > 0 {
+		e.rep = asg.Mirrors
+		e.stats.MirroredVertices = asg.Mirrors.Len()
+		e.mbPool.New = func() any { return core.NewMirrorBuffer(e.rep, e.combine) }
+	}
 	// Selective scheduling requires the FrontierProgram contract; phased
 	// programs are excluded because EndIteration may activate vertices
 	// through the VertexView without any update the frontier could see.
@@ -255,9 +262,16 @@ type engine[V, M any] struct {
 	ne   int64
 	// combine is the program's update semigroup, nil when the program has
 	// none (or Config.NoCombine disabled it); folder is the reusable
-	// post-shuffle fold over it (nil when partitions are too wide).
+	// post-shuffle fold over it (nil when partitions are too wide); rep is
+	// the assignment's mirror set, nil unless replication is active (a
+	// planned set with no Combiner falls back to nil).
 	combine func(a, b M) M
 	folder  *streambuf.Folder[core.Update[M]]
+	rep     *core.Replication
+	// mbPool recycles mirror accumulators across partition tasks and
+	// iterations: a flushed buffer is clean, and with the default hub
+	// cap scaling as n/64 a fresh allocation per task would churn.
+	mbPool sync.Pool
 	// Selective scheduling state (nil fp = dense streaming): cur is the
 	// frontier scattered this iteration, nxt collects gather receivers for
 	// the next, active caches cur's per-partition counts for one scatter.
@@ -380,6 +394,7 @@ func (e *engine[V, M]) loop() error {
 		appended := sent - sc.combined
 		e.stats.ScatterTime += time.Since(t0)
 		e.stats.CrossPartitionUpdates += sc.cross
+		e.stats.MirrorSyncUpdates += sc.synced
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
@@ -443,6 +458,7 @@ type scatterCounts struct {
 	streamed int64 // edge records streamed
 	cross    int64 // updates addressed outside their source partition
 	combined int64 // updates merged away by scatter-side combining
+	synced   int64 // master-mirror sync updates flushed (replication)
 	// selective-scheduling elisions
 	skippedEdges int64 // edges not streamed (inactive partition or tile)
 	skippedParts int64 // whole partition chunks skipped
@@ -456,7 +472,7 @@ type scatterCounts struct {
 // active partitions each fixed-size tile is streamed only when its source
 // span intersects the frontier.
 func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]core.SrcSpan) (scatterCounts, error) {
-	var sentTotal, streamedTotal, crossTotal, combinedTotal atomic.Int64
+	var sentTotal, streamedTotal, crossTotal, combinedTotal, syncTotal atomic.Int64
 	var skippedEdges, skippedParts, skippedTiles atomic.Int64
 	var overflow atomic.Bool
 	basePriv := e.cfg.PrivateBufBytes / pod.Size[core.Update[M]]()
@@ -498,6 +514,14 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 			// with the partition's average out-degree — denser partitions
 			// repeat destinations more, so a wider window combines more.
 			cb := core.NewCombineBuffer[M](core.DegreeAwareBufRecs(basePriv, chunkLen, hi-lo), e.combine)
+			// With replication, updates addressed to mirrored hubs are
+			// merged into the partition-local mirror accumulator instead
+			// of entering the update stream; the accumulator flushes one
+			// sync update per touched hub when the partition is done.
+			var mb *core.MirrorBuffer[M]
+			if e.rep != nil {
+				mb = e.mbPool.Get().(*core.MirrorBuffer[M])
+			}
 			scan = func(run []core.Edge) {
 				if overflow.Load() {
 					return
@@ -506,6 +530,9 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 					nStreamed++
 					if m, ok := e.prog.Scatter(ed, &e.verts[ed.Src]); ok {
 						nSent++
+						if mb != nil && mb.Absorb(ed.Dst, m) {
+							continue
+						}
 						if e.part.Of(ed.Dst) != uint32(p) {
 							nCross++
 						}
@@ -516,6 +543,18 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 				}
 			}
 			finish = func() {
+				if mb != nil {
+					combinedTotal.Add(mb.Merged)
+					syncTotal.Add(mb.Flush(func(u core.Update[M]) {
+						if e.part.Of(u.Dst) != uint32(p) {
+							nCross++
+						}
+						if cb.Add(u.Dst, u.Val) {
+							cb.Drain(flush)
+						}
+					}))
+					e.mbPool.Put(mb)
+				}
 				cb.Drain(flush)
 				combinedTotal.Add(cb.Combined)
 			}
@@ -584,6 +623,7 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 		streamed:     streamedTotal.Load(),
 		cross:        crossTotal.Load(),
 		combined:     combinedTotal.Load(),
+		synced:       syncTotal.Load(),
 		skippedEdges: skippedEdges.Load(),
 		skippedParts: skippedParts.Load(),
 		skippedTiles: skippedTiles.Load(),

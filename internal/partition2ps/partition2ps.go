@@ -17,12 +17,19 @@
 //     is re-streamable by contract; no sorting, no index, O(V) state).
 //
 //   - Phase 2 (packing) never touches the edge list: clusters are packed
-//     whole into the K equal-sized partitions by best-fit decreasing, and
-//     the packing is emitted as a vertex *relabeling permutation*. The
-//     partitions stay contiguous ID ranges — X-Stream's sequential
-//     vertex-state access, partition files and shuffle plans are all
-//     untouched — but now a range boundary is a cluster boundary, not an
-//     accident of input order.
+//     whole into the K equal-sized partitions, and the packing is emitted
+//     as a vertex *relabeling permutation*. Two packing policies exist:
+//     the default best-fit decreasing on vertex count ("2ps"), which on
+//     core-periphery graphs concentrates the dense core into few
+//     partitions and wins the most cross-partition traffic, and HEP-style
+//     volume-balanced packing ("2psv", Config.VolumeBalance), which evens
+//     partitions out by degree sum instead — the policy to pair with hub
+//     replication (core.ReplicatingPartitioner), since mirrors make hub
+//     placement irrelevant to update traffic and so make the balance
+//     affordable. Either way the partitions stay contiguous ID ranges —
+//     X-Stream's sequential vertex-state access, partition files and
+//     shuffle plans are all untouched — but now a range boundary is a
+//     cluster boundary, not an accident of input order.
 //
 // The result plugs into engines through core.Partitioner; preprocessing
 // cost is two edge streams plus an O(V log V) sort, and the engines remap
@@ -50,6 +57,15 @@ type Config struct {
 	// previous pass in place, letting early edges join clusters that did
 	// not exist yet when they first streamed by. 0 means 2.
 	Passes int
+	// VolumeBalance switches phase 2 to HEP-style volume-balanced packing:
+	// partitions are evened out by degree sum (the work a partition
+	// causes) instead of best-fit on vertex count. On power-law graphs
+	// this spreads the dense core and *raises* the cross-edge fraction, so
+	// it is meant to be paired with hub replication
+	// (core.ReplicatingPartitioner), which collapses the spread hubs'
+	// cross updates into per-partition syncs. The partitioner reports
+	// itself as "2psv" in this mode.
+	VolumeBalance bool
 }
 
 // Partitioner implements core.Partitioner with two-phase streaming
@@ -62,11 +78,23 @@ type Partitioner struct {
 // New returns a 2PS partitioner with default tuning.
 func New() *Partitioner { return &Partitioner{} }
 
+// NewVolumeBalanced returns a 2PS partitioner with volume-balanced
+// packing ("2psv") — pair it with core.NewReplicatingPartitioner, which
+// is what makes spreading the hubs affordable.
+func NewVolumeBalanced() *Partitioner {
+	return &Partitioner{cfg: Config{VolumeBalance: true}}
+}
+
 // NewWithConfig returns a 2PS partitioner with explicit tuning.
 func NewWithConfig(cfg Config) *Partitioner { return &Partitioner{cfg: cfg} }
 
 // Name implements core.Partitioner.
-func (p *Partitioner) Name() string { return "2ps" }
+func (p *Partitioner) Name() string {
+	if p.cfg.VolumeBalance {
+		return "2psv"
+	}
+	return "2ps"
+}
 
 // noCluster marks a vertex not yet claimed by any cluster.
 const noCluster = int32(-1)
@@ -146,7 +174,7 @@ func (p *Partitioner) Assign(src core.EdgeSource, k int) (*core.Assignment, erro
 		}
 	}
 
-	relabel, inverse := pack(c, split, n)
+	relabel, inverse := pack(c, split, n, p.cfg.VolumeBalance)
 	return &core.Assignment{Split: split, Relabel: relabel, Inverse: inverse}, nil
 }
 
@@ -233,15 +261,38 @@ func (c *clustering) observe(u, v core.VertexID) {
 	}
 }
 
-// pack lays clusters out into the K contiguous ranges by best-fit
-// decreasing on member count and returns the relabeling permutation.
-// Clusters that fit nowhere whole are split across the bins with remaining
-// room — the correctness fallback that makes the packing total — and
-// isolated vertices (degree 0, never seen on an edge) pad the tail bins.
-func pack(c *clustering, split core.Split, n int64) (relabel, inverse []core.VertexID) {
+// pack lays clusters out into the K contiguous ranges and returns the
+// relabeling permutation. Two policies share the machinery:
+//
+//   - Count packing (the default): best-fit decreasing on member count.
+//     Bins fill snuggest-first, which keeps scan-order-adjacent clusters
+//     together and — on core-periphery graphs like R-MAT — piles the
+//     cap-sized fragments of the dense core back into few partitions.
+//     That concentration is where most of 2PS's cross-traffic win comes
+//     from, at the price of heavily skewed per-partition edge volume
+//     (4x the mean is common).
+//
+//   - Volume packing (HEP-style, volumeBalance=true): heavy clusters go
+//     largest-degree-sum first into the least-volume bin with ID room
+//     (LPT scheduling); the light tail then pours sequentially, hopping
+//     bins only toward under-target volume, so partitions end up even in
+//     the work they cause — edges streamed, updates received — not
+//     merely in vertex count. Spreading the dense core this way raises
+//     the cross-*edge* fraction on power-law graphs; it is designed to
+//     be paired with hub replication (core.ReplicatingPartitioner),
+//     which makes hub placement irrelevant to update traffic and so
+//     makes the balance affordable.
+//
+// In both policies the hard constraint is the ID room — every bin holds
+// exactly one partition's worth of vertex IDs. Clusters that fit nowhere
+// whole are split across the bins with remaining room — the correctness
+// fallback that makes the packing total — and isolated vertices (degree
+// 0, never seen on an edge) pad the remaining room.
+func pack(c *clustering, split core.Split, n int64, volumeBalance bool) (relabel, inverse []core.VertexID) {
 	// Dense cluster indices in vertex-scan order (deterministic).
 	denseOf := make(map[int32]int32, 64)
 	var counts []int64
+	var vols []int64              // degree sum of each dense cluster
 	clusterOf := make([]int32, n) // vertex -> dense cluster index, -1 isolated
 	var isolated int64
 	for v := int64(0); v < n; v++ {
@@ -257,9 +308,11 @@ func pack(c *clustering, split core.Split, n int64) (relabel, inverse []core.Ver
 			idx = int32(len(counts))
 			denseOf[root] = idx
 			counts = append(counts, 0)
+			vols = append(vols, 0)
 		}
 		clusterOf[v] = idx
 		counts[idx]++
+		vols[idx] += int64(c.deg[v])
 	}
 
 	// Bucket members by cluster, ascending vertex ID within each.
@@ -279,25 +332,14 @@ func pack(c *clustering, split core.Split, n int64) (relabel, inverse []core.Ver
 		}
 	}
 
-	// Best-fit decreasing: biggest clusters claim the snuggest bins.
-	order := make([]int32, len(counts))
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ca, cb := counts[order[a]], counts[order[b]]
-		if ca != cb {
-			return ca > cb
-		}
-		return order[a] < order[b]
-	})
 	k := split.K
 	room := make([]int64, k)
 	for i := 0; i < k; i++ {
 		lo, hi := split.Range(i, n)
 		room[i] = hi - lo
 	}
-	next := make([]int64, k) // next relabeled ID to hand out per bin
+	binVol := make([]int64, k) // accumulated degree volume per bin
+	next := make([]int64, k)   // next relabeled ID to hand out per bin
 	for i := 0; i < k; i++ {
 		next[i], _ = split.Range(i, n)
 	}
@@ -306,31 +348,150 @@ func pack(c *clustering, split core.Split, n int64) (relabel, inverse []core.Ver
 		for _, v := range verts {
 			relabel[v] = core.VertexID(next[bin])
 			next[bin]++
+			binVol[bin] += int64(c.deg[v])
 		}
 		room[bin] -= int64(len(verts))
 	}
-	for _, idx := range order {
-		cnt := counts[idx]
-		verts := members[starts[idx]:starts[idx+1]]
+	// emptiest returns the least-volume bin with ID room for cnt more
+	// vertices (ties to the lower index, for determinism), or -1.
+	emptiest := func(cnt int64) int {
 		best := -1
 		for i := 0; i < k; i++ {
-			if room[i] >= cnt && (best < 0 || room[i] < room[best]) {
+			if room[i] >= cnt && (best < 0 || binVol[i] < binVol[best]) {
 				best = i
 			}
 		}
-		if best >= 0 {
-			place(best, verts)
-			continue
+		return best
+	}
+	// fragment splits a cluster that fits nowhere whole over the bins
+	// with remaining room — the correctness fallback. The volume policy
+	// spreads emptiest-volume-first; the count policy keeps its historic
+	// bin-index order, so default "2ps" permutations are unchanged by
+	// the volume-balancing refactor.
+	fragment := func(verts []core.VertexID) {
+		if !volumeBalance {
+			for i := 0; i < k && len(verts) > 0; i++ {
+				take := room[i]
+				if take > int64(len(verts)) {
+					take = int64(len(verts))
+				}
+				if take > 0 {
+					place(i, verts[:take])
+					verts = verts[take:]
+				}
+			}
+			return
 		}
-		// Fragmented: split the cluster over whatever room remains.
-		for i := 0; i < k && len(verts) > 0; i++ {
-			take := room[i]
+		for len(verts) > 0 {
+			bin := -1
+			for i := 0; i < k; i++ {
+				if room[i] > 0 && (bin < 0 || binVol[i] < binVol[bin]) {
+					bin = i
+				}
+			}
+			if bin < 0 {
+				return // cannot happen: total room always covers all vertices
+			}
+			take := room[bin]
 			if take > int64(len(verts)) {
 				take = int64(len(verts))
 			}
-			if take > 0 {
-				place(i, verts[:take])
-				verts = verts[take:]
+			place(bin, verts[:take])
+			verts = verts[take:]
+		}
+	}
+
+	if volumeBalance {
+		// Volume packing in two tiers. Heavy clusters — the ones whose
+		// placement decides the volume balance, or whose member count
+		// makes them a fragmentation risk — go first, largest volume
+		// first, each into the least-volume bin with ID room (LPT). The
+		// light tail then pours sequentially: consecutive clusters in
+		// vertex-scan order share the community adjacency of the input,
+		// so the packer keeps pouring into one bin until it reaches the
+		// per-bin volume target (or runs out of ID room) before hopping
+		// to the then-emptiest bin.
+		var totalVol int64
+		for _, v := range vols {
+			totalVol += v
+		}
+		targetVol := (totalVol + int64(k) - 1) / int64(k)
+		heavy := make([]int32, 0, k)
+		light := make([]int32, 0, len(counts))
+		for i := range counts {
+			if vols[i] >= targetVol/2 || counts[i] >= split.PerPartition()/2 {
+				heavy = append(heavy, int32(i))
+			} else {
+				light = append(light, int32(i))
+			}
+		}
+		sort.SliceStable(heavy, func(a, b int) bool {
+			va, vb := vols[heavy[a]], vols[heavy[b]]
+			if va != vb {
+				return va > vb
+			}
+			ca, cb := counts[heavy[a]], counts[heavy[b]]
+			if ca != cb {
+				return ca > cb
+			}
+			return heavy[a] < heavy[b]
+		})
+		for _, idx := range heavy {
+			verts := members[starts[idx]:starts[idx+1]]
+			if bin := emptiest(counts[idx]); bin >= 0 {
+				place(bin, verts)
+			} else {
+				fragment(verts)
+			}
+		}
+		cur := -1
+		for _, idx := range light {
+			cnt := counts[idx]
+			verts := members[starts[idx]:starts[idx+1]]
+			switch {
+			case cur < 0 || room[cur] < cnt:
+				cur = emptiest(cnt)
+			case binVol[cur] >= targetVol:
+				// Hop only when an under-target bin can take the cluster;
+				// bouncing between over-target bins would shred the scan-
+				// order adjacency of the tail for no balance gain.
+				if cand := emptiest(cnt); cand >= 0 && binVol[cand] < targetVol {
+					cur = cand
+				}
+			}
+			if cur >= 0 {
+				place(cur, verts)
+			} else {
+				fragment(verts)
+			}
+		}
+	} else {
+		// Count packing: best-fit decreasing — biggest clusters claim the
+		// snuggest bins.
+		order := make([]int32, len(counts))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := counts[order[a]], counts[order[b]]
+			if ca != cb {
+				return ca > cb
+			}
+			return order[a] < order[b]
+		})
+		for _, idx := range order {
+			cnt := counts[idx]
+			verts := members[starts[idx]:starts[idx+1]]
+			best := -1
+			for i := 0; i < k; i++ {
+				if room[i] >= cnt && (best < 0 || room[i] < room[best]) {
+					best = i
+				}
+			}
+			if best >= 0 {
+				place(best, verts)
+			} else {
+				fragment(verts)
 			}
 		}
 	}

@@ -219,3 +219,40 @@ func TestRunManyCancel(t *testing.T) {
 		t.Fatalf("RunDisk: err = %v, want context.Canceled", err)
 	}
 }
+
+// TestRunManyReplication: the shared-pass path has its own scatter sink
+// (core.jobRun), so mirrors must be proven there too — a replicated
+// RunMany job must mirror, sync, and agree bit-for-bit with its solo Run
+// under the same replicating assignment (min-lattice algorithm).
+func TestRunManyReplication(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 71})
+	repPart := func() xstream.Partitioner {
+		return xstream.NewReplicatingPartitioner(xstream.New2PSVolumePartitioner(), xstream.ReplicationConfig{})
+	}
+	for _, c := range []runManyCase{
+		{"mem/2psv+rep", true, repPart, false},
+		{"disk/2psv+rep", false, repPart, false},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			const root = 3
+			want := xstream.BFSLevels(soloVertices(t, c, src, xstream.NewBFS(root)))
+			results, _ := runManySet(t, c, src, xstream.ProgramSet{
+				xstream.NewJob(xstream.NewBFS(root)),
+				xstream.NewJob(xstream.NewBFS(root)),
+			})
+			for i, r := range results {
+				s := r.Stats
+				if s.MirroredVertices == 0 || s.MirrorSyncUpdates == 0 {
+					t.Fatalf("job %d: no mirroring in shared pass: %d vertices, %d syncs",
+						i, s.MirroredVertices, s.MirrorSyncUpdates)
+				}
+				got := xstream.BFSLevels(r.Vertices.([]xstream.BFSState))
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("job %d vertex %d: level %d, want %d", i, v, got[v], want[v])
+					}
+				}
+			}
+		})
+	}
+}
