@@ -19,23 +19,36 @@
 //
 // API (all JSON):
 //
-//	POST   /jobs             {"dataset":..,"algo":..,"engine":"mem"|"disk","params":{..}}
+//	POST   /jobs             {"dataset":..,"algo":..,"engine":"mem"|"disk","params":{..},
+//	                          "tenant":..,"priority":..}  (503 + Retry-After when over quota)
 //	GET    /jobs             list
 //	GET    /jobs/{id}        status
-//	GET    /jobs/{id}/result result payload + stats
+//	GET    /jobs/{id}/result result payload + stats (?cursor=&limit= pages vertex vectors)
 //	DELETE /jobs/{id}        cancel
 //	GET    /datasets         registered datasets
-//	GET    /metrics          scheduler counters (batching, shared edge reads)
+//	GET    /metrics          scheduler counters (batching, result cache, dataset residency)
+//
+// Identical repeated jobs are served from the scheduler's result cache
+// (-result-cache) with zero edges streamed; -memory-cap bounds resident
+// prepared-engine memory with LRU eviction; -tenant-quotas limits each
+// tenant's queued and running jobs. On SIGINT/SIGTERM xserve stops
+// accepting connections, drains in-flight requests (-drain-timeout),
+// shuts the scheduler down, and closes the registry so device spill
+// files are removed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	xstream "repro"
 	"repro/internal/dataset"
@@ -61,6 +74,10 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 16, "max jobs per shared pass")
 		workers   = flag.Int("workers", 2, "concurrent batch runners")
 		retention = flag.Int("retention", 256, "finished jobs kept for result retrieval")
+		memCap    = flag.String("memory-cap", "0", "resident prepared-engine memory cap with LRU eviction (e.g. 8g, 0 = unbounded)")
+		resCache  = flag.String("result-cache", "256m", "result cache capacity (e.g. 64m, 0 = disabled)")
+		quotas    = flag.String("tenant-quotas", "", `per-tenant job quotas: "R,Q[;name=R,Q;...]" (R max running, Q max queued, 0 = unlimited)`)
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight HTTP requests on shutdown")
 	)
 	flag.Var(&specs, "dataset", "dataset spec name=rmat:scale[:ef[:seed]][:undirected] or name=file:path[:undirected] (repeatable)")
 	flag.Parse()
@@ -84,8 +101,16 @@ func main() {
 		fatal("unknown -device %q", *device)
 	}
 
+	defaultQuota, tenantQuotas, err := parseQuotas(*quotas)
+	if err != nil {
+		fatal("-tenant-quotas: %v", err)
+	}
+
 	reg := dataset.NewRegistry()
 	defer reg.Close()
+	if capBytes := parseBytes(*memCap); capBytes > 0 {
+		reg.SetMemoryCap(capBytes)
+	}
 	for _, spec := range specs {
 		name, src, undirected, err := parseDataset(spec)
 		if err != nil {
@@ -105,18 +130,84 @@ func main() {
 			name, src.NumVertices(), src.NumEdges())
 	}
 
+	cacheBytes := parseBytes(*resCache)
+	if cacheBytes <= 0 {
+		cacheBytes = -1 // Config: negative disables, zero means default.
+	}
 	sched := jobs.New(reg, jobs.Config{
-		MemoryBudget: parseBytes(*budget),
-		MaxBatch:     *maxBatch,
-		Workers:      *workers,
-		Retention:    *retention,
+		MemoryBudget:     parseBytes(*budget),
+		MaxBatch:         *maxBatch,
+		Workers:          *workers,
+		Retention:        *retention,
+		ResultCacheBytes: cacheBytes,
+		DefaultQuota:     defaultQuota,
+		TenantQuotas:     tenantQuotas,
 	})
 	defer sched.Close()
 
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
+	// in-flight requests finish, close the scheduler (cancels queued
+	// jobs, waits for running batches), and let the deferred registry
+	// Close remove device spill files. ListenAndServe alone would take
+	// the process down mid-batch and leak the spill directory.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: jobs.NewHandler(sched)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "xserve: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, jobs.NewHandler(sched)); err != nil {
+
+	select {
+	case err := <-errc:
 		fatal("%v", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "xserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "xserve: drain: %v\n", err)
+		}
 	}
+}
+
+// parseQuotas parses the -tenant-quotas grammar: an optional leading
+// "R,Q" default, then semicolon-separated "name=R,Q" overrides.
+func parseQuotas(s string) (def jobs.Quota, perTenant map[string]jobs.Quota, err error) {
+	parseRQ := func(v string) (jobs.Quota, error) {
+		rs, qs, ok := strings.Cut(v, ",")
+		if !ok {
+			return jobs.Quota{}, fmt.Errorf("want R,Q in %q", v)
+		}
+		r, err1 := strconv.Atoi(strings.TrimSpace(rs))
+		q, err2 := strconv.Atoi(strings.TrimSpace(qs))
+		if err1 != nil || err2 != nil || r < 0 || q < 0 {
+			return jobs.Quota{}, fmt.Errorf("want non-negative R,Q in %q", v)
+		}
+		return jobs.Quota{MaxRunning: r, MaxQueued: q}, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rq, named := strings.Cut(part, "=")
+		if !named {
+			if def, err = parseRQ(part); err != nil {
+				return jobs.Quota{}, nil, err
+			}
+			continue
+		}
+		q, err := parseRQ(rq)
+		if err != nil {
+			return jobs.Quota{}, nil, err
+		}
+		if perTenant == nil {
+			perTenant = map[string]jobs.Quota{}
+		}
+		perTenant[strings.TrimSpace(name)] = q
+	}
+	return def, perTenant, nil
 }
 
 // parseDataset parses one name=kind:args spec.

@@ -51,17 +51,55 @@ type Instance struct {
 	EvalEdges func(verts any, edges []core.Edge) string
 }
 
+// ParamUse declares which Params fields an algorithm actually reads. The
+// serving layer's result cache canonicalizes submissions with it, so
+// equivalent requests (an ignored field set, a default spelled out) share
+// one cache entry instead of splitting keys.
+type ParamUse struct {
+	// Root means the algorithm reads Params.Root.
+	Root bool
+	// Iters means the algorithm reads Params.Iters (default 5).
+	Iters bool
+	// Users means the algorithm reads Params.Users.
+	Users bool
+}
+
 // Spec describes one registered algorithm.
 type Spec struct {
 	// Name is the canonical lowercase name (the -algo flag / API value).
 	Name string
 	// Params documents which Params fields the algorithm reads.
 	Params string
+	// Uses machine-readably mirrors Params for cache canonicalization.
+	Uses ParamUse
 	// Symmetrize means the engine must stream the undirected
 	// (symmetrized) edge list for the results to be meaningful.
 	Symmetrize bool
 	// New constructs a fresh instance from the parameters.
 	New func(p Params) (*Instance, error)
+}
+
+// CanonicalParams reduces p to the fields the named algorithm reads, with
+// documented defaults applied (Iters < 1 becomes 5). Two submissions with
+// equal canonical params compute the same thing — every registered
+// algorithm is deterministic (random-looking choices are ID hashes), so
+// the serving layer may serve one's result for the other. ok is false for
+// unknown algorithms.
+func CanonicalParams(name string, p Params) (c Params, ok bool) {
+	s, ok := ByName(name)
+	if !ok {
+		return Params{}, false
+	}
+	if s.Uses.Root {
+		c.Root = p.Root
+	}
+	if s.Uses.Iters {
+		c.Iters = p.iters()
+	}
+	if s.Uses.Users {
+		c.Users = p.Users
+	}
+	return c, true
 }
 
 // ByName returns the spec registered under name.
@@ -87,15 +125,15 @@ func Names() []string {
 var registry = []Spec{
 	{Name: "wcc", Params: "none (undirected input)", New: newWCCInstance},
 	{Name: "scc", Params: "none", New: newSCCInstance},
-	{Name: "bfs", Params: "root", New: newBFSInstance},
-	{Name: "sssp", Params: "root", New: newSSSPInstance},
-	{Name: "pagerank", Params: "iters", New: newPageRankInstance},
+	{Name: "bfs", Params: "root", Uses: ParamUse{Root: true}, New: newBFSInstance},
+	{Name: "sssp", Params: "root", Uses: ParamUse{Root: true}, New: newSSSPInstance},
+	{Name: "pagerank", Params: "iters", Uses: ParamUse{Iters: true}, New: newPageRankInstance},
 	{Name: "spmv", Params: "none", New: newSpMVInstance},
 	{Name: "mis", Params: "none (undirected input)", New: newMISInstance},
 	{Name: "mcst", Params: "none (undirected input)", New: newMCSTInstance},
 	{Name: "conductance", Params: "none", New: newConductanceInstance},
-	{Name: "bp", Params: "iters", New: newBPInstance},
-	{Name: "als", Params: "users (required), iters", New: newALSInstance},
+	{Name: "bp", Params: "iters", Uses: ParamUse{Iters: true}, New: newBPInstance},
+	{Name: "als", Params: "users (required), iters", Uses: ParamUse{Iters: true, Users: true}, New: newALSInstance},
 	{Name: "hyperanf", Params: "none", Symmetrize: true, New: newHyperANFInstance},
 }
 

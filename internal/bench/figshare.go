@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/diskengine"
 	"repro/internal/graphgen"
+	"repro/internal/jobs"
 	"repro/internal/memengine"
 )
 
@@ -84,6 +86,32 @@ func runFigShare(cfg Config) (*Table, error) {
 	t.SetMetric("pagerank_mem_edges_streamed_seq", float64(memSeq))
 	t.SetMetric("pagerank_mem_edges_streamed_shared", float64(memPass.EdgesStreamed))
 
+	// Result cache: batching amortizes the stream across co-scheduled
+	// jobs; the scheduler's result cache amortizes it across *time*. K
+	// identical jobs submitted one after another pay for one pass — every
+	// later submission is a cache hit that streams nothing.
+	reg := dataset.NewRegistry()
+	defer reg.Close()
+	if _, err := reg.Add("share", src, dataset.Options{Threads: cfg.Threads}); err != nil {
+		return nil, err
+	}
+	sched := jobs.New(reg, jobs.Config{Workers: 1})
+	defer sched.Close()
+	for i := 0; i < k; i++ {
+		id, err := sched.Submit(jobs.Request{Dataset: "share", Algo: "pagerank",
+			Params: algorithms.Params{Iters: iters}})
+		if err != nil {
+			return nil, fmt.Errorf("cached submit %d: %w", i, err)
+		}
+		if _, err := sched.Wait(ctx, id); err != nil {
+			return nil, fmt.Errorf("cached wait %d: %w", i, err)
+		}
+	}
+	sm := sched.Metrics()
+	addRow("memory", "cached", k, sm.EdgesStreamed, 0, 0, fmt.Sprintf("%d hits", sm.CacheHits))
+	t.SetMetric("pagerank_mem_result_cache_hits", float64(sm.CacheHits))
+	t.SetMetric("pagerank_mem_result_cache_misses", float64(sm.CacheMisses))
+
 	// Out-of-core engine: edge-file reads are the shared resource.
 	dp, err := diskengine.Prepare(src, diskengine.Config{
 		Device: ssdDev("share", 0), Threads: cfg.Threads, IOUnit: 32 << 10, Partitions: 8,
@@ -128,6 +156,9 @@ func runFigShare(cfg Config) (*Table, error) {
 			float64(diskSeqRead)/float64(diskPass.BytesRead), diskSeqRead, diskPass.BytesRead,
 			float64(diskSeq)/float64(diskPass.EdgesStreamed)))
 	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"result cache: %d identical sequential jobs computed %d pass(es), served %d from cache with zero edges streamed",
+		k, sm.CacheMisses, sm.CacheHits))
 	t.Notes = append(t.Notes, "paper's model: the edge stream is the fixed cost — shared passes amortize it across co-scheduled jobs (serving layer, cmd/xserve)")
 	return t, nil
 }

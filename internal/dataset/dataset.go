@@ -10,12 +10,22 @@
 // immutable handles; internal/jobs schedules shared passes over them.
 //
 // Engine state is built lazily, once, on first use: a dataset that only
-// ever serves in-memory jobs never touches the device, and vice versa. All
-// methods are safe for concurrent use.
+// ever serves in-memory jobs never touches the device, and vice versa.
+//
+// Unlike the immutable handles, the registry's *residency* is bounded: a
+// memory cap (SetMemoryCap) turns the registry into an LRU over prepared
+// engine state. Callers that stream a pass pin their dataset with
+// Acquire/Release; a background sweeper evicts the least-recently-used
+// unpinned datasets — dropping the in-memory chunks and closing the
+// out-of-core partition files — until residency is back under the cap.
+// Evicted datasets stay registered and rebuild lazily on next use, so
+// admission is a memory *cap*, not a one-way admission budget that only
+// ever grows. All methods are safe for concurrent use.
 package dataset
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +76,7 @@ type Options struct {
 // Info is a dataset's JSON-encodable description, served by GET /datasets.
 type Info struct {
 	Name         string `json:"name"`
+	Version      int64  `json:"version"`
 	Vertices     int64  `json:"vertices"`
 	Edges        int64  `json:"edges"`
 	Undirected   bool   `json:"undirected"`
@@ -73,33 +84,56 @@ type Info struct {
 	Disk         bool   `json:"disk"`
 	MemPrepared  bool   `json:"mem_prepared"`
 	DiskPrepared bool   `json:"disk_prepared"`
+	// ResidentBytes is the prepared engine state currently charged
+	// against the registry's memory cap (0 when evicted or never built).
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // Dataset is one ingested graph and its cached engine state.
 type Dataset struct {
-	name   string
-	src    core.EdgeSource
-	opts   Options
-	nv, ne int64
+	name    string
+	src     core.EdgeSource
+	opts    Options
+	nv, ne  int64
+	version int64
+	reg     *Registry
 
 	permOnce sync.Once
 	perm     []core.VertexID
 	hubs     []core.VertexID
 	permErr  error
 
-	memOnce  sync.Once
-	memReady atomic.Bool
-	mem      *memengine.Prepared
-	memErr   error
+	// lastUse is the registry's LRU clock tick of the most recent
+	// Acquire/Mem/Disk; the sweeper evicts in ascending order.
+	lastUse atomic.Int64
 
-	diskOnce  sync.Once
+	memReady  atomic.Bool
 	diskReady atomic.Bool
-	disk      *diskengine.Prepared
-	diskErr   error
+
+	// mu guards the evictable engine state below. Builds run outside the
+	// lock under a building flag (cond signals completion), so status
+	// snapshots and pin operations never block behind a multi-second
+	// prepare.
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pins         int
+	memBuilding  bool
+	mem          *memengine.Prepared
+	memErr       error
+	memBytes     int64
+	diskBuilding bool
+	disk         *diskengine.Prepared
+	diskErr      error
+	diskBytes    int64
 }
 
 // Name returns the registry name.
 func (d *Dataset) Name() string { return d.name }
+
+// Version identifies the dataset's contents: result caches key on it so a
+// future mutation path (delta ingest) invalidates cached results by
+// bumping it. Today datasets are immutable after Add, so it is constant.
+func (d *Dataset) Version() int64 { return d.version }
 
 // NumVertices returns the vertex count.
 func (d *Dataset) NumVertices() int64 { return d.nv }
@@ -122,11 +156,15 @@ func (d *Dataset) Info() Info {
 	if d.opts.Replicate > 0 {
 		part += "+rep"
 	}
+	d.mu.Lock()
+	resident := d.memBytes + d.diskBytes
+	d.mu.Unlock()
 	return Info{
-		Name: d.name, Vertices: d.nv, Edges: d.ne,
+		Name: d.name, Version: d.version, Vertices: d.nv, Edges: d.ne,
 		Undirected: d.opts.Undirected, Partitioner: part,
 		Disk:        d.opts.Device != nil,
 		MemPrepared: d.memReady.Load(), DiskPrepared: d.diskReady.Load(),
+		ResidentBytes: resident,
 	}
 }
 
@@ -156,9 +194,9 @@ func (d *Dataset) replicating(pr core.Partitioner) core.Partitioner {
 
 // partitioner returns the policy engines prepare with. Anything beyond
 // the plain range split — clustering passes, hub-selection census — runs
-// at most once per dataset per process, and not at all when a plan
-// persisted by an earlier process under the same configuration is on the
-// device.
+// at most once per dataset per process (the plan survives eviction), and
+// not at all when a plan persisted by an earlier process under the same
+// configuration is on the device.
 func (d *Dataset) partitioner() (core.Partitioner, error) {
 	pol := d.opts.Partitioner
 	if pol == "" {
@@ -229,78 +267,334 @@ func (d *Dataset) plan() {
 	}
 }
 
-// Mem returns the dataset's in-memory engine handle, preparing it on first
-// use: partition plan, relabeled edge stream shuffled into chunks.
-func (d *Dataset) Mem() (*memengine.Prepared, error) {
-	d.memOnce.Do(func() {
-		pr, err := d.partitioner()
-		if err != nil {
-			d.memErr = err
-			return
-		}
-		d.mem, d.memErr = memengine.Prepare(d.src, memengine.Config{
-			Threads:     d.opts.Threads,
-			Partitions:  d.opts.MemPartitions,
-			TileEdges:   d.opts.TileEdges,
-			Partitioner: pr,
-			Selective:   true,
-		})
-		if d.memErr == nil {
-			d.memReady.Store(true)
-		}
-	})
-	return d.mem, d.memErr
-}
-
-// Disk returns the dataset's out-of-core engine handle, preparing it on
-// first use: the pre-processing shuffle into partition edge files plus the
-// tile index, on the configured device.
-func (d *Dataset) Disk() (*diskengine.Prepared, error) {
-	d.diskOnce.Do(func() {
-		if d.opts.Device == nil {
-			d.diskErr = fmt.Errorf("dataset %s: no device configured for the out-of-core engine", d.name)
-			return
-		}
-		pr, err := d.partitioner()
-		if err != nil {
-			d.diskErr = err
-			return
-		}
-		d.disk, d.diskErr = diskengine.Prepare(d.src, diskengine.Config{
-			Device:       d.opts.Device,
-			MemoryBudget: d.opts.MemoryBudget,
-			IOUnit:       d.opts.IOUnit,
-			Threads:      d.opts.Threads,
-			Partitions:   d.opts.DiskPartitions,
-			TileEdges:    d.opts.TileEdges,
-			Prefix:       "xserve-" + d.name + "-",
-			Partitioner:  pr,
-			Selective:    true,
-		})
-		if d.diskErr == nil {
-			d.diskReady.Store(true)
-		}
-	})
-	return d.disk, d.diskErr
-}
-
-// close releases the dataset's device-backed state.
-func (d *Dataset) close() {
-	if d.diskReady.Load() && d.disk != nil {
-		d.disk.Close()
+// touch stamps the dataset as most-recently-used.
+func (d *Dataset) touch() {
+	if d.reg != nil {
+		d.lastUse.Store(d.reg.clock.Add(1))
 	}
 }
 
-// Registry maps names to ingested datasets.
+// Acquire pins the dataset's engine state against eviction; every
+// in-flight pass must hold a pin so the sweeper never closes partition
+// files or drops edge buffers under a running job. Pair with Release.
+func (d *Dataset) Acquire() {
+	d.mu.Lock()
+	d.pins++
+	d.mu.Unlock()
+	d.touch()
+}
+
+// Release drops an Acquire pin. It also re-measures the resident
+// footprint — a pass may have grown the handle (lazily built transposes,
+// tile indexes) — and reports the change to the registry, which may now
+// evict this or another dataset.
+func (d *Dataset) Release() {
+	d.mu.Lock()
+	if d.pins <= 0 {
+		d.mu.Unlock()
+		panic("dataset: Release without Acquire")
+	}
+	d.pins--
+	delta := d.resampleLocked()
+	d.mu.Unlock()
+	if d.reg != nil {
+		d.reg.noteResident(delta)
+	}
+}
+
+// resampleLocked re-reads the built engines' footprints and returns the
+// change versus what was last charged. Caller holds d.mu.
+func (d *Dataset) resampleLocked() int64 {
+	var delta int64
+	if d.mem != nil {
+		n := d.mem.Bytes()
+		delta += n - d.memBytes
+		d.memBytes = n
+	}
+	if d.disk != nil {
+		n := d.disk.Bytes()
+		delta += n - d.diskBytes
+		d.diskBytes = n
+	}
+	return delta
+}
+
+// Mem returns the dataset's in-memory engine handle, preparing it on first
+// use (partition plan, relabeled edge stream shuffled into chunks) and
+// rebuilding it after an eviction. Concurrent callers share one build.
+func (d *Dataset) Mem() (*memengine.Prepared, error) {
+	d.mu.Lock()
+	for d.memBuilding {
+		d.cond.Wait()
+	}
+	if d.mem != nil || d.memErr != nil {
+		pp, err := d.mem, d.memErr
+		d.mu.Unlock()
+		d.touch()
+		return pp, err
+	}
+	d.memBuilding = true
+	d.mu.Unlock()
+
+	pp, err := d.buildMem()
+
+	d.mu.Lock()
+	d.memBuilding = false
+	d.mem, d.memErr = pp, err
+	var grew int64
+	if err == nil {
+		d.memBytes = pp.Bytes()
+		grew = d.memBytes
+		d.memReady.Store(true)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.touch()
+	if grew > 0 && d.reg != nil {
+		d.reg.noteResident(grew)
+	}
+	return pp, err
+}
+
+// buildMem runs the in-memory prepare with no dataset locks held.
+func (d *Dataset) buildMem() (*memengine.Prepared, error) {
+	pr, err := d.partitioner()
+	if err != nil {
+		return nil, err
+	}
+	return memengine.Prepare(d.src, memengine.Config{
+		Threads:     d.opts.Threads,
+		Partitions:  d.opts.MemPartitions,
+		TileEdges:   d.opts.TileEdges,
+		Partitioner: pr,
+		Selective:   true,
+	})
+}
+
+// Disk returns the dataset's out-of-core engine handle, preparing it on
+// first use (the pre-processing shuffle into partition edge files plus the
+// tile index, on the configured device) and rebuilding it after an
+// eviction. Concurrent callers share one build.
+func (d *Dataset) Disk() (*diskengine.Prepared, error) {
+	if d.opts.Device == nil {
+		return nil, fmt.Errorf("dataset %s: no device configured for the out-of-core engine", d.name)
+	}
+	d.mu.Lock()
+	for d.diskBuilding {
+		d.cond.Wait()
+	}
+	if d.disk != nil || d.diskErr != nil {
+		pp, err := d.disk, d.diskErr
+		d.mu.Unlock()
+		d.touch()
+		return pp, err
+	}
+	d.diskBuilding = true
+	d.mu.Unlock()
+
+	pp, err := d.buildDisk()
+
+	d.mu.Lock()
+	d.diskBuilding = false
+	d.disk, d.diskErr = pp, err
+	var grew int64
+	if err == nil {
+		d.diskBytes = pp.Bytes()
+		grew = d.diskBytes
+		d.diskReady.Store(true)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.touch()
+	if grew > 0 && d.reg != nil {
+		d.reg.noteResident(grew)
+	}
+	return pp, err
+}
+
+// buildDisk runs the out-of-core prepare with no dataset locks held.
+func (d *Dataset) buildDisk() (*diskengine.Prepared, error) {
+	pr, err := d.partitioner()
+	if err != nil {
+		return nil, err
+	}
+	return diskengine.Prepare(d.src, diskengine.Config{
+		Device:       d.opts.Device,
+		MemoryBudget: d.opts.MemoryBudget,
+		IOUnit:       d.opts.IOUnit,
+		Threads:      d.opts.Threads,
+		Partitions:   d.opts.DiskPartitions,
+		TileEdges:    d.opts.TileEdges,
+		Prefix:       "xserve-" + d.name + "-",
+		Partitioner:  pr,
+		Selective:    true,
+	})
+}
+
+// evict drops the dataset's prepared engine state — the in-memory edge
+// chunks are released to the collector and the out-of-core handle's
+// partition files are removed via its existing close path — and returns
+// the bytes freed. Pinned or mid-build datasets refuse (returning 0);
+// build errors are cleared so the next use retries. The dataset stays
+// registered and rebuilds lazily.
+func (d *Dataset) evict() int64 {
+	d.mu.Lock()
+	if d.pins > 0 || d.memBuilding || d.diskBuilding {
+		d.mu.Unlock()
+		return 0
+	}
+	freed := d.memBytes + d.diskBytes
+	disk := d.disk
+	d.mem, d.memErr, d.memBytes = nil, nil, 0
+	d.disk, d.diskErr, d.diskBytes = nil, nil, 0
+	d.memReady.Store(false)
+	d.diskReady.Store(false)
+	d.mu.Unlock()
+	if disk != nil {
+		disk.Close()
+	}
+	return freed
+}
+
+// close releases the dataset's device-backed state (registry shutdown).
+func (d *Dataset) close() {
+	d.mu.Lock()
+	disk := d.disk
+	d.disk = nil
+	d.diskBytes = 0
+	d.diskReady.Store(false)
+	d.mu.Unlock()
+	if disk != nil {
+		disk.Close()
+	}
+}
+
+// Metrics are the registry's cumulative residency counters.
+type Metrics struct {
+	// ResidentBytes is the prepared engine state currently charged.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// MemoryCap is the configured bound (0 = uncapped).
+	MemoryCap int64 `json:"memory_cap"`
+	// Evictions counts datasets whose engine state was dropped.
+	Evictions int64 `json:"evictions"`
+	// EvictedBytes sums the footprints those evictions freed.
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Registry maps names to ingested datasets and bounds their combined
+// resident footprint when a memory cap is set.
 type Registry struct {
 	mu    sync.RWMutex
 	m     map[string]*Dataset
 	order []string
+
+	clock        atomic.Int64
+	resident     atomic.Int64
+	memoryCap    atomic.Int64
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+
+	sweepOnce sync.Once
+	closeOnce sync.Once
+	wake      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with no memory cap.
 func NewRegistry() *Registry {
-	return &Registry{m: map[string]*Dataset{}}
+	return &Registry{
+		m:    map[string]*Dataset{},
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// SetMemoryCap bounds the combined resident footprint of prepared engine
+// state; when residency exceeds it, a background sweeper evicts
+// least-recently-used unpinned datasets until back under. 0 (the default)
+// disables eviction. The first nonzero cap starts the sweeper; Close
+// stops it.
+func (r *Registry) SetMemoryCap(bytes int64) {
+	r.memoryCap.Store(bytes)
+	if bytes > 0 {
+		r.sweepOnce.Do(func() {
+			r.wg.Add(1)
+			go r.sweeper()
+		})
+		r.maybeWake()
+	}
+}
+
+// noteResident adjusts the charged residency and wakes the sweeper when
+// over cap.
+func (r *Registry) noteResident(delta int64) {
+	if delta != 0 {
+		r.resident.Add(delta)
+	}
+	r.maybeWake()
+}
+
+// maybeWake nudges the sweeper if residency exceeds the cap.
+func (r *Registry) maybeWake() {
+	if cap := r.memoryCap.Load(); cap > 0 && r.resident.Load() > cap {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// sweeper is the background eviction worker: woken whenever residency
+// crosses the cap, it evicts coldest-first until under (or until every
+// remaining dataset is pinned — the next Release re-wakes it).
+func (r *Registry) sweeper() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.wake:
+		}
+		r.sweep()
+	}
+}
+
+// sweep performs one eviction round.
+func (r *Registry) sweep() {
+	cap := r.memoryCap.Load()
+	if cap <= 0 || r.resident.Load() <= cap {
+		return
+	}
+	r.mu.RLock()
+	cands := make([]*Dataset, 0, len(r.m))
+	for _, d := range r.m {
+		cands = append(cands, d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].lastUse.Load() < cands[j].lastUse.Load()
+	})
+	for _, d := range cands {
+		if r.resident.Load() <= cap {
+			return
+		}
+		if freed := d.evict(); freed > 0 {
+			r.resident.Add(-freed)
+			r.evictions.Add(1)
+			r.evictedBytes.Add(freed)
+		}
+	}
+}
+
+// Metrics snapshots the registry's residency counters.
+func (r *Registry) Metrics() Metrics {
+	return Metrics{
+		ResidentBytes: r.resident.Load(),
+		MemoryCap:     r.memoryCap.Load(),
+		Evictions:     r.evictions.Load(),
+		EvictedBytes:  r.evictedBytes.Load(),
+	}
 }
 
 // Add registers src under name. The source must be re-streamable (the
@@ -317,7 +611,11 @@ func (r *Registry) Add(name string, src core.EdgeSource, opts Options) (*Dataset
 	if opts.Replicate < 0 {
 		return nil, fmt.Errorf("dataset %s: negative Replicate %d", name, opts.Replicate)
 	}
-	d := &Dataset{name: name, src: src, opts: opts, nv: src.NumVertices(), ne: src.NumEdges()}
+	d := &Dataset{
+		name: name, src: src, opts: opts, reg: r, version: 1,
+		nv: src.NumVertices(), ne: src.NumEdges(),
+	}
+	d.cond = sync.NewCond(&d.mu)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.m[name]; dup {
@@ -347,8 +645,12 @@ func (r *Registry) List() []Info {
 	return out
 }
 
-// Close releases device-backed state of every dataset.
+// Close stops the sweeper and releases device-backed state of every
+// dataset. Callers must have drained in-flight passes first (the jobs
+// scheduler's Close does).
 func (r *Registry) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, d := range r.m {

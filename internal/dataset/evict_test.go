@@ -1,0 +1,150 @@
+package dataset
+
+// evict_test.go covers the registry's memory cap: LRU eviction of
+// prepared engine state, pinning against eviction during passes, and
+// lazy rebuild afterwards.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graphgen"
+)
+
+// addN registers n small in-memory datasets d0..d{n-1}.
+func addN(t *testing.T, r *Registry, n int) []*Dataset {
+	t.Helper()
+	out := make([]*Dataset, n)
+	for i := range out {
+		src := graphgen.RMAT(graphgen.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: int64(90 + i), Undirected: true})
+		d, err := r.Add(fmt.Sprintf("d%d", i), src, Options{Undirected: true, Threads: 2, MemPartitions: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// waitResidentUnder polls until the registry is back under its cap.
+func waitResidentUnder(t *testing.T, r *Registry, cap int64) Metrics {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := r.Metrics()
+		if m.ResidentBytes <= cap {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("residency never dropped under cap: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEvictionKeepsResidencyUnderCap: with a cap that fits roughly one
+// prepared dataset, building three evicts coldest-first until back
+// under — and every dataset remains loadable (and correct) afterwards.
+func TestEvictionKeepsResidencyUnderCap(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	ds := addN(t, r, 3)
+
+	// Measure one footprint, then cap at 1.5x so exactly one prepared
+	// dataset fits at rest.
+	if _, err := ds[0].Mem(); err != nil {
+		t.Fatal(err)
+	}
+	one := r.Metrics().ResidentBytes
+	if one <= 0 {
+		t.Fatalf("prepared dataset charged %d bytes", one)
+	}
+	cap := one + one/2
+	r.SetMemoryCap(cap)
+
+	for _, d := range ds[1:] {
+		if _, err := d.Mem(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := waitResidentUnder(t, r, cap)
+	if m.Evictions < 2 || m.EvictedBytes <= 0 {
+		t.Fatalf("expected at least 2 evictions: %+v", m)
+	}
+	// The hottest dataset (built last) survived; the coldest went first.
+	if !ds[2].Info().MemPrepared {
+		t.Fatal("most recently used dataset was evicted")
+	}
+	if ds[0].Info().MemPrepared {
+		t.Fatal("least recently used dataset survived under a one-dataset cap")
+	}
+
+	// Every dataset — evicted or not — still serves jobs.
+	for i, d := range ds {
+		pp, err := d.Mem()
+		if err != nil {
+			t.Fatalf("dataset %d not re-loadable after eviction: %v", i, err)
+		}
+		inst, err := mustSpec(t, "wcc").New(algorithms.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pp.RunMany(context.Background(), core.ProgramSet{inst.Job}); err != nil {
+			t.Fatalf("dataset %d failed after rebuild: %v", i, err)
+		}
+	}
+	// And the sweeper squeezed the rebuilds back under the cap.
+	waitResidentUnder(t, r, cap)
+}
+
+// TestPinnedDatasetNotEvicted: Acquire pins the engine state; even a
+// 1-byte cap cannot evict it until Release.
+func TestPinnedDatasetNotEvicted(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	d := addN(t, r, 1)[0]
+	if _, err := d.Mem(); err != nil {
+		t.Fatal(err)
+	}
+	d.Acquire()
+	r.SetMemoryCap(1)
+	// Give the sweeper ample chances to misbehave.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if !d.Info().MemPrepared {
+			t.Fatal("pinned dataset evicted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Release()
+	waitResidentUnder(t, r, 1)
+	if d.Info().MemPrepared {
+		t.Fatal("unpinned dataset survived a 1-byte cap")
+	}
+	// Still re-loadable after the forced eviction.
+	if _, err := d.Mem(); err != nil {
+		t.Fatalf("rebuild after eviction: %v", err)
+	}
+}
+
+// TestEvictClearsBuildError: a failed build is sticky until evicted,
+// then the next use retries cleanly.
+func TestEvictClearsBuildError(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	d := addN(t, r, 1)[0]
+	if _, err := d.Disk(); err == nil {
+		t.Fatal("Disk prepared without a device")
+	}
+	if freed := d.evict(); freed != 0 {
+		t.Fatalf("evicting an unbuilt dataset freed %d bytes", freed)
+	}
+	// The mem path is unaffected and the dataset still serves.
+	if _, err := d.Mem(); err != nil {
+		t.Fatal(err)
+	}
+}

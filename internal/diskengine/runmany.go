@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graphio"
+	"repro/internal/pod"
 	"repro/internal/streambuf"
 )
 
@@ -160,6 +161,28 @@ func (pp *Prepared) NumEdges() int64 { return pp.ne }
 
 // Partitions returns the shared partition count.
 func (pp *Prepared) Partitions() int { return pp.k }
+
+// Bytes returns the handle's resident in-memory footprint: the tile
+// indexes plus per-file bookkeeping. The partition edge files themselves
+// live on the device (BytesRead accounts their traffic), so an out-of-core
+// handle is cheap to keep resident — but not free, which is what the
+// dataset registry's memory cap charges.
+func (pp *Prepared) Bytes() int64 {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	const fileBytes = 96                             // partFile struct + device handle
+	spanBytes := int64(pod.Size[core.SrcSpan]()) + 8 // tileSpan: span + recs
+	n := int64(len(pp.edgeFiles)+len(pp.bwdFiles)) * fileBytes
+	for _, t := range []*diskTiles{pp.tilesFwd, pp.tilesBwd} {
+		if t == nil {
+			continue
+		}
+		for _, spans := range t.parts {
+			n += int64(len(spans)) * spanBytes
+		}
+	}
+	return n
+}
 
 // Close removes the prepared partition files from the device.
 func (pp *Prepared) Close() {

@@ -11,14 +11,34 @@ package jobs
 //	GET    /metrics          scheduler counters
 //
 // Everything is JSON. Validation failures are 400, unknown IDs 404,
-// results of unfinished jobs 409.
+// results of unfinished jobs 409. Transient rejections — tenant quota
+// exceeded, scheduler shutting down — are 503 with a Retry-After header,
+// so well-behaved clients back off instead of treating overload as a
+// permanently bad request.
+//
+// Result payloads carry vertex vectors that can run to millions of
+// entries, so GET /jobs/{id}/result supports cursor pagination: ?cursor=N
+// windows every slice field of the payload to [N, N+limit) and the
+// response's "page" object reports the window and the next cursor (absent
+// on the last page). Scalar fields repeat on every page.
 
 import (
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
+	"reflect"
+	"strconv"
 
 	"repro/internal/core"
+)
+
+// Pagination bounds for GET /jobs/{id}/result. A request without ?limit=
+// gets DefaultPageLimit entries per slice; requests may raise it to
+// MaxPageLimit.
+const (
+	DefaultPageLimit = 65536
+	MaxPageLimit     = 1 << 20
 )
 
 // NewHandler returns the serving API over s.
@@ -32,7 +52,14 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		id, err := s.Submit(req)
-		if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Transient: the tenant's queue quota is full or the scheduler
+			// is draining. The same request can succeed once jobs finish.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -54,6 +81,11 @@ func NewHandler(s *Scheduler) http.Handler {
 
 	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		cursor, limit, perr := pageParams(r)
+		if perr != "" {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
 		payload, summary, stats, err := s.Result(id)
 		switch {
 		case errors.Is(err, ErrNotFound):
@@ -61,8 +93,11 @@ func NewHandler(s *Scheduler) http.Handler {
 		case err != nil:
 			writeError(w, http.StatusConflict, err.Error())
 		default:
+			info, _ := s.Get(id)
+			windowed, page := paginate(payload, cursor, limit)
 			writeJSON(w, http.StatusOK, resultResponse{
-				ID: id, Summary: summary, Stats: stats, Result: payload,
+				ID: id, Summary: summary, Stats: stats, Result: windowed,
+				Cached: info.Cached, Page: page,
 			})
 		}
 	})
@@ -98,6 +133,77 @@ type resultResponse struct {
 	Summary string      `json:"summary"`
 	Stats   *core.Stats `json:"stats,omitempty"`
 	Result  any         `json:"result"`
+	Cached  bool        `json:"cached,omitempty"`
+	Page    *pageInfo   `json:"page,omitempty"`
+}
+
+// pageInfo describes the slice window a paginated result response covers.
+// NextCursor is absent on the final page.
+type pageInfo struct {
+	Cursor     int `json:"cursor"`
+	Limit      int `json:"limit"`
+	Total      int `json:"total"`
+	NextCursor int `json:"next_cursor,omitempty"`
+}
+
+// pageParams parses ?cursor= and ?limit=, returning a message on invalid
+// input. Both are optional.
+func pageParams(r *http.Request) (cursor, limit int, errMsg string) {
+	limit = DefaultPageLimit
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, 0, "cursor must be a non-negative integer"
+		}
+		cursor = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > MaxPageLimit {
+			return 0, 0, "limit must be in [1, " + strconv.Itoa(MaxPageLimit) + "]"
+		}
+		limit = n
+	}
+	return cursor, limit, ""
+}
+
+// paginate windows the slice fields of a map payload to [cursor,
+// cursor+limit). Payloads that fit in one default window (and were not
+// explicitly paged with a cursor) pass through untouched with a nil
+// pageInfo; non-map payloads and maps without slices always do. Total is
+// the longest slice — vertex vectors in one payload share the vertex
+// count, so one cursor walks them all in lockstep.
+func paginate(payload any, cursor, limit int) (any, *pageInfo) {
+	m, ok := payload.(map[string]any)
+	if !ok {
+		return payload, nil
+	}
+	total := 0
+	for _, v := range m {
+		rv := reflect.ValueOf(v)
+		if rv.Kind() == reflect.Slice && rv.Len() > total {
+			total = rv.Len()
+		}
+	}
+	if total == 0 || (cursor == 0 && total <= limit) {
+		return payload, nil
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		rv := reflect.ValueOf(v)
+		if rv.Kind() != reflect.Slice {
+			out[k] = v
+			continue
+		}
+		lo := min(cursor, rv.Len())
+		hi := min(cursor+limit, rv.Len())
+		out[k] = rv.Slice(lo, hi).Interface()
+	}
+	page := &pageInfo{Cursor: cursor, Limit: limit, Total: total}
+	if cursor+limit < total {
+		page.NextCursor = cursor + limit
+	}
+	return out, page
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -105,7 +211,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone; all we can do is avoid losing the
+		// evidence. Usually a client hangup mid-payload.
+		log.Printf("jobs: encoding %T response: %v", v, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

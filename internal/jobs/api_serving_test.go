@@ -1,0 +1,234 @@
+package jobs
+
+// api_serving_test.go drives the serving features end-to-end over HTTP:
+// the repeated-job result cache (zero edges streamed on the second
+// request), the 503 + Retry-After overload path, and cursor pagination.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func getMap(t *testing.T, url, path string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return out
+}
+
+func pollDone(t *testing.T, url, id string) {
+	t.Helper()
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		info := getMap(t, url, "/jobs/"+id, http.StatusOK)
+		switch info["status"].(string) {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %s ended as %v", id, info)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+}
+
+// TestAPICachedRepeat: the second identical submission over HTTP is
+// served from the result cache — done at submit, stats showing zero
+// edges streamed, and the scheduler's global edge counter unmoved.
+func TestAPICachedRepeat(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	const body = `{"dataset":"g","algo":"bfs","params":{"root":3}}`
+	resp, out := postJob(t, srv.URL, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, out)
+	}
+	id1 := out["id"].(string)
+	pollDone(t, srv.URL, id1)
+	m1 := getMap(t, srv.URL, "/metrics", http.StatusOK)
+	if m1["edges_streamed"].(float64) <= 0 || m1["result_cache_misses"].(float64) != 1 {
+		t.Fatalf("metrics after first run: %v", m1)
+	}
+
+	resp, out = postJob(t, srv.URL, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d (%v)", resp.StatusCode, out)
+	}
+	id2 := out["id"].(string)
+	info := getMap(t, srv.URL, "/jobs/"+id2, http.StatusOK)
+	if info["status"].(string) != "done" || info["cached"] != true {
+		t.Fatalf("resubmission not cached: %v", info)
+	}
+	res := getMap(t, srv.URL, "/jobs/"+id2+"/result", http.StatusOK)
+	if res["cached"] != true {
+		t.Fatalf("result not marked cached: %v", res)
+	}
+	stats := res["stats"].(map[string]any)
+	if stats["EdgesStreamed"].(float64) != 0 {
+		t.Fatalf("cached result streamed edges: %v", stats)
+	}
+	if eng := stats["Engine"].(string); !strings.HasPrefix(eng, "cache(") {
+		t.Fatalf("cached result engine %q", eng)
+	}
+	// Payloads agree with the computed run.
+	res1 := getMap(t, srv.URL, "/jobs/"+id1+"/result", http.StatusOK)
+	l1 := res1["result"].(map[string]any)["levels"].([]any)
+	l2 := res["result"].(map[string]any)["levels"].([]any)
+	if len(l1) != len(l2) {
+		t.Fatalf("payload sizes differ: %d vs %d", len(l1), len(l2))
+	}
+	for v := range l1 {
+		if l1[v] != l2[v] {
+			t.Fatalf("payloads diverge at vertex %d", v)
+		}
+	}
+	m2 := getMap(t, srv.URL, "/metrics", http.StatusOK)
+	if m2["result_cache_hits"].(float64) != 1 {
+		t.Fatalf("hit not counted: %v", m2)
+	}
+	if m2["edges_streamed"] != m1["edges_streamed"] {
+		t.Fatalf("second request streamed edges: %v -> %v", m1["edges_streamed"], m2["edges_streamed"])
+	}
+}
+
+// TestAPIOverloaded503: an over-quota submission is 503 with Retry-After
+// — a transient rejection, not a 400.
+func TestAPIOverloaded503(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1, DefaultQuota: Quota{MaxQueued: 1}})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	s.Pause()
+	resp, out := postJob(t, srv.URL, `{"dataset":"g","algo":"wcc","tenant":"a"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d (%v)", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	resp, out = postJob(t, srv.URL, `{"dataset":"g","algo":"bfs","tenant":"a"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-quota submit: %d, want 503 (%v)", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if out["error"] == "" {
+		t.Fatalf("503 without error body: %v", out)
+	}
+	// Validation failures stay 400: retrying them can never succeed.
+	if resp, _ := postJob(t, srv.URL, `{"dataset":"g","algo":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("validation failure: %d, want 400", resp.StatusCode)
+	}
+	s.Resume()
+	pollDone(t, srv.URL, id)
+	// With the queue drained the tenant has headroom again.
+	if resp, _ := postJob(t, srv.URL, `{"dataset":"g","algo":"bfs","tenant":"a"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit: %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestAPIPagination: cursor-walking a result reassembles exactly the
+// unpaginated vertex vector, scalars repeat on every page, and bad page
+// parameters are 400.
+func TestAPIPagination(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	resp, out := postJob(t, srv.URL, `{"dataset":"g","algo":"wcc"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	pollDone(t, srv.URL, id)
+
+	// Small results pass through whole: no page object.
+	full := getMap(t, srv.URL, "/jobs/"+id+"/result", http.StatusOK)
+	if _, paged := full["page"]; paged {
+		t.Fatalf("unpaginated fetch grew a page object: %v", full["page"])
+	}
+	want := full["result"].(map[string]any)["labels"].([]any)
+	if len(want) == 0 {
+		t.Fatal("empty labels vector")
+	}
+
+	var got []any
+	cursor, limit := 0, 100
+	for page := 0; ; page++ {
+		if page > len(want)/limit+1 {
+			t.Fatal("cursor walk does not terminate")
+		}
+		res := getMap(t, srv.URL,
+			"/jobs/"+id+"/result?cursor="+strconv.Itoa(cursor)+"&limit="+strconv.Itoa(limit), http.StatusOK)
+		payload := res["result"].(map[string]any)
+		// Scalar fields repeat on every page.
+		if payload["components"] == nil {
+			t.Fatalf("page %d lost scalar fields: %v", page, payload)
+		}
+		got = append(got, payload["labels"].([]any)...)
+		pi := res["page"].(map[string]any)
+		if int(pi["total"].(float64)) != len(want) || int(pi["cursor"].(float64)) != cursor {
+			t.Fatalf("page info: %v (cursor %d, total %d)", pi, cursor, len(want))
+		}
+		next, more := pi["next_cursor"]
+		if !more {
+			break
+		}
+		cursor = int(next.(float64))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reassembled %d entries, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("reassembly diverges at vertex %d: %v vs %v", v, got[v], want[v])
+		}
+	}
+
+	// A cursor past the end is an empty final page, not an error.
+	res := getMap(t, srv.URL, "/jobs/"+id+"/result?cursor=1000000&limit=100", http.StatusOK)
+	if n := len(res["result"].(map[string]any)["labels"].([]any)); n != 0 {
+		t.Fatalf("past-the-end page has %d entries", n)
+	}
+	if _, more := res["page"].(map[string]any)["next_cursor"]; more {
+		t.Fatal("past-the-end page advertises a next cursor")
+	}
+
+	// Bad parameters are rejected before any result lookup.
+	for _, q := range []string{"?cursor=-1", "?cursor=x", "?limit=0", "?limit=9999999"} {
+		getMap(t, srv.URL, "/jobs/"+id+"/result"+q, http.StatusBadRequest)
+	}
+}

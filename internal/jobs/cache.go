@@ -1,0 +1,161 @@
+package jobs
+
+// cache.go is the scheduler's result cache: X-Stream's shared-pass
+// argument extended from one batch to the whole request stream. A batch
+// amortizes the sequential edge stream across jobs that happen to be
+// queued together; the cache amortizes it across *time* — a million users
+// asking for the same PageRank pay one pass, and every later identical
+// submission completes at Submit with zero edges streamed.
+//
+// Entries are keyed by (dataset name and version, engine, algorithm,
+// canonical params). Canonicalization (algorithms.CanonicalParams) folds
+// ignored and defaulted fields together, so {"iters":5} and {} hit the
+// same entry; the dataset version keys the graph contents so a future
+// mutation path invalidates by bumping it. Every registered algorithm is
+// deterministic, which is what makes serving one job's payload for
+// another's request sound.
+//
+// The cache is a byte-capped LRU. Callers synchronize (the scheduler uses
+// it under its own mutex).
+
+import (
+	"container/list"
+	"fmt"
+	"reflect"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// cacheEntry is one finished job's reusable outcome.
+type cacheEntry struct {
+	key     string
+	payload any
+	summary string
+	// stats is the zero-work template served on hits: the identity fields
+	// of the computing pass with every work counter zero — a cached
+	// request streams no edges and reads no bytes.
+	stats core.Stats
+	bytes int64
+}
+
+// resultCache is a byte-capped LRU over finished job payloads.
+type resultCache struct {
+	max       int64
+	bytes     int64
+	evictions int64
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+}
+
+func newResultCache(max int64) *resultCache {
+	return &resultCache{max: max, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+// cacheKey renders the canonical key for a request, or ok=false when the
+// request cannot be canonicalized (unknown algorithm — Submit validation
+// rejects it anyway).
+func cacheKey(ds *dataset.Dataset, req Request) (string, bool) {
+	p, ok := algorithms.CanonicalParams(req.Algo, req.Params)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s@v%d|%s|%s|r%d,i%d,u%d",
+		req.Dataset, ds.Version(), req.Engine, req.Algo, p.Root, p.Iters, p.Users), true
+}
+
+// get returns the entry under key, refreshing its recency.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts (or refreshes) an entry and evicts the least recently used
+// until the cache is back under its byte cap. An entry larger than the
+// whole cap is not admitted.
+func (c *resultCache) put(e *cacheEntry) {
+	if e.bytes > c.max {
+		return
+	}
+	if old, ok := c.entries[e.key]; ok {
+		c.bytes -= old.Value.(*cacheEntry).bytes
+		c.ll.Remove(old)
+		delete(c.entries, e.key)
+	}
+	c.entries[e.key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.max {
+		lru := c.ll.Back()
+		if lru == nil {
+			break
+		}
+		ev := lru.Value.(*cacheEntry)
+		c.ll.Remove(lru)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.bytes
+		c.evictions++
+	}
+}
+
+// cacheStats builds the zero-work stats template from the computing
+// pass's stats: identity fields survive, every work counter is zeroed,
+// and the engine is marked so clients can tell a cached answer from a
+// streamed one.
+func cacheStats(st core.Stats) core.Stats {
+	return core.Stats{
+		Algorithm:   st.Algorithm,
+		Engine:      "cache(" + st.Engine + ")",
+		Partitioner: st.Partitioner,
+		Iterations:  st.Iterations,
+		Partitions:  st.Partitions,
+		Threads:     st.Threads,
+	}
+}
+
+// approxBytes estimates the heap footprint of a JSON-encodable payload —
+// maps of scalars and (mostly numeric) vertex vectors — for the cache's
+// byte accounting. Slices of fixed-size elements are sized without
+// iterating; only container elements recurse.
+func approxBytes(v any) int64 {
+	return approxValue(reflect.ValueOf(v))
+}
+
+func approxValue(rv reflect.Value) int64 {
+	switch rv.Kind() {
+	case reflect.Invalid:
+		return 0
+	case reflect.Interface, reflect.Pointer:
+		if rv.IsNil() {
+			return 8
+		}
+		return 16 + approxValue(rv.Elem())
+	case reflect.Slice, reflect.Array:
+		n := int64(24)
+		elem := rv.Type().Elem()
+		switch elem.Kind() {
+		case reflect.Interface, reflect.Pointer, reflect.Slice, reflect.Map, reflect.String:
+			for i := 0; i < rv.Len(); i++ {
+				n += approxValue(rv.Index(i))
+			}
+		default:
+			n += int64(rv.Len()) * int64(elem.Size())
+		}
+		return n
+	case reflect.Map:
+		n := int64(48)
+		iter := rv.MapRange()
+		for iter.Next() {
+			n += approxValue(iter.Key()) + approxValue(iter.Value())
+		}
+		return n
+	case reflect.String:
+		return 16 + int64(rv.Len())
+	default:
+		return int64(rv.Type().Size())
+	}
+}

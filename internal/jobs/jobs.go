@@ -6,21 +6,41 @@
 //
 // Scheduling policy, in order:
 //
+//   - Result cache: a submission whose (dataset version, engine,
+//     algorithm, canonical params) matches a cached finished job
+//     completes at Submit — zero edges streamed — with the cached payload
+//     and a zero-work stats template. See cache.go.
+//   - Tenant quotas: each tenant (Request.Tenant; empty is the shared
+//     default tenant) is bounded by a Quota — submissions beyond
+//     MaxQueued are rejected with an ErrOverloaded-wrapped error (the
+//     HTTP layer's 503), and a tenant at MaxRunning stops being admitted
+//     until its passes finish.
 //   - Admission control: a job's memory footprint (core.Job.MemoryEstimate
 //     over the dataset's sizes) is checked at submit — jobs above the whole
 //     budget are rejected — and the combined footprint of running jobs
 //     never exceeds Config.MemoryBudget; jobs wait in the queue until
 //     memory frees up.
-//   - Batching: when a worker picks the oldest admissible queued job, it
-//     also takes every other queued job on the same (dataset, engine) that
-//     still fits the remaining budget, up to Config.MaxBatch, and runs them
-//     all in one RunMany pass.
+//   - Priority lanes: the seed of the next batch is the
+//     highest-priority admissible queued job (Request.Priority, FIFO
+//     within a lane). Lanes order draining, they do not preempt: a
+//     high-priority job that does not fit the free budget does not block
+//     a fitting lower-priority one.
+//   - Batching: the worker runs the seed plus every other queued job on
+//     the same (dataset, engine) — whatever its lane — that still fits
+//     the remaining budget and its tenant's quota, up to Config.MaxBatch,
+//     all in one RunMany pass. The pass pins its dataset
+//     (dataset.Acquire/Release) so the registry's memory-cap eviction
+//     never closes engine state under a running batch.
 //   - Cancelation: a queued job cancels immediately; a running job is
 //     marked and its result discarded when its pass finishes — and when
 //     every job of a pass is canceled, the pass's context is canceled so
 //     the engines stop between iterations and chunks.
 //   - Retention: finished jobs (and their result payloads) are kept until
-//     Config.Retention newer ones finish, then pruned.
+//     Config.Retention newer ones finish, then pruned. Pruning is
+//     read-agnostic: a result that was never fetched is dropped all the
+//     same, and later fetches get ErrNotFound — clients are expected to
+//     collect results within the retention window (the result cache may
+//     still answer a re-submission of the same request).
 //
 // All methods are safe for concurrent use.
 package jobs
@@ -55,6 +75,12 @@ type Request struct {
 	Algo    string            `json:"algo"`
 	Engine  Engine            `json:"engine,omitempty"`
 	Params  algorithms.Params `json:"params,omitempty"`
+	// Tenant attributes the job for quota accounting and per-tenant
+	// metrics; empty is the shared default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the scheduling lane: higher lanes drain first,
+	// FIFO within a lane. 0 is the default lane; negative is background.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Status is a job's lifecycle state.
@@ -93,6 +119,12 @@ type Info struct {
 	Summary string `json:"summary,omitempty"`
 	// MemoryEstimate is the admission-control footprint in bytes.
 	MemoryEstimate int64 `json:"memory_estimate"`
+	// Tenant and Priority echo the request's quota/lane fields.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// Cached reports that the job was answered from the result cache —
+	// it was done at submission, with zero edges streamed.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Metrics are the scheduler's cumulative counters, served by GET /metrics.
@@ -112,6 +144,39 @@ type Metrics struct {
 	MemoryInUse   int64 `json:"memory_in_use"`
 	QueueDepth    int   `json:"queue_depth"`
 	Running       int   `json:"running"`
+	// QuotaRejected counts submissions refused because the tenant's
+	// MaxQueued quota was full (the HTTP layer's 503s).
+	QuotaRejected int64 `json:"quota_rejected"`
+	// Result-cache counters: hits answered with zero edges streamed,
+	// misses that went on to compute (cacheable submissions only), the
+	// bytes and entries currently cached, and entries evicted by the
+	// cache's byte cap.
+	CacheHits      int64 `json:"result_cache_hits"`
+	CacheMisses    int64 `json:"result_cache_misses"`
+	CacheBytes     int64 `json:"result_cache_bytes"`
+	CacheEntries   int   `json:"result_cache_entries"`
+	CacheEvictions int64 `json:"result_cache_evictions"`
+	// Tenants snapshots per-tenant queue/running depth (omitted when no
+	// tenant has active jobs).
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+	// Datasets mirrors the dataset registry's residency counters
+	// (memory cap, resident bytes, evictions).
+	Datasets dataset.Metrics `json:"datasets"`
+}
+
+// TenantMetrics is one tenant's live load in Metrics.Tenants.
+type TenantMetrics struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// Quota bounds one tenant's concurrent load. Zero fields are unlimited.
+type Quota struct {
+	// MaxRunning caps the tenant's jobs admitted into running batches.
+	MaxRunning int `json:"max_running,omitempty"`
+	// MaxQueued caps the tenant's waiting jobs; submissions beyond it
+	// are rejected with an ErrOverloaded-wrapped error.
+	MaxQueued int `json:"max_queued,omitempty"`
 }
 
 // Config tunes the scheduler. The zero value is usable.
@@ -127,6 +192,16 @@ type Config struct {
 	// Retention is how many finished jobs are kept before the oldest are
 	// pruned. 0 means 256.
 	Retention int
+	// ResultCacheBytes caps the result cache: identical submissions
+	// (dataset version, engine, algorithm, canonical params) are
+	// answered from cache with zero edges streamed. 0 means 256 MiB;
+	// negative disables caching.
+	ResultCacheBytes int64
+	// DefaultQuota applies to every tenant without a TenantQuotas entry,
+	// including the empty default tenant. The zero Quota is unlimited.
+	DefaultQuota Quota
+	// TenantQuotas overrides DefaultQuota per tenant name.
+	TenantQuotas map[string]Quota
 }
 
 func (c Config) withDefaults() Config {
@@ -142,11 +217,20 @@ func (c Config) withDefaults() Config {
 	if c.Retention <= 0 {
 		c.Retention = 256
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 256 << 20
+	}
 	return c
 }
 
 // ErrNotFound reports an unknown (or already pruned) job ID.
 var ErrNotFound = errors.New("jobs: job not found")
+
+// ErrOverloaded marks transient submit rejections — a tenant's MaxQueued
+// quota is full, or the scheduler is shutting down. Clients should retry
+// later; the HTTP layer maps it to 503 with a Retry-After header, keeping
+// it distinct from the 400s of permanent validation failures.
+var ErrOverloaded = errors.New("jobs: overloaded, retry later")
 
 // job is the scheduler's internal record.
 type job struct {
@@ -166,6 +250,8 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	canceled  bool
+	cached    bool
+	cacheKey  string
 	batchRef  *batchState
 }
 
@@ -191,13 +277,27 @@ type Scheduler struct {
 	paused  bool
 	closed  bool
 	metrics Metrics
+	cache   *resultCache
+	tenants map[string]*tenantState
 	nextID  int
 	wg      sync.WaitGroup
 }
 
+// tenantState is one tenant's live quota accounting.
+type tenantState struct {
+	queued  int
+	running int
+}
+
 // New starts a scheduler over reg with Config.Workers batch runners.
 func New(reg *dataset.Registry, cfg Config) *Scheduler {
-	s := &Scheduler{reg: reg, cfg: cfg.withDefaults(), jobs: map[string]*job{}}
+	s := &Scheduler{
+		reg: reg, cfg: cfg.withDefaults(),
+		jobs: map[string]*job{}, tenants: map[string]*tenantState{},
+	}
+	if s.cfg.ResultCacheBytes > 0 {
+		s.cache = newResultCache(s.cfg.ResultCacheBytes)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -246,21 +346,80 @@ func (s *Scheduler) Submit(req Request) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return "", fmt.Errorf("scheduler is closed")
+		return "", fmt.Errorf("scheduler is closed: %w", ErrOverloaded)
 	}
 	if est > s.cfg.MemoryBudget {
 		return "", fmt.Errorf("job needs ~%d bytes of memory, above the scheduler budget of %d", est, s.cfg.MemoryBudget)
 	}
+
+	// Result cache: an identical finished job answers this one at submit,
+	// with zero edges streamed — no queue, no quota charge.
+	var key string
+	if s.cache != nil {
+		if k, ok := cacheKey(ds, req); ok {
+			key = k
+			if e, hit := s.cache.get(key); hit {
+				s.nextID++
+				now := time.Now()
+				st := e.stats
+				j := &job{
+					id: fmt.Sprintf("j%06d", s.nextID), req: req, ds: ds, est: est,
+					status: StatusDone, submitted: now, finished: now,
+					summary: e.summary, result: e.payload, stats: &st, cached: true,
+				}
+				s.jobs[j.id] = j
+				s.done = append(s.done, j.id)
+				s.metrics.Submitted++
+				s.metrics.Completed++
+				s.metrics.CacheHits++
+				s.pruneLocked()
+				s.cond.Broadcast()
+				return j.id, nil
+			}
+			s.metrics.CacheMisses++
+		}
+	}
+
+	// Tenant quota: reject beyond MaxQueued so a single tenant cannot
+	// occupy the whole queue. Transient by design — ErrOverloaded.
+	q := s.quotaFor(req.Tenant)
+	ts := s.tenant(req.Tenant)
+	if q.MaxQueued > 0 && ts.queued >= q.MaxQueued {
+		s.metrics.QuotaRejected++
+		return "", fmt.Errorf("tenant %q has %d jobs queued (quota %d): %w",
+			req.Tenant, ts.queued, q.MaxQueued, ErrOverloaded)
+	}
+
 	s.nextID++
 	j := &job{
 		id: fmt.Sprintf("j%06d", s.nextID), req: req, inst: inst, ds: ds,
-		est: est, status: StatusQueued, submitted: time.Now(),
+		est: est, status: StatusQueued, submitted: time.Now(), cacheKey: key,
 	}
 	s.jobs[j.id] = j
 	s.queue = append(s.queue, j)
+	ts.queued++
 	s.metrics.Submitted++
 	s.cond.Broadcast()
 	return j.id, nil
+}
+
+// quotaFor resolves a tenant's effective quota.
+func (s *Scheduler) quotaFor(tenant string) Quota {
+	if q, ok := s.cfg.TenantQuotas[tenant]; ok {
+		return q
+	}
+	return s.cfg.DefaultQuota
+}
+
+// tenant returns (creating if needed) a tenant's accounting record.
+// Caller holds s.mu.
+func (s *Scheduler) tenant(name string) *tenantState {
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[name] = ts
+	}
+	return ts
 }
 
 // worker runs batches until the scheduler closes.
@@ -292,30 +451,57 @@ func (s *Scheduler) nextBatch() *batchState {
 	}
 }
 
-// admitLocked pops the next batch under the memory budget: the oldest
-// queued job that fits the free budget, plus every younger queued job of
-// the same (dataset, engine) that still fits, up to MaxBatch.
+// admitLocked pops the next batch under the memory budget and the tenant
+// quotas. The seed is the highest-priority queued job (FIFO within a
+// lane) that fits the free budget and whose tenant is under MaxRunning;
+// the batch then takes every other queued job — older or younger,
+// whatever its lane — on the same (dataset, engine) that still fits the
+// remaining budget and its own tenant's quota, up to MaxBatch. Riding
+// along never delays the seed: the mates share its pass.
 func (s *Scheduler) admitLocked() *batchState {
 	avail := s.cfg.MemoryBudget - s.memUse
+	// pending counts jobs claimed into this batch per tenant, on top of
+	// already-running ones, so one batch cannot blow through MaxRunning.
+	pending := map[string]int{}
+	admissible := func(j *job, budget int64) bool {
+		if j.est > budget {
+			return false
+		}
+		q := s.quotaFor(j.req.Tenant)
+		if q.MaxRunning > 0 {
+			ts := s.tenant(j.req.Tenant)
+			if ts.running+pending[j.req.Tenant] >= q.MaxRunning {
+				return false
+			}
+		}
+		return true
+	}
 	seed := -1
 	for i, j := range s.queue {
-		if j.est <= avail {
+		if !admissible(j, avail) {
+			continue
+		}
+		if seed < 0 || j.req.Priority > s.queue[seed].req.Priority {
 			seed = i
-			break
 		}
 	}
 	if seed < 0 {
 		return nil
 	}
 	sj := s.queue[seed]
-	b := &batchState{}
-	rest := s.queue[:seed:seed]
-	var sum int64
-	for _, j := range s.queue[seed:] {
+	b := &batchState{jobs: []*job{sj}}
+	sum := sj.est
+	pending[sj.req.Tenant]++
+	var rest []*job
+	for i, j := range s.queue {
+		if i == seed {
+			continue
+		}
 		if len(b.jobs) < s.cfg.MaxBatch &&
 			j.req.Dataset == sj.req.Dataset && j.req.Engine == sj.req.Engine &&
-			sum+j.est <= avail {
+			admissible(j, avail-sum) {
 			sum += j.est
+			pending[j.req.Tenant]++
 			b.jobs = append(b.jobs, j)
 		} else {
 			rest = append(rest, j)
@@ -331,13 +517,18 @@ func (s *Scheduler) admitLocked() *batchState {
 		j.started = now
 		j.batchSize = len(b.jobs)
 		j.batchRef = b
+		ts := s.tenant(j.req.Tenant)
+		ts.queued--
+		ts.running++
 	}
 	s.metrics.Batches++
 	s.metrics.BatchedJobs += int64(len(b.jobs))
 	return b
 }
 
-// runBatch executes one shared pass and records every job's outcome.
+// runBatch executes one shared pass and records every job's outcome. The
+// batch's dataset is pinned for the duration so the registry's memory-cap
+// eviction never closes engine state under the pass.
 func (s *Scheduler) runBatch(b *batchState) {
 	defer b.cancel()
 	set := make(core.ProgramSet, len(b.jobs))
@@ -348,6 +539,7 @@ func (s *Scheduler) runBatch(b *batchState) {
 	var pass core.Stats
 	var err error
 	j0 := b.jobs[0]
+	j0.ds.Acquire()
 	switch j0.req.Engine {
 	case EngineMem:
 		pp, perr := j0.ds.Mem()
@@ -364,6 +556,7 @@ func (s *Scheduler) runBatch(b *batchState) {
 			results, pass, err = pp.RunMany(b.ctx, set)
 		}
 	}
+	j0.ds.Release()
 
 	now := time.Now()
 	s.mu.Lock()
@@ -373,6 +566,7 @@ func (s *Scheduler) runBatch(b *batchState) {
 		sum += j.est
 		j.finished = now
 		j.batchRef = nil
+		s.tenant(j.req.Tenant).running--
 		switch {
 		case j.canceled:
 			j.status = StatusCanceled
@@ -389,6 +583,13 @@ func (s *Scheduler) runBatch(b *batchState) {
 			st := res.Stats
 			j.stats = &st
 			s.metrics.Completed++
+			if s.cache != nil && j.cacheKey != "" {
+				s.cache.put(&cacheEntry{
+					key: j.cacheKey, payload: j.result, summary: j.summary,
+					stats: cacheStats(st),
+					bytes: approxBytes(j.result) + int64(len(j.cacheKey)+len(j.summary)),
+				})
+			}
 		}
 		s.done = append(s.done, j.id)
 	}
@@ -434,6 +635,7 @@ func (s *Scheduler) Cancel(id string) error {
 		j.status = StatusCanceled
 		j.canceled = true
 		j.finished = time.Now()
+		s.tenant(j.req.Tenant).queued--
 		s.metrics.Canceled++
 		s.done = append(s.done, j.id)
 		s.pruneLocked()
@@ -468,6 +670,7 @@ func (s *Scheduler) infoLocked(j *job) Info {
 		ID: j.id, Dataset: j.req.Dataset, Algo: j.req.Algo, Engine: j.req.Engine,
 		Params: j.req.Params, Status: j.status, Submitted: j.submitted,
 		BatchSize: j.batchSize, Summary: j.summary, MemoryEstimate: j.est,
+		Tenant: j.req.Tenant, Priority: j.req.Priority, Cached: j.cached,
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
@@ -530,14 +733,30 @@ func (s *Scheduler) Result(id string) (payload any, summary string, stats *core.
 	}
 }
 
-// Metrics snapshots the scheduler counters.
+// Metrics snapshots the scheduler counters, the result-cache state and
+// the dataset registry's residency counters.
 func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := s.metrics
 	m.MemoryInUse = s.memUse
 	m.QueueDepth = len(s.queue)
 	m.Running = s.running
+	if s.cache != nil {
+		m.CacheBytes = s.cache.bytes
+		m.CacheEntries = len(s.cache.entries)
+		m.CacheEvictions = s.cache.evictions
+	}
+	for name, ts := range s.tenants {
+		if ts.queued == 0 && ts.running == 0 {
+			continue
+		}
+		if m.Tenants == nil {
+			m.Tenants = map[string]TenantMetrics{}
+		}
+		m.Tenants[name] = TenantMetrics{Queued: ts.queued, Running: ts.running}
+	}
+	s.mu.Unlock()
+	m.Datasets = s.reg.Metrics()
 	return m
 }
 
@@ -594,6 +813,7 @@ func (s *Scheduler) Close() {
 		j.status = StatusCanceled
 		j.canceled = true
 		j.finished = now
+		s.tenant(j.req.Tenant).queued--
 		s.metrics.Canceled++
 		s.done = append(s.done, j.id)
 	}

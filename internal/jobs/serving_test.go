@@ -1,0 +1,355 @@
+package jobs
+
+// serving_test.go covers the production-serving features layered onto the
+// scheduler: the result cache, per-tenant quotas, priority lanes, and the
+// lifecycle edges (Wait under cancelation, cancel-while-queued races,
+// fetching pruned results).
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+)
+
+// TestResultCacheHit: an identical resubmission completes at Submit from
+// the cache — no new edges streamed — and canonicalization folds params
+// the algorithm ignores.
+func TestResultCacheHit(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+
+	id1, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Params: algorithms.Params{Root: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id1)
+	m1 := s.Metrics()
+	if m1.CacheMisses != 1 || m1.CacheHits != 0 || m1.EdgesStreamed <= 0 {
+		t.Fatalf("after first run: %+v", m1)
+	}
+
+	// Same canonical key: BFS ignores Iters, so a junk value still hits.
+	id2, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Params: algorithms.Params{Root: 3, Iters: 999}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.Get(id2)
+	if !ok || info.Status != StatusDone || !info.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", info)
+	}
+	p1, _, _, err := s.Result(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, st2, err := s.Result(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.EdgesStreamed != 0 || st2.BytesStreamed != 0 {
+		t.Fatalf("cached result reports streaming work: %+v", st2)
+	}
+	if !strings.HasPrefix(st2.Engine, "cache(") {
+		t.Fatalf("cached result not marked: engine %q", st2.Engine)
+	}
+	l1 := p1.(map[string]any)["levels"].([]int32)
+	l2 := p2.(map[string]any)["levels"].([]int32)
+	for v := range l1 {
+		if l1[v] != l2[v] {
+			t.Fatalf("cached payload diverges at vertex %d: %d vs %d", v, l1[v], l2[v])
+		}
+	}
+	m2 := s.Metrics()
+	if m2.CacheHits != 1 || m2.Completed != 2 {
+		t.Fatalf("after hit: %+v", m2)
+	}
+	if m2.EdgesStreamed != m1.EdgesStreamed {
+		t.Fatalf("cache hit streamed edges: %d -> %d", m1.EdgesStreamed, m2.EdgesStreamed)
+	}
+	if m2.CacheEntries < 1 || m2.CacheBytes <= 0 {
+		t.Fatalf("cache accounting: %+v", m2)
+	}
+
+	// A different root is a different canonical key: miss.
+	id3, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Params: algorithms.Params{Root: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := s.Get(id3); info.Cached {
+		t.Fatal("different params served from cache")
+	}
+	waitDone(t, s, id3)
+	if m := s.Metrics(); m.CacheMisses != 2 {
+		t.Fatalf("miss not counted: %+v", m)
+	}
+}
+
+// TestResultCacheDisabled: a negative capacity turns the cache off.
+func TestResultCacheDisabled(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1, ResultCacheBytes: -1})
+	defer s.Close()
+	id1, err := s.Submit(Request{Dataset: "g", Algo: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id1)
+	id2, err := s.Submit(Request{Dataset: "g", Algo: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s, id2)
+	if info.Cached {
+		t.Fatal("disabled cache served a hit")
+	}
+	if m := s.Metrics(); m.CacheHits != 0 || m.CacheEntries != 0 {
+		t.Fatalf("disabled cache has state: %+v", m)
+	}
+}
+
+// TestQuotaMaxQueued: the per-tenant queue bound rejects with
+// ErrOverloaded (the transient, retryable error) and tenants do not
+// starve each other.
+func TestQuotaMaxQueued(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1, DefaultQuota: Quota{MaxQueued: 2}})
+	defer s.Close()
+	s.Pause()
+	ids := []string{}
+	for _, algo := range []string{"wcc", "bfs"} {
+		id, err := s.Submit(Request{Dataset: "g", Algo: algo, Tenant: "a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := s.Submit(Request{Dataset: "g", Algo: "pagerank", Tenant: "a"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-quota submit: %v, want ErrOverloaded", err)
+	}
+	// A different tenant has its own allowance.
+	bid, err := s.Submit(Request{Dataset: "g", Algo: "pagerank", Tenant: "b"})
+	if err != nil {
+		t.Fatalf("tenant b starved by tenant a's quota: %v", err)
+	}
+	ids = append(ids, bid)
+	m := s.Metrics()
+	if m.QuotaRejected != 1 || m.Tenants["a"].Queued != 2 || m.Tenants["b"].Queued != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	s.Resume()
+	for _, id := range ids {
+		waitDone(t, s, id)
+	}
+	if m := s.Metrics(); m.Tenants != nil {
+		t.Fatalf("idle tenants still reported: %+v", m.Tenants)
+	}
+}
+
+// TestQuotaOverride: a per-tenant entry overrides the default, and zero
+// fields mean unlimited.
+func TestQuotaOverride(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{
+		Workers:      1,
+		DefaultQuota: Quota{MaxQueued: 1},
+		TenantQuotas: map[string]Quota{"vip": {}},
+	})
+	defer s.Close()
+	s.Pause()
+	ids := []string{}
+	for _, algo := range []string{"wcc", "bfs", "pagerank"} {
+		id, err := s.Submit(Request{Dataset: "g", Algo: algo, Tenant: "vip"})
+		if err != nil {
+			t.Fatalf("unlimited tenant rejected: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := s.Submit(Request{Dataset: "g", Algo: "wcc", Tenant: "basic"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Tenant: "basic"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("default quota not applied: %v", err)
+	}
+	s.Resume()
+	for _, id := range ids {
+		waitDone(t, s, id)
+	}
+}
+
+// TestQuotaMaxRunning: with MaxRunning 1, a tenant's second job is not
+// admitted until the first completes, even with idle workers.
+func TestQuotaMaxRunning(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 2, DefaultQuota: Quota{MaxRunning: 1}})
+	defer s.Close()
+	s.Pause()
+	// Different datasets so the two jobs can never share a batch.
+	a, err := s.Submit(Request{Dataset: "g", Algo: "pagerank", Tenant: "t", Params: algorithms.Params{Iters: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(Request{Dataset: "gdisk", Algo: "wcc", Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Resume()
+	ia := waitDone(t, s, a)
+	ib := waitDone(t, s, b)
+	if ia.Status != StatusDone || ib.Status != StatusDone {
+		t.Fatalf("jobs: %s / %s", ia.Status, ib.Status)
+	}
+	// The quota serializes them: b starts only after a finished.
+	if ib.Started == nil || ia.Finished == nil {
+		t.Fatalf("missing timestamps: %+v / %+v", ia, ib)
+	}
+	if ib.Started.Before(*ia.Finished) {
+		t.Fatalf("tenant ran two jobs at once under MaxRunning=1: a finished %v, b started %v",
+			ia.Finished, ib.Started)
+	}
+}
+
+// TestPriorityLanes: with one worker, the higher lane is seeded first
+// even when a lower-priority job was submitted earlier.
+func TestPriorityLanes(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	s.Pause()
+	// Different datasets so the jobs cannot ride the same pass.
+	slow, err := s.Submit(Request{Dataset: "gdisk", Algo: "pagerank", Params: algorithms.Params{Iters: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Resume()
+	fi := waitDone(t, s, fast)
+	si := waitDone(t, s, slow)
+	if fi.Status != StatusDone || si.Status != StatusDone {
+		t.Fatalf("jobs: %s / %s", fi.Status, si.Status)
+	}
+	if fi.Started == nil || si.Started == nil {
+		t.Fatalf("missing timestamps: %+v / %+v", fi, si)
+	}
+	if si.Started.Before(*fi.Started) {
+		t.Fatalf("lower-priority job seeded first: high started %v, low started %v",
+			fi.Started, si.Started)
+	}
+}
+
+// TestWaitContextCancel: Wait returns the context's error (with the
+// job's current info) instead of blocking forever.
+func TestWaitContextCancel(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	s.Pause()
+	id, err := s.Submit(Request{Dataset: "g", Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	info, err := s.Wait(ctx, id)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under deadline: %v", err)
+	}
+	if info.Status != StatusQueued {
+		t.Fatalf("info not current at cancelation: %+v", info)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := s.Wait(ctx2, id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under canceled ctx: %v", err)
+	}
+	if _, err := s.Wait(context.Background(), "j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait on unknown id: %v", err)
+	}
+	s.Resume()
+	waitDone(t, s, id)
+}
+
+// TestCancelWhileQueuedRace: concurrent cancels racing the dispatcher
+// leave every job terminal and the accounting consistent. Run with
+// -race in CI.
+func TestCancelWhileQueuedRace(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 2, ResultCacheBytes: -1})
+	defer s.Close()
+	s.Pause()
+	const n = 12
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := s.Submit(Request{Dataset: "g", Algo: "wcc", Tenant: "racer"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Resume() }()
+	for _, id := range ids[:n/2] {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			_ = s.Cancel(id) // losing the race to completion is fine
+		}(id)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		info, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if !info.Status.Terminal() {
+			t.Fatalf("job %s not terminal: %s", id, info.Status)
+		}
+	}
+	m := s.Metrics()
+	if m.Completed+m.Canceled != n || m.QueueDepth != 0 || m.Running != 0 {
+		t.Fatalf("metrics after drain: %+v", m)
+	}
+	if m.Tenants != nil {
+		t.Fatalf("tenant accounting leaked: %+v", m.Tenants)
+	}
+}
+
+// TestResultAfterPrune: once retention pruned a job, every lookup —
+// status, result, wait — reports ErrNotFound, the documented behavior.
+func TestResultAfterPrune(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1, Retention: 1})
+	defer s.Close()
+	id1, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Params: algorithms.Params{Root: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id1)
+	id2, err := s.Submit(Request{Dataset: "g", Algo: "bfs", Params: algorithms.Params{Root: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id2)
+	if _, ok := s.Get(id1); ok {
+		t.Fatal("pruned job still visible")
+	}
+	if _, _, _, err := s.Result(id1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Result after prune: %v, want ErrNotFound", err)
+	}
+	if _, err := s.Wait(context.Background(), id1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait after prune: %v, want ErrNotFound", err)
+	}
+	if _, _, _, err := s.Result(id2); err != nil {
+		t.Fatalf("retained job unavailable: %v", err)
+	}
+}

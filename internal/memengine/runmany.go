@@ -123,6 +123,27 @@ func (pp *Prepared) NumEdges() int64 { return pp.ne }
 // Partitions returns the shared partition count.
 func (pp *Prepared) Partitions() int { return pp.part.K }
 
+// Bytes returns the handle's resident memory footprint: the shuffled edge
+// buffer, the transposed buffer when it has been built, and the tile
+// indexes. The serving layer's dataset registry charges this against its
+// memory cap when deciding what to evict.
+func (pp *Prepared) Bytes() int64 {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	edgeBytes := int64(pod.Size[core.Edge]())
+	spanBytes := int64(pod.Size[core.SrcSpan]())
+	n := int64(pp.fwd.Cap()) * edgeBytes
+	if pp.bwd != nil {
+		n += int64(pp.bwd.Cap()) * edgeBytes
+	}
+	for _, tiles := range [][][]core.SrcSpan{pp.tilesFwd, pp.tilesBwd} {
+		for _, t := range tiles {
+			n += int64(len(t)) * spanBytes
+		}
+	}
+	return n
+}
+
 // edges returns the edge buffer (and, when wanted, tile index) for a
 // direction, building the transpose and index lazily, at most once.
 func (pp *Prepared) edges(dir core.Direction, needTiles bool) (*streambuf.Buffer[core.Edge], [][]core.SrcSpan, error) {
