@@ -1,8 +1,10 @@
 // Command benchgate is the perf-regression gate of the CI pipeline: it
 // diffs a fresh cmd/xbench -json report against a checked-in baseline and
-// fails (exit 1) when any shared metric regressed beyond the threshold.
+// fails (exit 1) when any shared metric moved beyond the threshold — in
+// either direction.
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.20
+//	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -update
 //
 // Metrics are, by convention, deterministic work measures where lower is
 // better — update-stream bytes, record counts, cross-partition fractions.
@@ -12,11 +14,20 @@
 // (which records share a shuffle slice, and therefore fold together,
 // varies slightly run to run), not timing jitter.
 //
-// Exit status: 0 clean (improvements are reported, not failed), 1 on
-// regression, 2 on usage or I/O errors. A metric present only in the
-// current report is fine (new experiments start gating on the next
-// baseline refresh); a metric that disappeared is a warning, since a
-// silently dropped metric would otherwise disable its gate forever.
+// The gate is direction-aware. A metric above baseline by more than the
+// threshold is a regression. A metric *below* baseline by more than the
+// threshold also fails: the baseline is stale, and leaving it in place
+// would hand the slack to the next real regression (a metric improved 40%
+// then regressed 35% would still read "GOOD"). Either failure names the
+// fix — rerun with -update, which rewrites the baseline file from the
+// current report and exits clean.
+//
+// Exit status: 0 clean (small improvements are reported, not failed), 1
+// on regression or stale baseline, 2 on usage or I/O errors. A metric
+// present only in the current report is fine (new experiments start
+// gating on the next baseline refresh); a metric that disappeared is a
+// warning, since a silently dropped metric would otherwise disable its
+// gate forever.
 package main
 
 import (
@@ -26,6 +37,10 @@ import (
 	"os"
 	"sort"
 )
+
+// runList is every experiment the CI bench-smoke job runs; the regen hint
+// printed on failure must stay in lockstep with .github/workflows/ci.yml.
+const runList = "figcombine,figcompress,figfrontier,figlocality,figshare"
 
 type report struct {
 	Results []struct {
@@ -57,16 +72,35 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
 		currentPath  = flag.String("current", "BENCH_ci.json", "freshly generated report")
-		threshold    = flag.Float64("threshold", 0.20, "allowed relative increase before a metric counts as regressed")
+		threshold    = flag.Float64("threshold", 0.20, "allowed relative change before a metric counts as regressed (above) or stale (below)")
+		update       = flag.Bool("update", false, "rewrite the baseline from the current report and exit clean")
 	)
 	flag.Parse()
 
-	baseline, err := load(*baselinePath)
+	current, err := load(*currentPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	current, err := load(*currentPath)
+	if *update {
+		if len(current) == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: refusing to install %s as baseline: it has no metrics\n", *currentPath)
+			os.Exit(2)
+		}
+		raw, err := os.ReadFile(*currentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s refreshed from %s (%d metrics)\n", *baselinePath, *currentPath, len(current))
+		return
+	}
+
+	baseline, err := load(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
@@ -82,7 +116,7 @@ func main() {
 	}
 	sort.Strings(keys)
 
-	regressed, improved, missing, compared := 0, 0, 0, 0
+	regressed, stale, improved, missing, compared := 0, 0, 0, 0, 0
 	for _, k := range keys {
 		base := baseline[k]
 		cur, ok := current[k]
@@ -105,13 +139,17 @@ func main() {
 				k, base, cur, 100*(cur/base-1), 100**threshold)
 			regressed++
 		case cur < base*(1-*threshold):
+			fmt.Printf("STALE %-55s %0.4g -> %0.4g (%.1f%% — improvement exceeds threshold)\n",
+				k, base, cur, 100*(cur/base-1))
+			stale++
+		case cur < base:
 			fmt.Printf("GOOD  %-55s %0.4g -> %0.4g (%.1f%%)\n", k, base, cur, 100*(cur/base-1))
 			improved++
 		}
 	}
 
-	fmt.Printf("benchgate: %d metrics compared, %d regressed, %d improved, %d missing (threshold +%.0f%%)\n",
-		compared, regressed, improved, missing, 100**threshold)
+	fmt.Printf("benchgate: %d metrics compared, %d regressed, %d stale, %d improved, %d missing (threshold ±%.0f%%)\n",
+		compared, regressed, stale, improved, missing, 100**threshold)
 	if compared == 0 {
 		// Nothing overlapped: a renamed experiment or metric key would
 		// otherwise turn the gate off silently and leave CI green forever.
@@ -119,8 +157,15 @@ func main() {
 		os.Exit(2)
 	}
 	if regressed > 0 {
-		fmt.Println("benchgate: perf regression detected — if intentional, regenerate the baseline with:")
-		fmt.Println("  go run ./cmd/xbench -run figcombine,figfrontier,figlocality -quick -threads 2 -json BENCH_baseline.json")
+		fmt.Println("benchgate: perf regression detected — if intentional, refresh the baseline with:")
+		fmt.Println("  go run ./cmd/xbench -run " + runList + " -quick -threads 2 -json BENCH_ci.json")
+		fmt.Println("  go run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -update")
+		os.Exit(1)
+	}
+	if stale > 0 {
+		fmt.Println("benchgate: metrics improved past the threshold — the baseline is stale and would mask an equal-sized future regression; refresh it with:")
+		fmt.Println("  go run ./cmd/xbench -run " + runList + " -quick -threads 2 -json BENCH_ci.json")
+		fmt.Println("  go run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -update")
 		os.Exit(1)
 	}
 }

@@ -78,6 +78,7 @@ func main() {
 		resCache  = flag.String("result-cache", "256m", "result cache capacity (e.g. 64m, 0 = disabled)")
 		quotas    = flag.String("tenant-quotas", "", `per-tenant job quotas: "R,Q[;name=R,Q;...]" (R max running, Q max queued, 0 = unlimited)`)
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight HTTP requests on shutdown")
+		compress  = flag.Bool("compress-tiles", false, "store out-of-core partition edge files as delta-varint compressed tiles (bit-identical results, fewer physical bytes read)")
 	)
 	flag.Var(&specs, "dataset", "dataset spec name=rmat:scale[:ef[:seed]][:undirected] or name=file:path[:undirected] (repeatable)")
 	flag.Parse()
@@ -117,11 +118,12 @@ func main() {
 			fatal("-dataset %q: %v", spec, err)
 		}
 		_, err = reg.Add(name, src, dataset.Options{
-			Partitioner: *partition,
-			Replicate:   *replicate,
-			Undirected:  undirected,
-			Threads:     *threads,
-			Device:      dev,
+			Partitioner:   *partition,
+			Replicate:     *replicate,
+			Undirected:    undirected,
+			Threads:       *threads,
+			Device:        dev,
+			CompressTiles: *compress,
 		})
 		if err != nil {
 			fatal("%v", err)

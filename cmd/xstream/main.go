@@ -63,6 +63,7 @@ func main() {
 		replicate  = flag.Int("replicate", 0, "mirror up to N high-in-degree vertices so their cross-partition updates collapse to per-partition syncs (0 = off; needs an algorithm with a combiner)")
 		combine    = flag.Bool("combine", true, "pre-aggregate the update stream when the algorithm has a combiner")
 		selective  = flag.Bool("selective", true, "skip inactive partitions and edge tiles when the algorithm has a frontier (bfs/sssp/wcc)")
+		compress   = flag.Bool("compress-tiles", false, "disk engine: store partition edge files as delta-varint compressed tiles (bit-identical results, fewer physical bytes read)")
 		savePerm   = flag.String("save-permutation", "", "save the partitioner's vertex relabeling to this file after planning")
 		loadPerm   = flag.String("load-permutation", "", "replay a saved vertex relabeling instead of running the partitioner")
 	)
@@ -149,13 +150,14 @@ func main() {
 			fatal("unknown -device %q", *device)
 		}
 		diskCfg := xstream.DiskConfig{
-			Device:       dev,
-			MemoryBudget: parseBytes(*budget),
-			IOUnit:       int(parseBytes(*ioUnit)),
-			Threads:      *threads,
-			Partitioner:  partitioner,
-			NoCombine:    !*combine,
-			Selective:    *selective,
+			Device:        dev,
+			MemoryBudget:  parseBytes(*budget),
+			IOUnit:        int(parseBytes(*ioUnit)),
+			Threads:       *threads,
+			Partitioner:   partitioner,
+			NoCombine:     !*combine,
+			Selective:     *selective,
+			CompressTiles: *compress,
 		}
 		out, err = diskengine.RunJob(context.Background(), src, inst.Job, diskCfg)
 	default:
@@ -183,6 +185,12 @@ func main() {
 		fmt.Printf("selective: %d of %d edges skipped (%.1f%%), %d partitions + %d tiles elided\n",
 			stats.EdgesSkipped, stats.EdgesStreamed+stats.EdgesSkipped,
 			100*stats.SkippedFraction(), stats.PartitionsSkipped, stats.TilesSkipped)
+	}
+	if stats.CompressedRatio > 0 {
+		fmt.Printf("compressed tiles: %d bytes read for %d logical (%.1f%% saved), %d tiles delta-coded, layout at %.2f of raw\n",
+			stats.BytesRead, stats.BytesReadLogical,
+			100*(1-float64(stats.BytesRead)/float64(stats.BytesReadLogical)),
+			stats.TilesCompressed, stats.CompressedRatio)
 	}
 	fmt.Println(inst.Summarize(out.Vertices))
 	if inst.EvalEdges != nil {

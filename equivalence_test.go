@@ -658,6 +658,142 @@ func TestSelectiveBitParity(t *testing.T) {
 	}
 }
 
+// ---- compressed edge tiles equivalence ----
+
+// compressCase is one (partitioner, selective) combination run twice on
+// the disk engine — raw tiles and delta-compressed tiles. Compression is
+// a storage-layer change below the reader, so every pair must agree
+// bit-for-bit; the matrix across partitioners (delta coding leans on the
+// 2PS relabeling, but must also hold for range) and selective on/off
+// (planned segments interact with tile skipping) is what proves decode
+// placement never leaks into results.
+type compressCase struct {
+	name      string
+	part      func() xstream.Partitioner
+	selective bool
+}
+
+func compressCases() []compressCase {
+	var out []compressCase
+	for _, part := range []struct {
+		name string
+		mk   func() xstream.Partitioner
+	}{
+		{"range", xstream.NewRangePartitioner},
+		{"2ps", xstream.New2PSPartitioner},
+	} {
+		for _, sel := range []bool{false, true} {
+			mode := "dense"
+			if sel {
+				mode = "selective"
+			}
+			out = append(out, compressCase{
+				name:      part.name + "/" + mode,
+				part:      part.mk,
+				selective: sel,
+			})
+		}
+	}
+	return out
+}
+
+// runCompress executes prog out of core with raw or compressed tiles.
+func runCompress[V, M any](t *testing.T, c compressCase, threads int, compress bool, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
+	t.Helper()
+	dev := xstream.NewSimDevice(xstream.SimSSD("cmp-equiv", 2, 0))
+	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
+		Device: dev, Threads: threads, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part(),
+		Selective: c.selective, TileEdges: 128, CompressTiles: compress,
+	})
+	if err != nil {
+		t.Fatalf("%s (compress=%v): %v", c.name, compress, err)
+	}
+	return res.Vertices, res.Stats
+}
+
+// checkCompressStats asserts the codec bookkeeping for one raw/compressed
+// pair: the compressed run must actually delta-code tiles and read fewer
+// physical bytes, while its logical volume matches the raw run's reads
+// exactly — the byte-level statement that both runs streamed the same
+// records.
+func checkCompressStats(t *testing.T, c compressCase, raw, cmp xstream.Stats) {
+	t.Helper()
+	if raw.TilesCompressed != 0 || raw.CompressedRatio != 0 {
+		t.Fatalf("%s: raw run reports compression: %d tiles, ratio %v", c.name, raw.TilesCompressed, raw.CompressedRatio)
+	}
+	if raw.BytesReadLogical != raw.BytesRead {
+		t.Fatalf("%s: raw run logical %d != physical %d", c.name, raw.BytesReadLogical, raw.BytesRead)
+	}
+	if cmp.TilesCompressed == 0 {
+		t.Fatalf("%s: compressed run delta-coded no tiles", c.name)
+	}
+	if cmp.CompressedRatio <= 0 || cmp.CompressedRatio >= 1 {
+		t.Fatalf("%s: compressed ratio %v outside (0, 1)", c.name, cmp.CompressedRatio)
+	}
+	if cmp.BytesRead >= raw.BytesRead {
+		t.Fatalf("%s: compressed run read %d physical bytes, raw read %d", c.name, cmp.BytesRead, raw.BytesRead)
+	}
+	if cmp.BytesReadLogical != raw.BytesReadLogical {
+		t.Fatalf("%s: compressed run logical volume %d, raw run's %d", c.name, cmp.BytesReadLogical, raw.BytesReadLogical)
+	}
+}
+
+// TestCompressedTilesEquivalenceBFS: frontier algorithm over min — bit
+// parity at Threads 3 across the full matrix.
+func TestCompressedTilesEquivalenceBFS(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 71})
+	for _, c := range compressCases() {
+		t.Run(c.name, func(t *testing.T) {
+			raw, rs := runCompress(t, c, 3, false, src, xstream.NewBFS(3))
+			cmp, cs := runCompress(t, c, 3, true, src, xstream.NewBFS(3))
+			checkCompressStats(t, c, rs, cs)
+			for v := range raw {
+				if raw[v] != cmp[v] {
+					t.Fatalf("vertex %d: raw %+v, compressed %+v", v, raw[v], cmp[v])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedTilesEquivalenceWCC: all-active label propagation, bit
+// parity at Threads 3 (integer min is reduction-order independent).
+func TestCompressedTilesEquivalenceWCC(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 72, Undirected: true})
+	for _, c := range compressCases() {
+		t.Run(c.name, func(t *testing.T) {
+			raw, rs := runCompress(t, c, 3, false, src, xstream.NewWCC())
+			cmp, cs := runCompress(t, c, 3, true, src, xstream.NewWCC())
+			checkCompressStats(t, c, rs, cs)
+			for v := range raw {
+				if raw[v] != cmp[v] {
+					t.Fatalf("vertex %d: raw %+v, compressed %+v", v, raw[v], cmp[v])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedTilesEquivalencePageRank: float sums at Threads 1, where
+// the record order the decoder reproduces is the accumulation order —
+// compression must be bit-exact. (At Threads>1 chunk boundaries differ
+// between the raw and tile readers, legitimately regrouping additions.)
+func TestCompressedTilesEquivalencePageRank(t *testing.T) {
+	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 73})
+	for _, c := range compressCases() {
+		t.Run(c.name, func(t *testing.T) {
+			raw, rs := runCompress(t, c, 1, false, src, xstream.NewPageRank(5))
+			cmp, cs := runCompress(t, c, 1, true, src, xstream.NewPageRank(5))
+			checkCompressStats(t, c, rs, cs)
+			for v := range raw {
+				if raw[v] != cmp[v] {
+					t.Fatalf("vertex %d: raw %+v, compressed %+v", v, raw[v], cmp[v])
+				}
+			}
+		})
+	}
+}
+
 // ---- vertex replication (mirror) equivalence ----
 
 // repCase is one (engine, partitioner, replication) combination. The full

@@ -81,6 +81,19 @@ type Stats struct {
 	BytesStreamed int64 // records moved through stream buffers
 	BytesRead     int64 // device reads (out-of-core only)
 	BytesWritten  int64 // device writes (out-of-core only)
+	// BytesReadLogical is BytesRead with edge-file reads counted at their
+	// decoded size: with compressed edge tiles (DiskConfig.CompressTiles)
+	// the device moves fewer physical bytes than the scatter consumes, and
+	// the gap between the two is exactly what the codec saved. Equal to
+	// BytesRead when tiles are stored raw.
+	BytesReadLogical int64
+	// TilesCompressed counts edge tiles stored delta-encoded (as opposed
+	// to the codec's raw fallback) across the partitioned edge files, and
+	// CompressedRatio is the physical/logical byte ratio of that on-disk
+	// layout (0 when compression is off; lower is better). Both describe
+	// the layout as written, so they are deterministic and gateable.
+	TilesCompressed int64
+	CompressedRatio float64
 	// UpdateBytes is the post-combining volume of the update stream: the
 	// bytes of update records the gather phase streams (in-memory engine)
 	// or that are appended to the update files / bypass buffer
@@ -179,6 +192,10 @@ func (s Stats) String() string {
 	if s.CoJobs > 1 {
 		out += fmt.Sprintf(", %d co-jobs sharing the stream (%d edge reads saved, %.0f%%)",
 			s.CoJobs, s.EdgesShared, 100*s.SharedFraction())
+	}
+	if s.CompressedRatio > 0 {
+		out += fmt.Sprintf(", compressed tiles at %.2f of raw (%d delta-coded, %s logical / %s physical read)",
+			s.CompressedRatio, s.TilesCompressed, humanBytes(s.BytesReadLogical), humanBytes(s.BytesRead))
 	}
 	return out
 }

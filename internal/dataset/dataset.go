@@ -71,6 +71,10 @@ type Options struct {
 	IOUnit int
 	// MemoryBudget sizes the out-of-core stream buffers (0 = default).
 	MemoryBudget int64
+	// CompressTiles stores the out-of-core partition edge files as
+	// delta-varint compressed tiles: results are bit-identical while
+	// physical edge reads shrink (see diskengine.Config.CompressTiles).
+	CompressTiles bool
 }
 
 // Info is a dataset's JSON-encodable description, served by GET /datasets.
@@ -419,15 +423,16 @@ func (d *Dataset) buildDisk() (*diskengine.Prepared, error) {
 		return nil, err
 	}
 	return diskengine.Prepare(d.src, diskengine.Config{
-		Device:       d.opts.Device,
-		MemoryBudget: d.opts.MemoryBudget,
-		IOUnit:       d.opts.IOUnit,
-		Threads:      d.opts.Threads,
-		Partitions:   d.opts.DiskPartitions,
-		TileEdges:    d.opts.TileEdges,
-		Prefix:       "xserve-" + d.name + "-",
-		Partitioner:  pr,
-		Selective:    true,
+		Device:        d.opts.Device,
+		MemoryBudget:  d.opts.MemoryBudget,
+		IOUnit:        d.opts.IOUnit,
+		Threads:       d.opts.Threads,
+		Partitions:    d.opts.DiskPartitions,
+		TileEdges:     d.opts.TileEdges,
+		Prefix:        "xserve-" + d.name + "-",
+		Partitioner:   pr,
+		Selective:     true,
+		CompressTiles: d.opts.CompressTiles,
 	})
 }
 

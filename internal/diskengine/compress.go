@@ -1,0 +1,349 @@
+package diskengine
+
+// compress.go is the compressed edge-tile layout (Config.CompressTiles).
+// The write side is a bucketWriter sink that encodes whole tiles with
+// internal/tilecodec during the pre-processing shuffle; the read side is a
+// tileReader that decodes batches of tiles with the same prefetch
+// discipline as chunkReader. Both hide behind the edgeStream interface and
+// the streamSegments driver, so every scatter path — solo Run, shared-pass
+// RunMany, selective range reads, the backward-file rebuild — is untouched
+// above the reader.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tilecodec"
+)
+
+// tileCompressor is the shuffle sink of the compressed layout: it
+// accumulates each partition's appended runs into fixed-size tiles,
+// encodes every full tile and appends the encoded blob to the partition
+// file, recording the tile's source span and physical placement in the
+// index. It replaces both the bucketWriter's raw append and the diskTiles
+// observer, and runs on the single writer goroutine; finish (called after
+// the writer drains) flushes each partition's trailing short tile.
+type tileCompressor struct {
+	files    []*partFile
+	tiles    *diskTiles
+	tileRecs int
+	pending  [][]core.Edge
+	enc      tilecodec.Encoder
+	buf      []byte
+}
+
+func newTileCompressor(files []*partFile, tiles *diskTiles) *tileCompressor {
+	return &tileCompressor{
+		files:    files,
+		tiles:    tiles,
+		tileRecs: int(tiles.tileRecs),
+		pending:  make([][]core.Edge, len(files)),
+	}
+}
+
+// append folds one shuffled run into partition p, encoding tiles as they
+// fill. Record order is preserved exactly, so a decoded file replays the
+// same stream the raw layout would have.
+func (c *tileCompressor) append(p int, run []core.Edge) error {
+	pend := c.pending[p]
+	for len(run) > 0 {
+		if cap(pend) == 0 {
+			pend = make([]core.Edge, 0, c.tileRecs)
+		}
+		take := c.tileRecs - len(pend)
+		if take > len(run) {
+			take = len(run)
+		}
+		pend = append(pend, run[:take]...)
+		run = run[take:]
+		if len(pend) == c.tileRecs {
+			if err := c.flushTile(p, pend); err != nil {
+				c.pending[p] = pend[:0]
+				return err
+			}
+			pend = pend[:0]
+		}
+	}
+	c.pending[p] = pend
+	return nil
+}
+
+func (c *tileCompressor) flushTile(p int, edges []core.Edge) error {
+	var compressed bool
+	var err error
+	c.buf, compressed, err = c.enc.Encode(c.buf[:0], edges)
+	if err != nil {
+		return err
+	}
+	f := c.files[p]
+	off := f.size
+	if err := f.appendBytes(c.buf); err != nil {
+		return err
+	}
+	span := core.NewSrcSpan(edges[0].Src)
+	for _, ed := range edges[1:] {
+		span.Add(ed.Src)
+	}
+	t := c.tiles
+	t.parts[p] = append(t.parts[p], tileSpan{
+		recs: int64(len(edges)), span: span, off: off, bytes: int64(len(c.buf)),
+	})
+	t.logicalBytes += int64(len(edges)) * edgeRecSize
+	t.physBytes += int64(len(c.buf))
+	if compressed {
+		t.tilesCompressed++
+	}
+	return nil
+}
+
+// finish encodes every partition's trailing short tile. Call after the
+// bucketWriter's Finish, when no more runs will arrive.
+func (c *tileCompressor) finish() error {
+	for p, pend := range c.pending {
+		if len(pend) > 0 {
+			if err := c.flushTile(p, pend); err != nil {
+				return err
+			}
+			c.pending[p] = pend[:0]
+		}
+	}
+	return nil
+}
+
+// edgeStream is the chunked record stream the scatter paths consume — a
+// raw chunkReader or a decoding tileReader behind one contract. PhysBytes
+// is the device byte volume behind the records delivered so far: equal to
+// the record bytes for the raw layout, smaller for compressed tiles.
+type edgeStream interface {
+	Next() ([]core.Edge, error)
+	Close()
+	PhysBytes() int64
+}
+
+// openSegment opens the stream for one planned segment of an edge file.
+func openSegment(f storage.File, seg edgeSegment, chunkRecs int, prefetch bool) edgeStream {
+	if seg.tiles == nil {
+		return newChunkReaderRange[core.Edge](f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, chunkRecs, prefetch)
+	}
+	return newTileReader(f, seg.tiles, chunkRecs, prefetch)
+}
+
+// streamSegments streams the planned segments of one edge file through fn
+// in order, checking ctx between chunks (nil ctx skips the check). It
+// returns the physical and logical byte volume delivered: equal for the
+// raw layout, phys < logical when tiles decoded to more than was read.
+func streamSegments(ctx context.Context, f storage.File, segs []edgeSegment, chunkRecs int, prefetch bool, fn func([]core.Edge) error) (phys, logical int64, err error) {
+	for _, seg := range segs {
+		rd := openSegment(f, seg, chunkRecs, prefetch)
+		for err == nil {
+			var chunk []core.Edge
+			chunk, err = rd.Next()
+			if err != nil || chunk == nil {
+				break
+			}
+			if ctx != nil {
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+			logical += int64(len(chunk)) * edgeRecSize
+			err = fn(chunk)
+		}
+		phys += rd.PhysBytes()
+		rd.Close()
+		if err != nil {
+			return phys, logical, err
+		}
+	}
+	return phys, logical, nil
+}
+
+// tileReader streams one planned run of encoded tiles, decoding batches of
+// consecutive tiles into edge records with the same prefetch-distance-1
+// discipline as chunkReader: a dedicated goroutine reads and decodes the
+// next batch into a second buffer while the caller scatters the current
+// one. Consecutive tiles are physically adjacent, so one ReadAt covers
+// each batch and the I/O stays sequential at the configured request size.
+type tileReader struct {
+	f         storage.File
+	tiles     []tileSpan
+	chunkRecs int
+	phys      int64
+	cur       []core.Edge
+
+	// async mode
+	ready chan tileRes
+	free  chan []core.Edge
+	done  chan struct{}
+
+	// sync mode (prefetch disabled, used by the ablation)
+	idx int
+	buf []core.Edge
+
+	raw []byte // encoded-byte scratch, owned by whichever side decodes
+}
+
+type tileRes struct {
+	recs []core.Edge
+	phys int64
+	err  error
+}
+
+func newTileReader(f storage.File, tiles []tileSpan, chunkRecs int, prefetch bool) *tileReader {
+	// A decode buffer must hold the largest batch: consecutive tiles up to
+	// chunkRecs records, or any single oversized tile whole.
+	capRecs := chunkRecs
+	for _, tl := range tiles {
+		if tl.recs > int64(capRecs) {
+			capRecs = int(tl.recs)
+		}
+	}
+	r := &tileReader{f: f, tiles: tiles, chunkRecs: chunkRecs}
+	if !prefetch {
+		r.buf = make([]core.Edge, capRecs)
+		return r
+	}
+	r.ready = make(chan tileRes, 1)
+	r.free = make(chan []core.Edge, 2)
+	r.done = make(chan struct{})
+	r.free <- make([]core.Edge, capRecs)
+	r.free <- make([]core.Edge, capRecs)
+	go r.reader()
+	return r
+}
+
+// batchEnd returns the end of the tile batch starting at i: at least one
+// tile, extended while the batch stays within chunkRecs records.
+func batchEnd(tiles []tileSpan, i, chunkRecs int) int {
+	recs := tiles[i].recs
+	j := i + 1
+	for j < len(tiles) && recs+tiles[j].recs <= int64(chunkRecs) {
+		recs += tiles[j].recs
+		j++
+	}
+	return j
+}
+
+// decodeBatch reads tiles[i:j] with one request and decodes them into out,
+// cross-checking every tile against the index — a decode that disagrees
+// with the span the shuffle recorded means a torn or corrupt file, never a
+// silently wrong scatter.
+func (r *tileReader) decodeBatch(i, j int, out []core.Edge) ([]core.Edge, int64, error) {
+	off := r.tiles[i].off
+	n := r.tiles[j-1].off + r.tiles[j-1].bytes - off
+	if int64(cap(r.raw)) < n {
+		r.raw = make([]byte, n)
+	}
+	raw := r.raw[:n]
+	if err := readBytes(r.f, raw, off); err != nil {
+		return nil, 0, err
+	}
+	out = out[:cap(out)]
+	used := 0
+	for _, tl := range r.tiles[i:j] {
+		recs, consumed, err := tilecodec.Decode(raw, out[used:used])
+		if err != nil {
+			return nil, 0, fmt.Errorf("diskengine: tile at offset %d: %w", off, err)
+		}
+		if int64(len(recs)) != tl.recs || int64(consumed) != tl.bytes {
+			return nil, 0, fmt.Errorf("diskengine: tile at offset %d decodes to %d records in %d bytes, index says %d in %d",
+				off, len(recs), consumed, tl.recs, tl.bytes)
+		}
+		used += len(recs)
+		raw = raw[consumed:]
+		off += int64(consumed)
+	}
+	return out[:used], n, nil
+}
+
+// reader is the dedicated decode goroutine (§3.3: one I/O thread per
+// stream — here it also pays the decode CPU off the scatter threads).
+func (r *tileReader) reader() {
+	defer close(r.ready)
+	for i := 0; i < len(r.tiles); {
+		var buf []core.Edge
+		select {
+		case buf = <-r.free:
+		case <-r.done:
+			return
+		}
+		j := batchEnd(r.tiles, i, r.chunkRecs)
+		recs, phys, err := r.decodeBatch(i, j, buf)
+		select {
+		case r.ready <- tileRes{recs: recs, phys: phys, err: err}:
+		case <-r.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+		i = j
+	}
+}
+
+// Next returns the next decoded batch, or nil at end of stream. The
+// returned slice is only valid until the following Next call.
+func (r *tileReader) Next() ([]core.Edge, error) {
+	if r.ready == nil { // synchronous mode
+		if r.idx >= len(r.tiles) {
+			return nil, nil
+		}
+		j := batchEnd(r.tiles, r.idx, r.chunkRecs)
+		recs, phys, err := r.decodeBatch(r.idx, j, r.buf)
+		if err != nil {
+			return nil, err
+		}
+		r.idx = j
+		r.phys += phys
+		return recs, nil
+	}
+	if r.cur != nil {
+		r.free <- r.cur[:cap(r.cur)]
+		r.cur = nil
+	}
+	res, ok := <-r.ready
+	if !ok {
+		return nil, nil
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	r.cur = res.recs
+	r.phys += res.phys
+	return res.recs, nil
+}
+
+// Close releases the decode goroutine.
+func (r *tileReader) Close() {
+	if r.done != nil {
+		close(r.done)
+	}
+}
+
+// PhysBytes returns the encoded byte volume behind the records delivered.
+func (r *tileReader) PhysBytes() int64 { return r.phys }
+
+// readBytes reads exactly len(buf) bytes at off, retrying short reads.
+func readBytes(f storage.File, buf []byte, off int64) error {
+	got := 0
+	for got < len(buf) {
+		n, err := f.ReadAt(buf[got:], off+int64(got))
+		got += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if got != len(buf) {
+		return fmt.Errorf("diskengine: truncated tile read: %d of %d bytes at offset %d", got, len(buf), off)
+	}
+	return nil
+}

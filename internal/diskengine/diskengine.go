@@ -111,6 +111,17 @@ type Config struct {
 	// TileEdges is the tile granularity (edge records) of the selective
 	// read index. 0 means 4096.
 	TileEdges int
+	// CompressTiles stores the partition edge files as encoded tiles
+	// (internal/tilecodec: delta-varint sources exploiting the
+	// relabeling's locality, varint targets, raw fallback when
+	// compression doesn't pay) instead of raw records. Decoding
+	// reproduces the exact record stream, so results are bit-identical to
+	// the raw layout while physical edge-file reads shrink:
+	// Stats.BytesRead then reports physical traffic, BytesReadLogical the
+	// decoded volume, and TilesCompressed/CompressedRatio the layout (see
+	// the figcompress experiment). Composes with Selective — the tile
+	// index doubles as the skip index.
+	CompressTiles bool
 	// Context cancels the run: it is checked between iterations, between
 	// partition files and between streamed chunks, so server jobs honor
 	// cancelation and deadlines promptly. nil means context.Background(),
@@ -246,6 +257,20 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.stats.BytesRead += updAfter.BytesRead - updBefore.BytesRead
 		e.stats.BytesWritten += updAfter.BytesWritten - updBefore.BytesWritten
 	}
+	// Logical read volume: everything counted physically, with the edge
+	// streams' physical bytes swapped for the record bytes they decoded to.
+	e.stats.BytesReadLogical = e.stats.BytesRead - e.physEdge + e.logicalEdge
+	var physTiles, logicalTiles int64
+	for _, t := range []*diskTiles{e.tilesFwd, e.tilesBwd} {
+		if t != nil && t.compressed {
+			e.stats.TilesCompressed += t.tilesCompressed
+			physTiles += t.physBytes
+			logicalTiles += t.logicalBytes
+		}
+	}
+	if logicalTiles > 0 {
+		e.stats.CompressedRatio = float64(physTiles) / float64(logicalTiles)
+	}
 	e.stats.TotalTime = time.Since(start)
 	return &Result[V]{Vertices: verts, Stats: e.stats}, nil
 }
@@ -281,6 +306,11 @@ type engine[V, M any] struct {
 	active   []int64
 	tilesFwd *diskTiles
 	tilesBwd *diskTiles
+	// Edge-read volume split for BytesReadLogical: physical bytes the
+	// edge streams read vs the decoded record bytes they delivered —
+	// equal unless CompressTiles shrank the files.
+	physEdge    int64
+	logicalEdge int64
 	// bufRecs is the record capacity of one stream buffer (S·K bytes).
 	bufEdgeRecs int
 	bufUpdRecs  int
@@ -452,8 +482,10 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 
 	// Partition the edge list (in-memory shuffle reused, §3.2), indexing
 	// tile source summaries along the way when selective scheduling is on.
-	if e.fp != nil {
-		e.tilesFwd = newDiskTiles(e.k, e.cfg.TileEdges)
+	// The compressed layout needs the index unconditionally — it is the
+	// only record of where each tile's bytes live.
+	if e.fp != nil || e.cfg.CompressTiles {
+		e.tilesFwd = newDiskTilesFor(e.k, e.cfg.TileEdges, e.cfg.CompressTiles)
 	}
 	return e.partitionEdges(g, e.edgeFiles, false, e.tilesFwd)
 }
@@ -473,7 +505,12 @@ func partitionEdgesInto(src core.EdgeSource, files []*partFile, transpose bool, 
 	w := newBucketWriter(bufEdgeRecs, files, plan, func(ed core.Edge) uint32 {
 		return part.Of(ed.Src)
 	}, threads, nil)
-	if tiles != nil {
+	var comp *tileCompressor
+	switch {
+	case tiles != nil && tiles.compressed:
+		comp = newTileCompressor(files, tiles)
+		w.sink = comp.append
+	case tiles != nil:
 		w.observe = tiles.observe
 		defer tiles.finish()
 	}
@@ -506,7 +543,13 @@ func partitionEdgesInto(src core.EdgeSource, files []*partFile, transpose bool, 
 		w.Finish()
 		return err
 	}
-	return w.Finish()
+	if err := w.Finish(); err != nil {
+		return err
+	}
+	if comp != nil {
+		return comp.finish()
+	}
+	return nil
 }
 
 // loop runs the synchronous scatter-shuffle-gather iterations (Figure 6).
@@ -556,6 +599,8 @@ func (e *engine[V, M]) loop() error {
 		e.stats.UpdatesCombined += sp.scatterCombined + sp.foldCombined
 		e.stats.MirrorSyncUpdates += sp.synced
 		e.stats.UpdateBytes += sp.written * int64(usize)
+		e.physEdge += sp.physEdge
+		e.logicalEdge += sp.logicalEdge
 
 		t1 := time.Now()
 		if err := e.gatherPhase(sp.inMem); err != nil {
@@ -591,49 +636,48 @@ func (e *engine[V, M]) buildBackwardFiles() error {
 			return err
 		}
 	}
-	src := &partFilesSource{files: e.edgeFiles, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch}
-	if e.fp != nil {
-		e.tilesBwd = newDiskTiles(e.k, e.cfg.TileEdges)
+	src := &partFilesSource{files: e.edgeFiles, tiles: e.tilesFwd, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch}
+	if e.fp != nil || e.cfg.CompressTiles {
+		e.tilesBwd = newDiskTilesFor(e.k, e.cfg.TileEdges, e.cfg.CompressTiles)
 	}
-	return e.partitionEdges(src, e.bwdFiles, true, e.tilesBwd)
+	err := e.partitionEdges(src, e.bwdFiles, true, e.tilesBwd)
+	e.physEdge += src.phys
+	e.logicalEdge += src.logical
+	return err
 }
 
-// partFilesSource re-streams already-partitioned edge files as one source.
+// partFilesSource re-streams already-partitioned edge files as one source,
+// decoding through the tile index when the layout is compressed.
 type partFilesSource struct {
 	files     []*partFile
+	tiles     *diskTiles // nil or raw for raw files; decode index otherwise
 	nv        int64
 	chunkRecs int
 	prefetch  bool
+	// phys and logical accumulate the byte volume of every Edges pass,
+	// for the caller's BytesReadLogical accounting.
+	phys, logical int64
 }
 
 func (s *partFilesSource) NumVertices() int64 { return s.nv }
 
 func (s *partFilesSource) NumEdges() int64 {
 	var n int64
-	for _, f := range s.files {
-		n += f.size / edgeRecSize
+	for p, f := range s.files {
+		n += edgeFileRecs(f, s.tiles, p)
 	}
 	return n
 }
 
 func (s *partFilesSource) Edges(fn func([]core.Edge) error) error {
-	for _, f := range s.files {
-		rd := newChunkReader[core.Edge](f.f, f.size, s.chunkRecs, s.prefetch)
-		for {
-			chunk, err := rd.Next()
-			if err != nil {
-				rd.Close()
-				return err
-			}
-			if chunk == nil {
-				break
-			}
-			if err := fn(chunk); err != nil {
-				rd.Close()
-				return err
-			}
+	for p, f := range s.files {
+		segs, _, _ := planSegments(s.tiles, p, nil, edgeFileRecs(f, s.tiles, p))
+		phys, logical, err := streamSegments(nil, f.f, segs, s.chunkRecs, s.prefetch, fn)
+		s.phys += phys
+		s.logical += logical
+		if err != nil {
+			return err
 		}
-		rd.Close()
 	}
 	return nil
 }
@@ -650,7 +694,10 @@ type scatterResult[M any] struct {
 	skippedEdges int64
 	skippedParts int64
 	skippedTiles int64
-	inMem        *streambuf.Buffer[core.Update[M]]
+	// edge-stream volume: physical bytes read vs decoded record bytes
+	physEdge    int64
+	logicalEdge int64
+	inMem       *streambuf.Buffer[core.Update[M]]
 }
 
 // updateFold returns the bucket fold the bucketWriter applies to each
@@ -683,7 +730,7 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 			w.Finish()
 			return res, err
 		}
-		fileRecs := edgeFiles[s].size / edgeRecSize
+		fileRecs := edgeFileRecs(edgeFiles[s], tiles, s)
 		vlo, vhi := e.part.Range(s, e.nv)
 		if e.fp != nil && e.active[s] == 0 {
 			// No active source in the partition: by the FrontierProgram
@@ -695,13 +742,13 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 			}
 			continue
 		}
-		segs := []recRange{{0, fileRecs}}
+		var need func(core.SrcSpan) bool
 		if e.fp != nil && e.active[s] < vhi-vlo && tiles != nil {
-			var nRecs, nTiles int64
-			segs, nRecs, nTiles = tiles.activeSegments(s, e.cur, fileRecs)
-			res.skippedEdges += nRecs
-			res.skippedTiles += nTiles
+			need = func(sp core.SrcSpan) bool { return sp.Intersects(e.cur) }
 		}
+		segs, nRecs, nTiles := planSegments(tiles, s, need, fileRecs)
+		res.skippedEdges += nRecs
+		res.skippedTiles += nTiles
 		if len(segs) == 0 {
 			continue
 		}
@@ -717,50 +764,37 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 			w.Finish()
 			return res, err
 		}
-		for _, seg := range segs {
-			rd := newChunkReaderRange[core.Edge](edgeFiles[s].f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, e.bufEdgeRecs, !e.cfg.NoPrefetch)
-			for {
-				chunk, err := rd.Next()
-				if err != nil {
-					rd.Close()
-					w.Finish()
-					return res, err
-				}
-				if chunk == nil {
-					break
-				}
-				if err := e.cfg.Context.Err(); err != nil { // between chunks
-					rd.Close()
-					w.Finish()
-					return res, err
-				}
-				res.streamed += int64(len(chunk))
-				// Scatter the chunk in segments that fit the output buffer
-				// (combining only ever shrinks a segment's append volume, so
-				// the room reserved for a segment still suffices).
-				for off := 0; off < len(chunk); {
-					room := w.Room()
-					if room == 0 {
-						if err := w.Flush(); err != nil {
-							rd.Close()
-							w.Finish()
-							return res, err
-						}
-						continue
+		phys, logical, err := streamSegments(e.cfg.Context, edgeFiles[s].f, segs, e.bufEdgeRecs, !e.cfg.NoPrefetch, func(chunk []core.Edge) error {
+			res.streamed += int64(len(chunk))
+			// Scatter the chunk in segments that fit the output buffer
+			// (combining only ever shrinks a segment's append volume, so
+			// the room reserved for a segment still suffices).
+			for off := 0; off < len(chunk); {
+				room := w.Room()
+				if room == 0 {
+					if err := w.Flush(); err != nil {
+						return err
 					}
-					take := len(chunk) - off
-					if take > room {
-						take = room
-					}
-					nSent, nCross, nCombined, nSynced := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
-					res.sent += nSent
-					res.scatterCombined += nCombined
-					res.synced += nSynced
-					e.stats.CrossPartitionUpdates += nCross
-					off += take
+					continue
 				}
+				take := len(chunk) - off
+				if take > room {
+					take = room
+				}
+				nSent, nCross, nCombined, nSynced := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
+				res.sent += nSent
+				res.scatterCombined += nCombined
+				res.synced += nSynced
+				e.stats.CrossPartitionUpdates += nCross
+				off += take
 			}
-			rd.Close()
+			return nil
+		})
+		res.physEdge += phys
+		res.logicalEdge += logical
+		if err != nil {
+			w.Finish()
+			return res, err
 		}
 	}
 

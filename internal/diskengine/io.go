@@ -57,8 +57,9 @@ func (p *partFile) remove() error {
 // records, prefetching the next chunk into a second buffer while the caller
 // processes the current one (prefetch distance 1, §3.3).
 type chunkReader[T any] struct {
-	recSize int
-	cur     []T
+	recSize   int
+	cur       []T
+	delivered int64 // bytes returned through Next so far
 
 	// async mode
 	ready chan readRes[T]
@@ -170,6 +171,7 @@ func (r *chunkReader[T]) Next() ([]T, error) {
 			return nil, err
 		}
 		r.off += int64(len(recs)) * int64(r.recSize)
+		r.delivered += int64(len(recs)) * int64(r.recSize)
 		return recs, nil
 	}
 	if r.cur != nil {
@@ -184,6 +186,7 @@ func (r *chunkReader[T]) Next() ([]T, error) {
 		return nil, res.err
 	}
 	r.cur = res.recs
+	r.delivered += int64(len(res.recs)) * int64(r.recSize)
 	return res.recs, nil
 }
 
@@ -193,6 +196,10 @@ func (r *chunkReader[T]) Close() {
 		close(r.done)
 	}
 }
+
+// PhysBytes returns the byte volume delivered through Next so far. A raw
+// reader's physical and logical volumes coincide (see edgeStream).
+func (r *chunkReader[T]) PhysBytes() int64 { return r.delivered }
 
 // bucketWriter is the merged shuffle+write pipeline of the scatter phase
 // (paper Figure 6): records are appended into the current stream buffer;
@@ -217,6 +224,12 @@ type bucketWriter[T any] struct {
 	// selective-streaming tile index is built during the existing edge
 	// shuffle, without an extra pass. Set before the first Flush.
 	observe func(bucket int, run []T)
+	// sink, when non-nil, replaces the raw bucket append entirely: the
+	// run is handed to it instead of being written, and the sink owns the
+	// file append (the compressed-tile layout encodes whole tiles here).
+	// Like observe it runs on the writer goroutine, in exact append
+	// order. Set before the first Flush; mutually exclusive with observe.
+	sink func(bucket int, run []T) error
 
 	cur     *streambuf.Buffer[T]
 	free    chan *streambuf.Buffer[T]
@@ -275,6 +288,10 @@ func (w *bucketWriter[T]) writer() {
 			var err error
 			buf.Bucket(p, func(run []T) {
 				if err == nil {
+					if w.sink != nil {
+						err = w.sink(p, run)
+						return
+					}
 					if w.observe != nil {
 						w.observe(p, run)
 					}

@@ -144,7 +144,7 @@ func prepare(g core.EdgeSource, cfg Config, vertexBytes int64) (*Prepared, error
 			return nil, err
 		}
 	}
-	pp.tilesFwd = newDiskTiles(k, cfg.TileEdges)
+	pp.tilesFwd = newDiskTilesFor(k, cfg.TileEdges, cfg.CompressTiles)
 	if err := partitionEdgesInto(g, pp.edgeFiles, false, pp.tilesFwd, bufEdgeRecs, plan, pp.part, cfg.Threads); err != nil {
 		pp.removeFiles()
 		return nil, err
@@ -170,8 +170,8 @@ func (pp *Prepared) Partitions() int { return pp.k }
 func (pp *Prepared) Bytes() int64 {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	const fileBytes = 96                             // partFile struct + device handle
-	spanBytes := int64(pod.Size[core.SrcSpan]()) + 8 // tileSpan: span + recs
+	const fileBytes = 96 // partFile struct + device handle
+	spanBytes := int64(pod.Size[tileSpan]())
 	n := int64(len(pp.edgeFiles)+len(pp.bwdFiles)) * fileBytes
 	for _, t := range []*diskTiles{pp.tilesFwd, pp.tilesBwd} {
 		if t == nil {
@@ -211,14 +211,14 @@ func (pp *Prepared) removeFiles() {
 // triggering pass can account it — per-pass I/O is tallied from what the
 // pass actually reads, never from global device counters, so concurrent
 // passes on one device stay correctly attributed.
-func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTiles, buildRead, buildWritten int64, err error) {
+func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTiles, buildRead, buildReadLogical, buildWritten int64, err error) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
 	if pp.closed {
-		return nil, nil, 0, 0, fmt.Errorf("diskengine: prepared dataset is closed")
+		return nil, nil, 0, 0, 0, fmt.Errorf("diskengine: prepared dataset is closed")
 	}
 	if dir == core.Forward {
-		return pp.edgeFiles, pp.tilesFwd, 0, 0, nil
+		return pp.edgeFiles, pp.tilesFwd, 0, 0, 0, nil
 	}
 	if pp.bwdFiles == nil {
 		bwd := make([]*partFile, pp.k)
@@ -232,22 +232,22 @@ func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTil
 		for p := 0; p < pp.k; p++ {
 			if bwd[p], err = createPartFile(pp.cfg.Device, fmt.Sprintf("%sds-p%04d.redges", pp.cfg.Prefix, p)); err != nil {
 				cleanup()
-				return nil, nil, 0, 0, err
+				return nil, nil, 0, 0, 0, err
 			}
 		}
-		src := &partFilesSource{files: pp.edgeFiles, nv: pp.nv, chunkRecs: pp.bufEdgeRecs, prefetch: !pp.cfg.NoPrefetch}
-		t := newDiskTiles(pp.k, pp.cfg.TileEdges)
+		src := &partFilesSource{files: pp.edgeFiles, tiles: pp.tilesFwd, nv: pp.nv, chunkRecs: pp.bufEdgeRecs, prefetch: !pp.cfg.NoPrefetch}
+		t := newDiskTilesFor(pp.k, pp.cfg.TileEdges, pp.cfg.CompressTiles)
 		if err := partitionEdgesInto(src, bwd, true, t, pp.bufEdgeRecs, pp.shufPlan, pp.part, pp.cfg.Threads); err != nil {
 			cleanup()
-			return nil, nil, 0, 0, err
+			return nil, nil, 0, 0, 0, err
 		}
+		buildRead, buildReadLogical = src.phys, src.logical
 		for p := 0; p < pp.k; p++ {
-			buildRead += pp.edgeFiles[p].size
 			buildWritten += bwd[p].size
 		}
 		pp.bwdFiles, pp.tilesBwd = bwd, t
 	}
-	return pp.bwdFiles, pp.tilesBwd, buildRead, buildWritten, nil
+	return pp.bwdFiles, pp.tilesBwd, buildRead, buildReadLogical, buildWritten, nil
 }
 
 // RunMany executes every job of set against g out of core, sharing one
@@ -289,7 +289,10 @@ func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (
 	out.Stats.PreprocessTime = pass.PreprocessTime
 	out.Stats.ScatterTime = pass.ScatterTime
 	out.Stats.BytesRead = pass.BytesRead
+	out.Stats.BytesReadLogical = pass.BytesReadLogical
 	out.Stats.BytesWritten = pass.BytesWritten
+	out.Stats.TilesCompressed = pass.TilesCompressed
+	out.Stats.CompressedRatio = pass.CompressedRatio
 	return &out, nil
 }
 
@@ -361,11 +364,12 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 			if len(subs) == 0 {
 				continue
 			}
-			files, tiles, buildRead, buildWritten, err := pp.files(dir)
+			files, tiles, buildRead, buildReadLogical, buildWritten, err := pp.files(dir)
 			if err != nil {
 				return nil, pass, err
 			}
 			pass.BytesRead += buildRead
+			pass.BytesReadLogical += buildReadLogical
 			pass.BytesWritten += buildWritten
 			if err := pp.scatterShared(ctx, &pass, subs, files, tiles); err != nil {
 				return nil, pass, err
@@ -407,6 +411,19 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		pass.EdgesShared = 0
 	}
 	pass.BytesStreamed += pass.EdgesStreamed * edgeRecSize
+	var physTiles, logicalTiles int64
+	pp.mu.Lock()
+	for _, t := range []*diskTiles{pp.tilesFwd, pp.tilesBwd} {
+		if t != nil && t.compressed {
+			pass.TilesCompressed += t.tilesCompressed
+			physTiles += t.physBytes
+			logicalTiles += t.logicalBytes
+		}
+	}
+	pp.mu.Unlock()
+	if logicalTiles > 0 {
+		pass.CompressedRatio = float64(physTiles) / float64(logicalTiles)
+	}
 	pass.TotalTime = time.Since(start)
 	return results, pass, nil
 }
@@ -419,7 +436,7 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		if err := ctx.Err(); err != nil { // between partition files
 			return err
 		}
-		fileRecs := files[p].size / edgeRecSize
+		fileRecs := edgeFileRecs(files[p], tiles, p)
 		needing := make([]core.JobRun, 0, len(subs))
 		allPartial := true
 		for _, r := range subs {
@@ -440,21 +457,23 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 			}
 			continue
 		}
-		segs := []recRange{{0, fileRecs}}
+		var need func(core.SrcSpan) bool
 		if allPartial && tiles != nil {
 			// Every subscriber can tile-skip: read only the segments whose
 			// tiles some job's frontier reaches. A tile no job needs is a
 			// byte range never read — and every subscriber would have
 			// skipped at least it in a solo run.
-			var skippedRecs, skippedTiles int64
-			segs, skippedRecs, skippedTiles = tiles.activeSegmentsFunc(p, func(span core.SrcSpan) bool {
+			need = func(span core.SrcSpan) bool {
 				for _, r := range needing {
 					if r.NeedsTile(span) {
 						return true
 					}
 				}
 				return false
-			}, fileRecs)
+			}
+		}
+		segs, skippedRecs, skippedTiles := planSegments(tiles, p, need, fileRecs)
+		if need != nil {
 			pass.EdgesSkipped += skippedRecs
 			pass.TilesSkipped += skippedTiles
 			for _, r := range needing {
@@ -468,27 +487,16 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		for i, r := range needing {
 			scatters[i] = r.NewScatter(p, fileRecs)
 		}
-		for _, seg := range segs {
-			rd := newChunkReaderRange[core.Edge](files[p].f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, pp.bufEdgeRecs, !cfg.NoPrefetch)
-			for {
-				chunk, err := rd.Next()
-				if err != nil {
-					rd.Close()
-					return err
-				}
-				if chunk == nil {
-					break
-				}
-				if err := ctx.Err(); err != nil { // between chunks
-					rd.Close()
-					return err
-				}
-				pass.EdgesStreamed += int64(len(chunk))
-				pass.SequentialRefs += int64(len(chunk))
-				pass.BytesRead += int64(len(chunk)) * edgeRecSize
-				feedJobs(scatters, chunk)
-			}
-			rd.Close()
+		phys, logical, err := streamSegments(ctx, files[p].f, segs, pp.bufEdgeRecs, !cfg.NoPrefetch, func(chunk []core.Edge) error {
+			pass.EdgesStreamed += int64(len(chunk))
+			pass.SequentialRefs += int64(len(chunk))
+			feedJobs(scatters, chunk)
+			return nil
+		})
+		pass.BytesRead += phys
+		pass.BytesReadLogical += logical
+		if err != nil {
+			return err
 		}
 		for _, sc := range scatters {
 			sc.Flush()

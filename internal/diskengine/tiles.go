@@ -12,6 +12,11 @@ import (
 type tileSpan struct {
 	recs int64
 	span core.SrcSpan
+	// Physical placement of the encoded tile in its edge file. Raw-layout
+	// tiles sit implicitly at their record-prefix × record size, so both
+	// stay zero; the compressed layout needs them because encoded tiles
+	// are variable-size.
+	off, bytes int64
 }
 
 // diskTiles is the per-partition tile index of a set of edge files. It is
@@ -22,8 +27,20 @@ type tileSpan struct {
 // afterwards.
 type diskTiles struct {
 	tileRecs int64
-	parts    [][]tileSpan
-	open     []tileSpan // per-partition tile still being filled
+	// compressed marks the tilecodec on-disk layout: tiles are variable-
+	// size encoded blobs at (off, bytes) rather than fixed runs of raw
+	// records, the index is maintained by the shuffle's tileCompressor
+	// sink instead of observe, and it is authoritative for reading the
+	// files at all — a compressed file cannot be streamed without it.
+	compressed bool
+	parts      [][]tileSpan
+	open       []tileSpan // per-partition tile still being filled
+	// Codec accounting, filled during the shuffle alongside the index:
+	// delta-encoded tile count, and the logical (decoded) vs physical
+	// (encoded) byte volume of the layout as written.
+	tilesCompressed int64
+	logicalBytes    int64
+	physBytes       int64
 }
 
 func newDiskTiles(k, tileRecs int) *diskTiles {
@@ -32,6 +49,24 @@ func newDiskTiles(k, tileRecs int) *diskTiles {
 		parts:    make([][]tileSpan, k),
 		open:     make([]tileSpan, k),
 	}
+}
+
+// newDiskTilesFor returns a tile index for the raw or compressed layout.
+func newDiskTilesFor(k, tileRecs int, compressed bool) *diskTiles {
+	t := newDiskTiles(k, tileRecs)
+	t.compressed = compressed
+	return t
+}
+
+// totalRecs returns the logical record count of partition p's edge file —
+// for the compressed layout the file size says nothing about it, the
+// index is the source of truth.
+func (t *diskTiles) totalRecs(p int) int64 {
+	var n int64
+	for _, tile := range t.parts[p] {
+		n += tile.recs
+	}
+	return n
 }
 
 // observe folds one appended run into partition p's tiles.
@@ -103,4 +138,65 @@ func (t *diskTiles) activeSegmentsFunc(p int, need func(core.SrcSpan) bool, want
 		off += tile.recs
 	}
 	return segs, skippedRecs, skippedTiles
+}
+
+// edgeSegment is one contiguous read of an edge file as planned by
+// planSegments: a logical record range [lo, hi) plus — in the compressed
+// layout — the run of encoded tiles covering it. nil tiles means raw
+// records at lo × record size.
+type edgeSegment struct {
+	lo, hi int64
+	tiles  []tileSpan
+}
+
+// planSegments plans the streaming of partition p's edge file: the whole
+// file when need is nil, else only the coalesced runs whose tile source
+// spans satisfy need. fileRecs is the file's logical record count (see
+// edgeFileRecs). The skip counts are zero when need is nil. It is the one
+// place both layouts' read planning meets: the raw path delegates to
+// activeSegmentsFunc (keeping its whole-file safety net), the compressed
+// path walks its authoritative index directly.
+func planSegments(t *diskTiles, p int, need func(core.SrcSpan) bool, fileRecs int64) (segs []edgeSegment, skippedRecs, skippedTiles int64) {
+	if t == nil || (need == nil && !t.compressed) {
+		if fileRecs == 0 {
+			return nil, 0, 0
+		}
+		return []edgeSegment{{lo: 0, hi: fileRecs}}, 0, 0
+	}
+	if !t.compressed {
+		rr, sr, st := t.activeSegmentsFunc(p, need, fileRecs)
+		for _, r := range rr {
+			segs = append(segs, edgeSegment{lo: r.lo, hi: r.hi})
+		}
+		return segs, sr, st
+	}
+	tiles := t.parts[p]
+	off := int64(0)
+	for i := 0; i < len(tiles); {
+		if need != nil && !need(tiles[i].span) {
+			skippedRecs += tiles[i].recs
+			skippedTiles++
+			off += tiles[i].recs
+			i++
+			continue
+		}
+		j, lo := i, off
+		for j < len(tiles) && (need == nil || need(tiles[j].span)) {
+			off += tiles[j].recs
+			j++
+		}
+		segs = append(segs, edgeSegment{lo: lo, hi: off, tiles: tiles[i:j]})
+		i = j
+	}
+	return segs, skippedRecs, skippedTiles
+}
+
+// edgeFileRecs returns the logical record count of partition p's edge
+// file: the byte size over the record size for the raw layout, the tile
+// index's total for the compressed one.
+func edgeFileRecs(f *partFile, tiles *diskTiles, p int) int64 {
+	if tiles != nil && tiles.compressed {
+		return tiles.totalRecs(p)
+	}
+	return f.size / edgeRecSize
 }

@@ -1,0 +1,209 @@
+package tilecodec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sameEdges compares batches bit-wise: weights by bit pattern, so NaN and
+// the -0/+0 distinction are preserved exactly.
+func sameEdges(t *testing.T, got, want []core.Edge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Src != w.Src || g.Dst != w.Dst || math.Float32bits(g.Weight) != math.Float32bits(w.Weight) {
+			t.Fatalf("record %d: %+v (w=%#x) != %+v (w=%#x)", i,
+				g, math.Float32bits(g.Weight), w, math.Float32bits(w.Weight))
+		}
+	}
+}
+
+// roundTrip encodes edges, decodes the result, and checks identity plus
+// exact consumption. Returns whether the delta encoding was used.
+func roundTrip(t *testing.T, edges []core.Edge) bool {
+	t.Helper()
+	var enc Encoder
+	buf, compressed, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, consumed, err := Decode(buf, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if consumed != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+	}
+	sameEdges(t, got, edges)
+	return compressed
+}
+
+func TestRoundTripShapes(t *testing.T) {
+	cases := map[string][]core.Edge{
+		"single":     {{Src: 7, Dst: 9, Weight: 0.25}},
+		"ascending":  {{Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}},
+		"descending": {{Src: 100, Dst: 1}, {Src: 50, Dst: 2}, {Src: 0, Dst: 3}},
+		"same-src":   {{Src: 5, Dst: 1}, {Src: 5, Dst: 2}, {Src: 5, Dst: 3}},
+		"max-ids":    {{Src: math.MaxUint32, Dst: math.MaxUint32, Weight: 1}, {Src: 0, Dst: 0}},
+		"wrap-delta": {{Src: 0, Dst: 1}, {Src: math.MaxUint32, Dst: 2}, {Src: 1, Dst: 3}},
+		"nan-weight": {{Src: 1, Dst: 2, Weight: float32(math.NaN())}, {Src: 2, Dst: 3, Weight: 1}},
+		"neg-zero":   {{Src: 1, Dst: 2, Weight: float32(math.Copysign(0, -1))}, {Src: 2, Dst: 3, Weight: 0}},
+		"inf-weight": {{Src: 1, Dst: 2, Weight: float32(math.Inf(1))}, {Src: 2, Dst: 3, Weight: float32(math.Inf(-1))}},
+	}
+	for name, edges := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, edges) })
+	}
+}
+
+// TestRoundTripRandom is the encode∘decode = id property over random
+// batches of every shape: clustered sources (the 2PS-relabeled case),
+// uniform 32-bit sources (the adversarial case that triggers the raw
+// fallback), constant and random weights.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5000)
+		edges := make([]core.Edge, n)
+		clustered := trial%2 == 0
+		constW := trial%3 == 0
+		base := rng.Uint32()
+		for i := range edges {
+			if clustered {
+				edges[i].Src = core.VertexID(base + uint32(rng.Intn(512)))
+			} else {
+				edges[i].Src = core.VertexID(rng.Uint32())
+			}
+			edges[i].Dst = core.VertexID(rng.Uint32() >> uint(rng.Intn(33)))
+			if constW {
+				edges[i].Weight = 0.5
+			} else {
+				edges[i].Weight = rng.Float32()
+			}
+		}
+		roundTrip(t, edges)
+	}
+}
+
+// TestCompressionPays pins the point of the codec: on a locality-packed
+// batch (small source deltas, bounded destinations — what a 2PS-relabeled
+// shuffle run looks like) the encoded tile must be well under the raw
+// size, and the encoder must report the delta encoding.
+func TestCompressionPays(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := make([]core.Edge, 4096)
+	for i := range edges {
+		edges[i] = core.Edge{
+			Src:    core.VertexID(1000 + rng.Intn(256)),
+			Dst:    core.VertexID(rng.Intn(1 << 14)),
+			Weight: rng.Float32(),
+		}
+	}
+	var enc Encoder
+	buf, compressed, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compressed {
+		t.Fatalf("locality-packed tile fell back to raw")
+	}
+	raw := len(edges) * EdgeBytes
+	if len(buf) > raw*7/10 {
+		t.Fatalf("encoded %d bytes, want ≤ 70%% of raw %d", len(buf), raw)
+	}
+	if !roundTrip(t, edges) {
+		t.Fatal("round trip lost the compressed flag")
+	}
+}
+
+// TestRawFallback pins the other side: uniform 32-bit sources make deltas
+// ~5 bytes, so the encoder must fall back to raw and cost only the header.
+func TestRawFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	edges := make([]core.Edge, 1024)
+	for i := range edges {
+		edges[i] = core.Edge{
+			Src:    core.VertexID(rng.Uint32()),
+			Dst:    core.VertexID(rng.Uint32()),
+			Weight: rng.Float32(),
+		}
+	}
+	var enc Encoder
+	buf, compressed, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed {
+		t.Fatalf("adversarial tile claims delta encoding")
+	}
+	raw := len(edges) * EdgeBytes
+	if len(buf) > raw+16 {
+		t.Fatalf("raw fallback costs %d bytes over %d raw", len(buf)-raw, raw)
+	}
+	roundTrip(t, edges)
+}
+
+func TestEncodeRejects(t *testing.T) {
+	var enc Encoder
+	if _, _, err := enc.Encode(nil, nil); err == nil {
+		t.Fatal("empty tile encoded")
+	}
+}
+
+// TestDecodeRejects walks the malformed shapes a hostile or torn file can
+// present: each must error cleanly, never panic or mis-decode.
+func TestDecodeRejects(t *testing.T) {
+	var enc Encoder
+	valid, _, err := enc.Encode(nil, []core.Edge{{Src: 1, Dst: 2, Weight: 0.5}, {Src: 3, Dst: 4, Weight: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {FlagDelta},
+		"bad-flag":    {0x7f, 0x01, 0x00},
+		"zero-count":  {FlagDelta, 0x00, 0x00},
+		"huge-count":  {FlagDelta, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		"payload-gap": {FlagDelta, 0x01, 0x40},                                      // claims 64 payload bytes, has none
+		"raw-short":   {FlagRaw, 0x02, 0x0c, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, // 12 bytes for 2 records
+	}
+	for i := 1; i < len(valid); i++ {
+		cases["truncated-"+string(rune('a'+i%26))+"_"] = valid[:i]
+	}
+	for name, data := range cases {
+		if _, _, err := Decode(data, nil); err == nil {
+			t.Errorf("%s: malformed tile decoded cleanly", name)
+		}
+	}
+	// Flipping the payload-length byte to overflow must error, not read
+	// into the next tile's bytes.
+	two := append(append([]byte{}, valid...), valid...)
+	if _, n, err := Decode(two, nil); err != nil || n != len(valid) {
+		t.Fatalf("back-to-back tiles: consumed %d err %v, want %d nil", n, err, len(valid))
+	}
+}
+
+// TestDecodeReuse checks the out-buffer contract: a large enough buffer is
+// reused, a small one is replaced.
+func TestDecodeReuse(t *testing.T) {
+	var enc Encoder
+	edges := []core.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	buf, _, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]core.Edge, 16)
+	got, _, err := Decode(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[0] {
+		t.Fatal("large out buffer was not reused")
+	}
+	sameEdges(t, got, edges)
+}

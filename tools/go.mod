@@ -1,0 +1,12 @@
+// Nested tool-dependency module: pins the lint/analysis binaries CI
+// installs (staticcheck, govulncheck) without adding their module graphs
+// to the library's own go.mod. Excluded from the root module's ./...
+// patterns; CI materializes go.sum with `go mod tidy` before installing.
+module repro/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

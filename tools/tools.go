@@ -1,0 +1,17 @@
+//go:build tools
+
+// Package tools pins the CI tool dependencies — staticcheck (whose
+// honnef.co/go/tools v0.6.1 module is the 2025.1.1 release) and
+// govulncheck — via blank imports, the standard tools.go idiom. The
+// build tag keeps the file out of every real build; the imports exist
+// only so `go mod tidy` retains the versions and CI installs exactly
+// what this module's go.mod names:
+//
+//	cd tools && go mod tidy
+//	go install honnef.co/go/tools/cmd/staticcheck golang.org/x/vuln/cmd/govulncheck
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
