@@ -79,6 +79,8 @@ func main() {
 		quotas    = flag.String("tenant-quotas", "", `per-tenant job quotas: "R,Q[;name=R,Q;...]" (R max running, Q max queued, 0 = unlimited)`)
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight HTTP requests on shutdown")
 		compress  = flag.Bool("compress-tiles", false, "store out-of-core partition edge files as delta-varint compressed tiles (bit-identical results, fewer physical bytes read)")
+		ioRetries = flag.Int("io-retries", 3, "retry transient device errors up to N times with jittered backoff (0 = fail fast)")
+		attempts  = flag.Int("job-attempts", 2, "times a job may enter a batch before a transient or corruption failure becomes terminal (1 = no retry)")
 	)
 	flag.Var(&specs, "dataset", "dataset spec name=rmat:scale[:ef[:seed]][:undirected] or name=file:path[:undirected] (repeatable)")
 	flag.Parse()
@@ -100,6 +102,10 @@ func main() {
 		dev = xstream.NewSimDevice(xstream.SimHDD("hdd", 2, 0))
 	default:
 		fatal("unknown -device %q", *device)
+	}
+	if dev != nil && *ioRetries > 0 {
+		// N retries is N+1 attempts: MaxAttempts counts the first try.
+		dev = xstream.NewRetryDevice(dev, xstream.RetryOptions{MaxAttempts: *ioRetries + 1})
 	}
 
 	defaultQuota, tenantQuotas, err := parseQuotas(*quotas)
@@ -136,12 +142,17 @@ func main() {
 	if cacheBytes <= 0 {
 		cacheBytes = -1 // Config: negative disables, zero means default.
 	}
+	maxAttempts := *attempts
+	if maxAttempts <= 1 {
+		maxAttempts = -1 // Config: negative means one attempt, no retry.
+	}
 	sched := jobs.New(reg, jobs.Config{
 		MemoryBudget:     parseBytes(*budget),
 		MaxBatch:         *maxBatch,
 		Workers:          *workers,
 		Retention:        *retention,
 		ResultCacheBytes: cacheBytes,
+		MaxAttempts:      maxAttempts,
 		DefaultQuota:     defaultQuota,
 		TenantQuotas:     tenantQuotas,
 	})

@@ -66,6 +66,9 @@ func main() {
 		compress   = flag.Bool("compress-tiles", false, "disk engine: store partition edge files as delta-varint compressed tiles (bit-identical results, fewer physical bytes read)")
 		savePerm   = flag.String("save-permutation", "", "save the partitioner's vertex relabeling to this file after planning")
 		loadPerm   = flag.String("load-permutation", "", "replay a saved vertex relabeling instead of running the partitioner")
+		checkpoint = flag.Bool("checkpoint", false, "disk engine: persist a checksummed snapshot after each iteration; a rerun over the same directory resumes from the last completed iteration")
+		ioRetries  = flag.Int("io-retries", 3, "disk engine: retry transient device errors up to N times with jittered backoff (0 = fail fast)")
+		verify     = flag.Bool("verify-checksums", true, "disk engine: verify the CRC32C frames of on-disk artifacts on read; a mismatch fails the run with a corruption error instead of computing on bad data")
 	)
 	flag.Parse()
 
@@ -149,6 +152,11 @@ func main() {
 		default:
 			fatal("unknown -device %q", *device)
 		}
+		if *ioRetries > 0 {
+			// MaxAttempts counts the first try; -io-retries counts only the
+			// re-issues, so N retries is N+1 attempts.
+			dev = xstream.NewRetryDevice(dev, xstream.RetryOptions{MaxAttempts: *ioRetries + 1})
+		}
 		diskCfg := xstream.DiskConfig{
 			Device:        dev,
 			MemoryBudget:  parseBytes(*budget),
@@ -158,6 +166,8 @@ func main() {
 			NoCombine:     !*combine,
 			Selective:     *selective,
 			CompressTiles: *compress,
+			NoVerify:      !*verify,
+			Checkpoint:    *checkpoint,
 		}
 		out, err = diskengine.RunJob(context.Background(), src, inst.Job, diskCfg)
 	default:

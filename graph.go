@@ -71,6 +71,38 @@ type (
 	SimParams = storage.SimParams
 )
 
+// Fault tolerance. Every on-disk artifact the engines read back is framed
+// with a CRC32C recorded at write time; a mismatch surfaces as
+// ErrCorrupted, never as a wrong result. Transient device failures are
+// absorbed by the retry wrapper; chaos tests drive both paths with the
+// deterministic fault injector.
+type (
+	// RetryOptions tunes NewRetryDevice's bounded exponential backoff.
+	RetryOptions = storage.RetryOptions
+	// FaultyOptions is NewFaultyDevice's deterministic fault schedule.
+	FaultyOptions = storage.FaultyOptions
+	// FaultInjector is implemented by NewFaultyDevice's Device so chaos
+	// tests can assert the schedule actually fired.
+	FaultInjector = storage.FaultInjector
+)
+
+// ErrCorrupted is wrapped by every checksum or framing failure on an
+// on-disk artifact (edge tiles, update streams, spilled vertex windows,
+// permutation files, checkpoints). Test with errors.Is.
+var ErrCorrupted = storage.ErrCorrupted
+
+// NewRetryDevice wraps a Device so transient failures of positional file
+// operations are retried with jittered exponential backoff; retry counts
+// surface through DeviceStats.Retries and Stats.IORetries. Corruption and
+// permanent errors fail fast — corruption must go to the rebuild path.
+func NewRetryDevice(inner Device, opts RetryOptions) Device { return storage.NewRetry(inner, opts) }
+
+// NewFaultyDevice wraps a Device with deterministic, seedable fault
+// injection (reported transient errors, short reads, torn writes, silent
+// read corruption) for failure testing. The returned Device also
+// implements FaultInjector.
+func NewFaultyDevice(inner Device, opts FaultyOptions) Device { return storage.NewFaulty(inner, opts) }
+
 // NewOSDevice returns a Device backed by real files under dir.
 func NewOSDevice(name, dir string) (Device, error) { return storage.NewOS(name, dir) }
 

@@ -45,7 +45,8 @@ func TestRegistryShape(t *testing.T) {
 		"ablations", "fig08", "fig09", "fig10", "fig11", "fig12a", "fig12b",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
-		"figcombine", "figcompress", "figfrontier", "figlocality", "figshare",
+		"figchecksum", "figcombine", "figcompress", "figfrontier",
+		"figlocality", "figshare",
 	}
 	got := Runners()
 	if len(got) != len(want) {

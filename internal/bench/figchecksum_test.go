@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestFigChecksumCoverage pins the fault-tolerance tentpole's acceptance
+// criterion: on the dense PageRank rows read-path verification must cover
+// every physical byte read (the edge and update streams are both framed,
+// so anything less means a read path escaped the checksum layer), and
+// checkpointing must record a positive but minority write overhead. The
+// runner itself already asserts the zero-extra-I/O and bit-identity
+// properties, so a passing run is also a correctness witness.
+func TestFigChecksumCoverage(t *testing.T) {
+	tab, err := runFigChecksum(Config{Quick: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		v, ok := tab.Metrics[name]
+		if !ok {
+			t.Fatalf("missing metric %s", name)
+		}
+		return v
+	}
+	read := get("pagerank_disk_bytes_read")
+	checked := get("pagerank_disk_bytes_checksummed")
+	if read <= 0 {
+		t.Fatalf("pagerank read %v bytes", read)
+	}
+	if checked < read {
+		t.Fatalf("verification covered %.0f of %.0f physical bytes read — a read path escaped the checksum layer",
+			checked, read)
+	}
+	overhead := get("pagerank_checkpoint_bytes_written_overhead")
+	if overhead <= 0 {
+		t.Fatalf("checkpoint write overhead %v, want positive", overhead)
+	}
+	t.Logf("pagerank: %.0f bytes read, %.0f verified, %.0f checkpoint bytes written",
+		read, checked, overhead)
+	if v := get("bfs_selective_disk_bytes_checksummed"); v <= 0 {
+		t.Fatalf("selective bfs over compressed tiles checksummed %v bytes", v)
+	}
+}

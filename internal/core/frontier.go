@@ -18,6 +18,7 @@ package core
 // equivalence suite proves it across engines and partitioners).
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 )
@@ -76,6 +77,21 @@ func (f *Frontier) Active(v VertexID) bool {
 // Clear deactivates every vertex.
 func (f *Frontier) Clear() {
 	clear(f.bits)
+}
+
+// Words exposes the frontier's backing bit words (word i holds vertices
+// [64i, 64i+64), LSB first) for checkpoint serialization. The slice
+// aliases live state: callers must not retain it across Mark/Clear.
+func (f *Frontier) Words() []uint64 { return f.bits }
+
+// LoadWords overwrites the frontier from checkpoint words. The word count
+// must match the frontier's own.
+func (f *Frontier) LoadWords(w []uint64) error {
+	if len(w) != len(f.bits) {
+		return fmt.Errorf("core: frontier restore: %d words, want %d", len(w), len(f.bits))
+	}
+	copy(f.bits, w)
+	return nil
 }
 
 // MarkAll activates every vertex — the dense state a program without a

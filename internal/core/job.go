@@ -224,6 +224,57 @@ type JobRun interface {
 	Finalize() (any, Stats, error)
 }
 
+// Snapshotter is the optional JobRun extension an engine's checkpoint path
+// uses to capture and restore a run's cross-iteration state. Everything a
+// resume needs between iterations is three things: the vertex bytes, the
+// frontier the next iteration scatters, and whether the job already
+// converged — update streams are empty at iteration boundaries by
+// construction. jobRun implements it; a custom JobRun that does not is
+// simply never checkpointed.
+type Snapshotter interface {
+	// StateBytes returns a live byte view of the run's vertex state in
+	// relabeled order. A checkpoint writer serializes it; a resume reads
+	// the snapshot's bytes directly back into it.
+	StateBytes() []byte
+	// FrontierWords returns the backing words of the frontier the next
+	// iteration scatters, nil when the run is dense. The slice aliases
+	// live state (see Frontier.Words).
+	FrontierWords() []uint64
+	// RestoreFrontier overwrites the scatter frontier from snapshot words
+	// and clears the gather-side frontier.
+	RestoreFrontier(words []uint64) error
+	// MarkDone forces the converged flag — a restored job that had
+	// already terminated must drop out of the remaining iterations
+	// without executing any.
+	MarkDone()
+}
+
+// StateBytes implements Snapshotter.
+func (r *jobRun[V, M]) StateBytes() []byte { return pod.AsBytes(r.verts) }
+
+// FrontierWords implements Snapshotter.
+func (r *jobRun[V, M]) FrontierWords() []uint64 {
+	if r.fp == nil {
+		return nil
+	}
+	return r.cur.Words()
+}
+
+// RestoreFrontier implements Snapshotter.
+func (r *jobRun[V, M]) RestoreFrontier(words []uint64) error {
+	if r.fp == nil {
+		return fmt.Errorf("job %s: frontier restore on a dense run", r.prog.Name())
+	}
+	if err := r.cur.LoadWords(words); err != nil {
+		return fmt.Errorf("job %s: %w", r.prog.Name(), err)
+	}
+	r.nxt.Clear()
+	return nil
+}
+
+// MarkDone implements Snapshotter.
+func (r *jobRun[V, M]) MarkDone() { r.done = true }
+
 // JobScatter is a per-partition scatter sink: the engine streams edge runs
 // into it, the sink applies the program's Scatter and stages updates
 // through a private (combining) buffer into the job's update stream.

@@ -102,6 +102,24 @@ type Stats struct {
 	// far below that a Combiner pushes it.
 	UpdateBytes int64
 
+	// Fault tolerance (retry layer, checksummed artifacts, checkpoints).
+	// IORetries counts device operations the storage retry layer
+	// re-issued after a transient failure during this run. BytesChecksummed
+	// is the volume of on-disk data CRC-verified on the read path (edge
+	// tiles, update streams, spilled vertex windows) — a deterministic
+	// work measure the figchecksum experiment gates. ChecksumFailures
+	// counts verifications that failed; a failure always surfaces as
+	// storage.ErrCorrupted (or a transparent rebuild at the dataset
+	// layer), never as a result, so any run that returns results has
+	// consumed only verified bytes. ResumedIterations is the number of
+	// leading iterations a checkpoint resume skipped: iterations
+	// [0, ResumedIterations) were restored from the snapshot, and
+	// Iterations - ResumedIterations were actually executed.
+	IORetries         int64
+	BytesChecksummed  int64
+	ChecksumFailures  int64
+	ResumedIterations int
+
 	// RandomRefs counts random accesses to vertex state (one per
 	// scattered edge + one per gathered update); SequentialRefs counts
 	// records touched sequentially. Together they are the Figure 21
@@ -196,6 +214,19 @@ func (s Stats) String() string {
 	if s.CompressedRatio > 0 {
 		out += fmt.Sprintf(", compressed tiles at %.2f of raw (%d delta-coded, %s logical / %s physical read)",
 			s.CompressedRatio, s.TilesCompressed, humanBytes(s.BytesReadLogical), humanBytes(s.BytesRead))
+	}
+	if s.BytesChecksummed > 0 {
+		out += fmt.Sprintf(", %s checksum-verified", humanBytes(s.BytesChecksummed))
+	}
+	if s.IORetries > 0 {
+		out += fmt.Sprintf(", %d I/O retries", s.IORetries)
+	}
+	if s.ChecksumFailures > 0 {
+		out += fmt.Sprintf(", %d checksum failures", s.ChecksumFailures)
+	}
+	if s.ResumedIterations > 0 {
+		out += fmt.Sprintf(", resumed from checkpoint at iter %d (%d executed)",
+			s.ResumedIterations, s.Iterations-s.ResumedIterations)
 	}
 	return out
 }

@@ -439,16 +439,16 @@ func (d *Dataset) buildDisk() (*diskengine.Prepared, error) {
 // evict drops the dataset's prepared engine state — the in-memory edge
 // chunks are released to the collector and the out-of-core handle's
 // partition files are removed via its existing close path — and returns
-// the bytes freed. Pinned or mid-build datasets refuse (returning 0);
+// the bytes freed. Pinned or mid-build datasets refuse (ok false);
 // build errors are cleared so the next use retries. The dataset stays
 // registered and rebuilds lazily.
-func (d *Dataset) evict() int64 {
+func (d *Dataset) evict() (freed int64, ok bool) {
 	d.mu.Lock()
 	if d.pins > 0 || d.memBuilding || d.diskBuilding {
 		d.mu.Unlock()
-		return 0
+		return 0, false
 	}
-	freed := d.memBytes + d.diskBytes
+	freed = d.memBytes + d.diskBytes
 	disk := d.disk
 	d.mem, d.memErr, d.memBytes = nil, nil, 0
 	d.disk, d.diskErr, d.diskBytes = nil, nil, 0
@@ -458,7 +458,31 @@ func (d *Dataset) evict() int64 {
 	if disk != nil {
 		disk.Close()
 	}
-	return freed
+	return freed, true
+}
+
+// InvalidateCorrupted drops the dataset's prepared engine state in
+// response to detected on-disk corruption (a storage.ErrCorrupted from a
+// pass or a prepare), so the next use rebuilds every artifact — partition
+// edge files, tile index, in-memory chunks — from the original source.
+// The persisted partitioning plan heals itself separately: a corrupt
+// permutation file fails its checksum on read and the planner recomputes
+// and rewrites it. Returns false without touching anything when the
+// dataset is pinned or mid-build — a pass is still using the state, and
+// whoever hits the corruption next retries the invalidation once the
+// pins drain.
+func (d *Dataset) InvalidateCorrupted() bool {
+	freed, ok := d.evict()
+	if !ok {
+		return false
+	}
+	if d.reg != nil {
+		if freed > 0 {
+			d.reg.resident.Add(-freed)
+		}
+		d.reg.corruptions.Add(1)
+	}
+	return true
 }
 
 // close releases the dataset's device-backed state (registry shutdown).
@@ -484,6 +508,14 @@ type Metrics struct {
 	Evictions int64 `json:"evictions"`
 	// EvictedBytes sums the footprints those evictions freed.
 	EvictedBytes int64 `json:"evicted_bytes"`
+	// CorruptionEvictions counts engine states dropped because a pass or
+	// prepare detected on-disk corruption (InvalidateCorrupted); each one
+	// triggers a lazy rebuild of just that dataset's artifacts.
+	CorruptionEvictions int64 `json:"corruption_evictions"`
+	// DeviceRetries sums the retry-wrapper recoveries (storage
+	// Stats.Retries) across the registered datasets' distinct devices —
+	// transient I/O faults absorbed without surfacing to any job.
+	DeviceRetries int64 `json:"device_retries"`
 }
 
 // Registry maps names to ingested datasets and bounds their combined
@@ -498,6 +530,7 @@ type Registry struct {
 	memoryCap    atomic.Int64
 	evictions    atomic.Int64
 	evictedBytes atomic.Int64
+	corruptions  atomic.Int64
 
 	sweepOnce sync.Once
 	closeOnce sync.Once
@@ -584,7 +617,7 @@ func (r *Registry) sweep() {
 		if r.resident.Load() <= cap {
 			return
 		}
-		if freed := d.evict(); freed > 0 {
+		if freed, ok := d.evict(); ok && freed > 0 {
 			r.resident.Add(-freed)
 			r.evictions.Add(1)
 			r.evictedBytes.Add(freed)
@@ -592,13 +625,26 @@ func (r *Registry) sweep() {
 	}
 }
 
-// Metrics snapshots the registry's residency counters.
+// Metrics snapshots the registry's residency counters plus the transient
+// I/O retries absorbed by the registered datasets' devices.
 func (r *Registry) Metrics() Metrics {
+	var retries int64
+	r.mu.RLock()
+	seen := make(map[storage.Device]bool, len(r.m))
+	for _, d := range r.m {
+		if dev := d.opts.Device; dev != nil && !seen[dev] {
+			seen[dev] = true
+			retries += dev.Stats().Retries
+		}
+	}
+	r.mu.RUnlock()
 	return Metrics{
-		ResidentBytes: r.resident.Load(),
-		MemoryCap:     r.memoryCap.Load(),
-		Evictions:     r.evictions.Load(),
-		EvictedBytes:  r.evictedBytes.Load(),
+		ResidentBytes:       r.resident.Load(),
+		MemoryCap:           r.memoryCap.Load(),
+		Evictions:           r.evictions.Load(),
+		EvictedBytes:        r.evictedBytes.Load(),
+		CorruptionEvictions: r.corruptions.Load(),
+		DeviceRetries:       retries,
 	}
 }
 

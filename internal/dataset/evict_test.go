@@ -140,8 +140,8 @@ func TestEvictClearsBuildError(t *testing.T) {
 	if _, err := d.Disk(); err == nil {
 		t.Fatal("Disk prepared without a device")
 	}
-	if freed := d.evict(); freed != 0 {
-		t.Fatalf("evicting an unbuilt dataset freed %d bytes", freed)
+	if freed, ok := d.evict(); !ok || freed != 0 {
+		t.Fatalf("evicting an unbuilt dataset: freed %d bytes, ok %v", freed, ok)
 	}
 	// The mem path is unaffected and the dataset still serves.
 	if _, err := d.Mem(); err != nil {

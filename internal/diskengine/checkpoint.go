@@ -1,0 +1,281 @@
+package diskengine
+
+// checkpoint.go is the iteration-level checkpoint of the out-of-core
+// engine (Config.Checkpoint). After every completed iteration that does
+// not terminate the run, the engine snapshots the whole execution state a
+// resume needs — per-partition vertex windows (post-EndIteration, so any
+// phase fold is already applied), the frontier to scatter next, and the
+// iteration number — into one framed, checksummed file next to the
+// partition files. Snapshots double-buffer across two slots (iter&1), so
+// a crash mid-write can tear at most the slot being replaced while the
+// previous iteration's snapshot stays whole. The frame is
+//
+//	[8B magic "XSCKPT1\n"][8B iteration][8B nv][8B vsize]
+//	[8B identity][8B flags][vertex bytes][frontier words?][4B crc32c]
+//
+// with the CRC covering everything after the magic and before itself, and
+// the magic written last: a snapshot is visible only once its body and
+// trailer are durable, so a torn write is indistinguishable from no
+// snapshot. identity fingerprints the run shape (program, partitioner,
+// partition count, graph size, vertex record size) so a stale snapshot
+// from a different job can never be loaded. Resume picks the valid
+// candidate with the highest iteration, verifies its checksum end to end
+// before loading a byte of it, and falls back to a fresh start when no
+// candidate survives — a corrupt checkpoint costs the resume, never the
+// result.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pod"
+	"repro/internal/storage"
+)
+
+const (
+	ckptMagic     = "XSCKPT1\n"
+	ckptHeaderLen = 48
+	ckptFlagFront = 1 << 0 // snapshot carries frontier words
+)
+
+func (e *engine[V, M]) ckptName(slot int) string {
+	return fmt.Sprintf("%scheckpoint-%d.xsck", e.cfg.Prefix, slot)
+}
+
+// ckptIdentity fingerprints the run shape a snapshot is only valid for.
+func (e *engine[V, M]) ckptIdentity() uint32 {
+	return storage.Checksum([]byte(fmt.Sprintf("%s|%s|%d|%d|%d|%d",
+		e.prog.Name(), e.stats.Partitioner, e.k, e.nv, e.ne, pod.Size[V]())))
+}
+
+// ckptFrontWords is the frontier word count a snapshot carries (0 when the
+// run is not selective).
+func (e *engine[V, M]) ckptFrontWords() int64 {
+	if e.fp == nil {
+		return 0
+	}
+	return (e.nv + 63) / 64
+}
+
+// writeFull writes all of b at off, retrying short writes.
+func writeFull(f storage.File, b []byte, off int64) error {
+	for len(b) > 0 {
+		n, err := f.WriteAt(b, off)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf("diskengine: write stalled at offset %d", off)
+		}
+		off += int64(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// writeCheckpoint snapshots the state iteration iter+1 starts from. Called
+// after EndIteration, so phase folds (e.g. PageRank's rank update) are in
+// the vertex bytes, and after the frontier swap, so e.cur is the frontier
+// the next iteration scatters.
+func (e *engine[V, M]) writeCheckpoint(iter int) error {
+	name := e.ckptName(iter & 1)
+	f, err := e.cfg.Device.Create(name)
+	if err != nil {
+		return fmt.Errorf("diskengine: checkpoint %s: %w", name, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("diskengine: checkpoint %s: %w", name, err)
+	}
+
+	hdr := make([]byte, ckptHeaderLen) // magic stays zero until the end
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(iter))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(e.nv))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(pod.Size[V]()))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(e.ckptIdentity()))
+	var flags uint64
+	if e.fp != nil {
+		flags |= ckptFlagFront
+	}
+	binary.LittleEndian.PutUint64(hdr[40:], flags)
+	if err := writeFull(f, hdr, 0); err != nil {
+		return fail(err)
+	}
+	crc := storage.ChecksumUpdate(0, hdr[8:])
+	off := int64(ckptHeaderLen)
+
+	writeBody := func(raw []byte) error {
+		if err := writeFull(f, raw, off); err != nil {
+			return err
+		}
+		crc = storage.ChecksumUpdate(crc, raw)
+		off += int64(len(raw))
+		return nil
+	}
+	if e.allVerts != nil {
+		if err := writeBody(pod.AsBytes(e.allVerts)); err != nil {
+			return fail(err)
+		}
+	} else {
+		for p := 0; p < e.k; p++ {
+			verts, _, err := e.loadVerts(p, false)
+			if err != nil {
+				return fail(err)
+			}
+			if err := writeBody(pod.AsBytes(verts)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if e.fp != nil {
+		if err := writeBody(pod.AsBytes(e.cur.Words())); err != nil {
+			return fail(err)
+		}
+	}
+
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	if err := writeFull(f, trailer[:], off); err != nil {
+		return fail(err)
+	}
+	// Body and trailer are in place: publish the snapshot by writing the
+	// magic last.
+	if err := writeFull(f, []byte(ckptMagic), 0); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diskengine: checkpoint %s: %w", name, err)
+	}
+	return nil
+}
+
+// ckptInspect fully validates slot's snapshot — magic, identity, size and
+// the end-to-end checksum — without loading any of it, and returns the
+// iteration it captured. Any defect just disqualifies the candidate.
+func (e *engine[V, M]) ckptInspect(slot int) (int, bool) {
+	f, err := e.cfg.Device.Open(e.ckptName(slot))
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	hdr := make([]byte, ckptHeaderLen)
+	if readBytes(f, hdr, 0) != nil || string(hdr[:8]) != ckptMagic {
+		return 0, false
+	}
+	iter := binary.LittleEndian.Uint64(hdr[8:])
+	nv := binary.LittleEndian.Uint64(hdr[16:])
+	vsize := binary.LittleEndian.Uint64(hdr[24:])
+	ident := binary.LittleEndian.Uint64(hdr[32:])
+	flags := binary.LittleEndian.Uint64(hdr[40:])
+	if nv != uint64(e.nv) || vsize != uint64(pod.Size[V]()) || uint32(ident) != e.ckptIdentity() {
+		return 0, false
+	}
+	if (flags&ckptFlagFront != 0) != (e.fp != nil) || iter > uint64(e.cfg.MaxIterations) {
+		return 0, false
+	}
+	want := int64(ckptHeaderLen) + e.nv*int64(vsize) + e.ckptFrontWords()*8 + 4
+	if f.Size() != want {
+		return 0, false
+	}
+	crc := storage.ChecksumUpdate(0, hdr[8:])
+	buf := make([]byte, 1<<20)
+	end := want - 4
+	for off := int64(ckptHeaderLen); off < end; {
+		n := int64(len(buf))
+		if n > end-off {
+			n = end - off
+		}
+		if readBytes(f, buf[:n], off) != nil {
+			return 0, false
+		}
+		crc = storage.ChecksumUpdate(crc, buf[:n])
+		off += n
+	}
+	var trailer [4]byte
+	if readBytes(f, trailer[:], end) != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != crc {
+		return 0, false
+	}
+	return int(iter), true
+}
+
+// ckptLoad restores vertex state and frontier from slot's already-verified
+// snapshot.
+func (e *engine[V, M]) ckptLoad(slot int) bool {
+	f, err := e.cfg.Device.Open(e.ckptName(slot))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	off := int64(ckptHeaderLen)
+	if e.allVerts != nil {
+		raw := pod.AsBytes(e.allVerts)
+		if readBytes(f, raw, off) != nil {
+			return false
+		}
+		off += int64(len(raw))
+	} else {
+		for p := 0; p < e.k; p++ {
+			lo, hi := e.part.Range(p, e.nv)
+			raw := pod.AsBytes(e.vertsBuf[:hi-lo])
+			if readBytes(f, raw, off) != nil {
+				return false
+			}
+			off += int64(len(raw))
+			if e.vertFiles[p].writeAllAt(raw) != nil {
+				return false
+			}
+		}
+	}
+	if e.fp != nil {
+		words := make([]uint64, e.ckptFrontWords())
+		if readBytes(f, pod.AsBytes(words), off) != nil {
+			return false
+		}
+		if e.cur.LoadWords(words) != nil {
+			return false
+		}
+		e.nxt.Clear()
+	}
+	return true
+}
+
+// tryResume restores the newest valid checkpoint and returns the iteration
+// the loop should start from (0 when nothing usable was found). When a
+// verified candidate still fails to load — device trouble between the two
+// passes — the just-initialized state is re-established before falling
+// back, so a failed resume can never leave half-restored vertices behind.
+func (e *engine[V, M]) tryResume() int {
+	type cand struct{ slot, iter int }
+	var cands []cand
+	for slot := 0; slot < 2; slot++ {
+		if it, ok := e.ckptInspect(slot); ok {
+			cands = append(cands, cand{slot, it})
+		}
+	}
+	if len(cands) == 2 && cands[1].iter > cands[0].iter {
+		cands[0], cands[1] = cands[1], cands[0]
+	}
+	for _, c := range cands {
+		if e.ckptLoad(c.slot) {
+			return c.iter + 1
+		}
+		if e.initVertexState() != nil {
+			return 0
+		}
+	}
+	return 0
+}
+
+// removeCheckpoints deletes both snapshot slots — the run completed, so
+// there is nothing left to resume.
+func (e *engine[V, M]) removeCheckpoints() {
+	if !e.cfg.Checkpoint {
+		return
+	}
+	for slot := 0; slot < 2; slot++ {
+		e.cfg.Device.Remove(e.ckptName(slot))
+	}
+}

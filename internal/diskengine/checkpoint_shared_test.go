@@ -1,0 +1,203 @@
+package diskengine
+
+// checkpoint_shared_test.go covers the shared-pass checkpoint lifecycle
+// (checkpoint_shared.go) the same way fault_test.go covers the solo one:
+// crash a checkpointed RunJob mid-stream and require the rerun to resume
+// past the restored iterations with reference-identical state, reject
+// corrupt snapshots, and leave no snapshots behind on success. Both the
+// dense path (wcc, vertex bytes only) and the selective path (bfs,
+// per-job frontier words in the snapshot) are exercised.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/storage"
+)
+
+// crashRunJob fails every device operation past budget and reports whether
+// the pass died; checkpoints written before the crash survive on inner.
+func crashRunJob(t *testing.T, src core.EdgeSource, job *core.Job, inner storage.Device, budget int64, cfg Config) bool {
+	t.Helper()
+	cfg.Device = storage.NewFaulty(inner, storage.FaultyOptions{FailAfterOps: budget})
+	_, err := RunJob(nil, src, job, cfg)
+	return err != nil
+}
+
+func requireNoSharedCheckpoints(t *testing.T, dev storage.Device, context string) {
+	t.Helper()
+	for slot := 0; slot < 2; slot++ {
+		name := fmt.Sprintf("ds-checkpoint-%d.xsck", slot)
+		if f, err := dev.Open(name); err == nil {
+			f.Close()
+			t.Fatalf("%s: %s survived", context, name)
+		}
+	}
+}
+
+// TestSharedCheckpointResumeAfterCrash: kill a checkpointed shared pass
+// mid-stream, run again on the clean device with the same prefix — the
+// pass resumes past the iterations the snapshot restored and the labels
+// still match the fault-free run.
+func TestSharedCheckpointResumeAfterCrash(t *testing.T) {
+	src, _ := smallGraph(31)
+	want := wccLabelsOf(t, src)
+	base := Config{Threads: 2, IOUnit: 8 << 10, Partitions: 4, Checkpoint: true}
+	job := core.NewJob[wccState, core.VertexID](&wccProg{})
+
+	clean := ssd(0)
+	cfg := base
+	cfg.Device = clean
+	res, err := RunJob(nil, src, job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireLabels(t, res.Vertices.([]wccState), want, "fault-free checkpointed pass")
+	requireNoSharedCheckpoints(t, clean, "completed pass")
+	ds := clean.Stats()
+	totalOps := ds.Reads + ds.Writes
+
+	inner := ssd(0)
+	for _, frac := range []float64{0.6, 0.45, 0.75, 0.3, 0.9} {
+		budget := int64(float64(totalOps) * frac)
+		if budget < 1 {
+			budget = 1
+		}
+		if !crashRunJob(t, src, job, inner, budget, base) {
+			continue // budget outlasted the pass
+		}
+		cfg := base
+		cfg.Device = inner
+		res, err := RunJob(nil, src, job, cfg)
+		if err != nil {
+			t.Fatalf("resume after crash at %d ops: %v", budget, err)
+		}
+		if res.Stats.ResumedIterations == 0 {
+			continue // crashed before the first snapshot
+		}
+		if res.Stats.ResumedIterations >= res.Stats.Iterations {
+			t.Fatalf("resumed %d of %d iterations: nothing was left to execute, yet the crashed pass did not finish",
+				res.Stats.ResumedIterations, res.Stats.Iterations)
+		}
+		requireLabels(t, res.Vertices.([]wccState), want, "resumed pass")
+		requireNoSharedCheckpoints(t, inner, "resumed pass")
+		return
+	}
+	t.Fatal("no crash window produced a resumable shared-pass checkpoint")
+}
+
+// TestSharedCheckpointSelectiveResume: a selective pass snapshots its
+// frontier alongside the vertex bytes — a resumed BFS must pick up the
+// frontier where the crashed pass left it and still produce bit-identical
+// state (Dist and the iteration stamp both match the clean run).
+func TestSharedCheckpointSelectiveResume(t *testing.T) {
+	src := graphgen.Chain(2048, 13)
+	base := Config{Threads: 2, IOUnit: 16 << 10, Partitions: 8, TileEdges: 64, Selective: true, Checkpoint: true}
+	job := core.NewJob[bfsState, int32](&bfsProg{root: 0})
+
+	clean := ssd(0)
+	cfg := base
+	cfg.Device = clean
+	ref, err := RunJob(nil, src, job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Vertices.([]bfsState)
+	requireNoSharedCheckpoints(t, clean, "completed selective pass")
+	ds := clean.Stats()
+	totalOps := ds.Reads + ds.Writes
+
+	inner := ssd(0)
+	for _, frac := range []float64{0.6, 0.45, 0.75, 0.3, 0.9} {
+		budget := int64(float64(totalOps) * frac)
+		if budget < 1 {
+			budget = 1
+		}
+		if !crashRunJob(t, src, job, inner, budget, base) {
+			continue
+		}
+		cfg := base
+		cfg.Device = inner
+		res, err := RunJob(nil, src, job, cfg)
+		if err != nil {
+			t.Fatalf("selective resume after crash at %d ops: %v", budget, err)
+		}
+		if res.Stats.ResumedIterations == 0 {
+			continue
+		}
+		got := res.Vertices.([]bfsState)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d: resumed %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		return
+	}
+	t.Fatal("no crash window produced a resumable selective checkpoint")
+}
+
+// TestSharedCheckpointCorruptIgnored: flip one bit in every surviving
+// snapshot — the resume must reject them, start from scratch, and still
+// converge to the right labels.
+func TestSharedCheckpointCorruptIgnored(t *testing.T) {
+	src, _ := smallGraph(31)
+	want := wccLabelsOf(t, src)
+	base := Config{Threads: 2, IOUnit: 8 << 10, Partitions: 4, Checkpoint: true}
+	job := core.NewJob[wccState, core.VertexID](&wccProg{})
+
+	clean := ssd(0)
+	cfg := base
+	cfg.Device = clean
+	if _, err := RunJob(nil, src, job, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ds := clean.Stats()
+	totalOps := ds.Reads + ds.Writes
+
+	for _, frac := range []float64{0.6, 0.45, 0.75, 0.3, 0.9} {
+		inner := ssd(0)
+		budget := int64(float64(totalOps) * frac)
+		if budget < 1 {
+			budget = 1
+		}
+		if !crashRunJob(t, src, job, inner, budget, base) {
+			continue
+		}
+		corrupted := 0
+		for slot := 0; slot < 2; slot++ {
+			f, err := inner.Open(fmt.Sprintf("ds-checkpoint-%d.xsck", slot))
+			if err != nil {
+				continue
+			}
+			if f.Size() > ckptHeaderLen+8 {
+				b := make([]byte, 1)
+				if _, err := f.ReadAt(b, ckptHeaderLen+5); err != nil {
+					t.Fatal(err)
+				}
+				b[0] ^= 0x10
+				if _, err := f.WriteAt(b, ckptHeaderLen+5); err != nil {
+					t.Fatal(err)
+				}
+				corrupted++
+			}
+			f.Close()
+		}
+		if corrupted == 0 {
+			continue // crash predates any snapshot
+		}
+		cfg := base
+		cfg.Device = inner
+		res, err := RunJob(nil, src, job, cfg)
+		if err != nil {
+			t.Fatalf("rerun over corrupt shared checkpoints: %v", err)
+		}
+		if res.Stats.ResumedIterations != 0 {
+			t.Fatalf("resumed %d iterations from corrupt snapshots", res.Stats.ResumedIterations)
+		}
+		requireLabels(t, res.Vertices.([]wccState), want, "pass after rejecting corrupt checkpoints")
+		return
+	}
+	t.Fatal("no crash window left a shared checkpoint to corrupt")
+}

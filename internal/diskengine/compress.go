@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/pod"
 	"repro/internal/storage"
 	"repro/internal/tilecodec"
 )
@@ -124,20 +125,115 @@ type edgeStream interface {
 }
 
 // openSegment opens the stream for one planned segment of an edge file.
-func openSegment(f storage.File, seg edgeSegment, chunkRecs int, prefetch bool) edgeStream {
+// verify only matters for compressed segments, whose tilecodec frames are
+// checksum-checked as they decode; raw segments are verified above the
+// reader by streamSegments' rawTileVerifier.
+func openSegment(f storage.File, seg edgeSegment, chunkRecs int, prefetch, verify bool) edgeStream {
 	if seg.tiles == nil {
 		return newChunkReaderRange[core.Edge](f, seg.lo*edgeRecSize, seg.hi*edgeRecSize, chunkRecs, prefetch)
 	}
-	return newTileReader(f, seg.tiles, chunkRecs, prefetch)
+	return newTileReader(f, seg.tiles, chunkRecs, prefetch, verify)
 }
 
-// streamSegments streams the planned segments of one edge file through fn
-// in order, checking ctx between chunks (nil ctx skips the check). It
-// returns the physical and logical byte volume delivered: equal for the
-// raw layout, phys < logical when tiles decoded to more than was read.
-func streamSegments(ctx context.Context, f storage.File, segs []edgeSegment, chunkRecs int, prefetch bool, fn func([]core.Edge) error) (phys, logical int64, err error) {
+// rawTileVerifier re-checksums a raw edge file's streamed records against
+// the per-tile CRCs the pre-processing shuffle recorded. Segments planned
+// from the tile index always start on tile boundaries, so the verifier
+// tracks which tile each delivered record falls in and compares at every
+// tile edge — corruption in a tile surfaces before more than one tile's
+// worth of records past it has been scattered, and always before the run
+// can return results.
+type rawTileVerifier struct {
+	name     string
+	tiles    []tileSpan
+	tileRecs int64
+	idx      int   // tile the next record falls in
+	within   int64 // records of tiles[idx] already fed
+	crc      uint32
+	checked  int64 // record bytes verified so far
+}
+
+// newRawTileVerifier returns a verifier for partition p of a raw layout,
+// or nil when the index cannot vouch for the file (the whole-file safety
+// net of activeSegments, where index and file disagree on the record
+// count — planSegments then streams the whole file unverified).
+func newRawTileVerifier(pf *partFile, t *diskTiles, p int) *rawTileVerifier {
+	if t == nil || t.compressed || t.tileRecs <= 0 {
+		return nil
+	}
+	if t.totalRecs(p)*edgeRecSize != pf.size {
+		return nil
+	}
+	return &rawTileVerifier{name: pf.name, tiles: t.parts[p], tileRecs: t.tileRecs}
+}
+
+// startSegment positions the verifier at the tile containing record lo.
+// Raw tiles are fixed-size except the trailing one, so the tile index is
+// lo/tileRecs; a misaligned segment (never planned, defended anyway)
+// reports false and the caller streams it unverified.
+func (v *rawTileVerifier) startSegment(lo int64) bool {
+	if lo%v.tileRecs != 0 {
+		return false
+	}
+	idx := int(lo / v.tileRecs)
+	if idx > len(v.tiles) {
+		return false
+	}
+	v.idx, v.within, v.crc = idx, 0, 0
+	return true
+}
+
+// feed folds one delivered chunk into the running per-tile checksums.
+func (v *rawTileVerifier) feed(chunk []core.Edge) error {
+	for len(chunk) > 0 {
+		if v.idx >= len(v.tiles) {
+			return fmt.Errorf("diskengine: edge file %s: records past the tile index: %w", v.name, storage.ErrCorrupted)
+		}
+		tl := &v.tiles[v.idx]
+		take := tl.recs - v.within
+		if take > int64(len(chunk)) {
+			take = int64(len(chunk))
+		}
+		seg := chunk[:take]
+		v.crc = storage.ChecksumUpdate(v.crc, pod.AsBytes(seg))
+		v.within += take
+		chunk = chunk[take:]
+		if v.within == tl.recs {
+			v.checked += tl.recs * edgeRecSize
+			if v.crc != tl.crc {
+				return fmt.Errorf("diskengine: edge file %s: tile %d checksum %08x, want %08x: %w",
+					v.name, v.idx, v.crc, tl.crc, storage.ErrCorrupted)
+			}
+			v.idx++
+			v.within, v.crc = 0, 0
+		}
+	}
+	return nil
+}
+
+// streamSegments streams the planned segments of partition p's edge file
+// through fn in order, checking ctx between chunks (nil ctx skips the
+// check). With verify set, every delivered record is covered by a CRC32C
+// comparison: raw tiles against the shuffle-recorded index (or, for an
+// unindexed file streamed whole, against the file's running append
+// checksum), compressed tiles inside the tilecodec frames; a segment that
+// delivers fewer records than planned — a silently torn file — is also
+// corruption. It returns the physical and logical byte volume delivered
+// (equal for the raw layout, phys < logical when tiles decoded to more
+// than was read) plus the byte volume checksum-verified.
+func streamSegments(ctx context.Context, pf *partFile, p int, tiles *diskTiles, verify bool, segs []edgeSegment, chunkRecs int, prefetch bool, fn func([]core.Edge) error) (phys, logical, checked int64, err error) {
+	var ver *rawTileVerifier
+	if verify {
+		ver = newRawTileVerifier(pf, tiles, p)
+	}
+	// An unindexed raw file is always planned as one whole-file segment:
+	// verify its stream against the file's running append checksum.
+	var wholeCRC uint32
+	wholeOK := verify && ver == nil && tiles == nil &&
+		len(segs) == 1 && segs[0].lo == 0 && segs[0].hi*edgeRecSize == pf.size
 	for _, seg := range segs {
-		rd := openSegment(f, seg, chunkRecs, prefetch)
+		verSeg := ver != nil && ver.startSegment(seg.lo)
+		var segRecs int64
+		rd := openSegment(pf.f, seg, chunkRecs, prefetch, verify)
 		for err == nil {
 			var chunk []core.Edge
 			chunk, err = rd.Next()
@@ -150,15 +246,44 @@ func streamSegments(ctx context.Context, f storage.File, segs []edgeSegment, chu
 				}
 			}
 			logical += int64(len(chunk)) * edgeRecSize
+			segRecs += int64(len(chunk))
+			if verSeg {
+				if err = ver.feed(chunk); err != nil {
+					break
+				}
+			} else if wholeOK {
+				wholeCRC = storage.ChecksumUpdate(wholeCRC, pod.AsBytes(chunk))
+			}
 			err = fn(chunk)
 		}
 		phys += rd.PhysBytes()
 		rd.Close()
+		if err == nil && verify && segRecs != seg.hi-seg.lo {
+			err = fmt.Errorf("diskengine: edge file %s: segment [%d,%d) delivered %d of %d records: %w",
+				pf.name, seg.lo, seg.hi, segRecs, seg.hi-seg.lo, storage.ErrCorrupted)
+		}
 		if err != nil {
-			return phys, logical, err
+			if ver != nil {
+				checked = ver.checked
+			}
+			return phys, logical, checked, err
 		}
 	}
-	return phys, logical, nil
+	switch {
+	case ver != nil:
+		checked = ver.checked
+	case wholeOK:
+		checked = pf.size
+		if wholeCRC != pf.crc {
+			return phys, logical, checked, fmt.Errorf("diskengine: edge file %s: stream checksum %08x, want %08x: %w",
+				pf.name, wholeCRC, pf.crc, storage.ErrCorrupted)
+		}
+	case verify && tiles != nil && tiles.compressed:
+		// Compressed tiles verify inside the codec frames; the bytes the
+		// device actually moved are what the CRCs covered.
+		checked = phys
+	}
+	return phys, logical, checked, nil
 }
 
 // tileReader streams one planned run of encoded tiles, decoding batches of
@@ -171,6 +296,7 @@ type tileReader struct {
 	f         storage.File
 	tiles     []tileSpan
 	chunkRecs int
+	verify    bool
 	phys      int64
 	cur       []core.Edge
 
@@ -192,7 +318,7 @@ type tileRes struct {
 	err  error
 }
 
-func newTileReader(f storage.File, tiles []tileSpan, chunkRecs int, prefetch bool) *tileReader {
+func newTileReader(f storage.File, tiles []tileSpan, chunkRecs int, prefetch, verify bool) *tileReader {
 	// A decode buffer must hold the largest batch: consecutive tiles up to
 	// chunkRecs records, or any single oversized tile whole.
 	capRecs := chunkRecs
@@ -201,7 +327,7 @@ func newTileReader(f storage.File, tiles []tileSpan, chunkRecs int, prefetch boo
 			capRecs = int(tl.recs)
 		}
 	}
-	r := &tileReader{f: f, tiles: tiles, chunkRecs: chunkRecs}
+	r := &tileReader{f: f, tiles: tiles, chunkRecs: chunkRecs, verify: verify}
 	if !prefetch {
 		r.buf = make([]core.Edge, capRecs)
 		return r
@@ -244,13 +370,13 @@ func (r *tileReader) decodeBatch(i, j int, out []core.Edge) ([]core.Edge, int64,
 	out = out[:cap(out)]
 	used := 0
 	for _, tl := range r.tiles[i:j] {
-		recs, consumed, err := tilecodec.Decode(raw, out[used:used])
+		recs, consumed, err := tilecodec.DecodeVerify(raw, out[used:used], r.verify)
 		if err != nil {
 			return nil, 0, fmt.Errorf("diskengine: tile at offset %d: %w", off, err)
 		}
 		if int64(len(recs)) != tl.recs || int64(consumed) != tl.bytes {
-			return nil, 0, fmt.Errorf("diskengine: tile at offset %d decodes to %d records in %d bytes, index says %d in %d",
-				off, len(recs), consumed, tl.recs, tl.bytes)
+			return nil, 0, fmt.Errorf("diskengine: tile at offset %d decodes to %d records in %d bytes, index says %d in %d: %w",
+				off, len(recs), consumed, tl.recs, tl.bytes, storage.ErrCorrupted)
 		}
 		used += len(recs)
 		raw = raw[consumed:]
@@ -343,7 +469,7 @@ func readBytes(f storage.File, buf []byte, off int64) error {
 		}
 	}
 	if got != len(buf) {
-		return fmt.Errorf("diskengine: truncated tile read: %d of %d bytes at offset %d", got, len(buf), off)
+		return fmt.Errorf("diskengine: truncated tile read: %d of %d bytes at offset %d: %w", got, len(buf), off, storage.ErrCorrupted)
 	}
 	return nil
 }

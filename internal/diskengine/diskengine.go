@@ -127,6 +127,21 @@ type Config struct {
 	// cancelation and deadlines promptly. nil means context.Background(),
 	// keeping batch callers unchanged.
 	Context context.Context
+	// NoVerify disables read-path checksum verification of on-disk
+	// artifacts (edge tiles, update streams, spilled vertex windows).
+	// Verification is on by default: every byte the iteration loop reads
+	// back is covered by a CRC32C recorded when it was written, and a
+	// mismatch surfaces as storage.ErrCorrupted — never a wrong result.
+	// The figchecksum experiment uses this ablation to measure overhead.
+	NoVerify bool
+	// Checkpoint persists a checksummed snapshot (vertex state, frontier,
+	// iteration number) on the device after every completed iteration, so
+	// a faulted or killed run restarted with the same Prefix resumes from
+	// the last completed iteration instead of from scratch. Snapshots
+	// double-buffer across two files, are removed when the run completes,
+	// and are ignored (never trusted) when their checksum or identity does
+	// not match.
+	Checkpoint bool
 }
 
 func (c Config) withDefaults() Config {
@@ -237,7 +252,18 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	}
 	e.stats.PreprocessTime = time.Since(t0)
 
-	if err := e.loop(); err != nil {
+	// Resume from the newest valid checkpoint of a previous attempt with
+	// this prefix: iterations [0, startIter) were restored, not executed.
+	// Invalid or corrupt snapshots are ignored, never trusted.
+	startIter := 0
+	if cfg.Checkpoint {
+		startIter = e.tryResume()
+		e.stats.ResumedIterations = startIter
+	}
+
+	if err := e.loop(startIter); err != nil {
+		// Checkpoints outlive a failed run on purpose — they are what the
+		// retry resumes from.
 		e.cleanup()
 		return nil, err
 	}
@@ -247,15 +273,18 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.cleanup()
 		return nil, err
 	}
+	e.removeCheckpoints()
 	e.cleanup()
 
 	devAfter := cfg.Device.Stats()
 	updAfter := cfg.UpdateDevice.Stats()
 	e.stats.BytesRead = devAfter.BytesRead - devBefore.BytesRead
 	e.stats.BytesWritten = devAfter.BytesWritten - devBefore.BytesWritten
+	e.stats.IORetries = devAfter.Retries - devBefore.Retries
 	if cfg.UpdateDevice != cfg.Device {
 		e.stats.BytesRead += updAfter.BytesRead - updBefore.BytesRead
 		e.stats.BytesWritten += updAfter.BytesWritten - updBefore.BytesWritten
+		e.stats.IORetries += updAfter.Retries - updBefore.Retries
 	}
 	// Logical read volume: everything counted physically, with the edge
 	// streams' physical bytes swapped for the record bytes they decoded to.
@@ -433,6 +462,37 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 
 	// Vertex state. With selective scheduling, Init doubles as the census
 	// seeding iteration 0's frontier.
+	if e.allVerts == nil {
+		e.vertFiles = make([]*partFile, e.k)
+		for p := 0; p < e.k; p++ {
+			var err error
+			if e.vertFiles[p], err = createPartFile(e.cfg.Device, fmt.Sprintf("%sp%04d.verts", e.cfg.Prefix, p)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.initVertexState(); err != nil {
+		return err
+	}
+
+	// Partition the edge list (in-memory shuffle reused, §3.2), indexing
+	// tile source summaries along the way when selective scheduling is on.
+	// The compressed layout needs the index unconditionally — it is the
+	// only record of where each tile's bytes live.
+	if e.fp != nil || e.cfg.CompressTiles {
+		e.tilesFwd = newDiskTilesFor(e.k, e.cfg.TileEdges, e.cfg.CompressTiles)
+	}
+	return e.partitionEdges(g, e.edgeFiles, false, e.tilesFwd)
+}
+
+// initVertexState (re)establishes the initial vertex state — in-memory or
+// spilled to the vertex files — and, with selective scheduling, re-seeds
+// iteration 0's frontier. setup calls it once; a failed checkpoint resume
+// calls it again to guarantee no half-restored state survives.
+func (e *engine[V, M]) initVertexState() error {
+	if e.fp != nil {
+		e.cur.Clear()
+	}
 	if e.allVerts != nil {
 		var wg sync.WaitGroup
 		workers := e.cfg.Threads
@@ -458,36 +518,23 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 			}(lo, hi)
 		}
 		wg.Wait()
-	} else {
-		e.vertFiles = make([]*partFile, e.k)
-		for p := 0; p < e.k; p++ {
-			var err error
-			if e.vertFiles[p], err = createPartFile(e.cfg.Device, fmt.Sprintf("%sp%04d.verts", e.cfg.Prefix, p)); err != nil {
-				return err
-			}
-			lo, hi := e.part.Range(p, e.nv)
-			buf := e.vertsBuf[:hi-lo]
-			for i := range buf {
-				id := core.VertexID(lo + int64(i))
-				e.prog.Init(id, &buf[i])
-				if e.fp != nil && e.fp.InitiallyActive(id, &buf[i]) {
-					e.cur.Mark(id)
-				}
-			}
-			if err := e.vertFiles[p].appendBytes(pod.AsBytes(buf)); err != nil {
-				return err
+		return nil
+	}
+	for p := 0; p < e.k; p++ {
+		lo, hi := e.part.Range(p, e.nv)
+		buf := e.vertsBuf[:hi-lo]
+		for i := range buf {
+			id := core.VertexID(lo + int64(i))
+			e.prog.Init(id, &buf[i])
+			if e.fp != nil && e.fp.InitiallyActive(id, &buf[i]) {
+				e.cur.Mark(id)
 			}
 		}
+		if err := e.vertFiles[p].writeAllAt(pod.AsBytes(buf)); err != nil {
+			return err
+		}
 	}
-
-	// Partition the edge list (in-memory shuffle reused, §3.2), indexing
-	// tile source summaries along the way when selective scheduling is on.
-	// The compressed layout needs the index unconditionally — it is the
-	// only record of where each tile's bytes live.
-	if e.fp != nil || e.cfg.CompressTiles {
-		e.tilesFwd = newDiskTilesFor(e.k, e.cfg.TileEdges, e.cfg.CompressTiles)
-	}
-	return e.partitionEdges(g, e.edgeFiles, false, e.tilesFwd)
+	return nil
 }
 
 // partitionEdges streams src through the shuffle pipeline into files,
@@ -552,13 +599,14 @@ func partitionEdgesInto(src core.EdgeSource, files []*partFile, transpose bool, 
 	return nil
 }
 
-// loop runs the synchronous scatter-shuffle-gather iterations (Figure 6).
-func (e *engine[V, M]) loop() error {
+// loop runs the synchronous scatter-shuffle-gather iterations (Figure 6),
+// starting at startIter (non-zero after a checkpoint resume).
+func (e *engine[V, M]) loop(startIter int) error {
 	directed, isDirected := any(e.prog).(core.DirectedProgram)
 	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
 	usize := pod.Size[core.Update[M]]()
 
-	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+	for iter := startIter; iter < e.cfg.MaxIterations; iter++ {
 		if err := e.cfg.Context.Err(); err != nil {
 			return err
 		}
@@ -622,6 +670,15 @@ func (e *engine[V, M]) loop() error {
 		} else if sent == 0 {
 			return nil
 		}
+		// Snapshot only when the run continues: EndIteration has already
+		// folded any phase state into the vertices, so the snapshot is
+		// exactly what iteration iter+1 starts from. A terminating run
+		// needs no snapshot — its checkpoints are removed on success.
+		if e.cfg.Checkpoint {
+			if err := e.writeCheckpoint(iter); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -636,13 +693,14 @@ func (e *engine[V, M]) buildBackwardFiles() error {
 			return err
 		}
 	}
-	src := &partFilesSource{files: e.edgeFiles, tiles: e.tilesFwd, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch}
+	src := &partFilesSource{files: e.edgeFiles, tiles: e.tilesFwd, nv: e.nv, chunkRecs: e.bufEdgeRecs, prefetch: !e.cfg.NoPrefetch, verify: !e.cfg.NoVerify}
 	if e.fp != nil || e.cfg.CompressTiles {
 		e.tilesBwd = newDiskTilesFor(e.k, e.cfg.TileEdges, e.cfg.CompressTiles)
 	}
 	err := e.partitionEdges(src, e.bwdFiles, true, e.tilesBwd)
 	e.physEdge += src.phys
 	e.logicalEdge += src.logical
+	e.stats.BytesChecksummed += src.checked
 	return err
 }
 
@@ -654,9 +712,11 @@ type partFilesSource struct {
 	nv        int64
 	chunkRecs int
 	prefetch  bool
+	verify    bool
 	// phys and logical accumulate the byte volume of every Edges pass,
-	// for the caller's BytesReadLogical accounting.
-	phys, logical int64
+	// for the caller's BytesReadLogical accounting; checked the volume
+	// checksum-verified along the way.
+	phys, logical, checked int64
 }
 
 func (s *partFilesSource) NumVertices() int64 { return s.nv }
@@ -672,9 +732,10 @@ func (s *partFilesSource) NumEdges() int64 {
 func (s *partFilesSource) Edges(fn func([]core.Edge) error) error {
 	for p, f := range s.files {
 		segs, _, _ := planSegments(s.tiles, p, nil, edgeFileRecs(f, s.tiles, p))
-		phys, logical, err := streamSegments(nil, f.f, segs, s.chunkRecs, s.prefetch, fn)
+		phys, logical, checked, err := streamSegments(nil, f, p, s.tiles, s.verify, segs, s.chunkRecs, s.prefetch, fn)
 		s.phys += phys
 		s.logical += logical
+		s.checked += checked
 		if err != nil {
 			return err
 		}
@@ -764,7 +825,20 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 			w.Finish()
 			return res, err
 		}
-		phys, logical, err := streamSegments(e.cfg.Context, edgeFiles[s].f, segs, e.bufEdgeRecs, !e.cfg.NoPrefetch, func(chunk []core.Edge) error {
+		winHi := vlo + int64(len(verts))
+		phys, logical, checked, err := streamSegments(e.cfg.Context, edgeFiles[s], s, tiles, !e.cfg.NoVerify, segs, e.bufEdgeRecs, !e.cfg.NoPrefetch, func(chunk []core.Edge) error {
+			// A corrupted record must never be dereferenced: the tile CRC
+			// only closes at tile granularity, after the chunk has
+			// scattered, so a bit-flipped Src or Dst would index outside
+			// the vertex window or the shuffle plan before verification
+			// catches it. The shuffle invariant is that every record of
+			// partition s's file sources inside s's window.
+			for _, ed := range chunk {
+				if int64(ed.Src) < vlo || int64(ed.Src) >= winHi || int64(ed.Dst) >= e.nv {
+					return fmt.Errorf("diskengine: edge file %s: record (%d -> %d) outside partition %d window [%d,%d) of %d vertices: %w",
+						edgeFiles[s].name, ed.Src, ed.Dst, s, vlo, winHi, e.nv, storage.ErrCorrupted)
+				}
+			}
 			res.streamed += int64(len(chunk))
 			// Scatter the chunk in segments that fit the output buffer
 			// (combining only ever shrinks a segment's append volume, so
@@ -792,6 +866,7 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 		})
 		res.physEdge += phys
 		res.logicalEdge += logical
+		e.stats.BytesChecksummed += checked
 		if err != nil {
 			w.Finish()
 			return res, err
@@ -940,7 +1015,14 @@ func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) erro
 				e.gatherChunk(run, verts, lo)
 			})
 		} else {
-			rd := newChunkReader[core.Update[M]](e.updFiles[p].f, e.updFiles[p].size, e.bufUpdRecs, !e.cfg.NoPrefetch)
+			// Verify the update stream against the running checksum the
+			// scatter's appends accumulated: a torn or bit-flipped update
+			// file surfaces as ErrCorrupted, never as wrong vertex state.
+			uf := e.updFiles[p]
+			verify := !e.cfg.NoVerify
+			var crc uint32
+			var got int64
+			rd := newChunkReader[core.Update[M]](uf.f, uf.size, e.bufUpdRecs, !e.cfg.NoPrefetch)
 			for {
 				chunk, err := rd.Next()
 				if err != nil {
@@ -950,10 +1032,32 @@ func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) erro
 				if chunk == nil {
 					break
 				}
+				if verify {
+					crc = storage.ChecksumUpdate(crc, pod.AsBytes(chunk))
+					got += int64(len(chunk)) * int64(pod.Size[core.Update[M]]())
+				}
+				// As with scatter, the stream checksum only closes after
+				// the whole file is consumed — so a corrupted destination
+				// must be refused before it indexes the vertex window.
+				winHi := lo + int64(len(verts))
+				for _, u := range chunk {
+					if int64(u.Dst) < lo || int64(u.Dst) >= winHi {
+						rd.Close()
+						return fmt.Errorf("diskengine: update file %s: update for vertex %d outside partition window [%d,%d): %w",
+							uf.name, u.Dst, lo, winHi, storage.ErrCorrupted)
+					}
+				}
 				e.gatherChunk(chunk, verts, lo)
 			}
 			rd.Close()
-			if err := e.updFiles[p].truncate(); err != nil {
+			if verify {
+				if got != uf.size || crc != uf.crc {
+					return fmt.Errorf("diskengine: update file %s: %d of %d bytes, checksum %08x, want %08x: %w",
+						uf.name, got, uf.size, crc, uf.crc, storage.ErrCorrupted)
+				}
+				e.stats.BytesChecksummed += got
+			}
+			if err := uf.truncate(); err != nil {
 				return err
 			}
 		}
@@ -1032,24 +1136,35 @@ func (e *engine[V, M]) loadVerts(p int, forWrite bool) ([]V, int64, error) {
 		return e.allVerts[lo:hi], lo, nil
 	}
 	buf := e.vertsBuf[:hi-lo]
-	recs, err := readFull(e.vertFiles[p].f, buf, 0, pod.Size[V]())
+	vf := e.vertFiles[p]
+	recs, err := readFull(vf.f, buf, 0, pod.Size[V]())
 	if err != nil {
 		return nil, 0, err
 	}
 	if len(recs) != len(buf) {
-		return nil, 0, fmt.Errorf("diskengine: vertex file %s short: %d records, want %d", e.vertFiles[p].name, len(recs), len(buf))
+		return nil, 0, fmt.Errorf("diskengine: vertex file %s short: %d records, want %d: %w",
+			vf.name, len(recs), len(buf), storage.ErrCorrupted)
+	}
+	if !e.cfg.NoVerify {
+		raw := pod.AsBytes(buf)
+		if got := storage.Checksum(raw); got != vf.crc {
+			return nil, 0, fmt.Errorf("diskengine: vertex file %s: checksum %08x, want %08x: %w",
+				vf.name, got, vf.crc, storage.ErrCorrupted)
+		}
+		e.stats.BytesChecksummed += int64(len(raw))
 	}
 	return buf, lo, nil
 }
 
 // storeVerts persists a partition's vertex window after gather. A no-op
-// when all vertices are held in memory (§3.2 optimization 1).
+// when all vertices are held in memory (§3.2 optimization 1). The rewrite
+// resets the file's running checksum, so the next loadVerts verifies
+// against exactly this window.
 func (e *engine[V, M]) storeVerts(p int, verts []V) error {
 	if e.allVerts != nil {
 		return nil
 	}
-	_, err := e.vertFiles[p].f.WriteAt(pod.AsBytes(verts), 0)
-	return err
+	return e.vertFiles[p].writeAllAt(pod.AsBytes(verts))
 }
 
 // vertexView returns the VertexView for phase hooks.

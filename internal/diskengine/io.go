@@ -11,11 +11,16 @@ import (
 )
 
 // partFile is one append-only partition file (edges, updates or vertices).
+// crc is the running CRC32C of every byte appended since creation (or the
+// last truncate/writeAllAt) — the read-path verifier for files whose whole
+// stream is re-read: update files at gather, vertex spill windows, and raw
+// edge files streamed end to end.
 type partFile struct {
 	dev  storage.Device
 	name string
 	f    storage.File
 	size int64 // append offset
+	crc  uint32
 }
 
 func createPartFile(dev storage.Device, name string) (*partFile, error) {
@@ -26,15 +31,43 @@ func createPartFile(dev storage.Device, name string) (*partFile, error) {
 	return &partFile{dev: dev, name: name, f: f}, nil
 }
 
+// appendBytes appends b at the current end of file, retrying short writes
+// the way readFull retries short reads. The append offset and running
+// checksum advance only past bytes confirmed written, so a failed append
+// leaves the file positionally consistent: a retry of the same append
+// overwrites any torn prefix the device may have persisted.
 func (p *partFile) appendBytes(b []byte) error {
-	if len(b) == 0 {
-		return nil
+	for len(b) > 0 {
+		n, err := p.f.WriteAt(b, p.size)
+		if err != nil {
+			return fmt.Errorf("diskengine: append %s: %w", p.name, err)
+		}
+		if n <= 0 {
+			return fmt.Errorf("diskengine: append %s: write stalled at offset %d", p.name, p.size)
+		}
+		p.crc = storage.ChecksumUpdate(p.crc, b[:n])
+		p.size += int64(n)
+		b = b[n:]
 	}
-	n, err := p.f.WriteAt(b, p.size)
-	p.size += int64(n)
-	if err != nil {
-		return fmt.Errorf("diskengine: append %s: %w", p.name, err)
+	return nil
+}
+
+// writeAllAt replaces the file's whole contents with b — the vertex-spill
+// store path. On success the running checksum covers exactly b.
+func (p *partFile) writeAllAt(b []byte) error {
+	off := int64(0)
+	for off < int64(len(b)) {
+		n, err := p.f.WriteAt(b[off:], off)
+		if err != nil {
+			return fmt.Errorf("diskengine: write %s: %w", p.name, err)
+		}
+		if n <= 0 {
+			return fmt.Errorf("diskengine: write %s: write stalled at offset %d", p.name, off)
+		}
+		off += int64(n)
 	}
+	p.size = int64(len(b))
+	p.crc = storage.Checksum(b)
 	return nil
 }
 
@@ -43,6 +76,7 @@ func (p *partFile) appendBytes(b []byte) error {
 // storage layer counts it as such.
 func (p *partFile) truncate() error {
 	p.size = 0
+	p.crc = 0
 	return p.f.Truncate(0)
 }
 
@@ -120,6 +154,14 @@ func (r *chunkReader[T]) reader() {
 			n = rem
 		}
 		recs, err := readFull(r.f, buf[:n], off, r.recSize)
+		if err == nil && len(recs) == 0 {
+			// Zero-progress EOF on a record boundary: the file is shorter
+			// than the caller's bookkeeping says — the shape a silently
+			// torn write leaves behind. End the stream instead of spinning;
+			// the caller's record-count check turns the shortfall into
+			// ErrCorrupted.
+			return
+		}
 		select {
 		case r.ready <- readRes[T]{recs: recs, err: err}:
 		case <-r.done:
@@ -150,7 +192,7 @@ func readFull[T any](f storage.File, buf []T, off int64, recSize int) ([]T, erro
 		}
 	}
 	if got%recSize != 0 {
-		return nil, fmt.Errorf("diskengine: torn record: %d bytes at offset %d", got, off)
+		return nil, fmt.Errorf("diskengine: torn record: %d bytes at offset %d: %w", got, off, storage.ErrCorrupted)
 	}
 	return buf[:got/recSize], nil
 }
@@ -169,6 +211,11 @@ func (r *chunkReader[T]) Next() ([]T, error) {
 		recs, err := readFull(r.f, r.buf[:n], r.off, r.recSize)
 		if err != nil {
 			return nil, err
+		}
+		if len(recs) == 0 {
+			// Zero-progress EOF (see reader): end the stream; the caller's
+			// record-count check reports the truncation.
+			return nil, nil
 		}
 		r.off += int64(len(recs)) * int64(r.recSize)
 		r.delivered += int64(len(recs)) * int64(r.recSize)

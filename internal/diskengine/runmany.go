@@ -19,6 +19,12 @@ package diskengine
 // where the bypasses are legal. Jobs too big for the budget run solo
 // through Run, which still spills vertices and updates to the device.
 //
+// Fault tolerance composes too: under Config.Checkpoint a pass snapshots
+// every job's resumable state after each completed iteration (see
+// checkpoint_shared.go), so a killed or faulted pass restarted with the
+// same prefix resumes from the last completed iteration — the path
+// cmd/xstream's -checkpoint flag takes through RunJob.
+//
 // Selective streaming composes: a partition's edge file is not read at all
 // when no job's frontier reaches it, and when every subscribing job is
 // partially active the file is read only in the segments whose tiles some
@@ -211,14 +217,14 @@ func (pp *Prepared) removeFiles() {
 // triggering pass can account it — per-pass I/O is tallied from what the
 // pass actually reads, never from global device counters, so concurrent
 // passes on one device stay correctly attributed.
-func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTiles, buildRead, buildReadLogical, buildWritten int64, err error) {
+func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTiles, buildRead, buildReadLogical, buildWritten, buildChecked int64, err error) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
 	if pp.closed {
-		return nil, nil, 0, 0, 0, fmt.Errorf("diskengine: prepared dataset is closed")
+		return nil, nil, 0, 0, 0, 0, fmt.Errorf("diskengine: prepared dataset is closed")
 	}
 	if dir == core.Forward {
-		return pp.edgeFiles, pp.tilesFwd, 0, 0, 0, nil
+		return pp.edgeFiles, pp.tilesFwd, 0, 0, 0, 0, nil
 	}
 	if pp.bwdFiles == nil {
 		bwd := make([]*partFile, pp.k)
@@ -232,22 +238,22 @@ func (pp *Prepared) files(dir core.Direction) (files []*partFile, tiles *diskTil
 		for p := 0; p < pp.k; p++ {
 			if bwd[p], err = createPartFile(pp.cfg.Device, fmt.Sprintf("%sds-p%04d.redges", pp.cfg.Prefix, p)); err != nil {
 				cleanup()
-				return nil, nil, 0, 0, 0, err
+				return nil, nil, 0, 0, 0, 0, err
 			}
 		}
-		src := &partFilesSource{files: pp.edgeFiles, tiles: pp.tilesFwd, nv: pp.nv, chunkRecs: pp.bufEdgeRecs, prefetch: !pp.cfg.NoPrefetch}
+		src := &partFilesSource{files: pp.edgeFiles, tiles: pp.tilesFwd, nv: pp.nv, chunkRecs: pp.bufEdgeRecs, prefetch: !pp.cfg.NoPrefetch, verify: !pp.cfg.NoVerify}
 		t := newDiskTilesFor(pp.k, pp.cfg.TileEdges, pp.cfg.CompressTiles)
 		if err := partitionEdgesInto(src, bwd, true, t, pp.bufEdgeRecs, pp.shufPlan, pp.part, pp.cfg.Threads); err != nil {
 			cleanup()
-			return nil, nil, 0, 0, 0, err
+			return nil, nil, 0, 0, 0, 0, err
 		}
-		buildRead, buildReadLogical = src.phys, src.logical
+		buildRead, buildReadLogical, buildChecked = src.phys, src.logical, src.checked
 		for p := 0; p < pp.k; p++ {
 			buildWritten += bwd[p].size
 		}
 		pp.bwdFiles, pp.tilesBwd = bwd, t
 	}
-	return pp.bwdFiles, pp.tilesBwd, buildRead, buildReadLogical, buildWritten, nil
+	return pp.bwdFiles, pp.tilesBwd, buildRead, buildReadLogical, buildWritten, buildChecked, nil
 }
 
 // RunMany executes every job of set against g out of core, sharing one
@@ -293,6 +299,13 @@ func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (
 	out.Stats.BytesWritten = pass.BytesWritten
 	out.Stats.TilesCompressed = pass.TilesCompressed
 	out.Stats.CompressedRatio = pass.CompressedRatio
+	out.Stats.BytesChecksummed = pass.BytesChecksummed
+	out.Stats.ChecksumFailures = pass.ChecksumFailures
+	out.Stats.IORetries = pass.IORetries
+	// A resumed pass restores iterations instead of executing them; the
+	// job's own tally only counts executed ones.
+	out.Stats.Iterations = pass.Iterations
+	out.Stats.ResumedIterations = pass.ResumedIterations
 	return &out, nil
 }
 
@@ -316,26 +329,59 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		Partitioner: pp.partName, Partitions: pp.k, Threads: cfg.Threads,
 		CoJobs: len(set), PreprocessTime: pp.prepTime,
 	}
+	retriesBefore := cfg.Device.Stats().Retries
 
-	runs := make([]core.JobRun, len(set))
-	for i, j := range set {
-		if err := j.Check(); err != nil {
-			return nil, pass, fmt.Errorf("diskengine: job %s: %w", j.Name(), err)
+	newRuns := func() ([]core.JobRun, error) {
+		runs := make([]core.JobRun, len(set))
+		for i, j := range set {
+			if err := j.Check(); err != nil {
+				return nil, fmt.Errorf("diskengine: job %s: %w", j.Name(), err)
+			}
+			runs[i] = j.NewRun()
+			err := runs[i].Setup(core.JobSetup{
+				Assignment: pp.asg, NumVertices: pp.nv, NumEdges: pp.ne,
+				Threads: cfg.Threads, Plan: pp.shufPlan, UpdateCap: int(pp.ne),
+				PrivateBufRecs: basePrivCap,
+				NoCombine:      cfg.NoCombine, Selective: cfg.Selective,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("diskengine: %w", err)
+			}
 		}
-		runs[i] = j.NewRun()
-		err := runs[i].Setup(core.JobSetup{
-			Assignment: pp.asg, NumVertices: pp.nv, NumEdges: pp.ne,
-			Threads: cfg.Threads, Plan: pp.shufPlan, UpdateCap: int(pp.ne),
-			PrivateBufRecs: basePrivCap,
-			NoCombine:      cfg.NoCombine, Selective: cfg.Selective,
+		return runs, nil
+	}
+	runs, err := newRuns()
+	if err != nil {
+		return nil, pass, err
+	}
+
+	// Resume a checkpointed pass from the newest valid snapshot a previous
+	// attempt with this prefix left behind: iterations [0, startIter) are
+	// restored, not executed. Invalid or corrupt snapshots are ignored,
+	// never trusted.
+	startIter := 0
+	var snaps []core.Snapshotter
+	if cfg.Checkpoint {
+		snaps = snapshotters(runs)
+	}
+	if snaps != nil {
+		startIter, err = pp.trySharedResume(&pass, runs, snaps, func() error {
+			rs, err := newRuns()
+			if err != nil {
+				return err
+			}
+			copy(runs, rs)
+			copy(snaps, snapshotters(rs))
+			return nil
 		})
 		if err != nil {
-			return nil, pass, fmt.Errorf("diskengine: %w", err)
+			return nil, pass, err
 		}
+		pass.ResumedIterations = startIter
 	}
 
 	live := make([]core.JobRun, 0, len(runs))
-	for iter := 0; iter < cfg.MaxIterations; iter++ {
+	for iter := startIter; iter < cfg.MaxIterations; iter++ {
 		live = live[:0]
 		for _, r := range runs {
 			if !r.Done() {
@@ -364,13 +410,14 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 			if len(subs) == 0 {
 				continue
 			}
-			files, tiles, buildRead, buildReadLogical, buildWritten, err := pp.files(dir)
+			files, tiles, buildRead, buildReadLogical, buildWritten, buildChecked, err := pp.files(dir)
 			if err != nil {
 				return nil, pass, err
 			}
 			pass.BytesRead += buildRead
 			pass.BytesReadLogical += buildReadLogical
 			pass.BytesWritten += buildWritten
+			pass.BytesChecksummed += buildChecked
 			if err := pp.scatterShared(ctx, &pass, subs, files, tiles); err != nil {
 				return nil, pass, err
 			}
@@ -386,6 +433,35 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 			r.EndIteration(iter)
 		}
 		pass.Iterations = iter + 1
+
+		// Snapshot only when the pass continues: EndIteration has folded
+		// any phase state into the vertices and Gather swapped the
+		// frontiers, so the snapshot is exactly what iteration iter+1
+		// starts from. A terminating pass needs no snapshot — its
+		// checkpoints are removed on success below.
+		if snaps != nil {
+			stillLive := false
+			for _, r := range runs {
+				if !r.Done() {
+					stillLive = true
+					break
+				}
+			}
+			if stillLive {
+				n, err := pp.writeSharedCheckpoint(iter, runs, snaps)
+				if err != nil {
+					// Checkpoints of earlier iterations outlive the
+					// failure on purpose — they are what a retry resumes
+					// from.
+					return nil, pass, err
+				}
+				pass.BytesWritten += n
+			}
+		}
+	}
+	if snaps != nil {
+		pp.removeSharedCheckpoints()
+		pp.removeStaleTransposed()
 	}
 
 	results := make([]core.JobResult, len(runs))
@@ -424,6 +500,7 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 	if logicalTiles > 0 {
 		pass.CompressedRatio = float64(physTiles) / float64(logicalTiles)
 	}
+	pass.IORetries = cfg.Device.Stats().Retries - retriesBefore
 	pass.TotalTime = time.Since(start)
 	return results, pass, nil
 }
@@ -487,7 +564,7 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		for i, r := range needing {
 			scatters[i] = r.NewScatter(p, fileRecs)
 		}
-		phys, logical, err := streamSegments(ctx, files[p].f, segs, pp.bufEdgeRecs, !cfg.NoPrefetch, func(chunk []core.Edge) error {
+		phys, logical, checked, err := streamSegments(ctx, files[p], p, tiles, !cfg.NoVerify, segs, pp.bufEdgeRecs, !cfg.NoPrefetch, func(chunk []core.Edge) error {
 			pass.EdgesStreamed += int64(len(chunk))
 			pass.SequentialRefs += int64(len(chunk))
 			feedJobs(scatters, chunk)
@@ -495,6 +572,7 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		})
 		pass.BytesRead += phys
 		pass.BytesReadLogical += logical
+		pass.BytesChecksummed += checked
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,8 @@ package diskengine
 
 import (
 	"repro/internal/core"
+	"repro/internal/pod"
+	"repro/internal/storage"
 )
 
 // tileSpan is one edge-file tile: a fixed-size run of records (the last
@@ -17,6 +19,11 @@ type tileSpan struct {
 	// stay zero; the compressed layout needs them because encoded tiles
 	// are variable-size.
 	off, bytes int64
+	// crc is the CRC32C of the tile's raw record bytes, recorded as the
+	// shuffle writes them. The raw read path verifies each streamed tile
+	// against it; compressed tiles carry their checksum in the tilecodec
+	// frame instead and leave this zero.
+	crc uint32
 }
 
 // diskTiles is the per-partition tile index of a set of edge files. It is
@@ -69,19 +76,28 @@ func (t *diskTiles) totalRecs(p int) int64 {
 	return n
 }
 
-// observe folds one appended run into partition p's tiles.
+// observe folds one appended run into partition p's tiles, accumulating
+// each tile's source span and record-byte checksum in tile-sized steps.
 func (t *diskTiles) observe(p int, run []core.Edge) {
 	open := &t.open[p]
-	for _, ed := range run {
+	for len(run) > 0 {
+		take := t.tileRecs - open.recs
+		if take > int64(len(run)) {
+			take = int64(len(run))
+		}
+		seg := run[:take]
 		if open.recs == 0 {
-			open.span = core.NewSrcSpan(ed.Src)
-		} else {
+			open.span = core.NewSrcSpan(seg[0].Src)
+		}
+		for _, ed := range seg {
 			open.span.Add(ed.Src)
 		}
-		open.recs++
+		open.crc = storage.ChecksumUpdate(open.crc, pod.AsBytes(seg))
+		open.recs += take
+		run = run[take:]
 		if open.recs == t.tileRecs {
 			t.parts[p] = append(t.parts[p], *open)
-			open.recs = 0
+			open.recs, open.crc = 0, 0
 		}
 	}
 }
@@ -92,7 +108,7 @@ func (t *diskTiles) finish() {
 	for p := range t.open {
 		if t.open[p].recs > 0 {
 			t.parts[p] = append(t.parts[p], t.open[p])
-			t.open[p].recs = 0
+			t.open[p].recs, t.open[p].crc = 0, 0
 		}
 	}
 }

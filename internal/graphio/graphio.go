@@ -76,8 +76,11 @@ func OpenEdges(dev storage.Device, name string) (*FileSource, error) {
 		return nil, err
 	}
 	defer f.Close()
+	if f.Size() < int64(headerSize) {
+		return nil, fmt.Errorf("graphio: %s: not a binary edge file", name)
+	}
 	hdr := make([]byte, headerSize)
-	if _, err := f.ReadAt(hdr, 0); err != nil && err != io.EOF {
+	if err := readFullAt(f, hdr, 0); err != nil {
 		return nil, err
 	}
 	if string(hdr[:8]) != string(magic[:]) {

@@ -161,11 +161,10 @@ func TestTextParsing(t *testing.T) {
 	}
 }
 
-func TestShortReadRecovery(t *testing.T) {
-	// A device that returns short reads must still stream whole records.
-	inner := storage.NewSim(storage.SSDParams("t", 1, 0))
-	dev := storage.NewFaulty(inner, storage.FaultyOptions{ShortReads: 17}) // not a multiple of 12
-	src := graphgen.Grid(4, 4, 2)
+// streamThroughFaults writes src on dev, then streams it back and checks
+// record-for-record equality with the original.
+func streamThroughFaults(t *testing.T, dev storage.Device, src core.EdgeSource) {
+	t.Helper()
 	if err := WriteEdges(dev, "g", src); err != nil {
 		t.Fatal(err)
 	}
@@ -185,5 +184,34 @@ func TestShortReadRecovery(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("record %d mismatch", i)
 		}
+	}
+}
+
+func TestShortReadRecovery(t *testing.T) {
+	// A device that returns short reads must still stream whole records.
+	inner := storage.NewSim(storage.SSDParams("t", 1, 0))
+	dev := storage.NewFaulty(inner, storage.FaultyOptions{ShortReads: 17}) // not a multiple of 12
+	streamThroughFaults(t, dev, graphgen.Grid(4, 4, 2))
+}
+
+// TestShortReadRecoveryOneByte: the pathological device that never hands
+// back more than one byte per ReadAt — every header field and every
+// 12-byte edge record must be reassembled from single-byte reads.
+func TestShortReadRecoveryOneByte(t *testing.T) {
+	inner := storage.NewSim(storage.SSDParams("t", 1, 0))
+	dev := storage.NewFaulty(inner, storage.FaultyOptions{ShortReads: 1})
+	streamThroughFaults(t, dev, graphgen.Grid(3, 3, 1))
+}
+
+// TestShortReadRecoveryRandom: probabilistic short reads splitting
+// requests at schedule-driven points mid-record must never change the
+// streamed records, and the schedule must actually fire.
+func TestShortReadRecoveryRandom(t *testing.T) {
+	inner := storage.NewSim(storage.SSDParams("t", 1, 0))
+	dev := storage.NewFaulty(inner, storage.FaultyOptions{Seed: 7, ShortRead: 0.5})
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 3})
+	streamThroughFaults(t, dev, src)
+	if n := dev.(storage.FaultInjector).Faults(); n == 0 {
+		t.Fatal("short-read schedule never fired")
 	}
 }

@@ -1,12 +1,43 @@
 package graphio
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/partition2ps"
+	"repro/internal/pod"
 	"repro/internal/storage"
 )
+
+// writeLegacyPerm emits a pre-checksum permutation file byte-for-byte as
+// the old writer did — version 1 when hubs is nil, version 2 otherwise —
+// so reader compatibility with already-persisted datasets stays pinned
+// now that the writer emits checksummed version-3 files.
+func writeLegacyPerm(t *testing.T, dev storage.Device, name string, perm, hubs []core.VertexID) {
+	t.Helper()
+	magic := "XSPERM1\n"
+	if hubs != nil {
+		magic = "XSPERM2\n"
+	}
+	buf := append([]byte(nil), magic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(perm)))
+	buf = append(buf, pod.AsBytes(perm)...)
+	if hubs != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(hubs)))
+		buf = append(buf, pod.AsBytes(hubs)...)
+	}
+	f, err := dev.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // TestSaveLoadPartitionerRoundTrip: a 2PS assignment saved during Assign
 // must replay identically from the permutation file, with no clustering
@@ -135,14 +166,13 @@ func TestSaveLoadMirrorsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestPermutationVersionCompat: version-1 files (no mirrors) keep loading
-// through both readers, and ReadPermutation ignores version-2 metadata.
+// TestPermutationVersionCompat: legacy version-1 files (no mirrors) and
+// version-2 files (mirrors, no checksum) keep loading through both
+// readers, and ReadPermutation ignores replication metadata.
 func TestPermutationVersionCompat(t *testing.T) {
 	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
 	perm := []core.VertexID{2, 0, 1}
-	if err := WritePermutation(dev, "v1.xsperm", perm); err != nil {
-		t.Fatal(err)
-	}
+	writeLegacyPerm(t, dev, "v1.xsperm", perm, nil)
 	got, hubs, err := ReadPermutationMirrors(dev, "v1.xsperm")
 	if err != nil {
 		t.Fatal(err)
@@ -156,9 +186,7 @@ func TestPermutationVersionCompat(t *testing.T) {
 		}
 	}
 
-	if err := WritePermutationMirrors(dev, "v2.xsperm", perm, []core.VertexID{0, 2}); err != nil {
-		t.Fatal(err)
-	}
+	writeLegacyPerm(t, dev, "v2.xsperm", perm, []core.VertexID{0, 2})
 	got2, err := ReadPermutation(dev, "v2.xsperm")
 	if err != nil {
 		t.Fatal(err)
@@ -201,9 +229,7 @@ func TestPermutationBadMirrorsRejected(t *testing.T) {
 func TestPermutationTruncatedMirrorHeaderRejected(t *testing.T) {
 	dev := storage.NewSim(storage.SSDParams("perm", 1, 0))
 	perm := []core.VertexID{1, 0, 2}
-	if err := WritePermutationMirrors(dev, "t.xsperm", perm, []core.VertexID{0, 2}); err != nil {
-		t.Fatal(err)
-	}
+	writeLegacyPerm(t, dev, "t.xsperm", perm, []core.VertexID{0, 2})
 	full, err := dev.Open("t.xsperm")
 	if err != nil {
 		t.Fatal(err)

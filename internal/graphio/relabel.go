@@ -74,49 +74,120 @@ var permMagic = [8]byte{'X', 'S', 'P', 'E', 'R', 'M', '1', '\n'}
 // permutations persisted before replication existed keep loading.
 var permMagic2 = [8]byte{'X', 'S', 'P', 'E', 'R', 'M', '2', '\n'}
 
+// permMagic3 identifies version-3 permutation files, the format the writer
+// emits today. Version 3 widens the header to 24 bytes — magic, entry
+// count, and a flags word whose low bit records whether replication
+// metadata follows — and appends a CRC32C trailer covering everything
+// between the magic and the trailer. A permutation steers every edge of
+// every later run, so a silently corrupted file would skew results with
+// no visible failure; the checksum turns that into a typed
+// storage.ErrCorrupted at load time. Versions 1 and 2 keep loading
+// unverified, so existing datasets need no migration.
+var permMagic3 = [8]byte{'X', 'S', 'P', 'E', 'R', 'M', '3', '\n'}
+
+const (
+	permV3HeaderLen = 24
+	permFlagMirrors = 1 << 0 // a mirror count + hub list follows the permutation
+)
+
+// writeFullAt writes all of b at off, retrying short writes.
+func writeFullAt(f storage.File, b []byte, off int64) error {
+	for len(b) > 0 {
+		n, err := f.WriteAt(b, off)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf("write stalled at offset %d", off)
+		}
+		off += int64(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// readFullAt reads len(b) bytes at off, retrying legal short reads.
+func readFullAt(f storage.File, b []byte, off int64) error {
+	for len(b) > 0 {
+		n, err := f.ReadAt(b, off)
+		if n > 0 {
+			off += int64(n)
+			b = b[n:]
+			continue
+		}
+		if err == nil || err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
 // WritePermutation stores a vertex ID map as a binary permutation file
-// (version 1, no replication metadata).
+// with no replication metadata.
 func WritePermutation(dev storage.Device, name string, perm []core.VertexID) error {
 	return WritePermutationMirrors(dev, name, perm, nil)
 }
 
 // WritePermutationMirrors stores a vertex ID map plus the mirrored-hub
-// list of a replication-aware assignment. A nil hub list writes a plain
-// version-1 file, so files without mirrors stay byte-compatible with
-// pre-replication readers.
+// list of a replication-aware assignment as a checksummed version-3 file.
+// A nil hub list omits the replication section entirely (and reloads as
+// nil), keeping the v1/v2 distinction between "no mirror metadata" and
+// "zero mirrors".
 func WritePermutationMirrors(dev storage.Device, name string, perm, hubs []core.VertexID) error {
 	f, err := dev.Create(name)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	hdr := make([]byte, 16)
-	magic := permMagic
-	if hubs != nil {
-		magic = permMagic2
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("graphio: write %s: %w", name, err)
 	}
-	copy(hdr, magic[:])
+	hdr := make([]byte, permV3HeaderLen)
+	copy(hdr, permMagic3[:])
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(perm)))
-	if _, err := f.WriteAt(hdr, 0); err != nil {
-		return err
+	var flags uint64
+	if hubs != nil {
+		flags |= permFlagMirrors
 	}
-	off := int64(len(hdr))
-	if _, err := f.WriteAt(pod.AsBytes(perm), off); err != nil {
-		return err
+	binary.LittleEndian.PutUint64(hdr[16:], flags)
+	if err := writeFullAt(f, hdr, 0); err != nil {
+		return fail(err)
 	}
-	if hubs == nil {
-		return nil
-	}
-	off += int64(len(perm)) * 4
-	cnt := make([]byte, 8)
-	binary.LittleEndian.PutUint64(cnt, uint64(len(hubs)))
-	if _, err := f.WriteAt(cnt, off); err != nil {
-		return err
-	}
-	if len(hubs) > 0 {
-		if _, err := f.WriteAt(pod.AsBytes(hubs), off+8); err != nil {
+	crc := storage.ChecksumUpdate(0, hdr[8:])
+	off := int64(permV3HeaderLen)
+	writePart := func(b []byte) error {
+		if err := writeFullAt(f, b, off); err != nil {
 			return err
 		}
+		crc = storage.ChecksumUpdate(crc, b)
+		off += int64(len(b))
+		return nil
+	}
+	if len(perm) > 0 {
+		if err := writePart(pod.AsBytes(perm)); err != nil {
+			return fail(err)
+		}
+	}
+	if hubs != nil {
+		cnt := make([]byte, 8)
+		binary.LittleEndian.PutUint64(cnt, uint64(len(hubs)))
+		if err := writePart(cnt); err != nil {
+			return fail(err)
+		}
+		if len(hubs) > 0 {
+			if err := writePart(pod.AsBytes(hubs)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	if err := writeFullAt(f, trailer[:], off); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graphio: write %s: %w", name, err)
 	}
 	return nil
 }
@@ -131,16 +202,24 @@ func ReadPermutation(dev storage.Device, name string) ([]core.VertexID, error) {
 
 // ReadPermutationMirrors loads a binary permutation file plus its
 // replication metadata: the mirrored hubs as execution (relabeled) IDs,
-// strictly ascending. Version-1 files return nil hubs.
+// strictly ascending. Version-1 files return nil hubs. Version-3 files
+// are checksum-verified before a single field is trusted; a mismatch
+// surfaces as an error wrapping storage.ErrCorrupted.
 func ReadPermutationMirrors(dev storage.Device, name string) (perm, hubs []core.VertexID, err error) {
 	f, err := dev.Open(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
+	if f.Size() < 16 {
+		return nil, nil, fmt.Errorf("graphio: %s: not a permutation file", name)
+	}
 	hdr := make([]byte, 16)
-	if _, err := f.ReadAt(hdr, 0); err != nil && err != io.EOF {
+	if err := readFullAt(f, hdr, 0); err != nil {
 		return nil, nil, err
+	}
+	if string(hdr[:8]) == string(permMagic3[:]) {
+		return readPermV3(f, name)
 	}
 	v2 := string(hdr[:8]) == string(permMagic2[:])
 	if !v2 && string(hdr[:8]) != string(permMagic[:]) {
@@ -152,16 +231,12 @@ func ReadPermutationMirrors(dev storage.Device, name string) (perm, hubs []core.
 	}
 	perm = make([]core.VertexID, n)
 	if n > 0 {
-		if _, err := f.ReadAt(pod.AsBytes(perm), int64(len(hdr))); err != nil && err != io.EOF {
+		if err := readFullAt(f, pod.AsBytes(perm), int64(len(hdr))); err != nil {
 			return nil, nil, err
 		}
 	}
-	seen := make([]bool, n)
-	for i, v := range perm {
-		if int64(v) >= n || seen[v] {
-			return nil, nil, fmt.Errorf("graphio: %s: entry %d = %d is not part of a permutation of [0,%d)", name, i, v, n)
-		}
-		seen[v] = true
+	if err := validatePermEntries(name, perm); err != nil {
+		return nil, nil, err
 	}
 	if !v2 {
 		return perm, nil, nil
@@ -174,7 +249,7 @@ func ReadPermutationMirrors(dev storage.Device, name string) (perm, hubs []core.
 		return nil, nil, fmt.Errorf("graphio: %s: truncated mirror header: %d bytes, want %d", name, f.Size(), off+8)
 	}
 	cnt := make([]byte, 8)
-	if _, err := f.ReadAt(cnt, off); err != nil && err != io.EOF {
+	if err := readFullAt(f, cnt, off); err != nil {
 		return nil, nil, err
 	}
 	h := int64(binary.LittleEndian.Uint64(cnt))
@@ -186,14 +261,119 @@ func ReadPermutationMirrors(dev storage.Device, name string) (perm, hubs []core.
 	}
 	hubs = make([]core.VertexID, h)
 	if h > 0 {
-		if _, err := f.ReadAt(pod.AsBytes(hubs), off+8); err != nil && err != io.EOF {
+		if err := readFullAt(f, pod.AsBytes(hubs), off+8); err != nil {
 			return nil, nil, err
 		}
 	}
-	for i, hv := range hubs {
-		if int64(hv) >= n || (i > 0 && hv <= hubs[i-1]) {
-			return nil, nil, fmt.Errorf("graphio: %s: mirror entry %d = %d is not strictly ascending in [0,%d)", name, i, hv, n)
-		}
+	if err := validateHubEntries(name, hubs, n); err != nil {
+		return nil, nil, err
 	}
 	return perm, hubs, nil
+}
+
+// readPermV3 loads a version-3 permutation file. The trailer checksum is
+// verified over the whole payload before any field is interpreted, so a
+// flipped bit anywhere — header, permutation, mirror list — is reported
+// as storage.ErrCorrupted rather than loaded.
+func readPermV3(f storage.File, name string) (perm, hubs []core.VertexID, err error) {
+	corrupt := func(detail string) error {
+		return fmt.Errorf("graphio: %s: %s: %w", name, detail, storage.ErrCorrupted)
+	}
+	size := f.Size()
+	if size < permV3HeaderLen+4 {
+		return nil, nil, corrupt(fmt.Sprintf("truncated: %d bytes", size))
+	}
+	hdr := make([]byte, permV3HeaderLen)
+	if err := readFullAt(f, hdr, 0); err != nil {
+		return nil, nil, err
+	}
+	crc := storage.ChecksumUpdate(0, hdr[8:])
+	buf := make([]byte, 1<<20)
+	end := size - 4
+	for off := int64(permV3HeaderLen); off < end; {
+		n := int64(len(buf))
+		if n > end-off {
+			n = end - off
+		}
+		if err := readFullAt(f, buf[:n], off); err != nil {
+			return nil, nil, err
+		}
+		crc = storage.ChecksumUpdate(crc, buf[:n])
+		off += n
+	}
+	var trailer [4]byte
+	if err := readFullAt(f, trailer[:], end); err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != crc {
+		return nil, nil, corrupt("checksum mismatch")
+	}
+
+	n := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	flags := binary.LittleEndian.Uint64(hdr[16:])
+	if n < 0 || n > (size-permV3HeaderLen-4)/4 {
+		return nil, nil, corrupt(fmt.Sprintf("%d entries in a %d-byte file", n, size))
+	}
+	off := int64(permV3HeaderLen)
+	perm = make([]core.VertexID, n)
+	if n > 0 {
+		if err := readFullAt(f, pod.AsBytes(perm), off); err != nil {
+			return nil, nil, err
+		}
+	}
+	off += n * 4
+	if flags&permFlagMirrors != 0 {
+		if size < off+8+4 {
+			return nil, nil, corrupt("truncated mirror header")
+		}
+		cnt := make([]byte, 8)
+		if err := readFullAt(f, cnt, off); err != nil {
+			return nil, nil, err
+		}
+		h := int64(binary.LittleEndian.Uint64(cnt))
+		if h < 0 || h > n {
+			return nil, nil, corrupt(fmt.Sprintf("%d mirrored hubs for %d vertices", h, n))
+		}
+		off += 8
+		hubs = make([]core.VertexID, h)
+		if h > 0 {
+			if err := readFullAt(f, pod.AsBytes(hubs), off); err != nil {
+				return nil, nil, err
+			}
+		}
+		off += h * 4
+	}
+	if off+4 != size {
+		return nil, nil, corrupt(fmt.Sprintf("%d bytes, sections account for %d", size, off+4))
+	}
+	if err := validatePermEntries(name, perm); err != nil {
+		return nil, nil, err
+	}
+	if err := validateHubEntries(name, hubs, n); err != nil {
+		return nil, nil, err
+	}
+	return perm, hubs, nil
+}
+
+// validatePermEntries checks that perm is a permutation of [0, len(perm)).
+func validatePermEntries(name string, perm []core.VertexID) error {
+	n := int64(len(perm))
+	seen := make([]bool, n)
+	for i, v := range perm {
+		if int64(v) >= n || seen[v] {
+			return fmt.Errorf("graphio: %s: entry %d = %d is not part of a permutation of [0,%d)", name, i, v, n)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// validateHubEntries checks that hubs is strictly ascending in [0, n).
+func validateHubEntries(name string, hubs []core.VertexID, n int64) error {
+	for i, hv := range hubs {
+		if int64(hv) >= n || (i > 0 && hv <= hubs[i-1]) {
+			return fmt.Errorf("graphio: %s: mirror entry %d = %d is not strictly ascending in [0,%d)", name, i, hv, n)
+		}
+	}
+	return nil
 }

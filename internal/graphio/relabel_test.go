@@ -1,6 +1,7 @@
 package graphio
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -103,6 +104,126 @@ func TestPermutationFileRoundTrip(t *testing.T) {
 	}
 	if got, err := ReadPermutation(dev, "empty.perm"); err != nil || len(got) != 0 {
 		t.Fatalf("empty: %v %v", got, err)
+	}
+}
+
+// TestPermutationChecksumDetectsCorruption: a single flipped bit anywhere
+// in a version-3 permutation file — header count, permutation body, hub
+// list, or the trailer itself — must surface as storage.ErrCorrupted,
+// never as a silently different permutation.
+func TestPermutationChecksumDetectsCorruption(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("t", 1, 0))
+	n := 64
+	perm := make([]core.VertexID, n)
+	for i := range perm {
+		perm[i] = core.VertexID(n - 1 - i)
+	}
+	hubs := []core.VertexID{3, 17, 41}
+	if err := WritePermutationMirrors(dev, "c.xsperm", perm, hubs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPermutationMirrors(dev, "c.xsperm"); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	f, err := dev.Open("c.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := f.Size()
+	f.Close()
+	offsets := []int64{
+		8,                          // header: entry count
+		16,                         // header: flags word
+		permV3HeaderLen + 13,       // permutation body
+		permV3HeaderLen + 4*64,     // mirror count
+		permV3HeaderLen + 4*64 + 9, // hub list
+		size - 2,                   // trailer checksum
+	}
+	for _, off := range offsets {
+		flip := func() {
+			f, err := dev.Open("c.xsperm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 1)
+			if _, err := f.ReadAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x04
+			if _, err := f.WriteAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+		flip()
+		if _, _, err := ReadPermutationMirrors(dev, "c.xsperm"); !errors.Is(err, storage.ErrCorrupted) {
+			t.Fatalf("bit flip at offset %d: got %v, want ErrCorrupted", off, err)
+		}
+		flip() // restore for the next offset
+		if _, _, err := ReadPermutationMirrors(dev, "c.xsperm"); err != nil {
+			t.Fatalf("restored file rejected after offset %d: %v", off, err)
+		}
+	}
+}
+
+// TestPermutationTruncationDetected: cutting a version-3 file anywhere is
+// reported as corruption, including cuts too short to hold the frame.
+func TestPermutationTruncationDetected(t *testing.T) {
+	dev := storage.NewSim(storage.SSDParams("t", 1, 0))
+	perm := []core.VertexID{3, 1, 0, 2}
+	if err := WritePermutationMirrors(dev, "t.xsperm", perm, []core.VertexID{1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dev.Open("t.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := f.Size()
+	f.Close()
+	for _, cut := range []int64{size - 3, size - 5, 30, 10} {
+		f, err := dev.Open("t.xsperm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(cut); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_, _, err = ReadPermutationMirrors(dev, "t.xsperm")
+		if cut >= 16 {
+			if !errors.Is(err, storage.ErrCorrupted) {
+				t.Fatalf("cut to %d bytes: got %v, want ErrCorrupted", cut, err)
+			}
+		} else if err == nil {
+			t.Fatalf("cut to %d bytes accepted", cut)
+		}
+		if err := WritePermutationMirrors(dev, "t.xsperm", perm, []core.VertexID{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPermutationShortReadRecovery: the permutation reader must survive a
+// device that returns one byte per ReadAt — the pathological legal short
+// read — and still verify the checksum over the reassembled stream.
+func TestPermutationShortReadRecovery(t *testing.T) {
+	inner := storage.NewSim(storage.SSDParams("t", 1, 0))
+	dev := storage.NewFaulty(inner, storage.FaultyOptions{ShortReads: 1})
+	perm := testPerm()
+	if err := WritePermutationMirrors(dev, "s.xsperm", perm, []core.VertexID{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, hubs, err := ReadPermutationMirrors(dev, "s.xsperm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		if got[i] != perm[i] {
+			t.Fatalf("entry %d: %d, want %d", i, got[i], perm[i])
+		}
+	}
+	if len(hubs) != 2 || hubs[0] != 0 || hubs[1] != 3 {
+		t.Fatalf("hubs = %v, want [0 3]", hubs)
 	}
 }
 

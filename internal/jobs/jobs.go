@@ -56,6 +56,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/storage"
 )
 
 // Engine selects which execution engine serves a job.
@@ -125,6 +126,10 @@ type Info struct {
 	// Cached reports that the job was answered from the result cache —
 	// it was done at submission, with zero edges streamed.
 	Cached bool `json:"cached,omitempty"`
+	// Attempts counts how many batches have claimed the job (1 for a job
+	// that ran once; more when a transient or corruption failure had the
+	// scheduler requeue it under Config.MaxAttempts).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Metrics are the scheduler's cumulative counters, served by GET /metrics.
@@ -147,6 +152,17 @@ type Metrics struct {
 	// QuotaRejected counts submissions refused because the tenant's
 	// MaxQueued quota was full (the HTTP layer's 503s).
 	QuotaRejected int64 `json:"quota_rejected"`
+	// RetriedJobs counts jobs requeued after their pass failed on a
+	// transient I/O error or detected corruption (Config.MaxAttempts).
+	RetriedJobs int64 `json:"retried_jobs"`
+	// CorruptedPasses counts passes that failed with a detected on-disk
+	// corruption; each one invalidated its dataset's artifacts for a
+	// rebuild. A nonzero count with zero failed jobs means every
+	// corruption healed transparently.
+	CorruptedPasses int64 `json:"corrupted_passes"`
+	// IORetries sums pass-level transient I/O retries absorbed by the
+	// storage retry layer during successful passes.
+	IORetries int64 `json:"io_retries"`
 	// Result-cache counters: hits answered with zero edges streamed,
 	// misses that went on to compute (cacheable submissions only), the
 	// bytes and entries currently cached, and entries evicted by the
@@ -197,6 +213,14 @@ type Config struct {
 	// answered from cache with zero edges streamed. 0 means 256 MiB;
 	// negative disables caching.
 	ResultCacheBytes int64
+	// MaxAttempts is how many times a job may enter a batch before a
+	// transient or corruption failure becomes terminal. Only failures
+	// that storage.Classify reports transient or corrupted are retried
+	// (a corrupted pass also invalidates the dataset's artifacts so the
+	// retry rebuilds them); permanent errors, validation failures and
+	// cancellations never retry. 0 means 2 (one retry); negative means 1
+	// (no retries).
+	MaxAttempts int
 	// DefaultQuota applies to every tenant without a TenantQuotas entry,
 	// including the empty default tenant. The zero Quota is unlimited.
 	DefaultQuota Quota
@@ -219,6 +243,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultCacheBytes == 0 {
 		c.ResultCacheBytes = 256 << 20
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 2
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 1
 	}
 	return c
 }
@@ -245,6 +275,7 @@ type job struct {
 	summary   string
 	result    any
 	stats     *core.Stats
+	attempts  int
 	batchSize int
 	submitted time.Time
 	started   time.Time
@@ -515,6 +546,7 @@ func (s *Scheduler) admitLocked() *batchState {
 	for _, j := range b.jobs {
 		j.status = StatusRunning
 		j.started = now
+		j.attempts++
 		j.batchSize = len(b.jobs)
 		j.batchRef = b
 		ts := s.tenant(j.req.Tenant)
@@ -558,15 +590,45 @@ func (s *Scheduler) runBatch(b *batchState) {
 	}
 	j0.ds.Release()
 
+	// Fault tolerance: a pass that died on a transient device error is
+	// retried wholesale, and one that detected on-disk corruption first
+	// drops the dataset's artifacts (rebuilt lazily by the retry's
+	// prepare) — in both cases the jobs go back to the queue until their
+	// attempt budget runs out. Permanent errors and cancellations fail
+	// fast. The invalidation runs before taking s.mu because it closes
+	// partition files.
+	retriable := false
+	if err != nil {
+		switch storage.Classify(err) {
+		case storage.ClassTransient:
+			retriable = true
+		case storage.ClassCorrupted:
+			retriable = true
+			j0.ds.InvalidateCorrupted()
+		}
+	}
+
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err != nil && storage.Classify(err) == storage.ClassCorrupted {
+		s.metrics.CorruptedPasses++
+	}
 	var sum int64
 	for i, j := range b.jobs {
 		sum += j.est
-		j.finished = now
 		j.batchRef = nil
 		s.tenant(j.req.Tenant).running--
+		if err != nil && retriable && !j.canceled && !s.closed && j.attempts < s.cfg.MaxAttempts {
+			j.status = StatusQueued
+			j.started = time.Time{}
+			j.batchSize = 0
+			s.queue = append(s.queue, j)
+			s.tenant(j.req.Tenant).queued++
+			s.metrics.RetriedJobs++
+			continue
+		}
+		j.finished = now
 		switch {
 		case j.canceled:
 			j.status = StatusCanceled
@@ -597,6 +659,7 @@ func (s *Scheduler) runBatch(b *batchState) {
 		s.metrics.EdgesStreamed += pass.EdgesStreamed
 		s.metrics.EdgesShared += pass.EdgesShared
 		s.metrics.BytesRead += pass.BytesRead
+		s.metrics.IORetries += pass.IORetries
 	}
 	s.memUse -= sum
 	s.running -= len(b.jobs)
@@ -671,6 +734,7 @@ func (s *Scheduler) infoLocked(j *job) Info {
 		Params: j.req.Params, Status: j.status, Submitted: j.submitted,
 		BatchSize: j.batchSize, Summary: j.summary, MemoryEstimate: j.est,
 		Tenant: j.req.Tenant, Priority: j.req.Priority, Cached: j.cached,
+		Attempts: j.attempts,
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()

@@ -342,3 +342,81 @@ func TestDiskJobMatchesMem(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptedDatasetRebuiltOnRetry: corrupting a partition edge file on
+// the device after a successful disk run must not fail the next job — the
+// pass surfaces ErrCorrupted, the scheduler invalidates the dataset's disk
+// artifacts, requeues the job, and the retry rebuilds and completes with
+// results identical to the pre-corruption run. The attempt count and the
+// retry/corruption counters record the whole episode.
+func TestCorruptedDatasetRebuiltOnRetry(t *testing.T) {
+	reg := dataset.NewRegistry()
+	defer reg.Close()
+	src := graphgen.RMAT(graphgen.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 82})
+	dev := storage.NewSim(storage.SSDParams("jobs", 2, 0))
+	if _, err := reg.Add("gdisk", src, dataset.Options{Threads: 2, DiskPartitions: 8, IOUnit: 32 << 10, Device: dev}); err != nil {
+		t.Fatal(err)
+	}
+	// Disable the result cache: the second submission must recompute so
+	// the corruption is actually hit on the read path.
+	s := New(reg, Config{Workers: 1, ResultCacheBytes: -1})
+	defer s.Close()
+
+	id, err := s.Submit(Request{Dataset: "gdisk", Algo: "pagerank", Engine: EngineDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitDone(t, s, id); info.Status != StatusDone || info.Attempts != 1 {
+		t.Fatalf("clean job: status %s, attempts %d (%s)", info.Status, info.Attempts, info.Error)
+	}
+	r0, _, _, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r0.(map[string]any)["ranks"].([]float32)
+
+	// Flip one byte in the middle of partition 0's edge file.
+	f, err := dev.Open("xserve-gdisk-ds-p0000.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	mid := f.Size() / 2
+	if _, err := f.ReadAt(b, mid); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, mid); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	id2, err := s.Submit(Request{Dataset: "gdisk", Algo: "pagerank", Engine: EngineDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s, id2)
+	if info.Status != StatusDone {
+		t.Fatalf("retried job: %s (%s)", info.Status, info.Error)
+	}
+	if info.Attempts != 2 {
+		t.Fatalf("retried job made %d attempts, want 2", info.Attempts)
+	}
+	r2, _, _, err := s.Result(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r2.(map[string]any)["ranks"].([]float32)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: rank %g after rebuild, want %g", v, got[v], want[v])
+		}
+	}
+	m := s.Metrics()
+	if m.RetriedJobs < 1 || m.CorruptedPasses < 1 {
+		t.Fatalf("metrics after corruption retry: %+v", m)
+	}
+	if dm := reg.Metrics(); dm.CorruptionEvictions < 1 {
+		t.Fatalf("dataset metrics recorded %d corruption evictions, want >= 1", dm.CorruptionEvictions)
+	}
+}

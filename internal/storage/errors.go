@@ -1,0 +1,97 @@
+package storage
+
+// errors.go is the error taxonomy of the fault-tolerance layer. Every I/O
+// failure in the system falls into one of three classes, and the class —
+// not the error string — decides the response:
+//
+//   - transient:  the operation may succeed if repeated (EINTR, injected
+//     chaos faults, timeouts). The retry wrapper (NewRetry) absorbs these
+//     with bounded exponential backoff; the jobs scheduler re-runs jobs
+//     that still fail after the device-level budget is exhausted.
+//   - corrupted:  the bytes came back, but they are not the bytes that
+//     were written (checksum mismatch, torn frame, impossible header).
+//     Retrying the read is useless; the artifact must be invalidated and
+//     rebuilt from its source. Detection sites wrap ErrCorrupted so
+//     callers can dispatch with errors.Is.
+//   - permanent:  everything else (ENOSPC, ErrNotExist, closed device).
+//     Fail fast, surface to the caller.
+
+import (
+	"errors"
+	"hash/crc32"
+)
+
+// ErrCorrupted reports that data read back from a device failed checksum
+// or structural validation: the artifact is damaged and must be rebuilt,
+// not re-read. Wrap it with fmt.Errorf("...: %w", ErrCorrupted) at
+// detection sites; test with errors.Is.
+var ErrCorrupted = errors.New("storage: data corrupted")
+
+// ErrClass is the retry-relevant classification of an I/O error.
+type ErrClass int
+
+// The three classes of I/O failure. See the package comment in errors.go.
+const (
+	// ClassPermanent errors fail fast: retrying cannot help and the data
+	// is not suspected damaged (ENOSPC, missing file, closed device).
+	ClassPermanent ErrClass = iota
+	// ClassTransient errors may clear on retry (injected faults, EINTR,
+	// network-ish timeouts). The retry device absorbs these.
+	ClassTransient
+	// ClassCorrupted errors mean the bytes are wrong, not the operation:
+	// invalidate and rebuild the artifact instead of retrying.
+	ClassCorrupted
+)
+
+// String names the class for logs and metrics.
+func (c ErrClass) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassCorrupted:
+		return "corrupted"
+	default:
+		return "permanent"
+	}
+}
+
+// Classify maps an I/O error to its retry class. Corruption dominates:
+// an error that is both wrapped ErrCorrupted and something else is
+// corruption. ErrInjected (the chaos device's transient fault) and
+// timeout-ish OS errors classify transient; everything else, including
+// nil, is permanent (retrying a success is as useless as retrying
+// ENOSPC).
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassPermanent
+	}
+	if errors.Is(err, ErrCorrupted) {
+		return ClassCorrupted
+	}
+	if errors.Is(err, ErrInjected) {
+		return ClassTransient
+	}
+	var t interface{ Timeout() bool }
+	if errors.As(err, &t) && t.Timeout() {
+		return ClassTransient
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// castagnoli is the CRC32C polynomial table every checksum in the system
+// shares (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of b — the one checksum function used for
+// every on-disk artifact (edge tiles, update streams, spill files,
+// permutation files, checkpoints).
+func Checksum(b []byte) uint32 { return crc32.Update(0, castagnoli, b) }
+
+// ChecksumUpdate extends a running CRC32C with b, for artifacts written
+// or verified in chunks. Start from 0; Checksum(x) ==
+// ChecksumUpdate(ChecksumUpdate(0, x[:i]), x[i:]).
+func ChecksumUpdate(crc uint32, b []byte) uint32 { return crc32.Update(crc, castagnoli, b) }

@@ -1,0 +1,229 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{nil, ClassPermanent},
+		{ErrInjected, ClassTransient},
+		{fmt.Errorf("read p0: %w", ErrInjected), ClassTransient},
+		{ErrCorrupted, ClassCorrupted},
+		{fmt.Errorf("tile 3: %w", ErrCorrupted), ClassCorrupted},
+		// Corruption dominates even when the chain also carries a
+		// transient marker.
+		{fmt.Errorf("%w after %w", ErrCorrupted, ErrInjected), ClassCorrupted},
+		{ErrNotExist, ClassPermanent},
+		{io.ErrUnexpectedEOF, ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestChecksumIncremental(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	whole := Checksum(data)
+	for i := 0; i <= len(data); i++ {
+		got := ChecksumUpdate(ChecksumUpdate(0, data[:i]), data[i:])
+		if got != whole {
+			t.Fatalf("split at %d: %08x != %08x", i, got, whole)
+		}
+	}
+	if Checksum(data) == Checksum(data[:len(data)-1]) {
+		t.Fatal("checksum insensitive to truncation")
+	}
+}
+
+// writeRead round-trips a payload through a file on dev.
+func writeRead(t *testing.T, dev Device, name string, payload []byte) ([]byte, error) {
+	t.Helper()
+	f, err := dev.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestFaultySeededDeterminism(t *testing.T) {
+	run := func(seed int64) (faults int64, errs string) {
+		dev := NewFaulty(NewSim(SSDParams("s", 1, 0)), FaultyOptions{
+			Seed: seed, ReadErr: 0.3, WriteErr: 0.3, TruncateErr: 0.3,
+		})
+		f, _ := dev.Create("x")
+		buf := make([]byte, 64)
+		for i := 0; i < 50; i++ {
+			if _, err := f.WriteAt(buf, 0); err != nil {
+				errs += "w"
+			}
+			if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				errs += "r"
+			}
+			if err := f.Truncate(0); err != nil {
+				errs += "t"
+			}
+		}
+		return dev.(FaultInjector).Faults(), errs
+	}
+	f1, e1 := run(7)
+	f2, e2 := run(7)
+	f3, e3 := run(8)
+	if f1 != f2 || e1 != e2 {
+		t.Fatalf("same seed diverged: %d %q vs %d %q", f1, e1, f2, e2)
+	}
+	if f1 == 0 {
+		t.Fatal("seeded schedule injected no faults")
+	}
+	if e1 == e3 && f1 == f3 {
+		t.Fatalf("different seeds produced identical schedules: %q", e1)
+	}
+}
+
+func TestFaultyTruncateAndCloseFaults(t *testing.T) {
+	dev := NewFaulty(NewSim(SSDParams("s", 1, 0)), FaultyOptions{
+		Seed: 1, TruncateErr: 1, CloseErr: 1,
+	})
+	f, err := dev.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Truncate error = %v, want ErrInjected", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close error = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultyCorruptReadFlipsOneBit(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 256)
+	dev := NewFaulty(NewSim(SSDParams("s", 1, 0)), FaultyOptions{
+		Seed: 3, CorruptRead: 1, MaxFaults: 1,
+	})
+	got, err := writeRead(t, dev, "x", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ payload[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt read flipped %d bits, want exactly 1", diff)
+	}
+	// MaxFaults=1 exhausted: the next read is clean.
+	got2, err := writeRead(t, dev, "y", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, payload) {
+		t.Fatal("fault budget exhausted but read still corrupted")
+	}
+}
+
+func TestFaultyTornWriteDropsTail(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5F}, 128)
+	inner := NewSim(SSDParams("s", 1, 0))
+	dev := NewFaulty(inner, FaultyOptions{Seed: 5, TornWrite: 1, MaxFaults: 1})
+	f, err := dev.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.WriteAt(payload, 0)
+	if err != nil || n != len(payload) {
+		t.Fatalf("torn write must report success, got n=%d err=%v", n, err)
+	}
+	if sz := f.Size(); sz >= int64(len(payload)) || sz < 1 {
+		t.Fatalf("torn write persisted %d bytes, want strict non-empty prefix of %d", sz, len(payload))
+	}
+}
+
+func TestRetryHealsTransientFaults(t *testing.T) {
+	payload := bytes.Repeat([]byte{7}, 4096)
+	faulty := NewFaulty(NewSim(SSDParams("s", 1, 0)), FaultyOptions{
+		Seed: 11, ReadErr: 0.4, WriteErr: 0.4, TruncateErr: 0.4,
+	})
+	dev := NewRetry(faulty, RetryOptions{MaxAttempts: 25, Sleep: func(time.Duration) {}})
+	for i := 0; i < 20; i++ {
+		got, err := writeRead(t, dev, fmt.Sprintf("f%d", i), payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round %d: data mismatch through retry layer", i)
+		}
+	}
+	if faulty.(FaultInjector).Faults() == 0 {
+		t.Fatal("schedule injected no faults; test proves nothing")
+	}
+	if dev.Stats().Retries == 0 {
+		t.Fatal("retry layer reports zero retries despite injected faults")
+	}
+	dev.ResetStats()
+	if dev.Stats().Retries != 0 {
+		t.Fatal("ResetStats did not clear Retries")
+	}
+}
+
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	faulty := NewFaulty(NewSim(SSDParams("s", 1, 0)), FaultyOptions{Seed: 1, ReadErr: 1})
+	slept := 0
+	dev := NewRetry(faulty, RetryOptions{MaxAttempts: 3, Sleep: func(time.Duration) { slept++ }})
+	f, err := dev.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected after budget, got %v", err)
+	}
+	if slept != 2 {
+		t.Fatalf("3 attempts should back off twice, slept %d times", slept)
+	}
+	if got := dev.Stats().Retries; got != 2 {
+		t.Fatalf("Stats.Retries = %d, want 2", got)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentOrCorrupted(t *testing.T) {
+	tries := 0
+	d := &retryDevice{inner: nil, opts: RetryOptions{MaxAttempts: 5, Sleep: func(time.Duration) {}}.withDefaults()}
+	err := d.retry(func() error { tries++; return ErrCorrupted })
+	if !errors.Is(err, ErrCorrupted) || tries != 1 {
+		t.Fatalf("corrupted retried: tries=%d err=%v", tries, err)
+	}
+	tries = 0
+	err = d.retry(func() error { tries++; return ErrNotExist })
+	if !errors.Is(err, ErrNotExist) || tries != 1 {
+		t.Fatalf("permanent retried: tries=%d err=%v", tries, err)
+	}
+}
+
+func TestRetryOpenMissingFileFailsFast(t *testing.T) {
+	dev := NewRetry(NewSim(SSDParams("s", 1, 0)), RetryOptions{Sleep: func(time.Duration) {}})
+	if _, err := dev.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}

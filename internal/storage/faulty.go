@@ -1,15 +1,34 @@
 package storage
 
+// faulty.go is the chaos harness's fault scheduler: a Device wrapper that
+// injects the failure modes long disk-bound runs actually see, driven by a
+// seeded deterministic PRNG so a failing schedule replays exactly from its
+// seed. Two families of fault:
+//
+//   - transient (heal under retry): ErrInjected on read/write/truncate/
+//     close, legal short reads, and torn writes that persist a prefix and
+//     report the error — the retry layer re-issues the full WriteAt at the
+//     same offset, overwriting the torn tail.
+//   - corruptions (must be *detected*, never healed): bit flips on read
+//     and silent torn writes that drop the tail but report success. The
+//     checksum layer above must turn every one of these into ErrCorrupted;
+//     the chaos equivalence suite proves none ever reaches a result.
+
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 )
 
-// ErrInjected is the error produced by a faulty device when its fault
-// trigger fires.
+// ErrInjected is the transient error produced by a faulty device when a
+// fault trigger fires. Classify reports it ClassTransient, so the retry
+// layer absorbs it.
 var ErrInjected = errors.New("storage: injected fault")
 
-// FaultyOptions configures fault injection.
+// FaultyOptions configures fault injection. The probabilistic fields are
+// per-operation probabilities in [0, 1], drawn from a deterministic PRNG
+// seeded by Seed; the legacy deterministic triggers (FailAfterOps,
+// ShortReads) are kept for tests that need an exact trip point.
 type FaultyOptions struct {
 	// FailAfterOps injects ErrInjected on every read/write once this many
 	// operations have succeeded. Zero disables error injection.
@@ -18,17 +37,61 @@ type FaultyOptions struct {
 	// legal ReaderAt short read with io.EOF semantics preserved by the
 	// retry layer above). Zero disables.
 	ShortReads int
+
+	// Seed fixes the fault schedule; the same seed over the same
+	// operation sequence injects the same faults.
+	Seed int64
+	// ReadErr is the probability a ReadAt fails with ErrInjected before
+	// touching the device.
+	ReadErr float64
+	// WriteErr is the probability a WriteAt is torn: a random prefix is
+	// persisted and ErrInjected returned (transient — a retried full
+	// write at the same offset overwrites the torn tail).
+	WriteErr float64
+	// TruncateErr is the probability a Truncate fails with ErrInjected.
+	TruncateErr float64
+	// CloseErr is the probability a Close fails with ErrInjected (the
+	// handle still closes — retrying a close is not required).
+	CloseErr float64
+	// ShortRead is the probability a ReadAt returns a legal short count:
+	// a random non-empty prefix of the request.
+	ShortRead float64
+	// CorruptRead is the probability a ReadAt silently flips one random
+	// bit of the returned data — the corruption the checksum layer must
+	// catch.
+	CorruptRead float64
+	// TornWrite is the probability a WriteAt silently persists only a
+	// random prefix but reports full success — the crash-shaped
+	// corruption the checksum layer must catch on the next read.
+	TornWrite float64
+	// MaxFaults bounds the total number of injected faults (all kinds);
+	// zero means unlimited. Chaos runs that must terminate bound this.
+	MaxFaults int64
 }
 
-// NewFaulty wraps a Device with fault injection for failure testing.
+// FaultInjector is implemented by faulty devices so tests can assert the
+// schedule actually fired.
+type FaultInjector interface {
+	// Faults returns the number of faults injected so far.
+	Faults() int64
+}
+
+// NewFaulty wraps a Device with fault injection for failure testing. The
+// returned Device also implements FaultInjector.
 func NewFaulty(inner Device, opts FaultyOptions) Device {
-	return &faultyDevice{inner: inner, opts: opts}
+	d := &faultyDevice{inner: inner, opts: opts}
+	d.rngState = uint64(opts.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	return d
 }
 
 type faultyDevice struct {
 	inner Device
 	opts  FaultyOptions
 	ops   atomic.Int64
+
+	mu       sync.Mutex
+	rngState uint64
+	faults   int64
 }
 
 func (d *faultyDevice) Name() string { return d.inner.Name() + "+faulty" }
@@ -54,9 +117,66 @@ func (d *faultyDevice) Stats() Stats              { return d.inner.Stats() }
 func (d *faultyDevice) ResetStats()               { d.inner.ResetStats() }
 func (d *faultyDevice) Timeline() []TimelinePoint { return d.inner.Timeline() }
 
+// Faults implements FaultInjector.
+func (d *faultyDevice) Faults() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults + d.legacyFaults()
+}
+
+// legacyFaults counts FailAfterOps trips (every op past the threshold).
+func (d *faultyDevice) legacyFaults() int64 {
+	if d.opts.FailAfterOps <= 0 {
+		return 0
+	}
+	if n := d.ops.Load() - d.opts.FailAfterOps; n > 0 {
+		return n
+	}
+	return 0
+}
+
 func (d *faultyDevice) shouldFail() bool {
 	n := d.ops.Add(1)
 	return d.opts.FailAfterOps > 0 && n > d.opts.FailAfterOps
+}
+
+// next advances the splitmix64 schedule. Callers hold d.mu.
+func (d *faultyDevice) next() uint64 {
+	d.rngState += 0x9e3779b97f4a7c15
+	z := d.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// decide rolls the schedule against probability p and, on a hit, charges
+// one fault against MaxFaults. The PRNG always advances on a non-zero p so
+// the schedule stays aligned even after the fault budget is exhausted.
+func (d *faultyDevice) decide(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	roll := float64(d.next()>>11) / (1 << 53)
+	if roll >= p {
+		return false
+	}
+	if d.opts.MaxFaults > 0 && d.faults >= d.opts.MaxFaults {
+		return false
+	}
+	d.faults++
+	return true
+}
+
+// intn returns a schedule-driven value in [0, n).
+func (d *faultyDevice) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.next() % uint64(n))
 }
 
 type faultyFile struct {
@@ -65,22 +185,68 @@ type faultyFile struct {
 }
 
 func (f *faultyFile) ReadAt(p []byte, off int64) (int, error) {
-	if f.dev.shouldFail() {
+	d := f.dev
+	if d.shouldFail() || d.decide(d.opts.ReadErr) {
 		return 0, ErrInjected
 	}
-	if s := f.dev.opts.ShortReads; s > 0 && len(p) > s {
+	if s := d.opts.ShortReads; s > 0 && len(p) > s {
 		p = p[:s]
 	}
-	return f.inner.ReadAt(p, off)
+	if len(p) > 1 && d.decide(d.opts.ShortRead) {
+		p = p[:1+d.intn(len(p)-1)]
+	}
+	n, err := f.inner.ReadAt(p, off)
+	if n > 0 && d.decide(d.opts.CorruptRead) {
+		bit := d.intn(n * 8)
+		p[bit>>3] ^= 1 << (bit & 7)
+	}
+	return n, err
 }
 
 func (f *faultyFile) WriteAt(p []byte, off int64) (int, error) {
-	if f.dev.shouldFail() {
+	d := f.dev
+	if d.shouldFail() {
 		return 0, ErrInjected
+	}
+	if len(p) > 0 && d.decide(d.opts.WriteErr) {
+		// Torn write, reported: persist a strict prefix, return the
+		// transient error. A full retry at the same offset heals it.
+		n := d.intn(len(p))
+		if n > 0 {
+			if m, err := f.inner.WriteAt(p[:n], off); err != nil {
+				return m, err
+			}
+		}
+		return n, ErrInjected
+	}
+	if len(p) > 1 && d.decide(d.opts.TornWrite) {
+		// Torn write, silent: persist a strict prefix, report success.
+		// Only a checksum on the next read can catch this.
+		n := 1 + d.intn(len(p)-1)
+		if _, err := f.inner.WriteAt(p[:n], off); err != nil {
+			return 0, err
+		}
+		return len(p), nil
 	}
 	return f.inner.WriteAt(p, off)
 }
 
-func (f *faultyFile) Size() int64               { return f.inner.Size() }
-func (f *faultyFile) Truncate(size int64) error { return f.inner.Truncate(size) }
-func (f *faultyFile) Close() error              { return f.inner.Close() }
+func (f *faultyFile) Size() int64 { return f.inner.Size() }
+
+func (f *faultyFile) Truncate(size int64) error {
+	if f.dev.decide(f.dev.opts.TruncateErr) {
+		return ErrInjected
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultyFile) Close() error {
+	// The injected close error still closes the handle: callers must
+	// treat a failed close as "state unknown", and leaking the inner
+	// handle would turn every injected close fault into a resource leak.
+	err := f.inner.Close()
+	if f.dev.decide(f.dev.opts.CloseErr) {
+		return ErrInjected
+	}
+	return err
+}

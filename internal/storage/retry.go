@@ -1,0 +1,179 @@
+package storage
+
+// retry.go is the transient-fault absorber: a Device wrapper that
+// re-issues failed operations with bounded exponential backoff and
+// jitter. Only ClassTransient errors are retried — corruption must go to
+// the rebuild path and permanent errors must fail fast — and only
+// positional operations are wrapped, which makes every retry idempotent:
+// a ReadAt re-reads the same range, a WriteAt at the same offset
+// overwrites whatever prefix a torn attempt persisted.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RetryOptions tunes the retrying device wrapper. The zero value retries
+// transient failures up to 3 times (4 attempts total) with 1ms..50ms
+// jittered exponential backoff.
+type RetryOptions struct {
+	// MaxAttempts is the total number of tries per operation (first
+	// attempt included). Zero means 4; one disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay. Zero means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 50ms.
+	MaxDelay time.Duration
+	// Seed fixes the jitter schedule (tests); zero is a valid seed.
+	Seed int64
+	// Sleep is called to wait out the backoff; nil means time.Sleep.
+	// Tests inject a no-op to run fault schedules at full speed.
+	Sleep func(time.Duration)
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// NewRetry wraps a Device so transient failures (see Classify) of file
+// operations — ReadAt, WriteAt, Truncate, and Open/Create — are retried
+// with jittered exponential backoff. Retry counts are surfaced through
+// Stats().Retries; ResetStats zeroes them with the rest of the counters.
+func NewRetry(inner Device, opts RetryOptions) Device {
+	d := &retryDevice{inner: inner, opts: opts.withDefaults()}
+	d.jitter.Store(uint64(opts.Seed)*0x9e3779b97f4a7c15 + 1)
+	return d
+}
+
+type retryDevice struct {
+	inner   Device
+	opts    RetryOptions
+	retries atomic.Int64
+	jitter  atomic.Uint64
+}
+
+func (d *retryDevice) Name() string { return d.inner.Name() + "+retry" }
+
+// backoff sleeps out attempt a (0-based retry index) with equal jitter:
+// half the exponential step fixed, half drawn from the seeded schedule.
+func (d *retryDevice) backoff(a int) {
+	d.retries.Add(1)
+	delay := d.opts.BaseDelay << uint(a)
+	if delay <= 0 || delay > d.opts.MaxDelay {
+		delay = d.opts.MaxDelay
+	}
+	// splitmix64 step; atomic so concurrent retriers never block each
+	// other just to pick a jitter.
+	z := d.jitter.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	frac := float64(z>>11) / (1 << 53)
+	d.opts.Sleep(delay/2 + time.Duration(float64(delay/2)*frac))
+}
+
+// retry runs op up to MaxAttempts times, backing off between transient
+// failures. Non-transient errors return immediately.
+func (d *retryDevice) retry(op func() error) error {
+	for a := 0; ; a++ {
+		err := op()
+		if err == nil || Classify(err) != ClassTransient || a+1 >= d.opts.MaxAttempts {
+			return err
+		}
+		d.backoff(a)
+	}
+}
+
+func (d *retryDevice) Create(name string) (File, error) {
+	var f File
+	err := d.retry(func() error {
+		var err error
+		f, err = d.inner.Create(name)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{dev: d, inner: f}, nil
+}
+
+func (d *retryDevice) Open(name string) (File, error) {
+	var f File
+	err := d.retry(func() error {
+		var err error
+		f, err = d.inner.Open(name)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{dev: d, inner: f}, nil
+}
+
+func (d *retryDevice) Remove(name string) error {
+	return d.retry(func() error { return d.inner.Remove(name) })
+}
+
+func (d *retryDevice) Stats() Stats {
+	s := d.inner.Stats()
+	s.Retries = d.retries.Load()
+	return s
+}
+
+func (d *retryDevice) ResetStats() {
+	d.inner.ResetStats()
+	d.retries.Store(0)
+}
+
+func (d *retryDevice) Timeline() []TimelinePoint { return d.inner.Timeline() }
+
+type retryFile struct {
+	dev   *retryDevice
+	inner File
+}
+
+func (f *retryFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	err := f.dev.retry(func() error {
+		var err error
+		n, err = f.inner.ReadAt(p, off)
+		return err
+	})
+	return n, err
+}
+
+func (f *retryFile) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	err := f.dev.retry(func() error {
+		var err error
+		// Always rewrite the full range: a torn earlier attempt left an
+		// unknown prefix, and offset writes are idempotent.
+		n, err = f.inner.WriteAt(p, off)
+		return err
+	})
+	return n, err
+}
+
+func (f *retryFile) Size() int64 { return f.inner.Size() }
+
+func (f *retryFile) Truncate(size int64) error {
+	return f.dev.retry(func() error { return f.inner.Truncate(size) })
+}
+
+func (f *retryFile) Close() error {
+	// No retry: a failed close may or may not have closed the handle, and
+	// double-close on an OS file is an error. Surface it once.
+	return f.inner.Close()
+}

@@ -77,6 +77,9 @@ type Stats struct {
 	SeqWrites    int64
 	Trims        int64 // truncations that released blocks
 	TrimmedBytes int64
+	// Retries counts operations the retry layer (NewRetry) re-issued
+	// after a transient failure. Zero for unwrapped devices.
+	Retries int64
 	// Busy is the simulated device busy time (the wall time the busiest
 	// RAID member spent servicing requests). Zero for OS devices.
 	Busy time.Duration

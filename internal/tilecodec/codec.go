@@ -9,9 +9,12 @@
 // selective-streaming index already summarizes with a [min,max] source
 // span). The wire format is
 //
-//	[1 byte flags][uvarint n][uvarint payloadLen][payload]
+//	[1 byte flags][uvarint n][uvarint payloadLen][payload][crc32c]
 //
-// where flags selects the payload encoding:
+// where the trailing 4-byte little-endian CRC32C of the payload is present
+// iff the FlagCRC bit is set (the encoder always sets it; tiles written
+// before the checksum layer decode unchanged), and the low flag bits
+// select the payload encoding:
 //
 //   - FlagDelta: three columnar streams — n signed-varint source deltas
 //     (zigzag, wrapping uint32 arithmetic, previous source starts at 0),
@@ -42,6 +45,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // Payload encodings, stored in the tile header's flag byte.
@@ -51,6 +55,11 @@ const (
 	FlagRaw = 0x00
 	// FlagDelta marks a delta-varint encoded tile.
 	FlagDelta = 0x01
+	// FlagCRC is OR'd into either encoding when a 4-byte CRC32C of the
+	// payload trails the tile. Encode always sets it; Decode accepts
+	// tiles without it (pre-checksum artifacts) and verifies when
+	// present.
+	FlagCRC = 0x02
 )
 
 // Weight-block modes inside a FlagDelta payload.
@@ -121,37 +130,49 @@ func (e *Encoder) Encode(dst []byte, edges []core.Edge) ([]byte, bool, error) {
 	e.scratch = body
 
 	raw := len(body) >= n*EdgeBytes
-	flag := byte(FlagDelta)
+	flag := byte(FlagDelta | FlagCRC)
 	plen := len(body)
 	if raw {
-		flag, plen = FlagRaw, n*EdgeBytes
+		flag, plen = FlagRaw|FlagCRC, n*EdgeBytes
 	}
 	dst = append(dst, flag)
 	dst = binary.AppendUvarint(dst, uint64(n))
 	dst = binary.AppendUvarint(dst, uint64(plen))
+	payloadStart := len(dst)
 	if raw {
 		for _, ed := range edges {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(ed.Src))
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(ed.Dst))
 			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(ed.Weight))
 		}
-		return dst, false, nil
+	} else {
+		dst = append(dst, body...)
 	}
-	return append(dst, body...), true, nil
+	crc := storage.Checksum(dst[payloadStart:])
+	return binary.LittleEndian.AppendUint32(dst, crc), !raw, nil
 }
 
 // Decode reads one tile from the front of data into out (grown if too
 // small, reused otherwise) and returns the decoded records, the number of
 // bytes consumed, and an error for any malformed, truncated or overflowing
-// input. On success the decoded batch is bit-identical to what Encode was
-// given, in the same order.
+// input. Tiles carrying FlagCRC are checksum-verified; a mismatch wraps
+// storage.ErrCorrupted. On success the decoded batch is bit-identical to
+// what Encode was given, in the same order.
 func Decode(data []byte, out []core.Edge) ([]core.Edge, int, error) {
+	return DecodeVerify(data, out, true)
+}
+
+// DecodeVerify is Decode with checksum verification switchable: verify
+// false skips the CRC comparison (the measured-overhead ablation) while
+// still consuming the CRC bytes, so framing is identical either way.
+func DecodeVerify(data []byte, out []core.Edge, verify bool) ([]core.Edge, int, error) {
 	if len(data) < 3 {
 		return nil, 0, fmt.Errorf("tilecodec: tile header truncated: %d bytes", len(data))
 	}
-	flag := data[0]
+	flag := data[0] &^ FlagCRC
+	hasCRC := data[0]&FlagCRC != 0
 	if flag != FlagRaw && flag != FlagDelta {
-		return nil, 0, fmt.Errorf("tilecodec: unknown tile flag 0x%02x", flag)
+		return nil, 0, fmt.Errorf("tilecodec: unknown tile flag 0x%02x", data[0])
 	}
 	pos := 1
 	n64, k := binary.Uvarint(data[pos:])
@@ -168,10 +189,23 @@ func Decode(data []byte, out []core.Edge) ([]core.Edge, int, error) {
 		return nil, 0, fmt.Errorf("tilecodec: malformed payload length")
 	}
 	pos += k
-	if plen64 > uint64(len(data)-pos) {
-		return nil, 0, fmt.Errorf("tilecodec: payload truncated: header claims %d bytes, %d available", plen64, len(data)-pos)
+	avail := uint64(len(data) - pos)
+	trailer := uint64(0)
+	if hasCRC {
+		trailer = 4
+	}
+	if plen64 > avail || plen64+trailer > avail {
+		return nil, 0, fmt.Errorf("tilecodec: payload truncated: header claims %d bytes, %d available", plen64+trailer, avail)
 	}
 	payload := data[pos : pos+int(plen64)]
+	end := pos + int(plen64+trailer)
+	if hasCRC && verify {
+		want := binary.LittleEndian.Uint32(data[pos+int(plen64):])
+		if got := storage.Checksum(payload); got != want {
+			return nil, 0, fmt.Errorf("tilecodec: tile payload checksum %08x, want %08x: %w",
+				got, want, storage.ErrCorrupted)
+		}
+	}
 
 	if cap(out) < n {
 		out = make([]core.Edge, n)
@@ -190,7 +224,7 @@ func Decode(data []byte, out []core.Edge) ([]core.Edge, int, error) {
 				Weight: math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])),
 			}
 		}
-		return out, pos + len(payload), nil
+		return out, end, nil
 	}
 
 	q := 0
@@ -247,5 +281,5 @@ func Decode(data []byte, out []core.Edge) ([]core.Edge, int, error) {
 	if q != len(payload) {
 		return nil, 0, fmt.Errorf("tilecodec: %d bytes of trailing garbage in tile payload", len(payload)-q)
 	}
-	return out, pos + len(payload), nil
+	return out, end, nil
 }

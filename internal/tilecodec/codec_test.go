@@ -1,11 +1,13 @@
 package tilecodec
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // sameEdges compares batches bit-wise: weights by bit pattern, so NaN and
@@ -204,6 +206,86 @@ func TestDecodeReuse(t *testing.T) {
 	}
 	if &got[0] != &scratch[0] {
 		t.Fatal("large out buffer was not reused")
+	}
+	sameEdges(t, got, edges)
+}
+
+func TestChecksumDetectsBitFlips(t *testing.T) {
+	edges := []core.Edge{{Src: 1, Dst: 2, Weight: 1}, {Src: 3, Dst: 9, Weight: 1}, {Src: 4, Dst: 1, Weight: 1}}
+	var enc Encoder
+	buf, _, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0]&FlagCRC == 0 {
+		t.Fatal("encoder did not set FlagCRC")
+	}
+	// Flip every bit of the payload and trailer in turn: each corruption
+	// must be rejected (checksum mismatch or, for framing bytes, a
+	// malformed-input error) — never silently decoded.
+	for i := 1; i < len(buf); i++ {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 1 << b
+			if _, _, err := Decode(mut, nil); err == nil {
+				got, _, _ := DecodeVerify(mut, nil, true)
+				t.Fatalf("bit flip at byte %d bit %d decoded silently: %+v", i, b, got)
+			}
+		}
+	}
+	// The unmutated tile still decodes, and skipping verification is
+	// framing-identical.
+	if _, n, err := Decode(buf, nil); err != nil || n != len(buf) {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+	if _, n, err := DecodeVerify(buf, nil, false); err != nil || n != len(buf) {
+		t.Fatalf("unverified decode: n=%d err=%v", n, err)
+	}
+}
+
+func TestChecksumMismatchIsErrCorrupted(t *testing.T) {
+	edges := make([]core.Edge, 64)
+	for i := range edges {
+		edges[i] = core.Edge{Src: core.VertexID(i), Dst: core.VertexID(i * 7 % 64), Weight: 1}
+	}
+	var enc Encoder
+	buf, _, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte well past the header.
+	buf[len(buf)-6] ^= 0x40
+	_, _, err = Decode(buf, nil)
+	if err == nil {
+		t.Fatal("corrupted payload decoded")
+	}
+	if !errors.Is(err, storage.ErrCorrupted) {
+		t.Fatalf("corruption error %v does not wrap storage.ErrCorrupted", err)
+	}
+	// Verification off: the CRC is not compared, so the (structurally
+	// valid) corruption decodes — exactly why verification defaults on.
+	if _, _, err := DecodeVerify(buf, nil, false); err != nil {
+		t.Fatalf("unverified decode of payload corruption: %v", err)
+	}
+}
+
+func TestDecodeAcceptsPreChecksumTiles(t *testing.T) {
+	edges := []core.Edge{{Src: 5, Dst: 6, Weight: 2}, {Src: 5, Dst: 7, Weight: 2}}
+	var enc Encoder
+	buf, _, err := enc.Encode(nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the tile as a pre-CRC artifact: clear the flag bit, drop
+	// the trailer.
+	old := append([]byte(nil), buf[:len(buf)-4]...)
+	old[0] &^= FlagCRC
+	got, n, err := Decode(old, nil)
+	if err != nil {
+		t.Fatalf("pre-checksum tile rejected: %v", err)
+	}
+	if n != len(old) {
+		t.Fatalf("consumed %d of %d bytes", n, len(old))
 	}
 	sameEdges(t, got, edges)
 }
