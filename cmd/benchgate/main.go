@@ -40,7 +40,7 @@ import (
 
 // runList is every experiment the CI bench-smoke job runs; the regen hint
 // printed on failure must stay in lockstep with .github/workflows/ci.yml.
-const runList = "figchecksum,figcombine,figcompress,figfrontier,figlocality,figshare"
+const runList = "figchecksum,figcombine,figcompress,figfrontier,figlocality,figobs,figshare"
 
 type report struct {
 	Results []struct {

@@ -24,24 +24,33 @@
 //	GET    /jobs             list
 //	GET    /jobs/{id}        status
 //	GET    /jobs/{id}/result result payload + stats (?cursor=&limit= pages vertex vectors)
+//	GET    /jobs/{id}/trace  Chrome trace-event JSON of a done job's run (Perfetto-loadable)
 //	DELETE /jobs/{id}        cancel
 //	GET    /datasets         registered datasets
 //	GET    /metrics          scheduler counters (batching, result cache, dataset residency)
+//	GET    /metrics.prom     the same counters plus latency histograms, Prometheus text format
+//	GET    /healthz          liveness probe
+//	GET    /buildinfo        Go build metadata of the binary
 //
 // Identical repeated jobs are served from the scheduler's result cache
 // (-result-cache) with zero edges streamed; -memory-cap bounds resident
 // prepared-engine memory with LRU eviction; -tenant-quotas limits each
-// tenant's queued and running jobs. On SIGINT/SIGTERM xserve stops
-// accepting connections, drains in-flight requests (-drain-timeout),
-// shuts the scheduler down, and closes the registry so device spill
-// files are removed.
+// tenant's queued and running jobs. Logs are structured (log/slog) on
+// stderr; -log-format json switches them to JSON lines. -pprof-addr
+// serves net/http/pprof on a separate listener, kept off the API port so
+// profiling endpoints are never exposed to API clients by accident. On
+// SIGINT/SIGTERM xserve stops accepting connections, drains in-flight
+// requests (-drain-timeout), shuts the scheduler down, and closes the
+// registry so device spill files are removed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr listener; registers on DefaultServeMux only
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,15 +90,23 @@ func main() {
 		compress  = flag.Bool("compress-tiles", false, "store out-of-core partition edge files as delta-varint compressed tiles (bit-identical results, fewer physical bytes read)")
 		ioRetries = flag.Int("io-retries", 3, "retry transient device errors up to N times with jittered backoff (0 = fail fast)")
 		attempts  = flag.Int("job-attempts", 2, "times a job may enter a batch before a transient or corruption failure becomes terminal (1 = no retry)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text|json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	)
 	flag.Var(&specs, "dataset", "dataset spec name=rmat:scale[:ef[:seed]][:undirected] or name=file:path[:undirected] (repeatable)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	if len(specs) == 0 {
 		fatal("need at least one -dataset spec")
 	}
 	var dev xstream.Device
-	var err error
 	switch *device {
 	case "none":
 	case "os":
@@ -134,8 +151,8 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "xserve: dataset %s: %d vertices, %d edge records\n",
-			name, src.NumVertices(), src.NumEdges())
+		slog.Info("dataset registered", "dataset", name,
+			"vertices", src.NumVertices(), "edges", src.NumEdges())
 	}
 
 	cacheBytes := parseBytes(*resCache)
@@ -155,8 +172,21 @@ func main() {
 		MaxAttempts:      maxAttempts,
 		DefaultQuota:     defaultQuota,
 		TenantQuotas:     tenantQuotas,
+		Logger:           logger,
 	})
 	defer sched.Close()
+
+	// The pprof listener is separate from the API listener on purpose:
+	// profiling handlers stay reachable while the API drains, and an API
+	// client can never hit them by path-guessing.
+	if *pprofAddr != "" {
+		go func() {
+			slog.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				slog.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
 	// in-flight requests finish, close the scheduler (cancels queued
@@ -168,19 +198,46 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: jobs.NewHandler(sched)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "xserve: listening on %s\n", *addr)
+	slog.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
 		fatal("%v", err)
 	case <-ctx.Done():
 		stop()
-		fmt.Fprintln(os.Stderr, "xserve: shutting down")
+		slog.Info("shutting down", "drain_timeout", drain.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "xserve: drain: %v\n", err)
+			slog.Warn("drain incomplete", "err", err)
 		}
+	}
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
 	}
 }
 

@@ -15,6 +15,8 @@
 //	        -replicate 256                            # volume-balanced + hub mirrors
 //	xstream -algo pagerank -rmat 18 -combine=false    # disable update pre-aggregation
 //	xstream -algo bfs -rmat 18 -selective=false       # stream densely even with a frontier
+//	xstream -algo pagerank -rmat 18 -trace-out t.json # span trace for Perfetto/chrome://tracing
+//	xstream -algo pagerank -rmat 18 -cpuprofile cpu.out -memprofile mem.out  # go tool pprof
 //
 // Algorithms are dispatched through the registry in internal/algorithms —
 // the same table cmd/xserve serves jobs from — and executed as type-erased
@@ -32,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskengine"
 	"repro/internal/memengine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -69,6 +74,9 @@ func main() {
 		checkpoint = flag.Bool("checkpoint", false, "disk engine: persist a checksummed snapshot after each iteration; a rerun over the same directory resumes from the last completed iteration")
 		ioRetries  = flag.Int("io-retries", 3, "disk engine: retry transient device errors up to N times with jittered backoff (0 = fail fast)")
 		verify     = flag.Bool("verify-checksums", true, "disk engine: verify the CRC32C frames of on-disk artifacts on read; a mismatch fails the run with a corruption error instead of computing on bad data")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -130,11 +138,30 @@ func main() {
 		src = xstream.Symmetrize(src)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var tracer *obs.Recorder
+	if *traceOut != "" {
+		tracer = obs.NewRecorder()
+	}
+
 	var out *core.JobResult
 	switch *engine {
 	case "mem":
 		memCfg := xstream.MemConfig{
 			Threads: *threads, Partitioner: partitioner, NoCombine: !*combine, Selective: *selective,
+		}
+		if tracer != nil {
+			memCfg.Tracer = tracer
 		}
 		out, err = memengine.RunJob(context.Background(), src, inst.Job, memCfg)
 	case "disk":
@@ -169,12 +196,42 @@ func main() {
 			NoVerify:      !*verify,
 			Checkpoint:    *checkpoint,
 		}
+		if tracer != nil {
+			diskCfg.Tracer = tracer
+		}
 		out, err = diskengine.RunJob(context.Background(), src, inst.Job, diskCfg)
 	default:
 		fatal("unknown -engine %q", *engine)
 	}
 	if err != nil {
 		fatal("%v", err)
+	}
+	if tracer != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatal("-trace-out: %v", ferr)
+		}
+		events := tracer.Events()
+		if werr := obs.WriteChromeTrace(f, events); werr != nil {
+			fatal("-trace-out: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal("-trace-out: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "xstream: wrote %d spans to %s\n", len(events), *traceOut)
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatal("-memprofile: %v", ferr)
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fatal("-memprofile: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal("-memprofile: %v", cerr)
+		}
 	}
 
 	stats := out.Stats

@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestFigObsTracingIsFree pins the observability tentpole's acceptance
+// criterion: the runner itself asserts that traced and untraced runs agree
+// on every deterministic work metric and that per-iteration profiles sum
+// exactly, so a passing run is a correctness witness. The test checks the
+// gated metrics exist and are sane.
+func TestFigObsTracingIsFree(t *testing.T) {
+	tab, err := runFigObs(Config{Quick: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		v, ok := tab.Metrics[name]
+		if !ok {
+			t.Fatalf("missing metric %s", name)
+		}
+		return v
+	}
+	if v := get("pagerank_mem_edges_streamed_untraced"); v <= 0 {
+		t.Fatalf("pagerank streamed %v edges", v)
+	}
+	if v := get("pagerank_mem_trace_spans"); v <= 0 {
+		t.Fatalf("pagerank traced run recorded %v spans", v)
+	}
+	if v := get("bfs_disk_bytes_read_untraced"); v <= 0 {
+		t.Fatalf("bfs read %v bytes", v)
+	}
+	if v := get("bfs_disk_trace_spans"); v <= 0 {
+		t.Fatalf("bfs traced run recorded %v spans", v)
+	}
+	// Selective BFS must skip something, or the per-iteration slices of the
+	// skip counters are trivially zero and gate nothing.
+	if v := get("bfs_disk_edges_skipped_untraced"); v <= 0 {
+		t.Fatalf("selective bfs skipped %v edges", v)
+	}
+
+	// Span-stream determinism: a second traced run of the same workload
+	// must record exactly the same number of spans.
+	tab2, err := runFigObs(Config{Quick: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"pagerank_mem_trace_spans", "bfs_disk_trace_spans"} {
+		if tab.Metrics[m] != tab2.Metrics[m] {
+			t.Errorf("%s not deterministic: %v then %v", m, tab.Metrics[m], tab2.Metrics[m])
+		}
+	}
+}

@@ -325,6 +325,12 @@ type jobRun[V, M any] struct {
 	finished bool
 	iterSent int64
 
+	// Per-iteration profile bookkeeping: BeginScatter snapshots the
+	// cumulative counters and the wall clock, EndIteration pushes the
+	// delta onto stats.Iters.
+	iterMark  IterMark
+	iterStart time.Time
+
 	overflow    atomic.Bool
 	itSent      atomic.Int64
 	itStreamed  atomic.Int64
@@ -423,6 +429,8 @@ func (r *jobRun[V, M]) BeginScatter() {
 	if r.fp != nil {
 		r.active = r.cur.CountByPartition(r.part)
 	}
+	r.iterMark = r.stats.MarkIter()
+	r.iterStart = time.Now()
 }
 
 func (r *jobRun[V, M]) Dense() bool { return r.fp == nil }
@@ -624,6 +632,7 @@ func (r *jobRun[V, M]) Gather() {
 
 func (r *jobRun[V, M]) EndIteration(iter int) {
 	r.stats.Iterations++
+	r.stats.PushIter(iter, r.iterMark, time.Since(r.iterStart))
 	if r.phased != nil {
 		if r.phased.EndIteration(iter, r.iterSent, SliceView[V](r.verts)) {
 			r.done = true

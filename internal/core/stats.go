@@ -77,6 +77,13 @@ type Stats struct {
 	ShuffleTime    time.Duration
 	GatherTime     time.Duration
 
+	// Iters is the per-iteration profile: one IterStats entry per
+	// executed iteration, in execution order (a checkpoint resume
+	// restores no entries for the skipped iterations, so
+	// len(Iters) == Iterations - ResumedIterations). See IterStats for
+	// how the entries sum to the cumulative fields.
+	Iters []IterStats
+
 	// Data volume in bytes, for computing the streaming-time lower bound.
 	BytesStreamed int64 // records moved through stream buffers
 	BytesRead     int64 // device reads (out-of-core only)
@@ -186,12 +193,16 @@ func (s Stats) Ratio(seqBandwidth float64) float64 {
 }
 
 // String renders the profile as the one-line summary the CLI prints:
-// iteration and phase timings first, then whichever optional subsystems
-// (combining, replication, selective streaming, shared passes) did work.
+// iteration count and the phase time split first — each phase as a
+// fraction of TotalTime, the paper's Figure 12b quantity — then
+// whichever optional subsystems (combining, replication, selective
+// streaming, shared passes) did work.
 func (s Stats) String() string {
-	out := fmt.Sprintf("%s[%s]: %d iters, %d parts, %v total (scatter %v, shuffle %v, gather %v), %d edges streamed, %d updates, %.0f%% wasted",
+	out := fmt.Sprintf("%s[%s]: %d iters, %d parts, %v total (scatter %v/%.0f%%, shuffle %v/%.0f%%, gather %v/%.0f%%), %d edges streamed, %d updates, %.0f%% wasted",
 		s.Algorithm, s.Engine, s.Iterations, s.Partitions, s.TotalTime.Round(time.Millisecond),
-		s.ScatterTime.Round(time.Millisecond), s.ShuffleTime.Round(time.Millisecond), s.GatherTime.Round(time.Millisecond),
+		s.ScatterTime.Round(time.Millisecond), 100*s.TimeFraction(s.ScatterTime),
+		s.ShuffleTime.Round(time.Millisecond), 100*s.TimeFraction(s.ShuffleTime),
+		s.GatherTime.Round(time.Millisecond), 100*s.TimeFraction(s.GatherTime),
 		s.EdgesStreamed, s.UpdatesSent, 100*s.WastedFraction())
 	if s.UpdatesCombined > 0 {
 		out += fmt.Sprintf(", %d combined (%.0f%%)", s.UpdatesCombined, 100*s.CombinedFraction())
@@ -229,6 +240,15 @@ func (s Stats) String() string {
 			s.ResumedIterations, s.Iterations-s.ResumedIterations)
 	}
 	return out
+}
+
+// TimeFraction returns d as a fraction of TotalTime (0 when TotalTime
+// is zero) — the normalization behind the CLI's phase split.
+func (s Stats) TimeFraction(d time.Duration) float64 {
+	if s.TotalTime <= 0 {
+		return 0
+	}
+	return float64(d) / float64(s.TotalTime)
 }
 
 // SharedFraction returns the fraction of the per-job edge demand the shared

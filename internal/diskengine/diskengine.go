@@ -142,6 +142,10 @@ type Config struct {
 	// and are ignored (never trusted) when their checksum or identity does
 	// not match.
 	Checkpoint bool
+	// Tracer receives run → iteration → phase → partition spans. nil
+	// (the default) disables tracing; a Tracer never changes any work
+	// metric, only observes timing (the figobs experiment gates this).
+	Tracer core.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +255,9 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		return nil, err
 	}
 	e.stats.PreprocessTime = time.Since(t0)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "preprocess", t0, e.stats.PreprocessTime, nil)
+	}
 
 	// Resume from the newest valid checkpoint of a previous attempt with
 	// this prefix: iterations [0, startIter) were restored, not executed.
@@ -301,6 +308,12 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.stats.CompressedRatio = float64(physTiles) / float64(logicalTiles)
 	}
 	e.stats.TotalTime = time.Since(start)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "run", start, e.stats.TotalTime, map[string]int64{
+			"iterations": int64(e.stats.Iterations),
+			"partitions": int64(e.stats.Partitions),
+		})
+	}
 	return &Result[V]{Vertices: verts, Stats: e.stats}, nil
 }
 
@@ -605,11 +618,24 @@ func (e *engine[V, M]) loop(startIter int) error {
 	directed, isDirected := any(e.prog).(core.DirectedProgram)
 	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
 	usize := pod.Size[core.Update[M]]()
+	tr := e.cfg.Tracer
+
+	// The run-level device accounting is a single end-of-run delta (see
+	// Run); for the per-iteration profile the loop samples the device
+	// counters at every iteration boundary and accrues the deltas into
+	// stats so PushIter can slice them. Run's final assignments overwrite
+	// these fields with the full-run totals, which additionally cover the
+	// out-of-loop I/O (pre-processing shuffle, vertex materialization) no
+	// iteration owns.
+	lastRead, lastWritten, lastRetries := e.devCounters()
+	lastPhys, lastLogical := e.physEdge, e.logicalEdge
 
 	for iter := startIter; iter < e.cfg.MaxIterations; iter++ {
 		if err := e.cfg.Context.Err(); err != nil {
 			return err
 		}
+		iterStart := time.Now()
+		iterMark := e.stats.MarkIter()
 		if s, ok := any(e.prog).(core.IterationStarter); ok {
 			s.StartIteration(iter)
 		}
@@ -634,7 +660,8 @@ func (e *engine[V, M]) loop(startIter int) error {
 		}
 		sent, streamed := sp.sent, sp.streamed
 		appended := sent - sp.scatterCombined
-		e.stats.ScatterTime += time.Since(t0)
+		scatterDur := time.Since(t0)
+		e.stats.ScatterTime += scatterDur
 		e.stats.EdgesStreamed += streamed
 		e.stats.UpdatesSent += sent
 		e.stats.WastedEdges += streamed - sent
@@ -654,7 +681,8 @@ func (e *engine[V, M]) loop(startIter int) error {
 		if err := e.gatherPhase(sp.inMem); err != nil {
 			return err
 		}
-		e.stats.GatherTime += time.Since(t1)
+		gatherDur := time.Since(t1)
+		e.stats.GatherTime += gatherDur
 		e.stats.RandomRefs += sp.written
 		e.stats.SequentialRefs += sp.written
 		if e.fp != nil {
@@ -662,7 +690,25 @@ func (e *engine[V, M]) loop(startIter int) error {
 			e.nxt.Clear()
 		}
 
+		// Attribute this iteration's device I/O (a checkpoint write lands
+		// in the following iteration's delta — the final totals are exact
+		// either way) and record the per-iteration profile entry.
+		read, written, retries := e.devCounters()
+		e.stats.BytesRead += read - lastRead
+		e.stats.BytesWritten += written - lastWritten
+		e.stats.IORetries += retries - lastRetries
+		e.stats.BytesReadLogical += (read - lastRead) - (e.physEdge - lastPhys) + (e.logicalEdge - lastLogical)
+		lastRead, lastWritten, lastRetries = read, written, retries
+		lastPhys, lastLogical = e.physEdge, e.logicalEdge
+
 		e.stats.Iterations = iter + 1
+		e.stats.PushIter(iter, iterMark, time.Since(iterStart))
+		if tr != nil {
+			it := int64(iter)
+			tr.Span(0, "scatter", t0, scatterDur, map[string]int64{"iter": it, "edges": streamed, "updates": sent})
+			tr.Span(0, "gather", t1, gatherDur, map[string]int64{"iter": it, "updates": sp.written})
+			tr.Span(0, "iteration", iterStart, time.Since(iterStart), map[string]int64{"iter": it})
+		}
 		if isPhased {
 			if phased.EndIteration(iter, sent, e.vertexView()) {
 				return nil
@@ -675,12 +721,31 @@ func (e *engine[V, M]) loop(startIter int) error {
 		// exactly what iteration iter+1 starts from. A terminating run
 		// needs no snapshot — its checkpoints are removed on success.
 		if e.cfg.Checkpoint {
+			cpStart := time.Now()
 			if err := e.writeCheckpoint(iter); err != nil {
 				return err
+			}
+			if tr != nil {
+				tr.Span(0, "checkpoint", cpStart, time.Since(cpStart), map[string]int64{"iter": int64(iter)})
 			}
 		}
 	}
 	return nil
+}
+
+// devCounters samples the cumulative read/write/retry counters of the
+// run's device (and distinct update device), so the iteration loop can
+// attribute per-iteration I/O deltas.
+func (e *engine[V, M]) devCounters() (read, written, retries int64) {
+	ds := e.cfg.Device.Stats()
+	read, written, retries = ds.BytesRead, ds.BytesWritten, ds.Retries
+	if e.cfg.UpdateDevice != e.cfg.Device {
+		us := e.cfg.UpdateDevice.Stats()
+		read += us.BytesRead
+		written += us.BytesWritten
+		retries += us.Retries
+	}
+	return read, written, retries
 }
 
 // buildBackwardFiles materializes the transposed partitioned edge list with
@@ -785,12 +850,18 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 	w := newBucketWriter(e.bufUpdRecs, e.updFiles, e.shufPlan, func(u core.Update[M]) uint32 {
 		return e.part.Of(u.Dst)
 	}, e.cfg.Threads, e.updateFold())
+	tr := e.cfg.Tracer
 
 	for s := 0; s < e.k; s++ {
 		if err := e.cfg.Context.Err(); err != nil { // between partition files
 			w.Finish()
 			return res, err
 		}
+		var pStart time.Time
+		if tr != nil {
+			pStart = time.Now()
+		}
+		pStreamedBefore := res.streamed
 		fileRecs := edgeFileRecs(edgeFiles[s], tiles, s)
 		vlo, vhi := e.part.Range(s, e.nv)
 		if e.fp != nil && e.active[s] == 0 {
@@ -870,6 +941,10 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 		if err != nil {
 			w.Finish()
 			return res, err
+		}
+		if tr != nil {
+			tr.Span(0, "partition", pStart, time.Since(pStart),
+				map[string]int64{"p": int64(s), "edges": res.streamed - pStreamedBefore})
 		}
 	}
 

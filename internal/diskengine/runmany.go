@@ -306,6 +306,7 @@ func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (
 	// job's own tally only counts executed ones.
 	out.Stats.Iterations = pass.Iterations
 	out.Stats.ResumedIterations = pass.ResumedIterations
+	core.GraftPassIters(out.Stats.Iters, pass.Iters)
 	return &out, nil
 }
 
@@ -381,6 +382,10 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 	}
 
 	live := make([]core.JobRun, 0, len(runs))
+	// Per-iteration retry attribution: the run-level IORetries is a single
+	// end-of-pass delta; the loop samples the device counter at every
+	// iteration boundary so the per-iteration profile can slice it.
+	lastRetries := cfg.Device.Stats().Retries
 	for iter := startIter; iter < cfg.MaxIterations; iter++ {
 		live = live[:0]
 		for _, r := range runs {
@@ -394,6 +399,8 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		if err := ctx.Err(); err != nil {
 			return nil, pass, err
 		}
+		iterStart := time.Now()
+		iterMark := pass.MarkIter()
 		for _, r := range live {
 			r.StartIteration(iter)
 			r.BeginScatter()
@@ -422,17 +429,25 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 				return nil, pass, err
 			}
 		}
-		pass.ScatterTime += time.Since(t0)
+		scatterDur := time.Since(t0)
+		pass.ScatterTime += scatterDur
 
 		t1 := time.Now()
 		if err := core.EndAndGather(live); err != nil {
 			return nil, pass, err
 		}
-		pass.GatherTime += time.Since(t1)
+		gatherDur := time.Since(t1)
+		pass.GatherTime += gatherDur
 		for _, r := range live {
 			r.EndIteration(iter)
 		}
 		pass.Iterations = iter + 1
+		if tr := cfg.Tracer; tr != nil {
+			it := int64(iter)
+			tr.Span(0, "scatter", t0, scatterDur, map[string]int64{"iter": it, "jobs": int64(len(live))})
+			tr.Span(0, "gather", t1, gatherDur, map[string]int64{"iter": it, "jobs": int64(len(live))})
+			tr.Span(0, "iteration", iterStart, time.Since(iterStart), map[string]int64{"iter": it})
+		}
 
 		// Snapshot only when the pass continues: EndIteration has folded
 		// any phase state into the vertices and Gather swapped the
@@ -448,6 +463,7 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 				}
 			}
 			if stillLive {
+				cpStart := time.Now()
 				n, err := pp.writeSharedCheckpoint(iter, runs, snaps)
 				if err != nil {
 					// Checkpoints of earlier iterations outlive the
@@ -456,8 +472,18 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 					return nil, pass, err
 				}
 				pass.BytesWritten += n
+				if tr := cfg.Tracer; tr != nil {
+					tr.Span(0, "checkpoint", cpStart, time.Since(cpStart), map[string]int64{"iter": int64(iter), "bytes": n})
+				}
 			}
 		}
+		// Slice the device retry counter into this iteration's window; the
+		// end-of-pass assignment below overwrites the accrual with the exact
+		// total, so sampling here cannot drift the run-level stat.
+		retriesNow := cfg.Device.Stats().Retries
+		pass.IORetries += retriesNow - lastRetries
+		lastRetries = retriesNow
+		pass.PushIter(iter, iterMark, time.Since(iterStart))
 	}
 	if snaps != nil {
 		pp.removeSharedCheckpoints()
@@ -502,6 +528,11 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 	}
 	pass.IORetries = cfg.Device.Stats().Retries - retriesBefore
 	pass.TotalTime = time.Since(start)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "run", start, pass.TotalTime, map[string]int64{
+			"iterations": int64(pass.Iterations), "jobs": int64(len(runs)),
+		})
+	}
 	return results, pass, nil
 }
 
@@ -560,6 +591,12 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		if len(segs) == 0 {
 			continue
 		}
+		tr := cfg.Tracer
+		var pStart time.Time
+		if tr != nil {
+			pStart = time.Now()
+		}
+		var pEdges int64
 		scatters := make([]core.JobScatter, len(needing))
 		for i, r := range needing {
 			scatters[i] = r.NewScatter(p, fileRecs)
@@ -567,6 +604,7 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		phys, logical, checked, err := streamSegments(ctx, files[p], p, tiles, !cfg.NoVerify, segs, pp.bufEdgeRecs, !cfg.NoPrefetch, func(chunk []core.Edge) error {
 			pass.EdgesStreamed += int64(len(chunk))
 			pass.SequentialRefs += int64(len(chunk))
+			pEdges += int64(len(chunk))
 			feedJobs(scatters, chunk)
 			return nil
 		})
@@ -578,6 +616,9 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 		}
 		for _, sc := range scatters {
 			sc.Flush()
+		}
+		if tr != nil {
+			tr.Span(0, "partition", pStart, time.Since(pStart), map[string]int64{"p": int64(p), "edges": pEdges, "jobs": int64(len(needing))})
 		}
 	}
 	return nil

@@ -6,9 +6,13 @@ package jobs
 //	GET    /jobs             list retained jobs
 //	GET    /jobs/{id}        job status
 //	GET    /jobs/{id}/result result payload + stats (done jobs)
+//	GET    /jobs/{id}/trace  Chrome trace-event JSON of a done job's run
 //	DELETE /jobs/{id}        cancel
 //	GET    /datasets         registered datasets
-//	GET    /metrics          scheduler counters
+//	GET    /metrics          scheduler counters (JSON; ?format=prometheus for text)
+//	GET    /metrics.prom     Prometheus text exposition (counters + histograms)
+//	GET    /healthz          liveness probe
+//	GET    /buildinfo        Go build metadata of the serving binary
 //
 // Everything is JSON. Validation failures are 400, unknown IDs 404,
 // results of unfinished jobs 409. Transient rejections — tenant quota
@@ -25,12 +29,15 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"reflect"
+	"runtime/debug"
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Pagination bounds for GET /jobs/{id}/result. A request without ?limit=
@@ -116,12 +123,68 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		_, _, stats, err := s.Result(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, "job not found")
+		case err != nil:
+			writeError(w, http.StatusConflict, err.Error())
+		case stats == nil:
+			writeError(w, http.StatusConflict, "job has no recorded stats")
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".trace.json"))
+			if err := obs.WriteChromeTrace(w, obs.SynthesizeTrace(stats)); err != nil {
+				slog.Error("jobs: writing trace export", "job", id, "err", err)
+			}
+		}
+	})
+
 	mux.HandleFunc("GET /datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry().List()})
 	})
 
+	writeProm := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := s.WriteProm(w); err != nil {
+			slog.Error("jobs: writing prometheus exposition", "err", err)
+		}
+	}
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			writeProm(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+
+	mux.HandleFunc("GET /metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		writeProm(w)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			writeError(w, http.StatusNotFound, "binary carries no build info")
+			return
+		}
+		settings := make(map[string]string, len(bi.Settings))
+		for _, kv := range bi.Settings {
+			settings[kv.Key] = kv.Value
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"go_version": bi.GoVersion,
+			"path":       bi.Path,
+			"main":       bi.Main,
+			"settings":   settings,
+		})
 	})
 
 	return mux
@@ -214,7 +277,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// The status line is gone; all we can do is avoid losing the
 		// evidence. Usually a client hangup mid-payload.
-		log.Printf("jobs: encoding %T response: %v", v, err)
+		slog.Error("jobs: encoding response", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 

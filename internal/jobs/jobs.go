@@ -49,6 +49,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -56,6 +57,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -130,6 +132,13 @@ type Info struct {
 	// that ran once; more when a transient or corruption failure had the
 	// scheduler requeue it under Config.MaxAttempts).
 	Attempts int `json:"attempts,omitempty"`
+	// QueueWaitSeconds is how long the job waited between submission and
+	// its (last) batch claiming it. Zero while queued and for cached
+	// answers, which never queue.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	// RunSeconds is the wall time between the job's batch starting and the
+	// job finishing (terminal jobs that ran; zero for cached answers).
+	RunSeconds float64 `json:"run_seconds,omitempty"`
 }
 
 // Metrics are the scheduler's cumulative counters, served by GET /metrics.
@@ -226,6 +235,10 @@ type Config struct {
 	DefaultQuota Quota
 	// TenantQuotas overrides DefaultQuota per tenant name.
 	TenantQuotas map[string]Quota
+	// Logger receives structured job-lifecycle logs (submit, batch start,
+	// terminal transitions) with job, tenant, dataset@version and attempt
+	// attributes. nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -297,6 +310,15 @@ type batchState struct {
 type Scheduler struct {
 	reg *dataset.Registry
 	cfg Config
+	log *slog.Logger
+
+	// Serving-latency histograms, exposed by the Prometheus endpoint
+	// (WriteProm): how long jobs queue, how long passes and iterations
+	// run, and how many jobs share a pass.
+	queueWaitHist *obs.Histogram
+	runHist       *obs.Histogram
+	iterHist      *obs.Histogram
+	batchHist     *obs.Histogram
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -325,6 +347,14 @@ func New(reg *dataset.Registry, cfg Config) *Scheduler {
 	s := &Scheduler{
 		reg: reg, cfg: cfg.withDefaults(),
 		jobs: map[string]*job{}, tenants: map[string]*tenantState{},
+		queueWaitHist: obs.NewHistogram(obs.DurationBuckets),
+		runHist:       obs.NewHistogram(obs.DurationBuckets),
+		iterHist:      obs.NewHistogram(obs.DurationBuckets),
+		batchHist:     obs.NewHistogram(obs.SizeBuckets),
+	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	if s.cfg.ResultCacheBytes > 0 {
 		s.cache = newResultCache(s.cfg.ResultCacheBytes)
@@ -405,6 +435,8 @@ func (s *Scheduler) Submit(req Request) (string, error) {
 				s.metrics.CacheHits++
 				s.pruneLocked()
 				s.cond.Broadcast()
+				s.log.Info("job served from cache", "job", j.id, "tenant", req.Tenant,
+					"dataset", dsRef(ds), "algo", req.Algo, "engine", string(req.Engine))
 				return j.id, nil
 			}
 			s.metrics.CacheMisses++
@@ -431,7 +463,16 @@ func (s *Scheduler) Submit(req Request) (string, error) {
 	ts.queued++
 	s.metrics.Submitted++
 	s.cond.Broadcast()
+	s.log.Info("job queued", "job", j.id, "tenant", req.Tenant,
+		"dataset", dsRef(ds), "algo", req.Algo, "engine", string(req.Engine),
+		"priority", req.Priority)
 	return j.id, nil
+}
+
+// dsRef renders a dataset@version log attribute, so log lines disambiguate
+// re-registered datasets the way the result cache does.
+func dsRef(ds *dataset.Dataset) string {
+	return fmt.Sprintf("%s@%d", ds.Name(), ds.Version())
 }
 
 // quotaFor resolves a tenant's effective quota.
@@ -552,9 +593,13 @@ func (s *Scheduler) admitLocked() *batchState {
 		ts := s.tenant(j.req.Tenant)
 		ts.queued--
 		ts.running++
+		s.queueWaitHist.Observe(now.Sub(j.submitted).Seconds())
 	}
+	s.batchHist.Observe(float64(len(b.jobs)))
 	s.metrics.Batches++
 	s.metrics.BatchedJobs += int64(len(b.jobs))
+	s.log.Info("batch started", "dataset", dsRef(sj.ds), "engine", string(sj.req.Engine),
+		"jobs", len(b.jobs), "queue_wait_seconds", now.Sub(sj.submitted).Seconds())
 	return b
 }
 
@@ -626,6 +671,9 @@ func (s *Scheduler) runBatch(b *batchState) {
 			s.queue = append(s.queue, j)
 			s.tenant(j.req.Tenant).queued++
 			s.metrics.RetriedJobs++
+			s.log.Warn("job requeued after retriable failure", "job", j.id,
+				"tenant", j.req.Tenant, "dataset", dsRef(j.ds),
+				"attempt", j.attempts, "max_attempts", s.cfg.MaxAttempts, "err", err)
 			continue
 		}
 		j.finished = now
@@ -633,10 +681,14 @@ func (s *Scheduler) runBatch(b *batchState) {
 		case j.canceled:
 			j.status = StatusCanceled
 			s.metrics.Canceled++
+			s.log.Info("job canceled", "job", j.id, "tenant", j.req.Tenant,
+				"dataset", dsRef(j.ds), "attempt", j.attempts)
 		case err != nil:
 			j.status = StatusFailed
 			j.err = err
 			s.metrics.Failed++
+			s.log.Warn("job failed", "job", j.id, "tenant", j.req.Tenant,
+				"dataset", dsRef(j.ds), "attempt", j.attempts, "err", err)
 		default:
 			res := results[i]
 			j.status = StatusDone
@@ -652,6 +704,9 @@ func (s *Scheduler) runBatch(b *batchState) {
 					bytes: approxBytes(j.result) + int64(len(j.cacheKey)+len(j.summary)),
 				})
 			}
+			s.log.Info("job done", "job", j.id, "tenant", j.req.Tenant,
+				"dataset", dsRef(j.ds), "attempt", j.attempts,
+				"run_seconds", now.Sub(j.started).Seconds())
 		}
 		s.done = append(s.done, j.id)
 	}
@@ -660,6 +715,10 @@ func (s *Scheduler) runBatch(b *batchState) {
 		s.metrics.EdgesShared += pass.EdgesShared
 		s.metrics.BytesRead += pass.BytesRead
 		s.metrics.IORetries += pass.IORetries
+		s.runHist.Observe(pass.TotalTime.Seconds())
+		for i := range pass.Iters {
+			s.iterHist.Observe(pass.Iters[i].Time.Seconds())
+		}
 	}
 	s.memUse -= sum
 	s.running -= len(b.jobs)
@@ -742,10 +801,14 @@ func (s *Scheduler) infoLocked(j *job) Info {
 	if !j.started.IsZero() {
 		t := j.started
 		info.Started = &t
+		info.QueueWaitSeconds = j.started.Sub(j.submitted).Seconds()
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
 		info.Finished = &t
+		if !j.started.IsZero() {
+			info.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
 	}
 	return info
 }

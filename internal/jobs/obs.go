@@ -1,0 +1,39 @@
+package jobs
+
+// obs.go renders the scheduler's observability surfaces: the Prometheus
+// text exposition over the same counters GET /metrics serves as JSON, plus
+// the serving-latency histograms that only exist in the Prometheus form
+// (JSON snapshots cannot carry bucketed distributions usefully).
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// PromPrefix namespaces every metric of the Prometheus exposition.
+const PromPrefix = "xserve"
+
+// WriteProm renders the scheduler's metrics in the Prometheus text format:
+// every Metrics field (including the nested dataset registry counters and
+// per-tenant series) as gauges, then the queue-wait, run-duration,
+// iteration-duration and batch-size histograms.
+func (s *Scheduler) WriteProm(w io.Writer) error {
+	if err := obs.WriteProm(w, PromPrefix, s.Metrics()); err != nil {
+		return err
+	}
+	for _, h := range []struct {
+		name string
+		hist *obs.Histogram
+	}{
+		{PromPrefix + "_queue_wait_seconds", s.queueWaitHist},
+		{PromPrefix + "_run_seconds", s.runHist},
+		{PromPrefix + "_iteration_seconds", s.iterHist},
+		{PromPrefix + "_batch_jobs", s.batchHist},
+	} {
+		if err := h.hist.WriteProm(w, h.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

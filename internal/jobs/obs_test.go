@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/obs"
+)
+
+// promFieldNames walks a metrics struct type the way obs.WriteProm renders
+// it, collecting every metric name the exposition must contain — including
+// nested structs and map-to-label fields.
+func promFieldNames(t *testing.T, prefix string, typ reflect.Type, out *[]string) {
+	t.Helper()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			t.Fatalf("field %s.%s has no JSON tag; the exposition would drop it", typ.Name(), f.Name)
+		}
+		ft := f.Type
+		switch ft.Kind() {
+		case reflect.Struct:
+			promFieldNames(t, prefix+"_"+tag, ft, out)
+		case reflect.Map:
+			promFieldNames(t, prefix+"_"+strings.TrimSuffix(tag, "s"), ft.Elem(), out)
+		default:
+			*out = append(*out, prefix+"_"+tag)
+		}
+	}
+}
+
+// TestPromFieldParity pins that every JSON field of jobs.Metrics — and,
+// through its nested fields, dataset.Metrics and TenantMetrics — appears in
+// the Prometheus exposition. A field added to the JSON metrics without
+// reaching the scrape endpoint fails here.
+func TestPromFieldParity(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+
+	// Park a tenant-attributed job in the queue so the Tenants map renders
+	// labeled series.
+	s.Pause()
+	if _, err := s.Submit(Request{Dataset: "g", Algo: "wcc", Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	exposition := buf.String()
+
+	var want []string
+	promFieldNames(t, PromPrefix, reflect.TypeOf(Metrics{}), &want)
+	for _, name := range want {
+		if !strings.Contains(exposition, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if !strings.Contains(exposition, `xserve_tenant_queued{tenant="acme"} 1`) {
+		t.Errorf("tenant series missing or unlabeled:\n%s", exposition)
+	}
+	for _, hist := range []string{
+		"xserve_queue_wait_seconds_bucket", "xserve_run_seconds_sum",
+		"xserve_iteration_seconds_count", "xserve_batch_jobs_bucket",
+	} {
+		if !strings.Contains(exposition, hist) {
+			t.Errorf("exposition missing histogram series %s", hist)
+		}
+	}
+}
+
+// TestObsEndpoints drives the observability endpoints over HTTP: liveness,
+// build info, the Prometheus exposition (both spellings) and the per-job
+// Chrome trace export.
+func TestObsEndpoints(t *testing.T) {
+	reg := testRegistry(t)
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	get := func(path string, wantCode int) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: status %d, want %d (%s)", path, resp.StatusCode, wantCode, body)
+		}
+		return resp, body
+	}
+
+	_, body := get("/healthz", http.StatusOK)
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz body: %s", body)
+	}
+
+	_, body = get("/buildinfo", http.StatusOK)
+	var bi map[string]any
+	if err := json.Unmarshal(body, &bi); err != nil || bi["go_version"] == "" {
+		t.Errorf("buildinfo body: %s (%v)", body, err)
+	}
+
+	// A completed job backs the histogram series and the trace export.
+	id, err := s.Submit(Request{Dataset: "g", Algo: "pagerank", Params: algorithms.Params{Iters: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s, id)
+	if info.Status != StatusDone {
+		t.Fatalf("job ended as %s", info.Status)
+	}
+	if info.RunSeconds <= 0 || info.QueueWaitSeconds < 0 {
+		t.Errorf("finished job's latency fields: queue_wait=%v run=%v", info.QueueWaitSeconds, info.RunSeconds)
+	}
+
+	for _, path := range []string{"/metrics.prom", "/metrics?format=prometheus"} {
+		resp, body := get(path, http.StatusOK)
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			t.Errorf("GET %s Content-Type = %q, want %q", path, ct, obs.PromContentType)
+		}
+		if !strings.Contains(string(body), "xserve_completed 1") {
+			t.Errorf("GET %s missing completed counter:\n%s", path, body)
+		}
+		if !strings.Contains(string(body), "xserve_run_seconds_count 1") {
+			t.Errorf("GET %s missing run histogram:\n%s", path, body)
+		}
+	}
+
+	// JSON /metrics still answers as before.
+	_, body = get("/metrics", http.StatusOK)
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil || m.Completed != 1 {
+		t.Errorf("JSON metrics: %s (%v)", body, err)
+	}
+
+	// The trace export is Chrome trace-event JSON with iteration spans.
+	_, body = get("/jobs/"+id+"/trace", http.StatusOK)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	iterSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "iteration" {
+			iterSpans++
+		}
+	}
+	if iterSpans == 0 {
+		t.Errorf("trace export has no iteration spans: %s", body)
+	}
+
+	// Unknown jobs 404; unfinished jobs 409.
+	get("/jobs/j999999/trace", http.StatusNotFound)
+	s.Pause()
+	queued, err := s.Submit(Request{Dataset: "g", Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get("/jobs/"+queued+"/trace", http.StatusConflict)
+	s.Resume()
+}

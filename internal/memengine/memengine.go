@@ -99,6 +99,10 @@ type Config struct {
 	// honor cancelation and deadlines promptly. nil means
 	// context.Background(), keeping batch callers unchanged.
 	Context context.Context
+	// Tracer receives run → iteration → phase → partition spans. nil
+	// (the default) disables tracing; a Tracer never changes any work
+	// metric, only observes timing (the figobs experiment gates this).
+	Tracer core.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -233,6 +237,9 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		return nil, err
 	}
 	e.stats.PreprocessTime = time.Since(t0)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "preprocess", t0, e.stats.PreprocessTime, nil)
+	}
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
@@ -248,6 +255,12 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 		e.verts = core.RestoreOrder(e.verts, asg.Relabel)
 	}
 	e.stats.TotalTime = time.Since(start)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "run", start, e.stats.TotalTime, map[string]int64{
+			"iterations": int64(e.stats.Iterations),
+			"partitions": int64(e.stats.Partitions),
+		})
+	}
 	return &Result[V]{Vertices: e.verts, Stats: e.stats}, nil
 }
 
@@ -352,11 +365,14 @@ func (e *engine[V, M]) loop() error {
 	phased, isPhased := any(e.prog).(core.PhasedProgram[V, M])
 	usize := pod.Size[core.Update[M]]()
 	esize := pod.Size[core.Edge]()
+	tr := e.cfg.Tracer
 
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
 		if err := e.ctx.Err(); err != nil {
 			return err
 		}
+		iterStart := time.Now()
+		iterMark := e.stats.MarkIter()
 		if s, ok := any(e.prog).(core.IterationStarter); ok {
 			s.StartIteration(iter)
 		}
@@ -392,7 +408,8 @@ func (e *engine[V, M]) loop() error {
 		}
 		sent, streamed := sc.sent, sc.streamed
 		appended := sent - sc.combined
-		e.stats.ScatterTime += time.Since(t0)
+		scatterDur := time.Since(t0)
+		e.stats.ScatterTime += scatterDur
 		e.stats.CrossPartitionUpdates += sc.cross
 		e.stats.MirrorSyncUpdates += sc.synced
 		e.stats.EdgesStreamed += streamed
@@ -416,7 +433,8 @@ func (e *engine[V, M]) loop() error {
 			foldCombined = e.folder.Fold(res)
 		}
 		gathered := appended - foldCombined
-		e.stats.ShuffleTime += time.Since(t1)
+		shuffleDur := time.Since(t1)
+		e.stats.ShuffleTime += shuffleDur
 		e.stats.UpdatesCombined += sc.combined + foldCombined
 		e.stats.UpdateBytes += gathered * int64(usize)
 		e.stats.BytesStreamed += (appended*int64(e.plan.NumStages()+1) + gathered) * int64(usize)
@@ -426,7 +444,8 @@ func (e *engine[V, M]) loop() error {
 		// for the next frontier (receivers become active).
 		t2 := time.Now()
 		e.gather(res)
-		e.stats.GatherTime += time.Since(t2)
+		gatherDur := time.Since(t2)
+		e.stats.GatherTime += gatherDur
 		e.stats.RandomRefs += gathered
 		res.Reset()
 		if e.fp != nil {
@@ -435,6 +454,14 @@ func (e *engine[V, M]) loop() error {
 		}
 
 		e.stats.Iterations = iter + 1
+		e.stats.PushIter(iter, iterMark, time.Since(iterStart))
+		if tr != nil {
+			it := int64(iter)
+			tr.Span(0, "scatter", t0, scatterDur, map[string]int64{"iter": it, "edges": streamed, "updates": sent})
+			tr.Span(0, "shuffle", t1, shuffleDur, map[string]int64{"iter": it, "records": appended})
+			tr.Span(0, "gather", t2, gatherDur, map[string]int64{"iter": it, "updates": gathered})
+			tr.Span(0, "iteration", iterStart, time.Since(iterStart), map[string]int64{"iter": it})
+		}
 		if isPhased {
 			if phased.EndIteration(iter, sent, core.SliceView[V](e.verts)) {
 				return nil
@@ -479,10 +506,15 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 	if basePriv < 1 {
 		basePriv = 1
 	}
+	tr := e.cfg.Tracer
 
-	e.forEachPartition(func(p int) {
+	e.forEachPartition(func(w, p int) {
 		if e.ctx.Err() != nil {
 			return // cancelation between partition chunks
+		}
+		var pStart time.Time
+		if tr != nil {
+			pStart = time.Now()
 		}
 		chunkLen := int64(edges.BucketLen(p))
 		lo, hi := e.part.Range(p, e.nv)
@@ -610,6 +642,10 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 		sentTotal.Add(nSent)
 		streamedTotal.Add(nStreamed)
 		crossTotal.Add(nCross)
+		if tr != nil {
+			tr.Span(1+w, "partition", pStart, time.Since(pStart),
+				map[string]int64{"p": int64(p), "edges": nStreamed, "updates": nSent})
+		}
 	})
 
 	if err := e.ctx.Err(); err != nil {
@@ -636,7 +672,7 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 // activates a vertex, so the frontier is identical whether or not the
 // update stream was pre-combined.
 func (e *engine[V, M]) gather(updates *streambuf.Buffer[core.Update[M]]) {
-	e.forEachPartition(func(p int) {
+	e.forEachPartition(func(_, p int) {
 		updates.Bucket(p, func(run []core.Update[M]) {
 			if e.fp != nil {
 				for _, u := range run {
@@ -653,18 +689,20 @@ func (e *engine[V, M]) gather(updates *streambuf.Buffer[core.Update[M]]) {
 }
 
 // forEachPartition runs fn over all partitions on the configured worker
-// count. By default threads claim partitions from a shared cursor so an
-// unlucky thread stuck with a dense partition does not idle the rest
-// (work stealing, §4.1); NoWorkStealing switches to a static round-robin
-// assignment for the ablation.
-func (e *engine[V, M]) forEachPartition(fn func(p int)) {
+// count, passing the worker index (0-based; tracers key per-worker span
+// tracks off it) alongside the partition. By default threads claim
+// partitions from a shared cursor so an unlucky thread stuck with a
+// dense partition does not idle the rest (work stealing, §4.1);
+// NoWorkStealing switches to a static round-robin assignment for the
+// ablation.
+func (e *engine[V, M]) forEachPartition(fn func(w, p int)) {
 	workers := e.cfg.Threads
 	if workers > e.part.K {
 		workers = e.part.K
 	}
 	if workers <= 1 {
 		for p := 0; p < e.part.K; p++ {
-			fn(p)
+			fn(0, p)
 		}
 		return
 	}
@@ -675,7 +713,7 @@ func (e *engine[V, M]) forEachPartition(fn func(p int)) {
 			go func(w int) {
 				defer wg.Done()
 				for p := w; p < e.part.K; p += workers {
-					fn(p)
+					fn(w, p)
 				}
 			}(w)
 		}
@@ -683,16 +721,16 @@ func (e *engine[V, M]) forEachPartition(fn func(p int)) {
 		var cursor atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					p := int(cursor.Add(1)) - 1
 					if p >= e.part.K {
 						return
 					}
-					fn(p)
+					fn(w, p)
 				}
-			}()
+			}(w)
 		}
 	}
 	wg.Wait()

@@ -196,6 +196,7 @@ func RunJob(ctx context.Context, g core.EdgeSource, job *core.Job, cfg Config) (
 	// A solo pass's shared-side accounting is the job's own.
 	out.Stats.PreprocessTime = pass.PreprocessTime
 	out.Stats.ScatterTime = pass.ScatterTime
+	core.GraftPassIters(out.Stats.Iters, pass.Iters)
 	return &out, nil
 }
 
@@ -251,6 +252,8 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		if err := ctx.Err(); err != nil {
 			return nil, pass, err
 		}
+		iterStart := time.Now()
+		iterMark := pass.MarkIter()
 		for _, r := range live {
 			r.StartIteration(iter)
 			r.BeginScatter()
@@ -282,17 +285,26 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 				return nil, pass, err
 			}
 		}
-		pass.ScatterTime += time.Since(t0)
+		scatterDur := time.Since(t0)
+		pass.ScatterTime += scatterDur
 
 		t1 := time.Now()
 		if err := core.EndAndGather(live); err != nil {
 			return nil, pass, err
 		}
-		pass.GatherTime += time.Since(t1)
+		gatherDur := time.Since(t1)
+		pass.GatherTime += gatherDur
 		for _, r := range live {
 			r.EndIteration(iter)
 		}
 		pass.Iterations = iter + 1
+		pass.PushIter(iter, iterMark, time.Since(iterStart))
+		if tr := cfg.Tracer; tr != nil {
+			it := int64(iter)
+			tr.Span(0, "scatter", t0, scatterDur, map[string]int64{"iter": it, "jobs": int64(len(live))})
+			tr.Span(0, "gather", t1, gatherDur, map[string]int64{"iter": it, "jobs": int64(len(live))})
+			tr.Span(0, "iteration", iterStart, time.Since(iterStart), map[string]int64{"iter": it})
+		}
 	}
 
 	results := make([]core.JobResult, len(runs))
@@ -318,6 +330,11 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		pass.EdgesShared = 0
 	}
 	pass.TotalTime = time.Since(start)
+	if tr := cfg.Tracer; tr != nil {
+		tr.Span(0, "run", start, pass.TotalTime, map[string]int64{
+			"iterations": int64(pass.Iterations), "jobs": int64(len(set)),
+		})
+	}
 	return results, pass, nil
 }
 
@@ -328,8 +345,9 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []core.JobRun, edges *streambuf.Buffer[core.Edge], tiles [][]core.SrcSpan) error {
 	var streamed, skippedEdges, skippedParts, skippedTiles atomic.Int64
 	var cancelled atomic.Bool
+	tr := pp.cfg.Tracer
 
-	forEachPartition(pp.part.K, pp.cfg.Threads, pp.cfg.NoWorkStealing, func(p int) {
+	forEachPartition(pp.part.K, pp.cfg.Threads, pp.cfg.NoWorkStealing, func(w, p int) {
 		if cancelled.Load() {
 			return
 		}
@@ -337,6 +355,11 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 			cancelled.Store(true)
 			return
 		}
+		var pStart time.Time
+		if tr != nil {
+			pStart = time.Now()
+		}
+		var pEdges int64
 		chunkLen := int64(edges.BucketLen(p))
 		needing := make([]core.JobRun, 0, len(subs))
 		partial := false
@@ -384,6 +407,7 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 				}
 				if took {
 					streamed.Add(int64(len(tile)))
+					pEdges += int64(len(tile))
 				} else {
 					skippedEdges.Add(int64(len(tile)))
 					skippedTiles.Add(1)
@@ -395,10 +419,15 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 					sc.Edges(run)
 				}
 				streamed.Add(int64(len(run)))
+				pEdges += int64(len(run))
 			})
 		}
 		for _, sc := range scatters {
 			sc.Flush()
+		}
+		if tr != nil {
+			tr.Span(1+w, "partition", pStart, time.Since(pStart),
+				map[string]int64{"p": int64(p), "edges": pEdges, "jobs": int64(len(needing))})
 		}
 	})
 	if cancelled.Load() {
@@ -414,17 +443,19 @@ func (pp *Prepared) scatterShared(ctx context.Context, pass *core.Stats, subs []
 	return nil
 }
 
-// forEachPartition runs fn over all partitions: by default workers claim
-// the next unprocessed partition from a shared cursor (work stealing,
-// §4.1); noSteal switches to the static round-robin assignment of the
-// solo engine's NoWorkStealing ablation.
-func forEachPartition(k, workers int, noSteal bool, fn func(p int)) {
+// forEachPartition runs fn over all partitions, passing the worker index
+// (0-based; tracers key per-worker span tracks off it) alongside the
+// partition: by default workers claim the next unprocessed partition
+// from a shared cursor (work stealing, §4.1); noSteal switches to the
+// static round-robin assignment of the solo engine's NoWorkStealing
+// ablation.
+func forEachPartition(k, workers int, noSteal bool, fn func(w, p int)) {
 	if workers > k {
 		workers = k
 	}
 	if workers <= 1 {
 		for p := 0; p < k; p++ {
-			fn(p)
+			fn(0, p)
 		}
 		return
 	}
@@ -435,7 +466,7 @@ func forEachPartition(k, workers int, noSteal bool, fn func(p int)) {
 			go func(w int) {
 				defer wg.Done()
 				for p := w; p < k; p += workers {
-					fn(p)
+					fn(w, p)
 				}
 			}(w)
 		}
@@ -445,16 +476,16 @@ func forEachPartition(k, workers int, noSteal bool, fn func(p int)) {
 	var cursor atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				p := int(cursor.Add(1)) - 1
 				if p >= k {
 					return
 				}
-				fn(p)
+				fn(w, p)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,80 @@
+// Package obs is the observability layer: an in-memory span recorder
+// implementing core.Tracer, a Chrome trace-event exporter for the recorded
+// (or synthesized) spans, a reflection-driven Prometheus text-format
+// renderer for the serving layer's JSON metrics structs, and a fixed-bucket
+// histogram for serving latencies.
+//
+// The recorder is deliberately dumb: it appends fixed-size events under a
+// mutex and defers all formatting to export time, so tracing perturbs the
+// traced run as little as possible. It must never change what the engines
+// compute — the figobs bench experiment pins that work metrics are
+// bit-identical with tracing off and unchanged with tracing on.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one recorded span on one track.
+type Event struct {
+	// Track identifies the logical thread: 0 is the coordinator, 1+w is
+	// worker w (mirroring core.Tracer's contract).
+	Track int
+	// Name is the span name ("run", "iteration", "scatter", "partition", ...).
+	Name string
+	// Start is the span's wall-clock start.
+	Start time.Time
+	// Dur is the span's duration.
+	Dur time.Duration
+	// Args are the span's integer annotations (iteration number, edge
+	// counts, ...); may be nil.
+	Args map[string]int64
+}
+
+// Recorder collects spans in memory. It implements core.Tracer and is safe
+// for concurrent use. The zero value is ready to record.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span records one span. The args map is copied so callers may reuse theirs.
+func (r *Recorder) Span(track int, name string, start time.Time, d time.Duration, args map[string]int64) {
+	var cp map[string]int64
+	if len(args) > 0 {
+		cp = make(map[string]int64, len(args))
+		for k, v := range args {
+			cp[k] = v
+		}
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Track: track, Name: name, Start: start, Dur: d, Args: cp})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded spans in recording order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len reports how many spans have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded spans.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}

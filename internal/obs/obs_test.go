@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestRecorder checks span recording, arg copying and reset.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	args := map[string]int64{"iter": 3}
+	start := time.Unix(100, 0)
+	r.Span(0, "scatter", start, 5*time.Millisecond, args)
+	args["iter"] = 99 // the recorder must have copied
+	r.Span(2, "partition", start.Add(time.Millisecond), time.Millisecond, nil)
+
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Name != "scatter" || ev[0].Track != 0 || ev[0].Args["iter"] != 3 {
+		t.Errorf("event 0 = %+v, want scatter on track 0 with iter=3", ev[0])
+	}
+	if ev[1].Track != 2 || ev[1].Args != nil {
+		t.Errorf("event 1 = %+v, want track 2 with nil args", ev[1])
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d", r.Len())
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the Chrome
+// trace-event format: a traceEvents array of complete ("X") events with
+// microsecond ts/dur and per-track thread_name metadata ("M") entries.
+func TestChromeTraceSchema(t *testing.T) {
+	r := NewRecorder()
+	base := time.Unix(50, 0)
+	r.Span(0, "run", base, 10*time.Millisecond, map[string]int64{"iterations": 2})
+	r.Span(1, "partition", base.Add(time.Millisecond), 2*time.Millisecond, map[string]int64{"p": 0, "edges": 7})
+	r.Span(0, "iteration", base.Add(time.Millisecond), 4*time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	var xEvents, meta int
+	tracksSeen := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		if name == "" {
+			t.Errorf("event without name: %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Errorf("event without numeric pid: %v", e)
+		}
+		tid, ok := e["tid"].(float64)
+		if !ok {
+			t.Errorf("event without numeric tid: %v", e)
+		}
+		switch ph {
+		case "X":
+			xEvents++
+			ts, ok := e["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Errorf("X event %q needs ts >= 0, got %v", name, e["ts"])
+			}
+			tracksSeen[tid] = true
+		case "M":
+			meta++
+			if name != "thread_name" {
+				t.Errorf("metadata event named %q, want thread_name", name)
+			}
+			args, _ := e["args"].(map[string]any)
+			if _, ok := args["name"].(string); !ok {
+				t.Errorf("thread_name metadata without args.name: %v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if xEvents != 3 {
+		t.Errorf("got %d X events, want 3", xEvents)
+	}
+	if meta != len(tracksSeen) {
+		t.Errorf("got %d thread_name entries for %d tracks", meta, len(tracksSeen))
+	}
+	// The earliest span must anchor the timeline at ts 0.
+	if !strings.Contains(buf.String(), `"ts":0`) {
+		t.Errorf("no event at ts 0; export: %s", buf.String())
+	}
+}
+
+// TestSynthesizeTrace rebuilds a trace from per-iteration stats and checks
+// that iteration spans are laid end-to-end and the schema still validates.
+func TestSynthesizeTrace(t *testing.T) {
+	st := &core.Stats{
+		Iterations:     2,
+		EdgesStreamed:  30,
+		UpdatesSent:    12,
+		PreprocessTime: time.Millisecond,
+		Iters: []core.IterStats{
+			{Iter: 0, Time: 4 * time.Millisecond, ScatterTime: 2 * time.Millisecond, GatherTime: time.Millisecond, EdgesStreamed: 20, UpdatesSent: 10},
+			{Iter: 1, Time: 2 * time.Millisecond, ScatterTime: time.Millisecond, GatherTime: time.Millisecond, EdgesStreamed: 10, UpdatesSent: 2},
+		},
+	}
+	events := SynthesizeTrace(st)
+	var iters []Event
+	var run *Event
+	for i := range events {
+		switch events[i].Name {
+		case "iteration":
+			iters = append(iters, events[i])
+		case "run":
+			run = &events[i]
+		}
+	}
+	if len(iters) != 2 {
+		t.Fatalf("got %d iteration spans, want 2", len(iters))
+	}
+	if got := iters[1].Start.Sub(iters[0].Start); got != iters[0].Dur {
+		t.Errorf("iteration 1 starts %v after iteration 0, want %v (end-to-end)", got, iters[0].Dur)
+	}
+	if iters[0].Args["edges_streamed"] != 20 || iters[1].Args["edges_streamed"] != 10 {
+		t.Errorf("iteration args lost the per-iteration counters: %v, %v", iters[0].Args, iters[1].Args)
+	}
+	if run == nil {
+		t.Fatal("no run span")
+	}
+	if run.Dur != 6*time.Millisecond {
+		t.Errorf("run span duration = %v, want 6ms (sum of iterations)", run.Dur)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("WriteChromeTrace on synthesized events: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("synthesized export is not valid JSON")
+	}
+}

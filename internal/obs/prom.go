@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, which WriteProm and Histogram.WriteProm emit.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders v — a struct whose fields carry JSON tags, like
+// jobs.Metrics — in the Prometheus text exposition format. Every numeric
+// field becomes a gauge named prefix_<json tag>; nested structs recurse
+// with their tag appended to the prefix; a map[string]struct field becomes
+// labeled series, the label named by the field's tag minus a trailing "s"
+// (Tenants → tenant). Non-numeric fields are skipped. Keys are emitted in
+// a deterministic order so expositions diff cleanly.
+func WriteProm(w io.Writer, prefix string, v any) error {
+	pw := &promWriter{w: w}
+	pw.walk(prefix, reflect.ValueOf(v), "")
+	return pw.err
+}
+
+// promWriter accumulates the exposition, failing sticky on the first write
+// error.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// walk renders one value under the given name prefix. labels is the
+// already-rendered label clause ("" or `{tenant="x"}`).
+func (pw *promWriter) walk(prefix string, v reflect.Value, labels string) {
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := jsonName(f)
+			if tag == "" {
+				continue
+			}
+			fv := v.Field(i)
+			switch fv.Kind() {
+			case reflect.Map:
+				pw.walkMap(prefix, tag, fv)
+			default:
+				pw.walk(prefix+"_"+tag, fv, labels)
+			}
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		pw.gauge(prefix, labels, strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		pw.gauge(prefix, labels, strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		pw.gauge(prefix, labels, strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.Bool:
+		b := "0"
+		if v.Bool() {
+			b = "1"
+		}
+		pw.gauge(prefix, labels, b)
+	}
+}
+
+// walkMap renders a map[string]struct field as labeled series: the label
+// name is the field's tag minus a trailing "s", and every numeric field of
+// the element struct becomes prefix_<label>_<field>{<label>="key"}.
+func (pw *promWriter) walkMap(prefix, tag string, m reflect.Value) {
+	if m.Type().Key().Kind() != reflect.String {
+		return
+	}
+	label := strings.TrimSuffix(tag, "s")
+	keys := make([]string, 0, m.Len())
+	for _, k := range m.MapKeys() {
+		keys = append(keys, k.String())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		labels := fmt.Sprintf("{%s=%q}", label, k)
+		pw.walk(prefix+"_"+label, m.MapIndex(reflect.ValueOf(k)), labels)
+	}
+}
+
+func (pw *promWriter) gauge(name, labels, value string) {
+	pw.printf("# TYPE %s gauge\n%s%s %s\n", name, name, labels, value)
+}
+
+// jsonName extracts the field's JSON tag name, "" for skipped fields.
+func jsonName(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if tag == "-" {
+		return ""
+	}
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "" {
+		name = strings.ToLower(f.Name)
+	}
+	return name
+}
+
+// DurationBuckets are the default histogram bounds, in seconds, for
+// serving-layer latencies (queue wait, run and iteration durations).
+var DurationBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60}
+
+// SizeBuckets are the default histogram bounds for small counts, like jobs
+// per shared pass.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// Histogram is a fixed-bucket Prometheus histogram. It is safe for
+// concurrent use; the zero value is unusable — construct with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count reports how many samples have been observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// WriteProm renders the histogram in the Prometheus text format with
+// cumulative _bucket series, _sum and _count.
+func (h *Histogram) WriteProm(w io.Writer, name string) error {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, total, name, strconv.FormatFloat(sum, 'g', -1, 64), name, total)
+	return err
+}

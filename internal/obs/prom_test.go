@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type promInner struct {
+	Resident int64 `json:"resident_bytes"`
+}
+
+type promTenant struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+type promOuter struct {
+	Submitted int64                 `json:"submitted"`
+	Ratio     float64               `json:"ratio"`
+	Skipped   string                `json:"skipped"`
+	Flag      bool                  `json:"flag"`
+	Inner     promInner             `json:"datasets"`
+	Tenants   map[string]promTenant `json:"tenants,omitempty"`
+}
+
+// TestWriteProm checks gauge rendering, nested-struct prefixes and
+// map-to-label translation.
+func TestWriteProm(t *testing.T) {
+	v := promOuter{
+		Submitted: 7, Ratio: 0.5, Skipped: "no", Flag: true,
+		Inner:   promInner{Resident: 123},
+		Tenants: map[string]promTenant{"acme": {Queued: 2, Running: 1}, "beta": {Queued: 0, Running: 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "xserve", v); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE xserve_submitted gauge\nxserve_submitted 7\n",
+		"xserve_ratio 0.5\n",
+		"xserve_flag 1\n",
+		"xserve_datasets_resident_bytes 123\n",
+		"xserve_tenant_queued{tenant=\"acme\"} 2\n",
+		"xserve_tenant_running{tenant=\"beta\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "skipped") {
+		t.Errorf("string field leaked into the exposition:\n%s", out)
+	}
+	// Deterministic ordering: the acme tenant sorts before beta.
+	if strings.Index(out, `tenant="acme"`) > strings.Index(out, `tenant="beta"`) {
+		t.Errorf("tenant series not sorted:\n%s", out)
+	}
+}
+
+// TestHistogram checks cumulative bucket rendering and sum/count.
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 2, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := h.WriteProm(&buf, "xserve_run_seconds"); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE xserve_run_seconds histogram\n",
+		"xserve_run_seconds_bucket{le=\"1\"} 1\n",
+		"xserve_run_seconds_bucket{le=\"5\"} 3\n",
+		"xserve_run_seconds_bucket{le=\"10\"} 4\n",
+		"xserve_run_seconds_bucket{le=\"+Inf\"} 5\n",
+		"xserve_run_seconds_sum 112.5\n",
+		"xserve_run_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBoundary pins that a sample equal to a bound lands in that
+// bound's bucket (le is inclusive, as Prometheus defines it).
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram([]float64{1, 5})
+	h.Observe(1)
+	var buf bytes.Buffer
+	if err := h.WriteProm(&buf, "x"); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if !strings.Contains(buf.String(), "x_bucket{le=\"1\"} 1\n") {
+		t.Errorf("sample at bound not counted le-inclusively:\n%s", buf.String())
+	}
+}

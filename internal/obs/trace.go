@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Complete
+// events use ph "X" with microsecond ts/dur; metadata events use ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object Perfetto and chrome://tracing load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Timestamps are
+// microseconds relative to the earliest span start; tracks become threads
+// of one process, named "coordinator" (track 0) and "worker N" (track 1+N).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var epoch time.Time
+	for _, e := range events {
+		if epoch.IsZero() || e.Start.Before(epoch) {
+			epoch = e.Start
+		}
+	}
+	tracks := map[int]bool{}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]chromeEvent, 0, len(events)+4)
+	for _, e := range events {
+		tracks[e.Track] = true
+		ce := chromeEvent{
+			Name: e.Name, Ph: "X",
+			Ts:  e.Start.Sub(epoch).Microseconds(),
+			Dur: e.Dur.Microseconds(),
+			Pid: 1, Tid: e.Track,
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]any, len(e.Args))
+			for k, v := range e.Args {
+				ce.Args[k] = v
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	ids := make([]int, 0, len(tracks))
+	for t := range tracks {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	for _, t := range ids {
+		name := "coordinator"
+		if t > 0 {
+			name = fmt.Sprintf("worker %d", t-1)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: t,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SynthesizeTrace rebuilds a span list from a finished run's per-iteration
+// profile (Stats.Iters), for runs that executed without a live tracer — the
+// serving path, where passes are shared and per-job tracers would observe
+// each other. Iterations are laid end-to-end from a fixed epoch with their
+// recorded durations; each carries scatter/shuffle/gather child spans and
+// the iteration's work counters as args. A preprocess span precedes the
+// first iteration when the stats record preprocessing time.
+func SynthesizeTrace(stats *core.Stats) []Event {
+	epoch := time.Unix(0, 0).UTC()
+	at := epoch
+	events := make([]Event, 0, 4*len(stats.Iters)+2)
+	if stats.PreprocessTime > 0 {
+		events = append(events, Event{Track: 0, Name: "preprocess", Start: at, Dur: stats.PreprocessTime})
+		at = at.Add(stats.PreprocessTime)
+	}
+	runStart := at
+	for i := range stats.Iters {
+		it := &stats.Iters[i]
+		iterArgs := map[string]int64{
+			"iter":             int64(it.Iter),
+			"edges_streamed":   it.EdgesStreamed,
+			"edges_skipped":    it.EdgesSkipped,
+			"updates_sent":     it.UpdatesSent,
+			"updates_combined": it.UpdatesCombined,
+			"bytes_read":       it.BytesRead,
+		}
+		events = append(events, Event{Track: 0, Name: "iteration", Start: at, Dur: it.Time, Args: iterArgs})
+		phaseAt := at
+		for _, ph := range []struct {
+			name string
+			dur  time.Duration
+		}{
+			{"scatter", it.ScatterTime},
+			{"shuffle", it.ShuffleTime},
+			{"gather", it.GatherTime},
+		} {
+			if ph.dur <= 0 {
+				continue
+			}
+			events = append(events, Event{
+				Track: 1, Name: ph.name, Start: phaseAt, Dur: ph.dur,
+				Args: map[string]int64{"iter": int64(it.Iter)},
+			})
+			phaseAt = phaseAt.Add(ph.dur)
+		}
+		if it.Time > 0 {
+			at = at.Add(it.Time)
+		} else {
+			at = phaseAt
+		}
+	}
+	events = append(events, Event{
+		Track: 0, Name: "run", Start: runStart, Dur: at.Sub(runStart),
+		Args: map[string]int64{
+			"iterations":     int64(stats.Iterations),
+			"edges_streamed": stats.EdgesStreamed,
+			"updates_sent":   stats.UpdatesSent,
+		},
+	})
+	return events
+}

@@ -47,6 +47,11 @@ type (
 	Direction = core.Direction
 	// Stats is the execution profile of one run.
 	Stats = core.Stats
+	// IterStats is one iteration's slice of a run's Stats.
+	IterStats = core.IterStats
+	// Tracer receives execution spans from an engine (Config.Tracer);
+	// internal/obs provides a recorder and Chrome trace-event export.
+	Tracer = core.Tracer
 )
 
 // Edge list orientations.
