@@ -27,6 +27,7 @@ import (
 	"time"
 
 	xstream "repro"
+	"repro/internal/xstreamtest"
 )
 
 // chaosSeed is the fault-schedule seed: XSTREAM_CHAOS_SEED when set (the
@@ -48,7 +49,7 @@ func chaosSeed(t *testing.T) int64 {
 // large enough that a run issues hundreds of device operations, so the
 // probabilistic fault schedules below fire under any seed.
 func chaosGraph() xstream.EdgeSource {
-	return xstream.RMAT(xstream.RMATConfig{Scale: 11, EdgeFactor: 8, Seed: 77, Undirected: true})
+	return xstreamtest.RMATUndirected(11, 77)
 }
 
 var chaosAlgos = []string{"bfs", "wcc", "pagerank"}
@@ -105,22 +106,9 @@ func runChaosAlgo(algo string, src xstream.EdgeSource, cfg xstream.DiskConfig) (
 }
 
 func chaosConfig(dev xstream.Device, selective, compress bool) xstream.DiskConfig {
-	return xstream.DiskConfig{
-		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8,
-		Selective: selective, CompressTiles: compress,
-	}
-}
-
-func assertBitIdentical(t *testing.T, got, want []uint32, context string) {
-	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: %d vertices, want %d", context, len(got), len(want))
-	}
-	for v := range want {
-		if got[v] != want[v] {
-			t.Fatalf("%s: vertex %d: %#x, want %#x", context, v, got[v], want[v])
-		}
-	}
+	cfg := xstreamtest.DiskConfigOn(dev)
+	cfg.Selective, cfg.CompressTiles = selective, compress
+	return cfg
 }
 
 // TestChaosTransientEquivalence: under a schedule of reported transient
@@ -173,7 +161,7 @@ func TestChaosTransientEquivalence(t *testing.T) {
 				if stats.ChecksumFailures != 0 {
 					t.Fatalf("%d checksum failures from transient-only faults", stats.ChecksumFailures)
 				}
-				assertBitIdentical(t, got, want, fmt.Sprintf("seed %d", seed))
+				xstreamtest.AssertBitIdentical(t, got, want, fmt.Sprintf("seed %d", seed))
 			})
 		}
 	}
@@ -229,7 +217,7 @@ func TestChaosCorruptionDetected(t *testing.T) {
 					// The run returned results: they must be exactly right. An
 					// injected corruption that changed any bit of the output is
 					// the failure the checksum layer exists to prevent.
-					assertBitIdentical(t, got, want, fmt.Sprintf("seed %d: corruption reached the result", s))
+					xstreamtest.AssertBitIdentical(t, got, want, fmt.Sprintf("seed %d: corruption reached the result", s))
 				}
 				if fired == 0 {
 					t.Fatal("fault schedule never fired across any seed")
@@ -295,7 +283,7 @@ func TestChaosResumeAfterFault(t *testing.T) {
 					t.Fatalf("resume executed all %d iterations despite claiming to restore %d",
 						stats.Iterations, stats.ResumedIterations)
 				}
-				assertBitIdentical(t, got, want, fmt.Sprintf("resume from iteration %d", stats.ResumedIterations))
+				xstreamtest.AssertBitIdentical(t, got, want, fmt.Sprintf("resume from iteration %d", stats.ResumedIterations))
 				t.Logf("crash after %d of %d ops: resumed at iteration %d of %d, bit-identical",
 					budget, totalOps, stats.ResumedIterations, stats.Iterations)
 				return

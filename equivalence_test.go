@@ -1,7 +1,6 @@
 package xstream_test
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -9,6 +8,7 @@ import (
 
 	xstream "repro"
 	"repro/internal/refalgo"
+	"repro/internal/xstreamtest"
 )
 
 // Cross-engine equivalence: for every partitioner, every engine, and with
@@ -57,19 +57,17 @@ func runEquiv[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, prog 
 func runEquivStats[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
 	t.Helper()
 	if c.mem {
-		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
-			Threads: 3, Partitioner: c.part, NoCombine: c.noCombine,
-		})
+		cfg := xstreamtest.MemConfig()
+		cfg.Partitioner, cfg.NoCombine = c.part, c.noCombine
+		res, err := xstream.RunMemory(src, prog, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		return res.Vertices, res.Stats
 	}
-	dev := xstream.NewSimDevice(xstream.SimSSD("equiv", 2, 0))
-	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
-		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part,
-		NoCombine: c.noCombine,
-	})
+	cfg := xstreamtest.DiskConfig("equiv")
+	cfg.Partitioner, cfg.NoCombine = c.part, c.noCombine
+	res, err := xstream.RunDisk(src, prog, cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", c.name, err)
 	}
@@ -77,11 +75,8 @@ func runEquivStats[V, M any](t *testing.T, c equivCase, src xstream.EdgeSource, 
 }
 
 func TestEquivalenceBFS(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 21})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(10, 21)
+	edges := xstreamtest.Materialize(t, src)
 	const root = 3
 	want := refalgo.BFSLevels(src.NumVertices(), edges, root)
 	for _, c := range equivCases() {
@@ -97,11 +92,8 @@ func TestEquivalenceBFS(t *testing.T) {
 }
 
 func TestEquivalencePageRank(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 22})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(10, 22)
+	edges := xstreamtest.Materialize(t, src)
 	const iters = 5
 	want := refalgo.PageRank(src.NumVertices(), edges, iters)
 	for _, c := range equivCases() {
@@ -118,45 +110,17 @@ func TestEquivalencePageRank(t *testing.T) {
 }
 
 func TestEquivalenceWCC(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 23, Undirected: true})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMATUndirected(10, 23)
+	edges := xstreamtest.Materialize(t, src)
 	want := refalgo.Components(src.NumVertices(), edges)
 	for _, c := range equivCases() {
 		t.Run(c.name, func(t *testing.T) {
 			got := xstream.WCCLabels(runEquiv(t, c, src, xstream.NewWCC()))
 			// Labels are representatives: under a relabeling partitioner
 			// the representative may be any member of the component, so
-			// compare the component *partitions* canonically: same label
-			// within an engine ⇔ same reference component, and the label
-			// must itself belong to the component it names.
-			repOf := map[xstream.VertexID]xstream.VertexID{} // got label -> ref component
-			for v := range got {
-				ref := want[v]
-				if seen, ok := repOf[got[v]]; ok {
-					if seen != ref {
-						t.Fatalf("label %d spans reference components %d and %d", got[v], seen, ref)
-					}
-				} else {
-					repOf[got[v]] = ref
-				}
-				if want[got[v]] != ref {
-					t.Fatalf("vertex %d: label %d is not a member of its component", v, got[v])
-				}
-			}
-			// Conversely, one reference component never splits across got
-			// labels.
-			labelOf := map[xstream.VertexID]xstream.VertexID{}
-			for v := range got {
-				if seen, ok := labelOf[want[v]]; ok {
-					if seen != got[v] {
-						t.Fatalf("reference component %d split into labels %d and %d", want[v], seen, got[v])
-					}
-				} else {
-					labelOf[want[v]] = got[v]
-				}
+			// compare the component *partitions* canonically.
+			if err := xstreamtest.SameComponents(got, want); err != nil {
+				t.Fatalf("%v", err)
 			}
 		})
 	}
@@ -165,11 +129,8 @@ func TestEquivalenceWCC(t *testing.T) {
 // TestEquivalenceSSSP rides along: root translation through VertexMapper
 // is the same machinery BFS uses, but with float distances.
 func TestEquivalenceSSSP(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 24})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(9, 24)
+	edges := xstreamtest.Materialize(t, src)
 	const root = 7
 	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
 	for _, c := range equivCases() {
@@ -194,7 +155,7 @@ func TestEquivalenceSSSP(t *testing.T) {
 // from the vertex ID (SpMV's x vector, Conductance's subset, MCST's
 // forest) must seed from *input* IDs, so range and 2ps runs agree.
 func TestPartitionerIndependentSeeding(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 26, Undirected: true})
+	src := xstreamtest.RMATUndirected(10, 26)
 	t.Run("spmv", func(t *testing.T) {
 		var want []xstream.SpMVState
 		for _, c := range equivCases()[:2] { // mem/range, mem/2ps
@@ -250,7 +211,7 @@ func TestPartitionerIndependentSeeding(t *testing.T) {
 // way under both partitioners (all-unreached) instead of panicking in the
 // relabel translation.
 func TestRelabeledRootOutOfRange(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 27})
+	src := xstreamtest.RMAT(8, 27)
 	badRoot := xstream.VertexID(src.NumVertices() + 999)
 	for _, c := range equivCases()[:2] {
 		levels := xstream.BFSLevels(runEquiv(t, c, src, xstream.NewBFS(badRoot)))
@@ -265,7 +226,7 @@ func TestRelabeledRootOutOfRange(t *testing.T) {
 // TestDeterminism2PS: identical runs with the 2PS partitioner must be
 // bit-identical — the assignment and the engine are both deterministic.
 func TestDeterminism2PS(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 25, Undirected: true})
+	src := xstreamtest.RMATUndirected(10, 25)
 	var want []xstream.WCCState
 	for run := 0; run < 3; run++ {
 		res, err := xstream.RunMemory(src, xstream.NewWCC(), xstream.MemConfig{
@@ -290,7 +251,7 @@ func TestDeterminism2PS(t *testing.T) {
 // changes the order float additions reduce in, so parity is checked within
 // the same relative tolerance the PageRank equivalence test uses.
 func TestCombinerParitySpMV(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 28})
+	src := xstreamtest.RMAT(10, 28)
 	var want []xstream.SpMVState
 	for _, c := range equivCases() {
 		t.Run(c.name, func(t *testing.T) {
@@ -313,7 +274,7 @@ func TestCombinerParitySpMV(t *testing.T) {
 // commutative and associative, so combined runs must be bit-identical to
 // uncombined ones — the strictest parity the suite can ask for.
 func TestCombinerParityHyperANF(t *testing.T) {
-	src := xstream.Symmetrize(xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 29}))
+	src := xstream.Symmetrize(xstreamtest.RMAT(9, 29))
 	var want []xstream.ANFState
 	for _, c := range equivCases() {
 		t.Run(c.name, func(t *testing.T) {
@@ -491,19 +452,17 @@ func runSelective[V, M any](t *testing.T, c selectiveCase, src xstream.EdgeSourc
 	if c.mem {
 		// Partitions forced: the auto-sizer picks K=1 on test-size graphs,
 		// which would leave the partition-skip path unexercised.
-		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
-			Threads: 3, Partitions: 16, Partitioner: c.part(), Selective: c.selective, TileEdges: 128,
-		})
+		cfg := xstreamtest.MemConfig()
+		cfg.Partitions, cfg.Partitioner, cfg.Selective, cfg.TileEdges = 16, c.part(), c.selective, 128
+		res, err := xstream.RunMemory(src, prog, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		return res.Vertices, res.Stats
 	}
-	dev := xstream.NewSimDevice(xstream.SimSSD("sel-equiv", 2, 0))
-	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
-		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part(),
-		Selective: c.selective, TileEdges: 128,
-	})
+	cfg := xstreamtest.DiskConfig("sel-equiv")
+	cfg.Partitioner, cfg.Selective, cfg.TileEdges = c.part(), c.selective, 128
+	res, err := xstream.RunDisk(src, prog, cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", c.name, err)
 	}
@@ -542,12 +501,9 @@ func TestSelectiveEquivalenceBFS(t *testing.T) {
 		src  xstream.EdgeSource
 	}{
 		{"clique-chain", xstream.CliqueChain(48, 8, 51)},
-		{"rmat", xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 52})},
+		{"rmat", xstreamtest.RMAT(10, 52)},
 	} {
-		edges, err := xstream.Materialize(g.src)
-		if err != nil {
-			t.Fatal(err)
-		}
+		edges := xstreamtest.Materialize(t, g.src)
 		const root = 2
 		want := refalgo.BFSLevels(g.src.NumVertices(), edges, root)
 		var denseStreamed int64
@@ -571,11 +527,8 @@ func TestSelectiveEquivalenceBFS(t *testing.T) {
 
 // TestSelectiveEquivalenceSSSP: float distances through the same matrix.
 func TestSelectiveEquivalenceSSSP(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 53})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(9, 53)
+	edges := xstreamtest.Materialize(t, src)
 	const root = 5
 	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
 	var denseStreamed int64
@@ -606,26 +559,15 @@ func TestSelectiveEquivalenceSSSP(t *testing.T) {
 // tail; labels are compared canonically as in TestEquivalenceWCC.
 func TestSelectiveEquivalenceWCC(t *testing.T) {
 	src := xstream.CliqueChain(32, 8, 54)
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	edges := xstreamtest.Materialize(t, src)
 	want := refalgo.Components(src.NumVertices(), edges)
 	var denseStreamed int64
 	for _, c := range selectiveCases() {
 		t.Run(c.name, func(t *testing.T) {
 			verts, stats := runSelective(t, c, src, xstream.NewWCC())
 			got := xstream.WCCLabels(verts)
-			repOf := map[xstream.VertexID]xstream.VertexID{}
-			for v := range got {
-				ref := want[v]
-				if seen, ok := repOf[got[v]]; ok && seen != ref {
-					t.Fatalf("label %d spans reference components %d and %d", got[v], seen, ref)
-				}
-				repOf[got[v]] = ref
-				if want[got[v]] != ref {
-					t.Fatalf("vertex %d: label %d is not a member of its component", v, got[v])
-				}
+			if err := xstreamtest.SameComponents(got, want); err != nil {
+				t.Fatalf("%v", err)
 			}
 			if !c.selective {
 				denseStreamed = stats.EdgesStreamed
@@ -700,11 +642,10 @@ func compressCases() []compressCase {
 // runCompress executes prog out of core with raw or compressed tiles.
 func runCompress[V, M any](t *testing.T, c compressCase, threads int, compress bool, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
 	t.Helper()
-	dev := xstream.NewSimDevice(xstream.SimSSD("cmp-equiv", 2, 0))
-	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
-		Device: dev, Threads: threads, IOUnit: 32 << 10, Partitions: 8, Partitioner: c.part(),
-		Selective: c.selective, TileEdges: 128, CompressTiles: compress,
-	})
+	cfg := xstreamtest.DiskConfig("cmp-equiv")
+	cfg.Threads, cfg.Partitioner = threads, c.part()
+	cfg.Selective, cfg.TileEdges, cfg.CompressTiles = c.selective, 128, compress
+	res, err := xstream.RunDisk(src, prog, cfg)
 	if err != nil {
 		t.Fatalf("%s (compress=%v): %v", c.name, compress, err)
 	}
@@ -741,7 +682,7 @@ func checkCompressStats(t *testing.T, c compressCase, raw, cmp xstream.Stats) {
 // TestCompressedTilesEquivalenceBFS: frontier algorithm over min — bit
 // parity at Threads 3 across the full matrix.
 func TestCompressedTilesEquivalenceBFS(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 71})
+	src := xstreamtest.RMAT(10, 71)
 	for _, c := range compressCases() {
 		t.Run(c.name, func(t *testing.T) {
 			raw, rs := runCompress(t, c, 3, false, src, xstream.NewBFS(3))
@@ -759,7 +700,7 @@ func TestCompressedTilesEquivalenceBFS(t *testing.T) {
 // TestCompressedTilesEquivalenceWCC: all-active label propagation, bit
 // parity at Threads 3 (integer min is reduction-order independent).
 func TestCompressedTilesEquivalenceWCC(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 72, Undirected: true})
+	src := xstreamtest.RMATUndirected(10, 72)
 	for _, c := range compressCases() {
 		t.Run(c.name, func(t *testing.T) {
 			raw, rs := runCompress(t, c, 3, false, src, xstream.NewWCC())
@@ -779,7 +720,7 @@ func TestCompressedTilesEquivalenceWCC(t *testing.T) {
 // compression must be bit-exact. (At Threads>1 chunk boundaries differ
 // between the raw and tile readers, legitimately regrouping additions.)
 func TestCompressedTilesEquivalencePageRank(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 73})
+	src := xstreamtest.RMAT(10, 73)
 	for _, c := range compressCases() {
 		t.Run(c.name, func(t *testing.T) {
 			raw, rs := runCompress(t, c, 1, false, src, xstream.NewPageRank(5))
@@ -853,18 +794,17 @@ func runRep[V, M any](t *testing.T, c repCase, threads int, src xstream.EdgeSour
 		part = xstream.NewReplicatingPartitioner(part, xstream.ReplicationConfig{})
 	}
 	if c.mem {
-		res, err := xstream.RunMemory(src, prog, xstream.MemConfig{
-			Threads: threads, Partitions: 8, Partitioner: part,
-		})
+		cfg := xstreamtest.MemConfig()
+		cfg.Threads, cfg.Partitions, cfg.Partitioner = threads, 8, part
+		res, err := xstream.RunMemory(src, prog, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		return res.Vertices, res.Stats
 	}
-	dev := xstream.NewSimDevice(xstream.SimSSD("rep-equiv", 2, 0))
-	res, err := xstream.RunDisk(src, prog, xstream.DiskConfig{
-		Device: dev, Threads: threads, IOUnit: 32 << 10, Partitions: 8, Partitioner: part,
-	})
+	cfg := xstreamtest.DiskConfig("rep-equiv")
+	cfg.Threads, cfg.Partitioner = threads, part
+	res, err := xstream.RunDisk(src, prog, cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", c.name, err)
 	}
@@ -892,11 +832,8 @@ func checkRepStats(t *testing.T, c repCase, s xstream.Stats) {
 // TestReplicationEquivalenceBFS: min-lattice, so every case must be
 // bit-exact against the reference.
 func TestReplicationEquivalenceBFS(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 61})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(10, 61)
+	edges := xstreamtest.Materialize(t, src)
 	const root = 3
 	want := refalgo.BFSLevels(src.NumVertices(), edges, root)
 	for _, c := range repCases() {
@@ -916,11 +853,8 @@ func TestReplicationEquivalenceBFS(t *testing.T) {
 // TestReplicationEquivalenceSSSP: float min is exact (no rounding), so
 // mirrored runs must be bit-exact too.
 func TestReplicationEquivalenceSSSP(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 62})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(10, 62)
+	edges := xstreamtest.Materialize(t, src)
 	const root = 1
 	want := refalgo.Dijkstra(src.NumVertices(), edges, root)
 	for _, c := range repCases() {
@@ -941,57 +875,27 @@ func TestReplicationEquivalenceSSSP(t *testing.T) {
 // TestReplicationEquivalenceWCC: label propagation over min — component
 // membership must match the reference partition exactly.
 func TestReplicationEquivalenceWCC(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 63, Undirected: true})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMATUndirected(10, 63)
+	edges := xstreamtest.Materialize(t, src)
 	want := refalgo.Components(src.NumVertices(), edges)
 	for _, c := range repCases() {
 		t.Run(c.name, func(t *testing.T) {
 			verts, stats := runRep(t, c, 3, src, xstream.NewWCC())
 			checkRepStats(t, c, stats)
 			got := xstream.WCCLabels(verts)
-			if err := sameComponents(got, want); err != nil {
+			if err := xstreamtest.SameComponents(got, want); err != nil {
 				t.Fatalf("%v", err)
 			}
 		})
 	}
 }
 
-// sameComponents compares a computed labeling against the reference
-// component partition canonically: same label ⇔ same reference component,
-// and every label names a member of its own component. Representatives
-// may legitimately differ between partitioners.
-func sameComponents(got, want []xstream.VertexID) error {
-	repOf := map[xstream.VertexID]xstream.VertexID{}
-	labelOf := map[xstream.VertexID]xstream.VertexID{}
-	for v := range got {
-		ref := want[v]
-		if seen, ok := repOf[got[v]]; ok && seen != ref {
-			return fmt.Errorf("label %d spans reference components %d and %d", got[v], seen, ref)
-		}
-		repOf[got[v]] = ref
-		if want[got[v]] != ref {
-			return fmt.Errorf("vertex %d: label %d is not a member of its component", v, got[v])
-		}
-		if seen, ok := labelOf[ref]; ok && seen != got[v] {
-			return fmt.Errorf("reference component %d split into labels %d and %d", ref, seen, got[v])
-		}
-		labelOf[ref] = got[v]
-	}
-	return nil
-}
-
 // TestReplicationParityPageRank: sum-based, so mirror merging regroups
 // float additions. At Threads=1 every case must agree with the reference
 // (and its own unmirrored twin) within reduction-order tolerance.
 func TestReplicationParityPageRank(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 64})
-	edges, err := xstream.Materialize(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := xstreamtest.RMAT(10, 64)
+	edges := xstreamtest.Materialize(t, src)
 	const iters = 5
 	want := refalgo.PageRank(src.NumVertices(), edges, iters)
 	plain := map[string][]float32{}
@@ -1031,7 +935,7 @@ func TestReplicationParityPageRank(t *testing.T) {
 // assignment must fall back to the plain update path — no mirrors, no
 // syncs, identical results.
 func TestReplicationFallbackNoCombine(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 65})
+	src := xstreamtest.RMAT(10, 65)
 	part := xstream.NewReplicatingPartitioner(xstream.New2PSVolumePartitioner(), xstream.ReplicationConfig{})
 	const root = 3
 	base, err := xstream.RunMemory(src, xstream.NewBFS(root), xstream.MemConfig{

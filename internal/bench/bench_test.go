@@ -46,7 +46,7 @@ func TestRegistryShape(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
 		"figchecksum", "figcombine", "figcompress", "figfrontier",
-		"figlocality", "figobs", "figshare",
+		"figlocality", "figobs", "figshare", "figtransport",
 	}
 	got := Runners()
 	if len(got) != len(want) {

@@ -167,6 +167,10 @@ type JobSetup struct {
 	NoCombine bool
 	// Selective enables per-job frontier scheduling for FrontierPrograms.
 	Selective bool
+	// Exchange, when non-nil, replaces each job's builtin shuffle transport
+	// with a frame-level update exchange (see core.Exchange); the factory is
+	// called once per job with the partition count.
+	Exchange func(k int) Exchange
 }
 
 // JobRun drives one job through the iterations of a shared pass. The engine
@@ -316,9 +320,12 @@ type jobRun[V, M any] struct {
 	directed DirectedProgram
 	remapper StateRemapper[V]
 
-	verts      []V
-	updA, updB *streambuf.Buffer[Update[M]]
-	shuffled   *streambuf.Buffer[Update[M]]
+	verts []V
+	// tp is the job's update transport (builtin shuffle unless the setup
+	// carries an Exchange); sealed tracks whether the current iteration's
+	// stream has been sealed by EndScatter and not yet gathered.
+	tp     UpdateTransport[M]
+	sealed bool
 
 	basePriv int
 	done     bool
@@ -402,8 +409,12 @@ func (r *jobRun[V, M]) Setup(s JobSetup) error {
 	if updCap < 1 {
 		updCap = 1
 	}
-	r.updA = streambuf.New[Update[M]](updCap)
-	r.updB = streambuf.New[Update[M]](updCap)
+	key := func(u Update[M]) uint32 { return r.part.Of(u.Dst) }
+	if s.Exchange != nil {
+		r.tp = NewExchangeTransport(s.Exchange(r.part.K), r.part.K, updCap, s.Plan, s.Threads, key, r.folder)
+	} else {
+		r.tp = NewShuffleTransport(updCap, s.Plan, s.Threads, key, r.folder)
+	}
 	r.stats.Algorithm = r.prog.Name()
 	return nil
 }
@@ -424,8 +435,8 @@ func (r *jobRun[V, M]) Direction(iter int) Direction {
 }
 
 func (r *jobRun[V, M]) BeginScatter() {
-	r.updA.Reset()
-	r.shuffled = nil
+	r.tp.EndIteration()
+	r.sealed = false
 	if r.fp != nil {
 		r.active = r.cur.CountByPartition(r.part)
 	}
@@ -489,7 +500,7 @@ type jobScatter[V, M any] struct {
 }
 
 func (s *jobScatter[V, M]) flush(recs []Update[M]) {
-	if !s.r.updA.Append(recs) {
+	if !s.r.tp.Send(int(s.p), recs) {
 		s.r.overflow.Store(true)
 	}
 }
@@ -561,7 +572,7 @@ func (s *jobScatter[V, M]) Flush() {
 
 func (r *jobRun[V, M]) EndScatter() error {
 	if r.overflow.Load() {
-		return fmt.Errorf("job %s: update buffer overflow (capacity %d)", r.prog.Name(), r.updA.Cap())
+		return fmt.Errorf("job %s: update buffer overflow (capacity %d)", r.prog.Name(), r.tp.Cap())
 	}
 	sent := r.itSent.Swap(0)
 	streamed := r.itStreamed.Swap(0)
@@ -574,14 +585,12 @@ func (r *jobRun[V, M]) EndScatter() error {
 	appended := sent - scatterCombined
 
 	t0 := time.Now()
-	res := streambuf.Shuffle(r.updA, r.updB, r.setup.Plan, r.setup.Threads, func(u Update[M]) uint32 {
-		return r.part.Of(u.Dst)
-	})
-	foldCombined := int64(0)
-	if r.folder != nil {
-		foldCombined = r.folder.Fold(res)
+	flow, err := r.tp.Seal()
+	if err != nil {
+		return fmt.Errorf("job %s: %w", r.prog.Name(), err)
 	}
-	r.shuffled = res
+	foldCombined := flow.Combined
+	r.sealed = true
 	r.stats.ShuffleTime += time.Since(t0)
 
 	gathered := appended - foldCombined
@@ -602,27 +611,27 @@ func (r *jobRun[V, M]) EndScatter() error {
 }
 
 func (r *jobRun[V, M]) Gather() {
-	res := r.shuffled
-	if res == nil {
+	if !r.sealed {
 		return
 	}
 	t0 := time.Now()
 	for p := 0; p < r.part.K; p++ {
-		res.Bucket(p, func(run []Update[M]) {
+		r.tp.Drain(p, func(run []Update[M]) error {
 			if r.fp != nil {
 				for _, u := range run {
 					r.prog.Gather(u.Dst, &r.verts[u.Dst], u.Val)
 					r.nxt.Mark(u.Dst)
 				}
-				return
+				return nil
 			}
 			for _, u := range run {
 				r.prog.Gather(u.Dst, &r.verts[u.Dst], u.Val)
 			}
+			return nil
 		})
 	}
-	res.Reset()
-	r.shuffled = nil
+	r.tp.EndIteration()
+	r.sealed = false
 	if r.fp != nil {
 		r.cur, r.nxt = r.nxt, r.cur
 		r.nxt.Clear()
@@ -649,6 +658,13 @@ func (r *jobRun[V, M]) Finalize() (any, Stats, error) {
 		return nil, r.stats, fmt.Errorf("job %s: finalized twice", r.prog.Name())
 	}
 	r.finished = true
+	if r.tp != nil {
+		tc := r.tp.Counters()
+		r.stats.TransportBatches = tc.Batches
+		r.stats.TransportBytes = tc.Bytes
+		r.stats.TransportCross = tc.Cross
+		r.tp.Close()
+	}
 	asg := r.setup.Assignment
 	verts := r.verts
 	if !asg.Identity() {

@@ -133,6 +133,19 @@ type Stats struct {
 	// memory-reference proxy.
 	RandomRefs     int64
 	SequentialRefs int64
+
+	// Update-transport traffic, reported by the run's UpdateTransport
+	// itself (see core/transport.go) rather than reconstructed by the
+	// engines. TransportBatches counts non-empty Send calls the transport
+	// accepted; TransportBytes is their record payload volume
+	// (records × sizeof(update)); TransportCross counts sent records whose
+	// destination partition differed from the scattering partition —
+	// measured after send-side combining (the records that actually
+	// moved), unlike CrossPartitionUpdates, which counts before combining.
+	// All three are deterministic work measures for a fixed workload.
+	TransportBatches int64
+	TransportBytes   int64
+	TransportCross   int64
 }
 
 // WastedFraction returns the fraction of streamed edges that produced no

@@ -146,6 +146,15 @@ type Config struct {
 	// (the default) disables tracing; a Tracer never changes any work
 	// metric, only observes timing (the figobs experiment gates this).
 	Tracer core.Tracer
+	// Exchange, if non-nil, replaces the update-file writeback with a
+	// frame-level update exchange (core.NewExchangeTransport over the
+	// returned core.Exchange): scatter's update batches are framed and
+	// sent per destination partition instead of written to update files.
+	// Called once per run with the partition count. Results are identical
+	// to the builtin transport for deterministic programs; used by the
+	// loopback worker transport in internal/transport and the transport
+	// equivalence matrix.
+	Exchange func(k int) core.Exchange
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +260,7 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	}
 
 	if err := e.setup(g); err != nil {
+		e.closeTransport()
 		e.cleanup()
 		return nil, err
 	}
@@ -271,15 +281,22 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	if err := e.loop(startIter); err != nil {
 		// Checkpoints outlive a failed run on purpose — they are what the
 		// retry resumes from.
+		e.closeTransport()
 		e.cleanup()
 		return nil, err
 	}
 
 	verts, err := e.materializeVertices()
 	if err != nil {
+		e.closeTransport()
 		e.cleanup()
 		return nil, err
 	}
+	tc := e.tp.Counters()
+	e.stats.TransportBatches = tc.Batches
+	e.stats.TransportBytes = tc.Bytes
+	e.stats.TransportCross = tc.Cross
+	e.closeTransport()
 	e.removeCheckpoints()
 	e.cleanup()
 
@@ -369,6 +386,11 @@ type engine[V, M any] struct {
 
 	// gather sub-shuffle scratch (layered in-memory engine, §4.3)
 	subA, subB *streambuf.Buffer[core.Update[M]]
+
+	// tp is the update transport between scatter and gather: the file
+	// writeback pipeline by default, an exchange adapter when
+	// Config.Exchange is set. Created in setup once the update files exist.
+	tp core.UpdateTransport[M]
 
 	stats core.Stats
 }
@@ -471,6 +493,25 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 		if e.updFiles[p], err = createPartFile(e.cfg.UpdateDevice, fmt.Sprintf("%sp%04d.updates", e.cfg.Prefix, p)); err != nil {
 			return err
 		}
+	}
+
+	// The update transport: scatter sends into it, gather drains from it.
+	key := func(u core.Update[M]) uint32 { return e.part.Of(u.Dst) }
+	if e.cfg.Exchange != nil {
+		e.tp = core.NewExchangeTransport(e.cfg.Exchange(e.k), e.k, e.bufUpdRecs, e.shufPlan, e.cfg.Threads, key, e.folder)
+	} else {
+		e.tp = newFileTransport(fileTransportConfig[M]{
+			files:      e.updFiles,
+			plan:       e.shufPlan,
+			key:        key,
+			threads:    e.cfg.Threads,
+			bufRecs:    e.bufUpdRecs,
+			fold:       e.updateFold(),
+			bypass:     !e.cfg.NoUpdateBypass,
+			prefetch:   !e.cfg.NoPrefetch,
+			verify:     !e.cfg.NoVerify,
+			onVerified: func(n int64) { e.stats.BytesChecksummed += n },
+		})
 	}
 
 	// Vertex state. With selective scheduling, Init doubles as the census
@@ -678,13 +719,16 @@ func (e *engine[V, M]) loop(startIter int) error {
 		e.logicalEdge += sp.logicalEdge
 
 		t1 := time.Now()
-		if err := e.gatherPhase(sp.inMem); err != nil {
+		if err := e.gatherPhase(); err != nil {
 			return err
 		}
 		gatherDur := time.Since(t1)
 		e.stats.GatherTime += gatherDur
 		e.stats.RandomRefs += sp.written
 		e.stats.SequentialRefs += sp.written
+		if err := e.tp.EndIteration(); err != nil {
+			return err
+		}
 		if e.fp != nil {
 			e.cur, e.nxt = e.nxt, e.cur
 			e.nxt.Clear()
@@ -823,7 +867,6 @@ type scatterResult[M any] struct {
 	// edge-stream volume: physical bytes read vs decoded record bytes
 	physEdge    int64
 	logicalEdge int64
-	inMem       *streambuf.Buffer[core.Update[M]]
 }
 
 // updateFold returns the bucket fold the bucketWriter applies to each
@@ -839,22 +882,19 @@ func (e *engine[V, M]) updateFold() func(*streambuf.Buffer[core.Update[M]]) int6
 	return e.folder.Fold
 }
 
-// scatterPhase runs the merged scatter/shuffle over every partition. It
-// returns the phase's accounting and — when the §3.2 bypass applies — the
-// in-memory shuffled update buffer. With selective scheduling, a partition
-// with no active source is skipped without reading its edge file (or, in
-// spill mode, its vertex file); a partially active partition is read only
-// in the record segments whose tiles intersect the frontier.
+// scatterPhase runs the merged scatter/shuffle over every partition,
+// sending updates through the run's UpdateTransport and sealing it at the
+// end; the transport's IterFlow carries the fold/writeback accounting into
+// the result. With selective scheduling, a partition with no active source
+// is skipped without reading its edge file (or, in spill mode, its vertex
+// file); a partially active partition is read only in the record segments
+// whose tiles intersect the frontier.
 func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (scatterResult[M], error) {
 	var res scatterResult[M]
-	w := newBucketWriter(e.bufUpdRecs, e.updFiles, e.shufPlan, func(u core.Update[M]) uint32 {
-		return e.part.Of(u.Dst)
-	}, e.cfg.Threads, e.updateFold())
 	tr := e.cfg.Tracer
 
 	for s := 0; s < e.k; s++ {
 		if err := e.cfg.Context.Err(); err != nil { // between partition files
-			w.Finish()
 			return res, err
 		}
 		var pStart time.Time
@@ -893,7 +933,6 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 		}
 		verts, lo, err := e.loadVerts(s, false)
 		if err != nil {
-			w.Finish()
 			return res, err
 		}
 		winHi := vlo + int64(len(verts))
@@ -915,9 +954,9 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 			// (combining only ever shrinks a segment's append volume, so
 			// the room reserved for a segment still suffices).
 			for off := 0; off < len(chunk); {
-				room := w.Room()
+				room := e.tp.Room()
 				if room == 0 {
-					if err := w.Flush(); err != nil {
+					if err := e.tp.Flush(); err != nil {
 						return err
 					}
 					continue
@@ -926,7 +965,7 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 				if take > room {
 					take = room
 				}
-				nSent, nCross, nCombined, nSynced := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap, w.Buf())
+				nSent, nCross, nCombined, nSynced := e.scatterSegment(chunk[off:off+take], verts, lo, s, privCap)
 				res.sent += nSent
 				res.scatterCombined += nCombined
 				res.synced += nSynced
@@ -939,7 +978,6 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 		res.logicalEdge += logical
 		e.stats.BytesChecksummed += checked
 		if err != nil {
-			w.Finish()
 			return res, err
 		}
 		if tr != nil {
@@ -948,18 +986,9 @@ func (e *engine[V, M]) scatterPhase(edgeFiles []*partFile, tiles *diskTiles) (sc
 		}
 	}
 
-	if e.cfg.NoUpdateBypass {
-		err := w.Finish()
-		res.foldCombined, res.written = w.combined, w.written
-		return res, err
-	}
-	inMem, err := w.FinishBypass()
-	res.foldCombined, res.written = w.combined, w.written
-	if err != nil {
-		return res, err
-	}
-	res.inMem = inMem
-	return res, nil
+	flow, err := e.tp.Seal()
+	res.foldCombined, res.written = flow.Combined, flow.Delivered
+	return res, err
 }
 
 // basePrivCap is the baseline capacity (records) of the scatter's
@@ -971,10 +1000,10 @@ const basePrivCap = 1024
 // partition's vertex window starting at vertex id lo; p is the partition
 // being scattered, for cross-partition accounting; privCap is the
 // degree-aware private buffer capacity for this partition.
-func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (int64, int64, int64, int64) {
+func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p, privCap int) (int64, int64, int64, int64) {
 	workers := e.cfg.Threads
 	if len(edges) < 4096 || workers <= 1 {
-		return e.scatterRange(edges, verts, lo, p, privCap, out)
+		return e.scatterRange(edges, verts, lo, p, privCap)
 	}
 	var total, totalCross, totalCombined, totalSynced atomic.Int64
 	var wg sync.WaitGroup
@@ -990,7 +1019,7 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p,
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			nSent, nCross, nCombined, nSynced := e.scatterRange(edges[a:b], verts, lo, p, privCap, out)
+			nSent, nCross, nCombined, nSynced := e.scatterRange(edges[a:b], verts, lo, p, privCap)
 			total.Add(nSent)
 			totalCross.Add(nCross)
 			totalCombined.Add(nCombined)
@@ -1008,8 +1037,8 @@ func (e *engine[V, M]) scatterSegment(edges []core.Edge, verts []V, lo int64, p,
 // than per partition (its segments are scattered by multiple threads), so
 // it flushes somewhat more syncs than the in-memory engine; the absorbed
 // flood is the same.
-func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, privCap int, out *streambuf.Buffer[core.Update[M]]) (sent, cross, combined, synced int64) {
-	flush := func(recs []core.Update[M]) { out.Append(recs) }
+func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, privCap int) (sent, cross, combined, synced int64) {
+	flush := func(recs []core.Update[M]) { e.tp.Send(p, recs) }
 	if e.combine != nil {
 		cb := core.NewCombineBuffer[M](privCap, e.combine)
 		var mb *core.MirrorBuffer[M]
@@ -1059,82 +1088,44 @@ func (e *engine[V, M]) scatterRange(edges []core.Edge, verts []V, lo int64, p, p
 			}
 		}
 	}
-	out.Append(priv)
+	flush(priv)
 	return sent, cross, 0, 0
 }
 
-// gatherPhase streams each partition's updates onto its vertex window.
-// With selective scheduling an update-empty partition is skipped outright:
-// no gather can change its state, so neither its update file nor (in spill
-// mode) its vertex file is touched.
-func (e *engine[V, M]) gatherPhase(inMem *streambuf.Buffer[core.Update[M]]) error {
+// gatherPhase drains each partition's sealed update stream from the
+// transport onto its vertex window. With selective scheduling an
+// update-empty partition is skipped outright: no gather can change its
+// state, so neither its update stream nor (in spill mode) its vertex file
+// is touched. The transport owns stream verification (the file transport
+// checks byte count and running CRC32C, the exchange validates frames);
+// the engine still refuses any update whose destination falls outside the
+// partition window before it indexes the vertex slice, since a stream
+// checksum only closes after the whole partition is consumed.
+func (e *engine[V, M]) gatherPhase() error {
 	for p := 0; p < e.k; p++ {
 		if err := e.cfg.Context.Err(); err != nil { // between partition files
 			return err
 		}
-		if e.fp != nil {
-			empty := e.updFiles[p].size == 0
-			if inMem != nil {
-				empty = inMem.BucketLen(p) == 0
-			}
-			if empty {
-				continue
-			}
+		if e.fp != nil && e.tp.Pending(p) == 0 {
+			continue
 		}
 		verts, lo, err := e.loadVerts(p, true)
 		if err != nil {
 			return err
 		}
-		if inMem != nil {
-			inMem.Bucket(p, func(run []core.Update[M]) {
-				e.gatherChunk(run, verts, lo)
-			})
-		} else {
-			// Verify the update stream against the running checksum the
-			// scatter's appends accumulated: a torn or bit-flipped update
-			// file surfaces as ErrCorrupted, never as wrong vertex state.
-			uf := e.updFiles[p]
-			verify := !e.cfg.NoVerify
-			var crc uint32
-			var got int64
-			rd := newChunkReader[core.Update[M]](uf.f, uf.size, e.bufUpdRecs, !e.cfg.NoPrefetch)
-			for {
-				chunk, err := rd.Next()
-				if err != nil {
-					rd.Close()
-					return err
+		winHi := lo + int64(len(verts))
+		name := e.updFiles[p].name
+		if err := e.tp.Drain(p, func(chunk []core.Update[M]) error {
+			for _, u := range chunk {
+				if int64(u.Dst) < lo || int64(u.Dst) >= winHi {
+					return fmt.Errorf("diskengine: update file %s: update for vertex %d outside partition window [%d,%d): %w",
+						name, u.Dst, lo, winHi, storage.ErrCorrupted)
 				}
-				if chunk == nil {
-					break
-				}
-				if verify {
-					crc = storage.ChecksumUpdate(crc, pod.AsBytes(chunk))
-					got += int64(len(chunk)) * int64(pod.Size[core.Update[M]]())
-				}
-				// As with scatter, the stream checksum only closes after
-				// the whole file is consumed — so a corrupted destination
-				// must be refused before it indexes the vertex window.
-				winHi := lo + int64(len(verts))
-				for _, u := range chunk {
-					if int64(u.Dst) < lo || int64(u.Dst) >= winHi {
-						rd.Close()
-						return fmt.Errorf("diskengine: update file %s: update for vertex %d outside partition window [%d,%d): %w",
-							uf.name, u.Dst, lo, winHi, storage.ErrCorrupted)
-					}
-				}
-				e.gatherChunk(chunk, verts, lo)
 			}
-			rd.Close()
-			if verify {
-				if got != uf.size || crc != uf.crc {
-					return fmt.Errorf("diskengine: update file %s: %d of %d bytes, checksum %08x, want %08x: %w",
-						uf.name, got, uf.size, crc, uf.crc, storage.ErrCorrupted)
-				}
-				e.stats.BytesChecksummed += got
-			}
-			if err := uf.truncate(); err != nil {
-				return err
-			}
+			e.gatherChunk(chunk, verts, lo)
+			return nil
+		}); err != nil {
+			return err
 		}
 		if err := e.storeVerts(p, verts); err != nil {
 			return err
@@ -1294,6 +1285,17 @@ func (e *engine[V, M]) materializeVertices() ([]V, error) {
 		out = core.RestoreOrder(out, e.asg.Relabel)
 	}
 	return out, nil
+}
+
+// closeTransport shuts the update transport down — stopping any live write
+// pipeline an error path abandoned mid-scatter — before cleanup removes the
+// partition files underneath it. Safe when setup failed before the
+// transport existed.
+func (e *engine[V, M]) closeTransport() {
+	if e.tp != nil {
+		e.tp.Close()
+		e.tp = nil
+	}
 }
 
 // cleanup removes partition files unless the caller asked to keep them.

@@ -344,6 +344,7 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 				Threads: cfg.Threads, Plan: pp.shufPlan, UpdateCap: int(pp.ne),
 				PrivateBufRecs: basePrivCap,
 				NoCombine:      cfg.NoCombine, Selective: cfg.Selective,
+				Exchange: cfg.Exchange,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("diskengine: %w", err)
@@ -506,6 +507,9 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		pass.UpdatesCombined += js.UpdatesCombined
 		pass.UpdateBytes += js.UpdateBytes
 		pass.RandomRefs += js.RandomRefs
+		pass.TransportBatches += js.TransportBatches
+		pass.TransportBytes += js.TransportBytes
+		pass.TransportCross += js.TransportCross
 		pass.EdgesShared += js.EdgesStreamed
 	}
 	pass.EdgesShared -= pass.EdgesStreamed

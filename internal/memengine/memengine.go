@@ -103,6 +103,13 @@ type Config struct {
 	// (the default) disables tracing; a Tracer never changes any work
 	// metric, only observes timing (the figobs experiment gates this).
 	Tracer core.Tracer
+	// Exchange, when non-nil, replaces the builtin in-memory shuffle
+	// transport with a frame-level update exchange (see core.Exchange):
+	// the factory is called once with the partition count and the run's
+	// update stream moves through core.NewExchangeTransport over it. Used
+	// by the loopback worker transport in internal/transport and, later,
+	// by a network exchange. nil (the default) keeps the builtin shuffle.
+	Exchange func(k int) core.Exchange
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +243,7 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	if err := e.setup(g); err != nil {
 		return nil, err
 	}
+	defer e.tp.Close()
 	e.stats.PreprocessTime = time.Since(t0)
 	if tr := cfg.Tracer; tr != nil {
 		tr.Span(0, "preprocess", t0, e.stats.PreprocessTime, nil)
@@ -243,6 +251,10 @@ func Run[V, M any](g core.EdgeSource, prog core.Program[V, M], cfg Config) (*Res
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
+	tc := e.tp.Counters()
+	e.stats.TransportBatches = tc.Batches
+	e.stats.TransportBytes = tc.Bytes
+	e.stats.TransportCross = tc.Cross
 
 	// Report results in original input order: remap ID-valued state, then
 	// undo the relabeling permutation.
@@ -303,9 +315,10 @@ type engine[V, M any] struct {
 	edgesBwd *streambuf.Buffer[core.Edge]
 	tilesFwd [][]core.SrcSpan
 	tilesBwd [][]core.SrcSpan
-	// Update buffers: one receives scatter output, the other is shuffle
-	// scratch (the engine needs exactly three stream buffers, §4).
-	updA, updB *streambuf.Buffer[core.Update[M]]
+	// tp is the update transport between scatter and gather: the builtin
+	// counting shuffle by default (the engine's three stream buffers, §4),
+	// or an exchange adapter when Config.Exchange is set.
+	tp core.UpdateTransport[M]
 
 	stats core.Stats
 }
@@ -331,8 +344,12 @@ func (e *engine[V, M]) setup(g core.EdgeSource) error {
 	}
 
 	updCap := int(e.ne)
-	e.updA = streambuf.New[core.Update[M]](updCap)
-	e.updB = streambuf.New[core.Update[M]](updCap)
+	key := func(u core.Update[M]) uint32 { return e.part.Of(u.Dst) }
+	if e.cfg.Exchange != nil {
+		e.tp = core.NewExchangeTransport(e.cfg.Exchange(e.part.K), e.part.K, updCap, e.plan, e.cfg.Threads, key, e.folder)
+	} else {
+		e.tp = core.NewShuffleTransport(updCap, e.plan, e.cfg.Threads, key, e.folder)
+	}
 	return nil
 }
 
@@ -401,7 +418,6 @@ func (e *engine[V, M]) loop() error {
 		if e.fp != nil {
 			e.active = e.cur.CountByPartition(e.part)
 		}
-		e.updA.Reset()
 		sc, err := e.scatter(edges, tiles)
 		if err != nil {
 			return err
@@ -422,16 +438,16 @@ func (e *engine[V, M]) loop() error {
 		e.stats.SequentialRefs += streamed
 		e.stats.BytesStreamed += streamed * int64(esize)
 
-		// Shuffle phase, plus — with a Combiner — the per-partition fold
-		// that merges surviving same-destination records before gather.
+		// Shuffle phase — now the transport's Seal: updates are routed to
+		// their destination partitions and, with a Combiner, the
+		// per-partition fold merges surviving same-destination records
+		// before gather.
 		t1 := time.Now()
-		res := streambuf.Shuffle(e.updA, e.updB, e.plan, e.cfg.Threads, func(u core.Update[M]) uint32 {
-			return e.part.Of(u.Dst)
-		})
-		foldCombined := int64(0)
-		if e.folder != nil {
-			foldCombined = e.folder.Fold(res)
+		flow, err := e.tp.Seal()
+		if err != nil {
+			return err
 		}
+		foldCombined := flow.Combined
 		gathered := appended - foldCombined
 		shuffleDur := time.Since(t1)
 		e.stats.ShuffleTime += shuffleDur
@@ -443,11 +459,15 @@ func (e *engine[V, M]) loop() error {
 		// Gather phase; with selective scheduling it doubles as the census
 		// for the next frontier (receivers become active).
 		t2 := time.Now()
-		e.gather(res)
+		if err := e.gather(); err != nil {
+			return err
+		}
 		gatherDur := time.Since(t2)
 		e.stats.GatherTime += gatherDur
 		e.stats.RandomRefs += gathered
-		res.Reset()
+		if err := e.tp.EndIteration(); err != nil {
+			return err
+		}
 		if e.fp != nil {
 			e.cur, e.nxt = e.nxt, e.cur
 			e.nxt.Clear()
@@ -531,7 +551,7 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 
 		var nSent, nStreamed, nCross int64
 		flush := func(recs []core.Update[M]) {
-			if !e.updA.Append(recs) {
+			if !e.tp.Send(p, recs) {
 				overflow.Store(true)
 			}
 		}
@@ -652,7 +672,7 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 		return scatterCounts{}, err
 	}
 	if overflow.Load() {
-		return scatterCounts{}, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.updA.Cap())
+		return scatterCounts{}, fmt.Errorf("memengine: update buffer overflow (capacity %d)", e.tp.Cap())
 	}
 	return scatterCounts{
 		sent:         sentTotal.Load(),
@@ -666,26 +686,37 @@ func (e *engine[V, M]) scatter(edges *streambuf.Buffer[core.Edge], tiles [][]cor
 	}, nil
 }
 
-// gather streams every partition's update chunk into its vertices. With
-// selective scheduling every receiver is marked into the next frontier —
-// receipt of an update, not a state change, is what (conservatively)
-// activates a vertex, so the frontier is identical whether or not the
-// update stream was pre-combined.
-func (e *engine[V, M]) gather(updates *streambuf.Buffer[core.Update[M]]) {
+// gather drains every partition's sealed update stream into its vertices.
+// With selective scheduling every receiver is marked into the next
+// frontier — receipt of an update, not a state change, is what
+// (conservatively) activates a vertex, so the frontier is identical
+// whether or not the update stream was pre-combined.
+func (e *engine[V, M]) gather() error {
+	var mu sync.Mutex
+	var firstErr error
 	e.forEachPartition(func(_, p int) {
-		updates.Bucket(p, func(run []core.Update[M]) {
+		err := e.tp.Drain(p, func(run []core.Update[M]) error {
 			if e.fp != nil {
 				for _, u := range run {
 					e.prog.Gather(u.Dst, &e.verts[u.Dst], u.Val)
 					e.nxt.Mark(u.Dst)
 				}
-				return
+				return nil
 			}
 			for _, u := range run {
 				e.prog.Gather(u.Dst, &e.verts[u.Dst], u.Val)
 			}
+			return nil
 		})
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
 	})
+	return firstErr
 }
 
 // forEachPartition runs fn over all partitions on the configured worker

@@ -232,6 +232,7 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 			Threads: cfg.Threads, Plan: pp.plan, UpdateCap: int(pp.ne),
 			PrivateBufBytes: cfg.PrivateBufBytes,
 			NoCombine:       cfg.NoCombine, Selective: cfg.Selective,
+			Exchange: cfg.Exchange,
 		})
 		if err != nil {
 			return nil, pass, fmt.Errorf("memengine: %w", err)
@@ -323,6 +324,9 @@ func (pp *Prepared) RunMany(ctx context.Context, set core.ProgramSet) ([]core.Jo
 		pass.UpdatesCombined += js.UpdatesCombined
 		pass.UpdateBytes += js.UpdateBytes
 		pass.RandomRefs += js.RandomRefs
+		pass.TransportBatches += js.TransportBatches
+		pass.TransportBytes += js.TransportBytes
+		pass.TransportCross += js.TransportCross
 		pass.EdgesShared += js.EdgesStreamed
 	}
 	pass.EdgesShared -= pass.EdgesStreamed

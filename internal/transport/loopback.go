@@ -1,0 +1,235 @@
+// Package transport holds update-transport implementations beyond the two
+// engine-native ones (core's in-memory shuffle, diskengine's update-file
+// writeback). Its loopback worker transport is a channel-backed
+// core.Exchange that exercises the transport API the way a network
+// exchange will — per-destination framing, bounded wires with
+// backpressure, asynchronous out-of-order partition arrival — plus a
+// storage.NewFaulty-style seeded fault schedule (dropped, duplicated and
+// torn frames) for the chaos suite, so the error taxonomy of a real
+// network (retryable loss, detected loss, detected corruption) is pinned
+// before any network code exists.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Options configures a loopback exchange. The probabilistic fields are
+// per-frame probabilities in [0, 1], drawn from a deterministic splitmix64
+// schedule seeded by Seed — the same seed over the same frame sequence
+// injects the same faults, exactly like storage.FaultyOptions.
+type Options struct {
+	// WireDepth is the per-destination wire capacity in frames; a sender
+	// blocks (backpressure) when a destination's wire is full. 0 means 8.
+	WireDepth int
+	// Seed fixes the fault schedule.
+	Seed int64
+	// DropErr is the probability a frame is dropped with an error wrapping
+	// core.ErrExchangeTransient — the retryable loss a sender absorbs by
+	// re-sending (counted in TransportCounters.Retries).
+	DropErr float64
+	// SilentDrop is the probability a frame is dropped while Send reports
+	// success — the loss the receive-side reconciliation must detect as
+	// core.ErrExchangeLost, never as a silently incomplete gather.
+	SilentDrop float64
+	// Duplicate is the probability a frame is delivered twice; sequence
+	// deduplication must make the duplicate invisible to results.
+	Duplicate float64
+	// Torn is the probability a frame arrives with one payload bit flipped
+	// — the corruption the frame CRC must detect as
+	// core.ErrExchangeCorrupt, never as wrong updates.
+	Torn float64
+	// MaxFaults bounds the total number of injected faults (all kinds);
+	// zero means unlimited. Chaos runs that must terminate bound this.
+	MaxFaults int64
+}
+
+// Loopback is an in-process core.Exchange: k bounded wire channels (one
+// per destination partition) drained by one mover goroutine each into
+// per-destination mailboxes. Senders interleave across destinations and
+// movers deliver asynchronously, so partitions arrive out of order with
+// real backpressure — the concurrency shape of a worker-to-worker network
+// exchange, without the network. It also implements the chaos harness's
+// storage.FaultInjector accessor via Faults.
+type Loopback struct {
+	k     int
+	opts  Options
+	wires []chan []byte
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	boxes  [][][]byte // delivered frames per destination
+	enq    []int64    // frames accepted into each wire
+	moved  []int64    // frames delivered into each mailbox
+	closed bool
+
+	rngState uint64
+	faults   int64
+}
+
+// NewLoopback builds a loopback exchange for k destination partitions.
+func NewLoopback(k int, opts Options) *Loopback {
+	if opts.WireDepth <= 0 {
+		opts.WireDepth = 8
+	}
+	l := &Loopback{
+		k:     k,
+		opts:  opts,
+		wires: make([]chan []byte, k),
+		boxes: make([][][]byte, k),
+		enq:   make([]int64, k),
+		moved: make([]int64, k),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.rngState = uint64(opts.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for d := 0; d < k; d++ {
+		l.wires[d] = make(chan []byte, opts.WireDepth)
+		go l.mover(d)
+	}
+	return l
+}
+
+// mover is destination d's delivery goroutine: it drains d's wire into
+// d's mailbox, overlapping delivery with the senders' next frames.
+func (l *Loopback) mover(d int) {
+	for frame := range l.wires[d] {
+		l.mu.Lock()
+		l.boxes[d] = append(l.boxes[d], frame)
+		l.moved[d]++
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// next advances the splitmix64 schedule. Callers hold l.mu.
+func (l *Loopback) next() uint64 {
+	l.rngState += 0x9e3779b97f4a7c15
+	z := l.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// decide rolls the schedule against probability p and, on a hit, charges
+// one fault against MaxFaults. The PRNG always advances on a non-zero p so
+// the schedule stays aligned even after the fault budget is exhausted.
+func (l *Loopback) decide(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	roll := float64(l.next()>>11) / (1 << 53)
+	if roll >= p {
+		return false
+	}
+	if l.opts.MaxFaults > 0 && l.faults >= l.opts.MaxFaults {
+		return false
+	}
+	l.faults++
+	return true
+}
+
+// intn returns a schedule-driven value in [0, n).
+func (l *Loopback) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.next() % uint64(n))
+}
+
+// Faults returns the number of faults injected so far (the
+// storage.FaultInjector accessor).
+func (l *Loopback) Faults() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
+}
+
+// Send implements core.Exchange: the frame is copied onto destination
+// dst's wire, blocking when the wire is full. The fault schedule may drop
+// it with a retryable error, drop it silently, deliver it twice, or tear
+// one payload bit.
+func (l *Loopback) Send(dst int, frame []byte) error {
+	if dst < 0 || dst >= l.k {
+		return fmt.Errorf("transport: loopback send to partition %d of %d", dst, l.k)
+	}
+	if l.decide(l.opts.DropErr) {
+		return fmt.Errorf("loopback wire %d dropped a %d-byte frame: %w", dst, len(frame), core.ErrExchangeTransient)
+	}
+	if l.decide(l.opts.SilentDrop) {
+		return nil // lost in flight; reconciliation at Seal must notice
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	if l.decide(l.opts.Torn) && len(cp) > 0 {
+		// Flip a bit in the checksummed payload region (the frame tail),
+		// so the tear is always the detectable kind: a header bit could
+		// alias another frame's identity instead of failing the CRC.
+		const hdr = 16
+		lo := hdr
+		if lo >= len(cp) {
+			lo = len(cp) - 1
+		}
+		i := l.intn((len(cp) - lo) * 8)
+		cp[lo+i/8] ^= 1 << (i % 8)
+	}
+	n := 1
+	if l.decide(l.opts.Duplicate) {
+		n = 2
+	}
+	for ; n > 0; n-- {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return fmt.Errorf("transport: loopback send to partition %d after close", dst)
+		}
+		l.enq[dst]++
+		l.mu.Unlock()
+		l.wires[dst] <- cp
+	}
+	return nil
+}
+
+// Drain implements core.Exchange: it waits until every frame accepted for
+// dst has been delivered by dst's mover, then streams the mailbox through
+// fn in delivery order and forgets it.
+func (l *Loopback) Drain(dst int, fn func(frame []byte) error) error {
+	if dst < 0 || dst >= l.k {
+		return fmt.Errorf("transport: loopback drain of partition %d of %d", dst, l.k)
+	}
+	l.mu.Lock()
+	for l.moved[dst] < l.enq[dst] {
+		l.cond.Wait()
+	}
+	frames := l.boxes[dst]
+	l.boxes[dst] = nil
+	l.mu.Unlock()
+	for _, f := range frames {
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements core.Exchange: the wires close and the movers exit.
+// Idempotent.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	for _, w := range l.wires {
+		close(w)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package transport_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/streambuf"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// newLoopbackTransport adapts a Loopback exchange (with the given fault
+// schedule) into an UpdateTransport for the suite and the chaos tests.
+func newLoopbackTransport(t *testing.T, k int, nv int64, capacity, threads int, combine bool, opts transport.Options) (core.UpdateTransport[int64], *transport.Loopback) {
+	t.Helper()
+	split := core.NewSplit(nv, k)
+	plan, err := streambuf.NewPlan(k, k)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	var folder *streambuf.Folder[core.Update[int64]]
+	if combine {
+		folder = core.NewUpdateFolder(split, threads, func(a, b int64) int64 { return a + b })
+	}
+	key := func(u core.Update[int64]) uint32 { return split.Of(u.Dst) }
+	lb := transport.NewLoopback(k, opts)
+	return core.NewExchangeTransport(lb, k, capacity, plan, threads, key, folder), lb
+}
+
+// TestLoopbackConformance pins the channel-backed loopback worker
+// exchange — the dress rehearsal for a network transport — to the same
+// UpdateTransport contract as the two engine-native implementations.
+func TestLoopbackConformance(t *testing.T) {
+	conformance.Run(t, conformance.Maker{
+		Name: "loopback",
+		New: func(t *testing.T, k int, nv int64, capacity, threads int, combine bool) core.UpdateTransport[int64] {
+			tp, _ := newLoopbackTransport(t, k, nv, capacity, threads, combine, transport.Options{})
+			return tp
+		},
+		SingleSenderFIFO: true,
+	})
+}
+
+// sendSealDrain pushes n updates through tp and returns the per-vertex
+// sums, the flow, and any error from Seal or Drain.
+func sendSealDrain(t *testing.T, tp core.UpdateTransport[int64], k int, nv int64, n int) (map[core.VertexID]int64, error) {
+	t.Helper()
+	split := core.NewSplit(nv, k)
+	sums := make(map[core.VertexID]int64)
+	for i := 0; i < n; i++ {
+		u := core.Update[int64]{Dst: core.VertexID(int64(i*37) % nv), Val: int64(i) + 1}
+		sums[u.Dst] += u.Val
+		if !tp.Send(i%k, []core.Update[int64]{u}) {
+			t.Fatalf("Send %d rejected", i)
+		}
+	}
+	if _, err := tp.Seal(); err != nil {
+		return nil, err
+	}
+	got := make(map[core.VertexID]int64)
+	for p := 0; p < k; p++ {
+		if err := tp.Drain(p, func(run []core.Update[int64]) error {
+			for _, u := range run {
+				if split.Of(u.Dst) != uint32(p) {
+					t.Fatalf("vertex %d drained from partition %d", u.Dst, p)
+				}
+				got[u.Dst] += u.Val
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for dst, w := range sums {
+		if got[dst] != w {
+			t.Fatalf("vertex %d: sum want %d, got %d", dst, w, got[dst])
+		}
+	}
+	if len(got) != len(sums) {
+		t.Fatalf("destinations: want %d, got %d", len(sums), len(got))
+	}
+	return got, nil
+}
+
+// TestLoopbackRetryableFaults proves the transient-loss schedule is fully
+// absorbed by the send retry layer: results are exactly the fault-free
+// sums, faults demonstrably fired, and the retries show up in the
+// transport's own counters.
+func TestLoopbackRetryableFaults(t *testing.T) {
+	const k, nv, n = 4, int64(1 << 10), 4000
+	tp, lb := newLoopbackTransport(t, k, nv, n, 2, false, transport.Options{
+		Seed:    42,
+		DropErr: 0.05,
+	})
+	defer tp.Close()
+	if _, err := sendSealDrain(t, tp, k, nv, n); err != nil {
+		t.Fatalf("run with retryable faults: %v", err)
+	}
+	if lb.Faults() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+	if tc := tp.Counters(); tc.Retries == 0 {
+		t.Fatal("retryable drops absorbed without any counted retry")
+	}
+}
+
+// TestLoopbackDuplicateFrames proves duplicated delivery is invisible:
+// sequence deduplication yields bit-identical sums.
+func TestLoopbackDuplicateFrames(t *testing.T) {
+	const k, nv, n = 4, int64(1 << 10), 4000
+	tp, lb := newLoopbackTransport(t, k, nv, n, 2, false, transport.Options{
+		Seed:      7,
+		Duplicate: 0.1,
+	})
+	defer tp.Close()
+	if _, err := sendSealDrain(t, tp, k, nv, n); err != nil {
+		t.Fatalf("run with duplicated frames: %v", err)
+	}
+	if lb.Faults() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+}
+
+// TestLoopbackSilentLoss proves silently dropped frames surface as the
+// typed ErrExchangeLost — never as a quietly incomplete result.
+func TestLoopbackSilentLoss(t *testing.T) {
+	const k, nv, n = 4, int64(1 << 10), 4000
+	tp, lb := newLoopbackTransport(t, k, nv, n, 2, false, transport.Options{
+		Seed:       3,
+		SilentDrop: 0.02,
+		MaxFaults:  4,
+	})
+	defer tp.Close()
+	_, err := sendSealDrain(t, tp, k, nv, n)
+	if err == nil {
+		t.Fatal("silent frame loss did not surface as an error")
+	}
+	if !errors.Is(err, core.ErrExchangeLost) {
+		t.Fatalf("lost frames surfaced as %v, want ErrExchangeLost", err)
+	}
+	if lb.Faults() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+}
+
+// TestLoopbackTornFrames proves corrupted frames surface as the typed
+// ErrExchangeCorrupt — never as wrong updates.
+func TestLoopbackTornFrames(t *testing.T) {
+	const k, nv, n = 4, int64(1 << 10), 4000
+	tp, lb := newLoopbackTransport(t, k, nv, n, 2, false, transport.Options{
+		Seed:      9,
+		Torn:      0.02,
+		MaxFaults: 4,
+	})
+	defer tp.Close()
+	_, err := sendSealDrain(t, tp, k, nv, n)
+	if err == nil {
+		t.Fatal("torn frames did not surface as an error")
+	}
+	if !errors.Is(err, core.ErrExchangeCorrupt) {
+		t.Fatalf("torn frames surfaced as %v, want ErrExchangeCorrupt", err)
+	}
+	if lb.Faults() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+}
+
+// TestLoopbackDeterministicSchedule pins the splitmix64 schedule: the same
+// seed over the same frame sequence injects the same fault count.
+func TestLoopbackDeterministicSchedule(t *testing.T) {
+	run := func() int64 {
+		const k, nv, n = 4, int64(1 << 10), 4000
+		tp, lb := newLoopbackTransport(t, k, nv, n, 1, false, transport.Options{
+			Seed:    1234,
+			DropErr: 0.05,
+		})
+		defer tp.Close()
+		if _, err := sendSealDrain(t, tp, k, nv, n); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return lb.Faults()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("fault schedule not deterministic: %d vs %d", a, b)
+	}
+}

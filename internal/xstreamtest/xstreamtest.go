@@ -1,0 +1,92 @@
+// Package xstreamtest holds the engine-config and test-graph scaffolding
+// the repo-root suites share. The equivalence, chaos, iteration-stats and
+// shared-pass suites all drive the same public API over the same simulated
+// devices and RMAT inputs; keeping the standard configurations and the
+// canonical result assertions here stops each suite from drifting its own
+// copy.
+package xstreamtest
+
+import (
+	"fmt"
+	"testing"
+
+	xstream "repro"
+)
+
+// RMAT returns the suites' standard directed scale-free test graph: RMAT
+// at the given scale with edge factor 8 and the given seed.
+func RMAT(scale int, seed int64) xstream.EdgeSource {
+	return xstream.RMAT(xstream.RMATConfig{Scale: scale, EdgeFactor: 8, Seed: seed})
+}
+
+// RMATUndirected is RMAT with each edge mirrored at generation time.
+func RMATUndirected(scale int, seed int64) xstream.EdgeSource {
+	return xstream.RMAT(xstream.RMATConfig{Scale: scale, EdgeFactor: 8, Seed: seed, Undirected: true})
+}
+
+// Materialize reads src fully into memory, failing the test on error.
+func Materialize(t *testing.T, src xstream.EdgeSource) []xstream.Edge {
+	t.Helper()
+	edges, err := xstream.Materialize(src)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return edges
+}
+
+// MemConfig returns the suites' standard in-memory configuration: 3 worker
+// threads, everything else per-suite.
+func MemConfig() xstream.MemConfig {
+	return xstream.MemConfig{Threads: 3}
+}
+
+// DiskConfig returns the suites' standard out-of-core configuration on a
+// fresh zero-latency simulated SSD pair named name: 3 worker threads,
+// 32 KiB I/O unit, 8 partitions.
+func DiskConfig(name string) xstream.DiskConfig {
+	return DiskConfigOn(xstream.NewSimDevice(xstream.SimSSD(name, 2, 0)))
+}
+
+// DiskConfigOn is DiskConfig over a caller-supplied device — the chaos
+// suite wraps its devices in fault injectors and retry layers first.
+func DiskConfigOn(dev xstream.Device) xstream.DiskConfig {
+	return xstream.DiskConfig{Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8}
+}
+
+// AssertBitIdentical compares two canonicalized result vectors bit by bit.
+func AssertBitIdentical(t *testing.T, got, want []uint32, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vertices, want %d", context, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: vertex %d: %#x, want %#x", context, v, got[v], want[v])
+		}
+	}
+}
+
+// SameComponents compares a computed WCC labeling against the reference
+// component partition canonically: same label ⇔ same reference component,
+// every label names a member of its own component, and no reference
+// component splits across labels. Representatives may legitimately differ
+// between partitioners.
+func SameComponents(got, want []xstream.VertexID) error {
+	repOf := map[xstream.VertexID]xstream.VertexID{}
+	labelOf := map[xstream.VertexID]xstream.VertexID{}
+	for v := range got {
+		ref := want[v]
+		if seen, ok := repOf[got[v]]; ok && seen != ref {
+			return fmt.Errorf("label %d spans reference components %d and %d", got[v], seen, ref)
+		}
+		repOf[got[v]] = ref
+		if want[got[v]] != ref {
+			return fmt.Errorf("vertex %d: label %d is not a member of its component", v, got[v])
+		}
+		if seen, ok := labelOf[ref]; ok && seen != got[v] {
+			return fmt.Errorf("reference component %d split into labels %d and %d", ref, seen, got[v])
+		}
+		labelOf[ref] = got[v]
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	xstream "repro"
+	"repro/internal/xstreamtest"
 )
 
 // Per-iteration profile parity: Stats.Iters must slice the cumulative
@@ -124,8 +125,9 @@ func assertIterParity(t *testing.T, name string, st xstream.Stats, exactUpdates 
 // with and without selective streaming (BFS exercises skips; PageRank a
 // fixed iteration count).
 func TestIterStatsSoloRuns(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 31})
-	memCfg := xstream.MemConfig{Threads: 3, Partitions: 8}
+	src := xstreamtest.RMAT(10, 31)
+	memCfg := xstreamtest.MemConfig()
+	memCfg.Partitions = 8
 
 	res, err := xstream.RunMemory(src, xstream.NewPageRank(5), memCfg)
 	if err != nil {
@@ -142,8 +144,7 @@ func TestIterStatsSoloRuns(t *testing.T) {
 	}
 	assertIterParity(t, "mem/bfs", bres.Stats, true)
 
-	dev := xstream.NewSimDevice(xstream.SimSSD("iterstats", 2, 0))
-	diskCfg := xstream.DiskConfig{Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8}
+	diskCfg := xstreamtest.DiskConfig("iterstats")
 	dres, err := xstream.RunDisk(src, xstream.NewBFS(3), diskCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -159,13 +160,14 @@ func TestIterStatsSoloRuns(t *testing.T) {
 // engines: the pass-level stats carry the shared-stream counters per
 // iteration, each job's stats its own work counters.
 func TestIterStatsSharedPass(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 32})
+	src := xstreamtest.RMAT(10, 32)
 	set := xstream.ProgramSet{
 		xstream.NewJob(xstream.NewPageRank(4)),
 		xstream.NewJob(xstream.NewBFS(1)),
 	}
-	results, pass, err := xstream.RunManyMemory(context.Background(), src,
-		set, xstream.MemConfig{Threads: 2, Partitions: 8})
+	memCfg := xstreamtest.MemConfig()
+	memCfg.Threads, memCfg.Partitions = 2, 8
+	results, pass, err := xstream.RunManyMemory(context.Background(), src, set, memCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,9 +180,9 @@ func TestIterStatsSharedPass(t *testing.T) {
 		xstream.NewJob(xstream.NewPageRank(4)),
 		xstream.NewJob(xstream.NewBFS(1)),
 	}
-	dev := xstream.NewSimDevice(xstream.SimSSD("iterstats2", 2, 0))
-	dresults, dpass, err := xstream.RunManyDisk(context.Background(), src,
-		set, xstream.DiskConfig{Device: dev, Threads: 2, IOUnit: 32 << 10, Partitions: 8})
+	diskCfg := xstreamtest.DiskConfig("iterstats2")
+	diskCfg.Threads = 2
+	dresults, dpass, err := xstream.RunManyDisk(context.Background(), src, set, diskCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	xstream "repro"
+	"repro/internal/xstreamtest"
 )
 
 // Shared-pass equivalence: a job co-scheduled into RunMany must produce
@@ -35,15 +36,15 @@ func runManyCases() []runManyCase {
 }
 
 func (c runManyCase) memConfig() xstream.MemConfig {
-	return xstream.MemConfig{Threads: 3, Partitions: 16, Partitioner: c.part(), Selective: c.selective}
+	cfg := xstreamtest.MemConfig()
+	cfg.Partitions, cfg.Partitioner, cfg.Selective = 16, c.part(), c.selective
+	return cfg
 }
 
 func (c runManyCase) diskConfig() xstream.DiskConfig {
-	dev := xstream.NewSimDevice(xstream.SimSSD("runmany", 2, 0))
-	return xstream.DiskConfig{
-		Device: dev, Threads: 3, IOUnit: 32 << 10, Partitions: 8,
-		Partitioner: c.part(), Selective: c.selective,
-	}
+	cfg := xstreamtest.DiskConfig("runmany")
+	cfg.Partitioner, cfg.Selective = c.part(), c.selective
+	return cfg
 }
 
 // soloVertices runs prog alone through the classic Run path.
@@ -83,7 +84,7 @@ func runManySet(t *testing.T, c runManyCase, src xstream.EdgeSource, set xstream
 }
 
 func TestRunManyEquivalence(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 61, Undirected: true})
+	src := xstreamtest.RMATUndirected(10, 61)
 	const root = 3
 	const prIters = 5
 
@@ -148,7 +149,7 @@ func TestRunManyEquivalence(t *testing.T) {
 // deterministic, so a co-scheduled PageRank must match its solo run to the
 // last bit — same combining windows, same shuffle, same fold order.
 func TestRunManyBitExact(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 62})
+	src := xstreamtest.RMAT(9, 62)
 	cfg := xstream.MemConfig{Threads: 1, Partitions: 16}
 	solo, err := xstream.RunMemory(src, xstream.NewPageRank(5), cfg)
 	if err != nil {
@@ -177,7 +178,7 @@ func TestRunManyBitExact(t *testing.T) {
 // list once per pass — per-job streams equal the pass stream, and
 // EdgesShared is (K-1) times it.
 func TestRunManyAmortization(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 63})
+	src := xstreamtest.RMAT(9, 63)
 	const k = 4
 	set := make(xstream.ProgramSet, k)
 	for i := range set {
@@ -198,7 +199,7 @@ func TestRunManyAmortization(t *testing.T) {
 
 // TestRunManyCancel: a canceled context stops the pass between iterations.
 func TestRunManyCancel(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 64})
+	src := xstreamtest.RMAT(9, 64)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	set := xstream.ProgramSet{xstream.NewJob[xstream.PRState, float32](xstream.NewPageRank(50))}
@@ -225,7 +226,7 @@ func TestRunManyCancel(t *testing.T) {
 // RunMany job must mirror, sync, and agree bit-for-bit with its solo Run
 // under the same replicating assignment (min-lattice algorithm).
 func TestRunManyReplication(t *testing.T) {
-	src := xstream.RMAT(xstream.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 71})
+	src := xstreamtest.RMAT(10, 71)
 	repPart := func() xstream.Partitioner {
 		return xstream.NewReplicatingPartitioner(xstream.New2PSVolumePartitioner(), xstream.ReplicationConfig{})
 	}

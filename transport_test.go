@@ -1,0 +1,224 @@
+package xstream_test
+
+// Transport equivalence: the update shuffle is an exchangeable seam
+// (core.UpdateTransport), so routing it through the channel-backed
+// loopback worker exchange — per-destination framing, out-of-order
+// partition arrival, backpressure: the concurrency shape of a network
+// exchange — must not change any result. The matrix mirrors the engine
+// equivalence suites: builtin vs loopback × mem/disk × selective on/off,
+// with BFS and WCC bit-exact at 3 threads (min-lattice fixpoints are
+// unique) and PageRank bit-exact at Threads=1 (float sums fold in a
+// deterministic order single-threaded). The chaos cases then prove the
+// loopback's seeded fault schedule is either fully absorbed (retryable
+// drops, duplicates → bit-identical results) or surfaced as the typed
+// exchange errors — never as wrong results.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	xstream "repro"
+	"repro/internal/transport"
+	"repro/internal/xstreamtest"
+)
+
+// transportCase is one (engine, selective) combination; each runs twice,
+// builtin and loopback.
+type transportCase struct {
+	name      string
+	mem       bool
+	selective bool
+}
+
+func transportCases() []transportCase {
+	return []transportCase{
+		{"mem/dense", true, false},
+		{"mem/selective", true, true},
+		{"disk/dense", false, false},
+		{"disk/selective", false, true},
+	}
+}
+
+// loopbackFactory returns a MemConfig/DiskConfig.Exchange factory over a
+// loopback with the given fault schedule, recording the instances it
+// builds so tests can interrogate the injected fault count.
+func loopbackFactory(opts transport.Options, made *[]*transport.Loopback) func(k int) xstream.Exchange {
+	return func(k int) xstream.Exchange {
+		lb := transport.NewLoopback(k, opts)
+		if made != nil {
+			*made = append(*made, lb)
+		}
+		return lb
+	}
+}
+
+// runTransport executes prog on the case's engine, with the builtin
+// transport when exchange is nil. Partitions are forced so the test-size
+// graphs still shuffle across a real partition fan-out.
+func runTransport[V, M any](t *testing.T, c transportCase, threads int, exchange func(k int) xstream.Exchange, src xstream.EdgeSource, prog xstream.Program[V, M]) ([]V, xstream.Stats) {
+	t.Helper()
+	if c.mem {
+		cfg := xstreamtest.MemConfig()
+		cfg.Threads, cfg.Partitions, cfg.TileEdges = threads, 16, 128
+		cfg.Selective, cfg.Exchange = c.selective, exchange
+		res, err := xstream.RunMemory(src, prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		return res.Vertices, res.Stats
+	}
+	cfg := xstreamtest.DiskConfig("transport-equiv")
+	cfg.Threads, cfg.TileEdges = threads, 128
+	cfg.Selective, cfg.Exchange = c.selective, exchange
+	res, err := xstream.RunDisk(src, prog, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	return res.Vertices, res.Stats
+}
+
+// checkTransportStats asserts the transport's own traffic accounting made
+// it into the run's Stats on both implementations.
+func checkTransportStats(t *testing.T, name string, builtin, loopback xstream.Stats) {
+	t.Helper()
+	for _, s := range []struct {
+		which string
+		st    xstream.Stats
+	}{{"builtin", builtin}, {"loopback", loopback}} {
+		if s.st.TransportBatches == 0 || s.st.TransportBytes == 0 {
+			t.Fatalf("%s/%s: transport reported no traffic: %d batches, %d bytes",
+				name, s.which, s.st.TransportBatches, s.st.TransportBytes)
+		}
+	}
+}
+
+// TestTransportEquivalenceBFS: min-lattice traversal, bit-exact across
+// the full matrix at 3 threads.
+func TestTransportEquivalenceBFS(t *testing.T) {
+	src := xstreamtest.RMAT(10, 81)
+	const root = 3
+	for _, c := range transportCases() {
+		t.Run(c.name, func(t *testing.T) {
+			want, ws := runTransport(t, c, 3, nil, src, xstream.NewBFS(root))
+			got, gs := runTransport(t, c, 3, loopbackFactory(transport.Options{}, nil), src, xstream.NewBFS(root))
+			checkTransportStats(t, c.name, ws, gs)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: %+v, want %+v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestTransportEquivalenceWCC: all-active label propagation over min,
+// bit-exact across the matrix at 3 threads.
+func TestTransportEquivalenceWCC(t *testing.T) {
+	src := xstreamtest.RMATUndirected(10, 82)
+	for _, c := range transportCases() {
+		t.Run(c.name, func(t *testing.T) {
+			want, ws := runTransport(t, c, 3, nil, src, xstream.NewWCC())
+			got, gs := runTransport(t, c, 3, loopbackFactory(transport.Options{}, nil), src, xstream.NewWCC())
+			checkTransportStats(t, c.name, ws, gs)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: %+v, want %+v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestTransportEquivalencePageRank: float sums at Threads=1, where both
+// transports deliver each partition's update stream in the same order —
+// the loopback run must match the builtin bit-for-bit.
+func TestTransportEquivalencePageRank(t *testing.T) {
+	src := xstreamtest.RMAT(10, 83)
+	for _, c := range transportCases() {
+		if c.selective {
+			continue // PageRank is dense; selective adds nothing here
+		}
+		t.Run(c.name, func(t *testing.T) {
+			want, ws := runTransport(t, c, 1, nil, src, xstream.NewPageRank(5))
+			got, gs := runTransport(t, c, 1, loopbackFactory(transport.Options{}, nil), src, xstream.NewPageRank(5))
+			checkTransportStats(t, c.name, ws, gs)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: %+v, want %+v (bitwise)", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosTransportLoopback: the seeded repo-root chaos case for the
+// update transport. Under a schedule of retryable drops and duplicated
+// frames, both engines complete every workload bit-identically to their
+// fault-free loopback runs — the send retry layer and the sequence
+// deduplication absorb every injected fault, which the schedule's own
+// counter proves actually fired.
+func TestChaosTransportLoopback(t *testing.T) {
+	seed := chaosSeed(t)
+	src := xstreamtest.RMATUndirected(10, 84)
+	faultOpts := transport.Options{Seed: seed, DropErr: 0.02, Duplicate: 0.02}
+	for _, c := range transportCases() {
+		t.Run(c.name, func(t *testing.T) {
+			want, _ := runTransport(t, c, 3, loopbackFactory(transport.Options{}, nil), src, xstream.NewWCC())
+			var made []*transport.Loopback
+			got, _ := runTransport(t, c, 3, loopbackFactory(faultOpts, &made), src, xstream.NewWCC())
+			var faults int64
+			for _, lb := range made {
+				faults += lb.Faults()
+			}
+			if faults == 0 {
+				t.Fatalf("seed %d: fault schedule never fired", seed)
+			}
+			wl, gl := xstream.WCCLabels(want), xstream.WCCLabels(got)
+			a := make([]uint32, len(wl))
+			b := make([]uint32, len(gl))
+			for v := range wl {
+				a[v], b[v] = uint32(wl[v]), uint32(gl[v])
+			}
+			xstreamtest.AssertBitIdentical(t, b, a, fmt.Sprintf("seed %d (%d faults)", seed, faults))
+		})
+	}
+}
+
+// TestChaosTransportTypedErrors: unabsorbable loopback faults surface as
+// the typed exchange errors — silent loss as ErrExchangeLost, torn frames
+// as ErrExchangeCorrupt — never as wrong results.
+func TestChaosTransportTypedErrors(t *testing.T) {
+	seed := chaosSeed(t)
+	src := xstreamtest.RMATUndirected(10, 85)
+	kinds := []struct {
+		name string
+		opts transport.Options
+		want error
+	}{
+		{"silent-loss", transport.Options{Seed: seed, SilentDrop: 0.05, MaxFaults: 4}, xstream.ErrExchangeLost},
+		{"torn-frame", transport.Options{Seed: seed, Torn: 0.05, MaxFaults: 4}, xstream.ErrExchangeCorrupt},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			cfg := xstreamtest.MemConfig()
+			cfg.Partitions = 16
+			var made []*transport.Loopback
+			cfg.Exchange = loopbackFactory(k.opts, &made)
+			_, err := xstream.RunMemory(src, xstream.NewWCC(), cfg)
+			if err == nil {
+				t.Fatalf("seed %d: %s did not surface as an error", seed, k.name)
+			}
+			if !errors.Is(err, k.want) {
+				t.Fatalf("seed %d: %s surfaced as %v, want %v", seed, k.name, err, k.want)
+			}
+			var faults int64
+			for _, lb := range made {
+				faults += lb.Faults()
+			}
+			if faults == 0 {
+				t.Fatalf("seed %d: error reported with no injected fault", seed)
+			}
+		})
+	}
+}
